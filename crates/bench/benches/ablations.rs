@@ -1,0 +1,25 @@
+//! The DESIGN.md ablation studies: chained-penalty bound, cache policy,
+//! and trace-attribution rule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsdp_bench::exhibits;
+use std::hint::black_box;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", exhibits::ablation_chain_penalty());
+    println!("{}", exhibits::ablation_cache_policy());
+    println!("{}", exhibits::ablation_attribution());
+    c.bench_function("ablations/chain_penalty", |b| {
+        b.iter(|| black_box(exhibits::ablation_chain_penalty()))
+    });
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Figure 13 (accelerator feature upper bounds) and benchmarks the model evaluation behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsdp_bench::exhibits;
+use std::hint::black_box;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", exhibits::figure13());
+    c.bench_function("fig13_accel_features/regenerate", |b| {
+        b.iter(|| black_box(exhibits::figure13()))
+    });
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench);
+criterion_main!(benches);

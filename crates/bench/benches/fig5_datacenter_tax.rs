@@ -1,0 +1,24 @@
+//! Regenerates Figure 5 (datacenter tax breakdown) from the simulated fleet and benchmarks the
+//! aggregation stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsdp_bench::exhibits;
+use std::hint::black_box;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn bench(c: &mut Criterion) {
+    let runs = exhibits::run_profiled_fleet(exhibits::bench_fleet_config());
+    println!("\n{}", exhibits::figure5_exhibit(&runs));
+    c.bench_function("fig5_datacenter_tax/render", |b| {
+        b.iter(|| black_box(exhibits::figure5_exhibit(black_box(&runs))))
+    });
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates Table 1 (storage-to-storage ratios) and benchmarks the
+//! provisioning model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsdp_bench::exhibits;
+use hsdp_storage::provision::{paper_spec, provision, PlatformClass};
+use std::hint::black_box;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", exhibits::table1());
+    c.bench_function("table1/provision_all_platforms", |b| {
+        b.iter(|| {
+            for class in [PlatformClass::Spanner, PlatformClass::BigTable, PlatformClass::BigQuery] {
+                black_box(provision(&paper_spec(class)));
+            }
+        })
+    });
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Table 8 (chained-model validation): replays the paper's RTL
+//! numbers through the model, measures the real software pipeline, and
+//! benchmarks the model-side arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsdp_accelsim::modeled::{analytic_chained, simulate_chained, StageSpec};
+use hsdp_accelsim::validate::paper_replay;
+use hsdp_bench::exhibits;
+use hsdp_simcore::time::SimDuration;
+use std::hint::black_box;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", exhibits::table8(800));
+    c.bench_function("table8/paper_replay", |b| b.iter(|| black_box(paper_replay())));
+    let stages = [
+        StageSpec { per_item: SimDuration::from_micros(17), setup: SimDuration::from_micros(1489) },
+        StageSpec { per_item: SimDuration::from_micros(22), setup: SimDuration::from_micros(4) },
+    ];
+    c.bench_function("table8/simulate_chained_1k_items", |b| {
+        b.iter(|| black_box(simulate_chained(black_box(&stages), 1000)))
+    });
+    c.bench_function("table8/analytic_chained", |b| {
+        b.iter(|| black_box(analytic_chained(black_box(&stages), 1000)))
+    });
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench);
+criterion_main!(benches);

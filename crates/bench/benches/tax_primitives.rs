@@ -1,0 +1,44 @@
+//! Microbenchmarks of the datacenter-tax primitives the platforms execute:
+//! the per-byte costs behind the Figure 5 categories.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hsdp_taxes::compress::{compress, decompress};
+use hsdp_taxes::crc::crc32c;
+use hsdp_taxes::sha3::Sha3_256;
+use hsdp_workload::proto_corpus;
+use std::hint::black_box;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = hsdp_simcore::dist::seeded_rng(42);
+    let messages = proto_corpus::corpus(64, &mut rng);
+    let encoded: Vec<Vec<u8>> = messages.iter().map(|m| m.encode_to_vec()).collect();
+    let blob: Vec<u8> = encoded.concat();
+    let packed = compress(&blob);
+
+    let mut group = c.benchmark_group("tax_primitives");
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("protobuf_encode_corpus", |b| {
+        b.iter(|| {
+            for m in &messages {
+                black_box(m.encode_to_vec());
+            }
+        })
+    });
+    group.bench_function("sha3_256", |b| b.iter(|| black_box(Sha3_256::digest(&blob))));
+    group.bench_function("crc32c", |b| b.iter(|| black_box(crc32c(&blob))));
+    group.bench_function("compress", |b| b.iter(|| black_box(compress(&blob))));
+    group.bench_function("decompress", |b| {
+        b.iter(|| black_box(decompress(&packed).expect("valid block")))
+    });
+    group.finish();
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Prints every regenerated table and figure in one run:
+//! `cargo run --release -p hsdp-bench --bin figures`.
+
+use hsdp_bench::exhibits;
+
+fn main() {
+    println!("{}", exhibits::table1());
+    let runs = exhibits::run_profiled_fleet(exhibits::bench_fleet_config());
+    println!("{}", exhibits::figure2_exhibit(&runs));
+    println!("{}", exhibits::figure3_exhibit(&runs));
+    println!("{}", exhibits::figure4_exhibit(&runs));
+    println!("{}", exhibits::figure5_exhibit(&runs));
+    println!("{}", exhibits::figure6_exhibit(&runs));
+    println!("{}", exhibits::tables6_7());
+    println!("{}", exhibits::figure9());
+    println!("{}", exhibits::figure10());
+    println!("{}", exhibits::figure13());
+    println!("{}", exhibits::figure14());
+    println!("{}", exhibits::figure15());
+    println!("{}", exhibits::table8(800));
+    println!("{}", exhibits::ablation_chain_penalty());
+    println!("{}", exhibits::ablation_cache_policy());
+    println!("{}", exhibits::ablation_attribution());
+}

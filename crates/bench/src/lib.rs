@@ -1,0 +1,12 @@
+//! # hsdp-bench
+//!
+//! The experiment harness: every table and figure of the paper's evaluation
+//! has a regeneration function here, consumed by the Criterion benches
+//! (`benches/`) and the `figures` binary. Each function returns the
+//! rendered exhibit as text so benches can both print and time it.
+
+#![warn(missing_docs)]
+
+pub mod exhibits;
+
+pub use exhibits::*;

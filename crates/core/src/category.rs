@@ -1,0 +1,382 @@
+//! The cycle-accounting taxonomy of the paper (Section 5, Tables 2–5).
+//!
+//! CPU cycles are attributed to exactly one *fine-grained* category
+//! ([`CpuCategory`]), which rolls up into one of three *broad* categories
+//! ([`BroadCategory`]): core compute, datacenter taxes, and system taxes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three production platforms characterized by the paper (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Platform {
+    /// Globally-distributed, synchronously-replicated SQL database.
+    Spanner,
+    /// Cluster-level key-value (NoSQL) storage system.
+    BigTable,
+    /// Distributed multi-tenant analytics query engine.
+    BigQuery,
+}
+
+impl Platform {
+    /// All three platforms, in the paper's presentation order.
+    pub const ALL: [Platform; 3] = [Platform::Spanner, Platform::BigTable, Platform::BigQuery];
+
+    /// True for the two transactional database platforms (Spanner, BigTable).
+    ///
+    /// The paper repeatedly contrasts "the databases" against the analytics
+    /// engine (e.g. Section 5.6).
+    #[must_use]
+    pub fn is_database(self) -> bool {
+        matches!(self, Platform::Spanner | Platform::BigTable)
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Platform::Spanner => "Spanner",
+            Platform::BigTable => "BigTable",
+            Platform::BigQuery => "BigQuery",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Broad cycle categories of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BroadCategory {
+    /// Essential business logic of the platform (Tables 4 and 5).
+    CoreCompute,
+    /// Key functions necessary to run hyperscale workloads (Table 2).
+    DatacenterTax,
+    /// Overheads shared among many production binaries (Table 3).
+    SystemTax,
+}
+
+impl BroadCategory {
+    /// All broad categories in presentation order.
+    pub const ALL: [BroadCategory; 3] = [
+        BroadCategory::CoreCompute,
+        BroadCategory::DatacenterTax,
+        BroadCategory::SystemTax,
+    ];
+}
+
+impl fmt::Display for BroadCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BroadCategory::CoreCompute => "Core Compute",
+            BroadCategory::DatacenterTax => "Datacenter Taxes",
+            BroadCategory::SystemTax => "System Taxes",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Datacenter-tax fine categories (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DatacenterTax {
+    /// (De)compression operations.
+    Compression,
+    /// Hashing, security tools and infrastructure.
+    Cryptography,
+    /// `mem{cpy,move}` and `copy_user` operations.
+    DataMovement,
+    /// Memory reservation operations (`malloc` and friends).
+    MemAllocation,
+    /// (De)serialization setup and operations.
+    Protobuf,
+    /// Remote procedure calls.
+    Rpc,
+}
+
+impl DatacenterTax {
+    /// All datacenter taxes in Table 2 order.
+    pub const ALL: [DatacenterTax; 6] = [
+        DatacenterTax::Compression,
+        DatacenterTax::Cryptography,
+        DatacenterTax::DataMovement,
+        DatacenterTax::MemAllocation,
+        DatacenterTax::Protobuf,
+        DatacenterTax::Rpc,
+    ];
+}
+
+impl fmt::Display for DatacenterTax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DatacenterTax::Compression => "Compression",
+            DatacenterTax::Cryptography => "Cryptography",
+            DatacenterTax::DataMovement => "Data Movement",
+            DatacenterTax::MemAllocation => "Mem. Allocation",
+            DatacenterTax::Protobuf => "Protobuf",
+            DatacenterTax::Rpc => "RPC",
+        };
+        f.write_str(name)
+    }
+}
+
+/// System-tax fine categories (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SystemTax {
+    /// Error handling (checksums, etc.).
+    Edac,
+    /// IO backend client compute.
+    FileSystems,
+    /// Non-data-movement memory operations.
+    OtherMemoryOps,
+    /// Thread management overheads.
+    Multithreading,
+    /// Packet, web, and server processing.
+    Networking,
+    /// Kernel, syscalls, time operations.
+    OperatingSystems,
+    /// Standard fleet-wide libraries.
+    Stl,
+    /// Uncategorized system operations.
+    MiscSystem,
+}
+
+impl SystemTax {
+    /// All system taxes in Table 3 order.
+    pub const ALL: [SystemTax; 8] = [
+        SystemTax::Edac,
+        SystemTax::FileSystems,
+        SystemTax::OtherMemoryOps,
+        SystemTax::Multithreading,
+        SystemTax::Networking,
+        SystemTax::OperatingSystems,
+        SystemTax::Stl,
+        SystemTax::MiscSystem,
+    ];
+}
+
+impl fmt::Display for SystemTax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SystemTax::Edac => "EDAC",
+            SystemTax::FileSystems => "File Systems",
+            SystemTax::OtherMemoryOps => "Other Memory Ops.",
+            SystemTax::Multithreading => "Multithreading",
+            SystemTax::Networking => "Networking",
+            SystemTax::OperatingSystems => "Operating Systems",
+            SystemTax::Stl => "STL",
+            SystemTax::MiscSystem => "Misc. System Taxes",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Core-compute fine categories for the database platforms (Table 4) and the
+/// analytics engine (Table 5), merged into one enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CoreComputeOp {
+    // Table 4: Spanner and BigTable.
+    /// Read operations.
+    Read,
+    /// Write/commit operations.
+    Write,
+    /// Revision control / cleanup.
+    Compaction,
+    /// Replication and consensus protocols.
+    Consensus,
+    /// SQL-like compute.
+    Query,
+    // Table 5: BigQuery.
+    /// Compute/data movement for hash/sort aggregations.
+    Aggregate,
+    /// Column-wise operations on pre-grouped aggregates.
+    Compute,
+    /// Structured element field access.
+    Destructure,
+    /// Scan/selection of rows.
+    Filter,
+    /// Compute/data movement of hash/sort joins.
+    Join,
+    /// Construction of in-memory tables.
+    Materialize,
+    /// Retrieval of individual table columns.
+    Project,
+    /// Non-aggregation/join sort operations.
+    Sort,
+    // Shared long tail.
+    /// Long tail of labeled miscellaneous compute.
+    MiscCore,
+    /// Unlabeled compute.
+    Uncategorized,
+}
+
+impl CoreComputeOp {
+    /// The database-platform categories of Table 4 (plus the shared tail).
+    pub const DATABASE_OPS: [CoreComputeOp; 7] = [
+        CoreComputeOp::Read,
+        CoreComputeOp::Write,
+        CoreComputeOp::Compaction,
+        CoreComputeOp::Consensus,
+        CoreComputeOp::Query,
+        CoreComputeOp::MiscCore,
+        CoreComputeOp::Uncategorized,
+    ];
+
+    /// The analytics-engine categories of Table 5 (plus the shared tail).
+    pub const ANALYTICS_OPS: [CoreComputeOp; 10] = [
+        CoreComputeOp::Aggregate,
+        CoreComputeOp::Compute,
+        CoreComputeOp::Destructure,
+        CoreComputeOp::Filter,
+        CoreComputeOp::Join,
+        CoreComputeOp::Materialize,
+        CoreComputeOp::Project,
+        CoreComputeOp::Sort,
+        CoreComputeOp::MiscCore,
+        CoreComputeOp::Uncategorized,
+    ];
+
+    /// The fine categories the paper breaks down for `platform` in Figure 4.
+    #[must_use]
+    pub fn for_platform(platform: Platform) -> &'static [CoreComputeOp] {
+        if platform.is_database() {
+            &Self::DATABASE_OPS
+        } else {
+            &Self::ANALYTICS_OPS
+        }
+    }
+}
+
+impl fmt::Display for CoreComputeOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CoreComputeOp::Read => "Read",
+            CoreComputeOp::Write => "Write",
+            CoreComputeOp::Compaction => "Compaction",
+            CoreComputeOp::Consensus => "Consensus",
+            CoreComputeOp::Query => "Query",
+            CoreComputeOp::Aggregate => "Aggregate",
+            CoreComputeOp::Compute => "Compute",
+            CoreComputeOp::Destructure => "Destructure",
+            CoreComputeOp::Filter => "Filter",
+            CoreComputeOp::Join => "Join",
+            CoreComputeOp::Materialize => "Materialize",
+            CoreComputeOp::Project => "Project",
+            CoreComputeOp::Sort => "Sort",
+            CoreComputeOp::MiscCore => "Misc. Core Ops.",
+            CoreComputeOp::Uncategorized => "Uncategorized",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fine-grained CPU cycle category: the unit of accounting in Figures 4–6
+/// and the unit of acceleration in the sea-of-accelerators model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CpuCategory {
+    /// A core-compute operation.
+    Core(CoreComputeOp),
+    /// A datacenter tax.
+    Datacenter(DatacenterTax),
+    /// A system tax.
+    System(SystemTax),
+}
+
+impl CpuCategory {
+    /// The broad category this fine category rolls up into.
+    #[must_use]
+    pub fn broad(self) -> BroadCategory {
+        match self {
+            CpuCategory::Core(_) => BroadCategory::CoreCompute,
+            CpuCategory::Datacenter(_) => BroadCategory::DatacenterTax,
+            CpuCategory::System(_) => BroadCategory::SystemTax,
+        }
+    }
+}
+
+impl fmt::Display for CpuCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuCategory::Core(op) => write!(f, "{op}"),
+            CpuCategory::Datacenter(tax) => write!(f, "{tax}"),
+            CpuCategory::System(tax) => write!(f, "{tax}"),
+        }
+    }
+}
+
+impl From<CoreComputeOp> for CpuCategory {
+    fn from(op: CoreComputeOp) -> Self {
+        CpuCategory::Core(op)
+    }
+}
+
+impl From<DatacenterTax> for CpuCategory {
+    fn from(tax: DatacenterTax) -> Self {
+        CpuCategory::Datacenter(tax)
+    }
+}
+
+impl From<SystemTax> for CpuCategory {
+    fn from(tax: SystemTax) -> Self {
+        CpuCategory::System(tax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_classification() {
+        assert!(Platform::Spanner.is_database());
+        assert!(Platform::BigTable.is_database());
+        assert!(!Platform::BigQuery.is_database());
+        assert_eq!(Platform::ALL.len(), 3);
+    }
+
+    #[test]
+    fn broad_rollup() {
+        assert_eq!(
+            CpuCategory::from(CoreComputeOp::Read).broad(),
+            BroadCategory::CoreCompute
+        );
+        assert_eq!(
+            CpuCategory::from(DatacenterTax::Protobuf).broad(),
+            BroadCategory::DatacenterTax
+        );
+        assert_eq!(
+            CpuCategory::from(SystemTax::Stl).broad(),
+            BroadCategory::SystemTax
+        );
+    }
+
+    #[test]
+    fn per_platform_core_ops_match_tables() {
+        assert_eq!(CoreComputeOp::for_platform(Platform::Spanner).len(), 7);
+        assert_eq!(CoreComputeOp::for_platform(Platform::BigTable).len(), 7);
+        assert_eq!(CoreComputeOp::for_platform(Platform::BigQuery).len(), 10);
+        assert!(CoreComputeOp::for_platform(Platform::BigQuery)
+            .contains(&CoreComputeOp::Filter));
+        assert!(!CoreComputeOp::for_platform(Platform::Spanner)
+            .contains(&CoreComputeOp::Filter));
+    }
+
+    #[test]
+    fn display_names_match_paper_tables() {
+        assert_eq!(DatacenterTax::MemAllocation.to_string(), "Mem. Allocation");
+        assert_eq!(SystemTax::Edac.to_string(), "EDAC");
+        assert_eq!(SystemTax::OtherMemoryOps.to_string(), "Other Memory Ops.");
+        assert_eq!(CoreComputeOp::MiscCore.to_string(), "Misc. Core Ops.");
+        assert_eq!(Platform::BigQuery.to_string(), "BigQuery");
+        assert_eq!(BroadCategory::DatacenterTax.to_string(), "Datacenter Taxes");
+    }
+
+    #[test]
+    fn category_ordering_is_stable_for_map_keys() {
+        let mut cats = vec![
+            CpuCategory::from(SystemTax::Stl),
+            CpuCategory::from(CoreComputeOp::Read),
+            CpuCategory::from(DatacenterTax::Rpc),
+        ];
+        cats.sort();
+        assert_eq!(cats[0].broad(), BroadCategory::CoreCompute);
+    }
+}

@@ -1,0 +1,792 @@
+//! Published numbers from the paper, and the synthetic populations
+//! calibrated against them.
+//!
+//! Every constant here cites the table or figure it comes from. Where the
+//! paper publishes exact values (Tables 1, 6, 7, 8 and the headline
+//! percentages of Sections 4–6) we use them verbatim; where it publishes
+//! only charts (Figures 2, 4–6) we fix point values inside the stated ranges
+//! and treat chart *shape* as the reproduction target (see DESIGN.md).
+//!
+//! The [`query_population`] builder produces, for each platform, a weighted
+//! population of query classes whose Figure 2 group mix, Figure 9 peak and
+//! aggregate speedups, and Figure 13 trade-offs land near the paper's
+//! published values. The calibration arithmetic is documented inline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::category::{
+    CoreComputeOp, CpuCategory, DatacenterTax, Platform, SystemTax,
+};
+use crate::component::CpuBreakdown;
+use crate::profile::{PlatformProfile, QueryPopulation, QueryRecord};
+use crate::units::{Bytes, Seconds};
+
+// ---------------------------------------------------------------------------
+// Table 1: storage-to-storage ratios.
+// ---------------------------------------------------------------------------
+
+/// A RAM : SSD : HDD provisioning ratio (Table 1), normalized to RAM = 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageRatio {
+    /// RAM petabytes (normalized to 1).
+    pub ram: f64,
+    /// SSD petabytes per RAM petabyte.
+    pub ssd: f64,
+    /// HDD petabytes per RAM petabyte.
+    pub hdd: f64,
+}
+
+impl StorageRatio {
+    /// SSD-to-HDD ratio (the paper notes it is "approx. 10x to 110x").
+    #[must_use]
+    pub fn hdd_per_ssd(&self) -> f64 {
+        self.hdd / self.ssd
+    }
+}
+
+/// Table 1 ratios. The text fixes the HDD column: "For every 90, 164, or 777
+/// bytes in HDD, a byte is allocated in RAM across Spanner, BigTable, and
+/// BigQuery, respectively."
+#[must_use]
+pub fn storage_ratio(platform: Platform) -> StorageRatio {
+    match platform {
+        Platform::Spanner => StorageRatio { ram: 1.0, ssd: 8.0, hdd: 90.0 },
+        Platform::BigTable => StorageRatio { ram: 1.0, ssd: 16.0, hdd: 164.0 },
+        Platform::BigQuery => StorageRatio { ram: 1.0, ssd: 7.0, hdd: 777.0 },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: broad cycle shares.
+// ---------------------------------------------------------------------------
+
+/// Figure 3 broad shares `(core compute, datacenter tax, system tax)`.
+///
+/// The paper states core compute spans 18–36%, datacenter taxes 32–40%, and
+/// system taxes 32–42% across the platforms; these point values sit inside
+/// those ranges with the databases at the core-compute-heavy end.
+#[must_use]
+pub fn broad_shares(platform: Platform) -> [f64; 3] {
+    match platform {
+        Platform::Spanner => [0.36, 0.32, 0.32],
+        Platform::BigTable => [0.28, 0.40, 0.32],
+        Platform::BigQuery => [0.18, 0.40, 0.42],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 / Tables 4–5: core-compute fine shares (within core compute).
+// ---------------------------------------------------------------------------
+
+/// Figure 4 core-compute shares, normalized within the core-compute slice.
+///
+/// Databases are dominated by read/write/consensus; BigQuery by
+/// filter/aggregate/compute (the paper quotes 14–23% for those three).
+#[must_use]
+pub fn core_compute_shares(platform: Platform) -> Vec<(CoreComputeOp, f64)> {
+    use CoreComputeOp::*;
+    match platform {
+        Platform::Spanner => vec![
+            (Read, 0.22),
+            (Write, 0.18),
+            (Consensus, 0.15),
+            (Query, 0.13),
+            (MiscCore, 0.13),
+            (Uncategorized, 0.10),
+            (Compaction, 0.09),
+        ],
+        Platform::BigTable => vec![
+            (Read, 0.25),
+            (Write, 0.20),
+            (MiscCore, 0.18),
+            (Compaction, 0.15),
+            (Consensus, 0.12),
+            (Uncategorized, 0.10),
+        ],
+        Platform::BigQuery => vec![
+            (Filter, 0.21),
+            (Aggregate, 0.17),
+            (Compute, 0.14),
+            (MiscCore, 0.10),
+            (Join, 0.10),
+            (Sort, 0.08),
+            (Destructure, 0.07),
+            (Project, 0.05),
+            (Materialize, 0.04),
+            (Uncategorized, 0.04),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 / Table 2: datacenter-tax fine shares (within datacenter tax).
+// ---------------------------------------------------------------------------
+
+/// Figure 5 datacenter-tax shares. The paper's anchors: protobuf 20–25%
+/// (highest in BigQuery), compression 14–31% (>30% in BigTable/BigQuery),
+/// RPC 23% / 37% / 11% for Spanner / BigTable / BigQuery.
+#[must_use]
+pub fn datacenter_tax_shares(platform: Platform) -> Vec<(DatacenterTax, f64)> {
+    use DatacenterTax::*;
+    match platform {
+        Platform::Spanner => vec![
+            (Rpc, 0.23),
+            (Protobuf, 0.20),
+            (DataMovement, 0.18),
+            (MemAllocation, 0.15),
+            (Compression, 0.14),
+            (Cryptography, 0.10),
+        ],
+        Platform::BigTable => vec![
+            (Rpc, 0.37),
+            (Compression, 0.31),
+            (Protobuf, 0.20),
+            (DataMovement, 0.05),
+            (MemAllocation, 0.04),
+            (Cryptography, 0.03),
+        ],
+        Platform::BigQuery => vec![
+            (Compression, 0.30),
+            (Protobuf, 0.25),
+            (DataMovement, 0.15),
+            (MemAllocation, 0.12),
+            (Rpc, 0.11),
+            (Cryptography, 0.07),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 / Table 3: system-tax fine shares (within system tax).
+// ---------------------------------------------------------------------------
+
+/// Figure 6 system-tax shares. Anchors: operating systems 18–28%, standard
+/// libraries up to 53% (BigQuery).
+#[must_use]
+pub fn system_tax_shares(platform: Platform) -> Vec<(SystemTax, f64)> {
+    use SystemTax::*;
+    match platform {
+        Platform::Spanner => vec![
+            (Stl, 0.30),
+            (OperatingSystems, 0.28),
+            (FileSystems, 0.12),
+            (Networking, 0.10),
+            (Multithreading, 0.08),
+            (OtherMemoryOps, 0.06),
+            (Edac, 0.03),
+            (MiscSystem, 0.03),
+        ],
+        Platform::BigTable => vec![
+            (Stl, 0.35),
+            (OperatingSystems, 0.25),
+            (FileSystems, 0.13),
+            (Networking, 0.09),
+            (Multithreading, 0.06),
+            (OtherMemoryOps, 0.05),
+            (Edac, 0.04),
+            (MiscSystem, 0.03),
+        ],
+        Platform::BigQuery => vec![
+            (Stl, 0.53),
+            (OperatingSystems, 0.18),
+            (FileSystems, 0.08),
+            (Networking, 0.06),
+            (Multithreading, 0.05),
+            (OtherMemoryOps, 0.04),
+            (Edac, 0.03),
+            (MiscSystem, 0.03),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combined fleet breakdown.
+// ---------------------------------------------------------------------------
+
+/// The fleet-level CPU breakdown for one platform: Figure 3's broad shares
+/// filled in with Figures 4–6's fine shares, normalized to a 1-second total
+/// so each component's time doubles as its share of CPU cycles.
+#[must_use]
+pub fn fleet_breakdown(platform: Platform) -> CpuBreakdown {
+    let [core, dct, st] = broad_shares(platform);
+    let mut shares: Vec<(CpuCategory, f64)> = Vec::new();
+    for (op, s) in core_compute_shares(platform) {
+        shares.push((CpuCategory::Core(op), core * s));
+    }
+    for (tax, s) in datacenter_tax_shares(platform) {
+        shares.push((CpuCategory::Datacenter(tax), dct * s));
+    }
+    for (tax, s) in system_tax_shares(platform) {
+        shares.push((CpuCategory::System(tax), st * s));
+    }
+    // Normalize away rounding drift so from_shares' tolerance is respected.
+    let sum: f64 = shares.iter().map(|(_, s)| s).sum();
+    for (_, s) in &mut shares {
+        *s /= sum;
+    }
+    CpuBreakdown::from_shares(Seconds::new(1.0), &shares)
+        .expect("paper shares are normalized and duplicate-free")
+}
+
+// ---------------------------------------------------------------------------
+// Section 6.2: accelerated component sets and Figure 13's incremental order.
+// ---------------------------------------------------------------------------
+
+/// The components Section 6.2 accelerates: the top datacenter taxes
+/// (compression, RPC, protobuf), the top system taxes (STL, OS), and each
+/// platform's top core-compute operations (read, filter, compute,
+/// compaction, write, aggregation, misc. core operations).
+#[must_use]
+pub fn accelerated_categories(platform: Platform) -> Vec<CpuCategory> {
+    let mut cats: Vec<CpuCategory> = vec![
+        DatacenterTax::Compression.into(),
+        DatacenterTax::Rpc.into(),
+        DatacenterTax::Protobuf.into(),
+        SystemTax::Stl.into(),
+        SystemTax::OperatingSystems.into(),
+    ];
+    cats.extend(
+        platform_core_targets(platform)
+            .iter()
+            .map(|&op| CpuCategory::Core(op)),
+    );
+    cats
+}
+
+/// The per-platform core-compute acceleration targets of Section 6.2.
+#[must_use]
+pub fn platform_core_targets(platform: Platform) -> &'static [CoreComputeOp] {
+    match platform {
+        Platform::Spanner | Platform::BigTable => &[
+            CoreComputeOp::Read,
+            CoreComputeOp::Compaction,
+            CoreComputeOp::Write,
+            CoreComputeOp::MiscCore,
+        ],
+        Platform::BigQuery => &[
+            CoreComputeOp::Filter,
+            CoreComputeOp::Compute,
+            CoreComputeOp::Aggregate,
+            CoreComputeOp::MiscCore,
+        ],
+    }
+}
+
+/// Figure 13's x-axis: the order in which accelerators are incrementally
+/// added — datacenter taxes first, then system taxes, then core compute.
+#[must_use]
+pub fn incremental_accelerator_order(platform: Platform) -> Vec<CpuCategory> {
+    accelerated_categories(platform)
+}
+
+/// The average bytes a query would offload to an off-chip accelerator
+/// (Figure 13's `B_i`). Databases move small per-query payloads; BigQuery
+/// moves orders of magnitude more (Section 6.3.2).
+#[must_use]
+pub fn average_query_payload(platform: Platform) -> Bytes {
+    match platform {
+        Platform::Spanner => Bytes::from_kib(64.0),
+        Platform::BigTable => Bytes::from_kib(32.0),
+        Platform::BigQuery => Bytes::from_gib(60.0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 / Figures 9–10: query populations.
+// ---------------------------------------------------------------------------
+
+/// One synthetic query class used to build a platform's population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QueryClass {
+    /// Descriptive name (e.g. `"compaction-blocked-tail"`).
+    pub name: &'static str,
+    /// Fraction of the platform's queries in this class.
+    pub weight: f64,
+    /// CPU time as a multiple of the platform base time.
+    pub cpu: f64,
+    /// Distributed-storage IO time, same unit.
+    pub io: f64,
+    /// Remote-work time, same unit.
+    pub remote: f64,
+    /// How strongly this class's CPU breakdown tilts toward the accelerated
+    /// categories (1.0 = fleet-average composition). CPU-heavy point lookups
+    /// concentrate in accelerable code; see `tilted_breakdown`.
+    pub tilt: f64,
+}
+
+/// The platform's base query time scale: databases serve millisecond
+/// transactions, the analytics engine second-scale scans.
+#[must_use]
+pub fn base_query_time(platform: Platform) -> Seconds {
+    match platform {
+        Platform::Spanner => Seconds::from_millis(10.0),
+        Platform::BigTable => Seconds::from_millis(5.0),
+        Platform::BigQuery => Seconds::new(10.0),
+    }
+}
+
+/// The synthetic query classes for one platform.
+///
+/// Calibration targets (all at 64x lockstep on-chip acceleration of the
+/// Section 6.2 component set, matching Figure 9):
+///
+/// - per-query peak speedup with deps removed: ~9.1x / ~3,223x / ~8.5x;
+/// - aggregate speedup with deps retained: ~2.0x / ~2.2x / ~1.4x;
+/// - Figure 2 group mix: >60% CPU-heavy queries for the databases, 10%
+///   CPU-heavy for BigQuery.
+#[must_use]
+pub fn query_classes(platform: Platform) -> Vec<QueryClass> {
+    match platform {
+        Platform::Spanner => vec![
+            QueryClass { name: "point-txn-compute", weight: 0.02, cpu: 1.0, io: 0.0, remote: 0.0, tilt: 6.5 },
+            QueryClass { name: "txn-cpu-heavy", weight: 0.60, cpu: 0.8, io: 0.12, remote: 0.08, tilt: 3.0 },
+            QueryClass { name: "storage-io-heavy", weight: 0.12, cpu: 0.3, io: 0.55, remote: 0.15, tilt: 1.0 },
+            QueryClass { name: "consensus-remote-heavy", weight: 0.14, cpu: 0.3, io: 0.15, remote: 0.55, tilt: 1.0 },
+            QueryClass { name: "mixed-others", weight: 0.12, cpu: 0.5, io: 0.25, remote: 0.25, tilt: 1.5 },
+        ],
+        Platform::BigTable => vec![
+            QueryClass { name: "inmem-read-compute", weight: 0.02, cpu: 1.0, io: 0.0, remote: 0.0, tilt: 2.5 },
+            QueryClass { name: "kv-cpu-heavy", weight: 0.63, cpu: 0.8, io: 0.1, remote: 0.1, tilt: 2.5 },
+            QueryClass { name: "sstable-io-heavy", weight: 0.10, cpu: 0.3, io: 0.55, remote: 0.15, tilt: 1.0 },
+            QueryClass { name: "compaction-remote-heavy", weight: 0.145, cpu: 0.3, io: 0.1, remote: 0.6, tilt: 1.0 },
+            QueryClass { name: "mixed-others", weight: 0.10, cpu: 0.5, io: 0.25, remote: 0.25, tilt: 1.5 },
+            // Rare compaction-blocked query: removing its remote wait exposes
+            // a ~3,000x co-design opportunity (the BigTable peak of Fig. 9).
+            QueryClass { name: "compaction-blocked-tail", weight: 0.005, cpu: 0.05, io: 0.5, remote: 18.0, tilt: 3.0 },
+        ],
+        Platform::BigQuery => vec![
+            QueryClass { name: "cached-compute-query", weight: 0.01, cpu: 1.0, io: 0.0, remote: 0.0, tilt: 4.0 },
+            QueryClass { name: "analytic-cpu-heavy", weight: 0.09, cpu: 0.7, io: 0.2, remote: 0.1, tilt: 2.0 },
+            QueryClass { name: "scan-io-heavy", weight: 0.42, cpu: 0.35, io: 0.47, remote: 0.18, tilt: 1.0 },
+            QueryClass { name: "shuffle-remote-heavy", weight: 0.33, cpu: 0.35, io: 0.13, remote: 0.52, tilt: 1.0 },
+            QueryClass { name: "mixed-others", weight: 0.15, cpu: 0.45, io: 0.28, remote: 0.27, tilt: 1.5 },
+        ],
+    }
+}
+
+/// Returns `fleet` with the shares of `boosted` categories multiplied by
+/// `tilt` and the whole breakdown renormalized to the same total.
+///
+/// This models query classes whose CPU time concentrates more (tilt > 1) in
+/// the accelerable categories than the fleet average does.
+#[must_use]
+pub fn tilted_breakdown(
+    fleet: &CpuBreakdown,
+    boosted: &[CpuCategory],
+    tilt: f64,
+) -> CpuBreakdown {
+    let total = fleet.total();
+    let weighted: Vec<(CpuCategory, f64)> = fleet
+        .iter()
+        .map(|(cat, t)| {
+            let factor = if boosted.contains(&cat) { tilt } else { 1.0 };
+            (cat, t.as_secs() * factor)
+        })
+        .collect();
+    let sum: f64 = weighted.iter().map(|(_, w)| w).sum();
+    if sum == 0.0 {
+        return fleet.clone();
+    }
+    weighted
+        .into_iter()
+        .map(|(cat, w)| (cat, total.scaled(w / sum)))
+        .collect()
+}
+
+/// Builds the calibrated query population for one platform.
+#[must_use]
+pub fn query_population(platform: Platform) -> QueryPopulation {
+    let fleet = fleet_breakdown(platform);
+    let accel = accelerated_categories(platform);
+    let base = base_query_time(platform).as_secs();
+    let records: Vec<QueryRecord> = query_classes(platform)
+        .into_iter()
+        .map(|class| {
+            let cpu = Seconds::new(class.cpu * base);
+            let breakdown =
+                tilted_breakdown(&fleet, &accel, class.tilt).rescaled(cpu);
+            QueryRecord {
+                cpu,
+                io: Seconds::new(class.io * base),
+                remote: Seconds::new(class.remote * base),
+                overlap: crate::accel::OverlapFactor::SYNCHRONOUS,
+                breakdown,
+                weight: class.weight,
+            }
+        })
+        .collect();
+    QueryPopulation::new(records).expect("paper query classes are non-empty")
+}
+
+/// The full calibrated profile for one platform.
+#[must_use]
+pub fn platform_profile(platform: Platform) -> PlatformProfile {
+    PlatformProfile::new(platform, query_population(platform), fleet_breakdown(platform))
+}
+
+// ---------------------------------------------------------------------------
+// Tables 6–7: microarchitectural statistics.
+// ---------------------------------------------------------------------------
+
+/// IPC and misses-per-kilo-instruction statistics (Tables 6 and 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroarchStats {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Branch MPKI.
+    pub br: f64,
+    /// L1 instruction-cache MPKI.
+    pub l1i: f64,
+    /// L2 instruction MPKI.
+    pub l2i: f64,
+    /// Last-level-cache MPKI.
+    pub llc: f64,
+    /// Instruction-TLB MPKI.
+    pub itlb: f64,
+    /// Data-TLB load MPKI.
+    pub dtlb_ld: f64,
+}
+
+/// Table 6: whole-platform statistics.
+#[must_use]
+pub fn table6(platform: Platform) -> MicroarchStats {
+    match platform {
+        Platform::Spanner => MicroarchStats { ipc: 0.7, br: 5.5, l1i: 19.0, l2i: 9.7, llc: 1.2, itlb: 0.5, dtlb_ld: 2.3 },
+        Platform::BigTable => MicroarchStats { ipc: 0.7, br: 6.2, l1i: 18.2, l2i: 11.5, llc: 1.3, itlb: 0.5, dtlb_ld: 2.9 },
+        Platform::BigQuery => MicroarchStats { ipc: 1.2, br: 3.5, l1i: 11.3, l2i: 4.6, llc: 1.0, itlb: 0.4, dtlb_ld: 1.8 },
+    }
+}
+
+/// Table 7: per-broad-category statistics.
+#[must_use]
+pub fn table7(platform: Platform, broad: crate::category::BroadCategory) -> MicroarchStats {
+    use crate::category::BroadCategory::*;
+    match (platform, broad) {
+        (Platform::Spanner, CoreCompute) => MicroarchStats { ipc: 0.9, br: 5.4, l1i: 12.4, l2i: 4.2, llc: 0.6, itlb: 0.2, dtlb_ld: 0.8 },
+        (Platform::Spanner, DatacenterTax) => MicroarchStats { ipc: 0.6, br: 5.5, l1i: 16.7, l2i: 8.0, llc: 1.0, itlb: 0.6, dtlb_ld: 2.0 },
+        (Platform::Spanner, SystemTax) => MicroarchStats { ipc: 0.7, br: 5.5, l1i: 21.6, l2i: 11.8, llc: 1.4, itlb: 0.4, dtlb_ld: 2.7 },
+        (Platform::BigTable, CoreCompute) => MicroarchStats { ipc: 0.6, br: 5.2, l1i: 9.6, l2i: 4.2, llc: 1.0, itlb: 0.2, dtlb_ld: 1.3 },
+        (Platform::BigTable, DatacenterTax) => MicroarchStats { ipc: 0.6, br: 5.3, l1i: 14.7, l2i: 8.4, llc: 1.2, itlb: 0.5, dtlb_ld: 2.1 },
+        (Platform::BigTable, SystemTax) => MicroarchStats { ipc: 0.7, br: 6.9, l1i: 21.9, l2i: 14.7, llc: 1.4, itlb: 0.5, dtlb_ld: 3.6 },
+        (Platform::BigQuery, CoreCompute) => MicroarchStats { ipc: 1.4, br: 2.0, l1i: 1.1, l2i: 0.4, llc: 0.3, itlb: 0.1, dtlb_ld: 0.6 },
+        (Platform::BigQuery, DatacenterTax) => MicroarchStats { ipc: 1.0, br: 3.8, l1i: 13.6, l2i: 3.4, llc: 1.1, itlb: 0.6, dtlb_ld: 2.2 },
+        (Platform::BigQuery, SystemTax) => MicroarchStats { ipc: 1.0, br: 3.5, l1i: 10.8, l2i: 6.0, llc: 1.1, itlb: 0.2, dtlb_ld: 1.7 },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15: published prior accelerators.
+// ---------------------------------------------------------------------------
+
+/// A published accelerator used in the Figure 15 comparison.
+///
+/// The paper takes "the accelerators with the largest published speedup for
+/// their respective operations" and zeroes their setup times for uniformity.
+/// The exact scalar values are not printed in the paper; the values here are
+/// estimates from the cited publications and are recorded as such in
+/// EXPERIMENTS.md. The qualitative result the figure shows — holistic
+/// synchronous acceleration of 1.5x–1.7x, with chaining bottlenecked by the
+/// modest memory-allocation speedup — is preserved.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PriorAccelerator {
+    /// Short name (e.g. `"Mallacc"`).
+    pub name: &'static str,
+    /// Citation in the paper's bibliography.
+    pub reference: &'static str,
+    /// Which components it accelerates.
+    pub targets: Vec<CpuCategory>,
+    /// Published speedup on those components.
+    pub speedup: f64,
+}
+
+/// The Figure 15 accelerator roster, in the figure's x-axis order.
+#[must_use]
+pub fn prior_accelerators(platform: Platform) -> Vec<PriorAccelerator> {
+    vec![
+        PriorAccelerator {
+            name: "CompressionAcc",
+            reference: "Abali et al., IBM POWER9/z15 [6]",
+            targets: vec![DatacenterTax::Compression.into()],
+            speedup: 62.0,
+        },
+        PriorAccelerator {
+            name: "Mallacc",
+            reference: "Kanev et al. [29]",
+            targets: vec![DatacenterTax::MemAllocation.into()],
+            speedup: 1.8,
+        },
+        PriorAccelerator {
+            name: "ProtoAcc",
+            reference: "Karandikar et al. [30]",
+            targets: vec![DatacenterTax::Protobuf.into()],
+            speedup: 6.2,
+        },
+        PriorAccelerator {
+            name: "Cerebros",
+            reference: "Pourhabibi et al. [43]",
+            targets: vec![DatacenterTax::Rpc.into()],
+            speedup: 10.0,
+        },
+        PriorAccelerator {
+            name: "Q100-class DPU",
+            reference: "Wu et al. [64]",
+            targets: platform_core_targets(platform)
+                .iter()
+                .map(|&op| op.into())
+                .collect(),
+            speedup: 50.0,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Table 8: model validation constants.
+// ---------------------------------------------------------------------------
+
+/// The measured RISC-V RTL numbers of Table 8 (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table8 {
+    /// Protobuf serialization CPU time `t_sub`.
+    pub proto_tsub_us: f64,
+    /// Protobuf accelerator speedup `s_sub`.
+    pub proto_speedup: f64,
+    /// Protobuf accelerator setup time `t_setup`.
+    pub proto_setup_us: f64,
+    /// SHA3 hashing CPU time `t_sub`.
+    pub sha3_tsub_us: f64,
+    /// SHA3 accelerator speedup `s_sub`.
+    pub sha3_speedup: f64,
+    /// SHA3 accelerator setup time `t_setup`.
+    pub sha3_setup_us: f64,
+    /// Non-accelerated CPU time `t_sub` (message init, threading, etc.).
+    pub nacc_cpu_us: f64,
+    /// Measured chained execution time.
+    pub measured_chained_us: f64,
+    /// Model-estimated chained execution time (Eqs. 9–10).
+    pub modeled_chained_us: f64,
+}
+
+/// Table 8 as published.
+pub const TABLE8: Table8 = Table8 {
+    proto_tsub_us: 518.3,
+    proto_speedup: 31.0,
+    proto_setup_us: 1488.9,
+    sha3_tsub_us: 1112.5,
+    sha3_speedup: 51.3,
+    sha3_setup_us: 4.1,
+    nacc_cpu_us: 4948.7,
+    measured_chained_us: 6075.7,
+    modeled_chained_us: 6459.3,
+};
+
+// ---------------------------------------------------------------------------
+// Headline percentages (Sections 1 and 4).
+// ---------------------------------------------------------------------------
+
+/// Section 4.2: share of all end-to-end time spent on compute / remote work /
+/// IO across platforms (48% / 22% / 30%).
+pub const OVERALL_E2E_SHARES: [f64; 3] = [0.48, 0.22, 0.30];
+
+/// Figure 9 published peaks without non-CPU dependencies, per platform.
+pub const FIG9_PEAKS_NO_DEPS: [f64; 3] = [9.1, 3223.6, 8.5];
+
+/// Figure 9 published upper bounds with dependencies retained, per platform.
+pub const FIG9_BOUNDS_WITH_DEPS: [f64; 3] = [2.0, 2.2, 1.4];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::Speedup;
+    use crate::category::BroadCategory;
+    use crate::plan::{AccelerationPlan, InvocationModel};
+    use crate::profile::QueryGroup;
+
+    #[test]
+    fn table1_matches_paper_text() {
+        // "approx. 10x to 110x" SSD-to-HDD.
+        for p in Platform::ALL {
+            let r = storage_ratio(p);
+            assert!(r.hdd_per_ssd() > 9.0 && r.hdd_per_ssd() < 115.0, "{p}");
+        }
+        assert_eq!(storage_ratio(Platform::BigQuery).hdd, 777.0);
+    }
+
+    #[test]
+    fn broad_shares_sum_to_one_and_sit_in_ranges() {
+        for p in Platform::ALL {
+            let [cc, dct, st] = broad_shares(p);
+            assert!((cc + dct + st - 1.0).abs() < 1e-9);
+            assert!((0.18..=0.36).contains(&cc), "{p} core compute {cc}");
+            assert!((0.32..=0.40).contains(&dct), "{p} dc tax {dct}");
+            assert!((0.32..=0.42).contains(&st), "{p} sys tax {st}");
+        }
+    }
+
+    #[test]
+    fn fine_shares_normalized() {
+        for p in Platform::ALL {
+            let cc: f64 = core_compute_shares(p).iter().map(|(_, s)| s).sum();
+            let dct: f64 = datacenter_tax_shares(p).iter().map(|(_, s)| s).sum();
+            let st: f64 = system_tax_shares(p).iter().map(|(_, s)| s).sum();
+            assert!((cc - 1.0).abs() < 1e-9, "{p} core {cc}");
+            assert!((dct - 1.0).abs() < 1e-9, "{p} dct {dct}");
+            assert!((st - 1.0).abs() < 1e-9, "{p} st {st}");
+        }
+    }
+
+    #[test]
+    fn datacenter_tax_anchors() {
+        // RPC 23 / 37 / 11.
+        assert_eq!(datacenter_tax_shares(Platform::Spanner)[0], (DatacenterTax::Rpc, 0.23));
+        let bt: Vec<_> = datacenter_tax_shares(Platform::BigTable);
+        assert!(bt.contains(&(DatacenterTax::Rpc, 0.37)));
+        let bq: Vec<_> = datacenter_tax_shares(Platform::BigQuery);
+        assert!(bq.contains(&(DatacenterTax::Rpc, 0.11)));
+    }
+
+    #[test]
+    fn fleet_breakdown_reproduces_figure3() {
+        for p in Platform::ALL {
+            let fleet = fleet_breakdown(p);
+            let [cc, dct, st] = broad_shares(p);
+            assert!((fleet.broad_share(BroadCategory::CoreCompute) - cc).abs() < 1e-6);
+            assert!((fleet.broad_share(BroadCategory::DatacenterTax) - dct).abs() < 1e-6);
+            assert!((fleet.broad_share(BroadCategory::SystemTax) - st).abs() < 1e-6);
+            assert!((fleet.total().as_secs() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tilt_preserves_total_and_boosts_targets() {
+        let fleet = fleet_breakdown(Platform::Spanner);
+        let targets = accelerated_categories(Platform::Spanner);
+        let tilted = tilted_breakdown(&fleet, &targets, 3.0);
+        assert!((tilted.total().as_secs() - fleet.total().as_secs()).abs() < 1e-9);
+        let orig_cov: f64 = targets.iter().map(|&c| fleet.share(c)).sum();
+        let tilt_cov: f64 = targets.iter().map(|&c| tilted.share(c)).sum();
+        assert!(tilt_cov > orig_cov);
+        // tilt 1.0 is the identity.
+        let same = tilted_breakdown(&fleet, &targets, 1.0);
+        for (cat, t) in fleet.iter() {
+            assert!((same.time(cat).as_secs() - t.as_secs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn population_weights_sum_to_one() {
+        for p in Platform::ALL {
+            let w: f64 = query_classes(p).iter().map(|c| c.weight).sum();
+            assert!((w - 1.0).abs() < 1e-9, "{p} weights {w}");
+        }
+    }
+
+    #[test]
+    fn figure2_group_mix() {
+        // Databases: >60% CPU-heavy queries. BigQuery: 10%.
+        for p in [Platform::Spanner, Platform::BigTable] {
+            let pop = query_population(p);
+            let rows = pop.e2e_breakdown();
+            let cpu_row = rows.iter().find(|r| r.group == QueryGroup::CpuHeavy).unwrap();
+            assert!(cpu_row.query_fraction > 0.60, "{p}: {}", cpu_row.query_fraction);
+        }
+        let bq = query_population(Platform::BigQuery).e2e_breakdown();
+        let cpu_row = bq.iter().find(|r| r.group == QueryGroup::CpuHeavy).unwrap();
+        assert!((cpu_row.query_fraction - 0.10).abs() < 0.02);
+    }
+
+    fn lockstep_plan(p: Platform, s: f64) -> AccelerationPlan {
+        AccelerationPlan::uniform(
+            accelerated_categories(p),
+            Speedup::new(s).unwrap(),
+            InvocationModel::Synchronous,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure9_peaks_without_dependencies() {
+        // Peak per-query co-design speedup at 64x: ~9.1x / ~3,223x / ~8.5x.
+        let expectations = [
+            (Platform::Spanner, 7.0, 12.0),
+            (Platform::BigTable, 2000.0, 5000.0),
+            (Platform::BigQuery, 7.0, 11.0),
+        ];
+        for (p, lo, hi) in expectations {
+            let pop = query_population(p);
+            let plan = lockstep_plan(p, 64.0);
+            let peak = pop
+                .records()
+                .iter()
+                .map(|r| {
+                    let orig = r.end_to_end();
+                    let stripped = r.phases().without_dependencies();
+                    let acc = plan.evaluate(&stripped, &r.breakdown).accelerated_e2e;
+                    orig.as_secs() / acc.as_secs()
+                })
+                .fold(0.0, f64::max);
+            assert!(peak > lo && peak < hi, "{p} peak {peak}");
+        }
+    }
+
+    #[test]
+    fn figure9_bounds_with_dependencies() {
+        // Aggregate speedups with deps retained: ~2.0x / ~2.2x / ~1.4x.
+        let expectations = [
+            (Platform::Spanner, 1.7, 2.3),
+            (Platform::BigTable, 1.8, 2.5),
+            (Platform::BigQuery, 1.2, 1.6),
+        ];
+        for (p, lo, hi) in expectations {
+            let s = query_population(p).aggregate_speedup(&lockstep_plan(p, 64.0));
+            assert!(s > lo && s < hi, "{p} aggregate {s}");
+        }
+    }
+
+    #[test]
+    fn prior_accelerators_cover_expected_taxes() {
+        let accs = prior_accelerators(Platform::Spanner);
+        assert_eq!(accs.len(), 5);
+        let mallacc = accs.iter().find(|a| a.name == "Mallacc").unwrap();
+        assert!(mallacc.speedup < 2.0, "Mallacc is the chain bottleneck");
+        assert_eq!(
+            prior_accelerators(Platform::BigQuery)
+                .last()
+                .unwrap()
+                .targets
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn table8_equations_reproduce_modeled_value() {
+        // t_chnd = max setups + max(t_sub/s); t'_cpu = t_chnd + t_nacc.
+        let t8 = TABLE8;
+        let chnd = t8.proto_setup_us.max(t8.sha3_setup_us)
+            + (t8.proto_tsub_us / t8.proto_speedup)
+                .max(t8.sha3_tsub_us / t8.sha3_speedup);
+        let modeled = chnd + t8.nacc_cpu_us;
+        assert!((modeled - t8.modeled_chained_us).abs() < 0.5, "modeled {modeled}");
+        // Paper: 6.1% difference from measured.
+        let diff = (modeled - t8.measured_chained_us) / t8.measured_chained_us;
+        assert!((diff - 0.061).abs() < 0.005, "diff {diff}");
+    }
+
+    #[test]
+    fn microarch_tables_expected_relationships() {
+        // Databases have ~2x the front-end MPKI of the analytics engine.
+        let sp = table6(Platform::Spanner);
+        let bq = table6(Platform::BigQuery);
+        assert!(sp.l1i / bq.l1i > 1.5);
+        assert!(sp.br / bq.br > 1.5);
+        // BigQuery core compute has the highest IPC of all rows.
+        let bq_cc = table7(Platform::BigQuery, BroadCategory::CoreCompute);
+        assert!(bq_cc.ipc >= 1.4);
+        for p in Platform::ALL {
+            for b in BroadCategory::ALL {
+                let s = table7(p, b);
+                assert!(s.ipc > 0.0 && s.ipc < 4.0);
+            }
+        }
+    }
+}

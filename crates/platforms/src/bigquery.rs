@@ -1,0 +1,533 @@
+//! A BigQuery-class distributed analytics engine: columnar storage, staged
+//! worker execution, and a hash-partitioned distributed shuffle.
+//!
+//! Matches the paper's characterization hooks: queries are scan-heavy with
+//! large working sets (IO-heavy, Figure 2), the shuffle is remote work
+//! (Section 4.1: "distributed shuffles for BigQuery"), compression and
+//! protobuf dominate the datacenter taxes (Figure 5), and core compute
+//! splits across filter/aggregate/compute/join/sort (Table 5, Figure 4).
+
+use std::collections::HashMap;
+
+use hsdp_core::category::{CoreComputeOp, DatacenterTax, Platform, SystemTax};
+use hsdp_rpc::latency::LatencyModel;
+use hsdp_rpc::span::SpanKind;
+use hsdp_rpc::tracer::Tracer;
+use hsdp_simcore::time::{SimDuration, SimTime};
+use hsdp_storage::cache::PolicyKind;
+use hsdp_storage::tiered::TieredStore;
+use hsdp_workload::rows::{DimRow, FactRow};
+
+use crate::columnar::{Column, ColumnTable};
+use crate::costs;
+use crate::exec::QueryExecution;
+use crate::meter::WorkMeter;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BigQueryConfig {
+    /// Number of stage-1 workers (and shuffle partitions).
+    pub workers: usize,
+    /// Tier capacities per worker's storage stack.
+    pub tier_bytes: (u64, u64, u64),
+}
+
+impl Default for BigQueryConfig {
+    fn default() -> Self {
+        BigQueryConfig {
+            workers: 8,
+            // Small caches relative to table size: scans run cold, making
+            // the platform IO-heavy as in Figure 2.
+            tier_bytes: (4 * 1024, 12 * 1024, 1 << 40),
+        }
+    }
+}
+
+/// Per-worker stored partition: the columnar data plus its on-disk layout.
+#[derive(Debug)]
+struct StoredPartition {
+    table: ColumnTable,
+    /// Per-column (storage key, compressed bytes, raw bytes).
+    column_files: Vec<(u64, u64, u64)>,
+}
+
+/// The analytics-engine simulator.
+#[derive(Debug)]
+pub struct BigQuery {
+    config: BigQueryConfig,
+    clock: SimTime,
+    tracer: Tracer,
+    stores: Vec<TieredStore>,
+    partitions: Vec<StoredPartition>,
+    dim: Vec<DimRow>,
+    net: LatencyModel,
+    shuffle_net: LatencyModel,
+    seed: u64,
+}
+
+impl BigQuery {
+    /// A fresh engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn new(config: BigQueryConfig, seed: u64) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let (ram, ssd, hdd) = config.tier_bytes;
+        BigQuery {
+            config,
+            clock: SimTime::ZERO,
+            tracer: Tracer::new(),
+            stores: (0..config.workers)
+                .map(|_| TieredStore::new(ram, ssd, hdd, PolicyKind::TwoQ))
+                .collect(),
+            partitions: Vec::new(),
+            dim: Vec::new(),
+            net: LatencyModel::intra_cluster(),
+            // Shuffle flows are flow-controlled, multi-hop streams: far
+            // lower effective bandwidth than a raw intra-cluster link.
+            shuffle_net: LatencyModel {
+                base: hsdp_simcore::time::SimDuration::from_micros(200),
+                bandwidth: 25e6,
+                jitter_frac: 0.2,
+            },
+            seed,
+        }
+    }
+
+    /// Loads the fact table (partitioned round-robin across workers) and
+    /// the dimension table.
+    pub fn load(&mut self, rows: &[FactRow], dim: Vec<DimRow>) {
+        self.dim = dim;
+        self.partitions.clear();
+        let workers = self.config.workers;
+        for w in 0..workers {
+            let part_rows: Vec<FactRow> = rows
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % workers == w)
+                .map(|(_, r)| r.clone())
+                .collect();
+            let table = ColumnTable::from_rows(&part_rows);
+            let encoded = table.encode_compressed();
+            let column_files = encoded
+                .iter()
+                .enumerate()
+                .map(|(c, (compressed, raw))| {
+                    let key = (w as u64) << 8 | c as u64;
+                    let bytes = compressed.len() as u64;
+                    self.stores[w].write(key, bytes);
+                    (key, bytes, *raw as u64)
+                })
+                .collect();
+            self.partitions.push(StoredPartition { table, column_files });
+        }
+    }
+
+    /// Total stored rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.table.rows()).sum()
+    }
+
+    /// The simulated clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Per-worker column scan: charges IO + decompress + decode for the
+    /// given column indexes, returns the worker's IO time.
+    fn scan_columns(&mut self, worker: usize, columns: &[usize], meter: &mut WorkMeter) -> SimDuration {
+        let mut io = SimDuration::ZERO;
+        let rows = self.partitions[worker].table.rows() as u64;
+        for &c in columns {
+            let (key, compressed, raw) = self.partitions[worker].column_files[c];
+            // Column files are read in 8 KiB chunks with chunk-granular
+            // caching: small categorical columns stay warm, wide string
+            // columns churn.
+            const CHUNK: u64 = 8 * 1024;
+            let chunks = compressed.div_ceil(CHUNK).max(1);
+            let chunk_bytes = compressed.div_ceil(chunks);
+            for chunk in 0..chunks {
+                io += self.stores[worker]
+                    .read(key << 16 | chunk, chunk_bytes)
+                    .latency;
+            }
+            meter.charge_ops(SystemTax::FileSystems, "dfs_read", chunks, costs::FS_CLIENT_NS_PER_OP);
+            meter.charge_bytes(SystemTax::FileSystems, "dfs_read", compressed, costs::FS_CLIENT_NS_PER_BYTE);
+            meter.charge_ops(SystemTax::OperatingSystems, "sys_read", chunks, costs::SYSCALL_NS);
+            meter.charge_bytes(DatacenterTax::Compression, "column_decompress", raw, costs::DECOMPRESS_NS_PER_BYTE);
+            meter.charge_ops(CoreComputeOp::Destructure, "column_decode", rows, costs::DESTRUCTURE_NS_PER_VALUE);
+            meter.charge_ops(CoreComputeOp::Project, "column_project", rows, costs::PROJECT_NS_PER_VALUE);
+            meter.charge_ops(DatacenterTax::MemAllocation, "column_alloc", 2, costs::MALLOC_NS_PER_OP);
+            meter.charge_bytes(DatacenterTax::DataMovement, "memcpy", raw, costs::MEMCPY_NS_PER_BYTE);
+        }
+        meter.charge_ops(SystemTax::Stl, "vector_ops", rows * columns.len() as u64, 12.0);
+        io
+    }
+
+    /// The shuffle: each worker sends `bytes_per_worker` to the next stage.
+    /// Charges serialization taxes and returns the remote-work wait (the
+    /// slowest worker's transfer).
+    fn shuffle(&mut self, meter: &mut WorkMeter, bytes_per_worker: u64, salt: u64) -> SimDuration {
+        let mut slowest = SimDuration::ZERO;
+        for w in 0..self.config.workers {
+            meter.charge_bytes(DatacenterTax::Protobuf, "shuffle_serialize", bytes_per_worker, costs::PROTO_ENCODE_NS_PER_BYTE);
+            meter.charge_bytes(DatacenterTax::Compression, "shuffle_compress", bytes_per_worker, costs::COMPRESS_NS_PER_BYTE);
+            meter.charge_ops(DatacenterTax::Rpc, "shuffle_send", 1, costs::RPC_FIXED_NS);
+            meter.charge_bytes(DatacenterTax::Rpc, "shuffle_send", bytes_per_worker, costs::RPC_NS_PER_BYTE);
+            meter.charge_ops(SystemTax::Networking, "tcp_process", 2, costs::NET_PROCESS_NS_PER_MSG);
+            meter.charge_ops(SystemTax::OperatingSystems, "sys_sendmsg", 2, costs::SYSCALL_NS);
+            meter.charge_ops(SystemTax::Multithreading, "task_handoff", 1, costs::THREAD_HANDOFF_NS);
+            meter.charge_ops(SystemTax::Stl, "string_buffer_ops", 1, costs::STL_NS_PER_MSG);
+            meter.charge_bytes(
+                DatacenterTax::Cryptography,
+                "shuffle_digest",
+                bytes_per_worker / 2,
+                costs::SHA3_NS_PER_BYTE,
+            );
+            meter.charge_ops(SystemTax::OtherMemoryOps, "page_ops", 1, costs::OTHER_MEM_NS_PER_QUERY);
+            let t = self
+                .shuffle_net
+                .one_way(bytes_per_worker, self.seed ^ salt.wrapping_add(w as u64 * 131));
+            slowest = slowest.max(t);
+        }
+        // Stage-2 ingest: decode what was sent.
+        meter.charge_bytes(
+            DatacenterTax::Protobuf,
+            "shuffle_deserialize",
+            bytes_per_worker * self.config.workers as u64,
+            costs::PROTO_DECODE_NS_PER_BYTE,
+        );
+        slowest
+    }
+
+    /// Returns small result sets to the coordinator over the ordinary
+    /// cluster fabric (unlike the heavyweight shuffle).
+    fn collect_results(&mut self, meter: &mut WorkMeter, bytes: u64, salt: u64) -> SimDuration {
+        meter.charge_bytes(DatacenterTax::Protobuf, "result_serialize", bytes, costs::PROTO_ENCODE_NS_PER_BYTE);
+        meter.charge_ops(DatacenterTax::Rpc, "result_send", 1, costs::RPC_FIXED_NS);
+        meter.charge_ops(SystemTax::Networking, "tcp_process", 1, costs::NET_PROCESS_NS_PER_MSG);
+        meter.charge_ops(SystemTax::OperatingSystems, "sys_sendmsg", 1, costs::SYSCALL_NS);
+        self.net.one_way(bytes, self.seed ^ salt)
+    }
+
+    fn start_query(&mut self, name: &'static str) -> (hsdp_rpc::span::TraceId, hsdp_rpc::tracer::OpenSpan) {
+        let trace = self.tracer.new_trace();
+        let root = self.tracer.start(trace, None, name, SpanKind::Container, self.clock);
+        (trace, root)
+    }
+
+    fn finish_query(
+        &mut self,
+        trace: hsdp_rpc::span::TraceId,
+        root: hsdp_rpc::tracer::OpenSpan,
+        mut meter: WorkMeter,
+        io_time: SimDuration,
+        shuffle_time: SimDuration,
+        label: &'static str,
+    ) -> QueryExecution {
+        // Fleet cycles spread across the worker pool: wall-clock CPU is
+        // the per-worker stripe. Column decode pipelines with the fetch, so
+        // the CPU span starts halfway through the IO span (the overlap the
+        // Section 4.1 attribution rule then charges to IO).
+        let cpu_wall = SimDuration::from_nanos(
+            meter.total().as_nanos() / self.config.workers as u64,
+        );
+        if !io_time.is_zero() {
+            let io_span = self.tracer.start(trace, Some(root.id()), "column_io", SpanKind::Io, self.clock);
+            let io_end = self.clock + io_time;
+            let cpu_start = self.clock + SimDuration::from_nanos(io_time.as_nanos() / 2);
+            let cpu_span = self.tracer.start(trace, Some(root.id()), "cpu", SpanKind::Cpu, cpu_start);
+            self.tracer.finish(io_span, io_end);
+            self.clock = (cpu_start + cpu_wall).max(io_end);
+            self.tracer.finish(cpu_span, cpu_start + cpu_wall);
+        } else {
+            let cpu_span = self.tracer.start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
+            self.clock += cpu_wall;
+            self.tracer.finish(cpu_span, self.clock);
+        }
+        if !shuffle_time.is_zero() {
+            let remote = self.tracer.start(trace, Some(root.id()), "shuffle", SpanKind::RemoteWork, self.clock);
+            self.clock += shuffle_time;
+            self.tracer.finish(remote, self.clock);
+        }
+        self.tracer.finish(root, self.clock);
+        let spans: Vec<_> = self
+            .tracer
+            .take_spans()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        QueryExecution {
+            platform: Platform::BigQuery,
+            label,
+            spans,
+            cpu_work: meter.take(),
+        }
+    }
+
+    /// `SELECT url, bytes WHERE latency_ms > threshold AND success`.
+    pub fn scan_filter(&mut self, latency_threshold: f64) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let (trace, root) = self.start_query("bigquery.scan_filter");
+
+        let mut io = SimDuration::ZERO;
+        let mut matched = 0u64;
+        let mut result_bytes = 0u64;
+        for w in 0..self.config.workers {
+            io += self.scan_columns(w, &[2, 4, 5], &mut meter);
+            let part = &self.partitions[w].table;
+            let (Column::Float64(latency), Column::Str(urls), Column::Bool(success)) =
+                (part.column(2), part.column(4), part.column(5))
+            else {
+                unreachable!("fact schema is fixed")
+            };
+            let rows = part.rows() as u64;
+            meter.charge_ops(CoreComputeOp::Filter, "predicate_eval", rows * 2, costs::FILTER_NS_PER_ROW);
+            for i in 0..part.rows() {
+                if latency[i] > latency_threshold && success[i] {
+                    matched += 1;
+                    result_bytes += urls[i].len() as u64 + 12;
+                }
+            }
+            meter.charge_ops(CoreComputeOp::Materialize, "result_rows", matched, costs::MATERIALIZE_NS_PER_ROW);
+        }
+        // Workers run in parallel: wall IO is the average stripe, modeled as
+        // total/workers.
+        let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+        let collect =
+            self.collect_results(&mut meter, result_bytes / self.config.workers as u64 + 64, trace.0);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        self.finish_query(trace, root, meter, io_wall, collect, "scan-filter")
+    }
+
+    /// `SELECT region, SUM(bytes), AVG(latency) GROUP BY region`.
+    pub fn group_aggregate(&mut self) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let (trace, root) = self.start_query("bigquery.group_aggregate");
+
+        let mut io = SimDuration::ZERO;
+        // Group by (user, region): the high-cardinality keys that make
+        // analytics shuffles heavy. Only the narrow, cache-friendly integer
+        // columns are scanned.
+        let mut partials: HashMap<u64, (i64, u64)> = HashMap::new();
+        for w in 0..self.config.workers {
+            io += self.scan_columns(w, &[0, 1, 3], &mut meter);
+            let part = &self.partitions[w].table;
+            let (Column::Int64(users), Column::U32(regions), Column::Int64(bytes)) =
+                (part.column(0), part.column(1), part.column(3))
+            else {
+                unreachable!("fact schema is fixed")
+            };
+            meter.charge_ops(
+                CoreComputeOp::Aggregate,
+                "hash_aggregate",
+                part.rows() as u64,
+                costs::AGG_NS_PER_ROW,
+            );
+            for i in 0..part.rows() {
+                let key = users[i].unsigned_abs() << 8 | u64::from(regions[i]) % 256;
+                let entry = partials.entry(key).or_insert((0, 0));
+                entry.0 += bytes[i];
+                entry.1 += 1;
+            }
+        }
+        let groups = partials.len() as u64;
+        // Shuffle the partial aggregates (hash-partitioned by group). With
+        // high-cardinality keys the partial tables spill in streaming
+        // fashion, so the shuffled volume tracks the input rows.
+        let total_rows = self.row_count() as u64;
+        let shuffle_bytes = (total_rows * 24).max(groups * 24) / self.config.workers as u64 + 64;
+        let shuffle = self.shuffle(&mut meter, shuffle_bytes, trace.0);
+        // Final merge + post-aggregation compute (averages).
+        meter.charge_ops(CoreComputeOp::Aggregate, "merge_partials", groups, costs::AGG_NS_PER_ROW);
+        meter.charge_ops(CoreComputeOp::Compute, "column_divide", groups, costs::COMPUTE_NS_PER_GROUP);
+        meter.charge_ops(CoreComputeOp::Materialize, "result_table", groups, costs::MATERIALIZE_NS_PER_ROW);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+        self.finish_query(trace, root, meter, io_wall, shuffle, "group-aggregate")
+    }
+
+    /// Fact-to-dimension hash join, aggregated per region name.
+    pub fn join(&mut self) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let (trace, root) = self.start_query("bigquery.join");
+
+        // Broadcast the small dimension table to every worker over the
+        // ordinary cluster fabric.
+        let dim_bytes: u64 = self.dim.iter().map(|d| d.name.len() as u64 + 8).sum();
+        let broadcast = self.collect_results(&mut meter, dim_bytes, trace.0 ^ 0xd1);
+        // Build the hash table once per worker.
+        meter.charge_ops(
+            CoreComputeOp::Join,
+            "hash_build",
+            self.dim.len() as u64 * self.config.workers as u64,
+            costs::JOIN_NS_PER_ROW,
+        );
+        let dim_names: HashMap<u32, String> = self
+            .dim
+            .iter()
+            .map(|d| (d.region, d.name.clone()))
+            .collect();
+
+        let mut io = SimDuration::ZERO;
+        let mut joined: HashMap<String, i64> = HashMap::new();
+        for w in 0..self.config.workers {
+            io += self.scan_columns(w, &[1, 3], &mut meter);
+            let part = &self.partitions[w].table;
+            let (Column::U32(regions), Column::Int64(bytes)) = (part.column(1), part.column(3))
+            else {
+                unreachable!("fact schema is fixed")
+            };
+            meter.charge_ops(CoreComputeOp::Join, "hash_probe", part.rows() as u64, costs::JOIN_NS_PER_ROW);
+            for i in 0..part.rows() {
+                if let Some(name) = dim_names.get(&regions[i]) {
+                    *joined.entry(name.clone()).or_insert(0) += bytes[i];
+                }
+            }
+        }
+        let groups = joined.len() as u64;
+        meter.charge_ops(CoreComputeOp::Aggregate, "post_join_agg", groups, costs::AGG_NS_PER_ROW);
+        meter.charge_ops(CoreComputeOp::Materialize, "result_table", groups, costs::MATERIALIZE_NS_PER_ROW);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+        self.finish_query(trace, root, meter, io_wall, broadcast, "join")
+    }
+
+    /// Global top-k by latency.
+    pub fn top_k(&mut self, k: usize) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let (trace, root) = self.start_query("bigquery.top_k");
+
+        let mut io = SimDuration::ZERO;
+        let mut candidates: Vec<(i64, u64)> = Vec::new();
+        for w in 0..self.config.workers {
+            io += self.scan_columns(w, &[0, 3], &mut meter);
+            let part = &self.partitions[w].table;
+            let (Column::Int64(users), Column::Int64(bytes)) = (part.column(0), part.column(3))
+            else {
+                unreachable!("fact schema is fixed")
+            };
+            let rows = part.rows();
+            // Local sort: n log n.
+            let log_n = (rows.max(2) as f64).log2();
+            meter.charge_ops(
+                CoreComputeOp::Sort,
+                "local_sort",
+                (rows as f64 * log_n) as u64,
+                costs::SORT_NS_PER_ROW_LOG,
+            );
+            let mut local: Vec<(i64, u64)> = (0..rows)
+                .map(|i| (bytes[i], users[i].unsigned_abs()))
+                .collect();
+            local.sort_by(|a, b| b.0.cmp(&a.0));
+            candidates.extend(local.into_iter().take(k));
+        }
+        let shuffle = self.collect_results(&mut meter, (k * 16) as u64, trace.0);
+        // Final merge of the worker top-k lists.
+        let merge_n = candidates.len();
+        candidates.sort_by(|a, b| b.0.cmp(&a.0));
+        candidates.truncate(k);
+        meter.charge_ops(
+            CoreComputeOp::Sort,
+            "final_merge",
+            (merge_n.max(2) as f64 * (merge_n.max(2) as f64).log2()) as u64,
+            costs::SORT_NS_PER_ROW_LOG,
+        );
+        meter.charge_ops(CoreComputeOp::Materialize, "result_rows", k as u64, costs::MATERIALIZE_NS_PER_ROW);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+        self.finish_query(trace, root, meter, io_wall, shuffle, "top-k")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsdp_core::category::{BroadCategory, CpuCategory};
+    use hsdp_workload::rows::FactGen;
+    use rand::SeedableRng;
+
+    fn engine(rows: usize) -> BigQuery {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let gen = FactGen::default();
+        let data = gen.rows(rows, &mut rng);
+        let mut bq = BigQuery::new(BigQueryConfig::default(), 5);
+        bq.load(&data, gen.dimension());
+        bq
+    }
+
+    #[test]
+    fn load_partitions_all_rows() {
+        let bq = engine(1000);
+        assert_eq!(bq.row_count(), 1000);
+    }
+
+    #[test]
+    fn scan_filter_is_io_heavy() {
+        let mut bq = engine(4000);
+        let exec = bq.scan_filter(30.0);
+        let d = exec.decomposition();
+        assert!(!d.io.is_zero(), "cold column scans do IO");
+        assert!(!d.remote.is_zero(), "results are shuffled");
+        let b = crate::meter::items_breakdown(&exec.cpu_work);
+        assert!(b.share(CpuCategory::from(CoreComputeOp::Filter)) > 0.0);
+    }
+
+    #[test]
+    fn group_aggregate_charges_aggregate_and_compute() {
+        let mut bq = engine(4000);
+        let exec = bq.group_aggregate();
+        let b = crate::meter::items_breakdown(&exec.cpu_work);
+        assert!(b.share(CpuCategory::from(CoreComputeOp::Aggregate)) > 0.0);
+        assert!(b.share(CpuCategory::from(CoreComputeOp::Compute)) > 0.0);
+        assert!(b.share(CpuCategory::from(DatacenterTax::Compression)) > 0.0);
+    }
+
+    #[test]
+    fn join_touches_dimension_and_fact() {
+        let mut bq = engine(2000);
+        let exec = bq.join();
+        assert_eq!(exec.label, "join");
+        let b = crate::meter::items_breakdown(&exec.cpu_work);
+        assert!(b.share(CpuCategory::from(CoreComputeOp::Join)) > 0.0);
+        let d = exec.decomposition();
+        assert!(!d.remote.is_zero(), "dimension broadcast is remote work");
+    }
+
+    #[test]
+    fn top_k_sorts() {
+        let mut bq = engine(2000);
+        let exec = bq.top_k(10);
+        let b = crate::meter::items_breakdown(&exec.cpu_work);
+        assert!(b.share(CpuCategory::from(CoreComputeOp::Sort)) > 0.0);
+    }
+
+    #[test]
+    fn all_broad_categories_present_across_queries() {
+        let mut bq = engine(4000);
+        let mut all = hsdp_core::component::CpuBreakdown::new();
+        for exec in [
+            bq.scan_filter(25.0),
+            bq.group_aggregate(),
+            bq.join(),
+            bq.top_k(20),
+        ] {
+            all.merge(&crate::meter::items_breakdown(&exec.cpu_work));
+        }
+        for broad in BroadCategory::ALL {
+            assert!(all.broad_share(broad) > 0.05, "{broad}: {}", all.broad_share(broad));
+        }
+    }
+
+    #[test]
+    fn repeated_scans_warm_the_cache() {
+        let mut bq = engine(2000);
+        let cold = bq.scan_filter(25.0).decomposition().io;
+        let warm = bq.scan_filter(25.0).decomposition().io;
+        assert!(warm <= cold, "second scan benefits from caches: {warm} vs {cold}");
+    }
+}

@@ -1,0 +1,684 @@
+//! A BigTable-class tablet server: an LSM tree (memtable + SSTables with
+//! bloom filters) over tiered storage, with size-tiered compaction.
+//!
+//! Matches the paper's characterization hooks: point reads/writes dominate
+//! core compute (Figure 4), compression sits on the critical path (SSTable
+//! blocks are compressed, Figure 5), and compaction appears as *remote
+//! work* that can block unlucky queries (Section 4.1: "compaction in remote
+//! storage for BigTable").
+
+use std::collections::BTreeMap;
+
+use hsdp_core::category::{CoreComputeOp, DatacenterTax, Platform, SystemTax};
+use hsdp_rpc::latency::LatencyModel;
+use hsdp_rpc::span::SpanKind;
+use hsdp_rpc::tracer::Tracer;
+use hsdp_simcore::time::{SimDuration, SimTime};
+use hsdp_storage::cache::PolicyKind;
+use hsdp_storage::tiered::TieredStore;
+use hsdp_taxes::crc::crc32c;
+use hsdp_taxes::varint::encode_varint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bloom::Bloom;
+use crate::costs;
+use crate::exec::QueryExecution;
+use crate::meter::WorkMeter;
+
+/// Tablet-server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BigTableConfig {
+    /// Memtable bytes before a flush to SSTable.
+    pub memtable_flush_bytes: usize,
+    /// SSTable count that triggers a size-tiered compaction.
+    pub compaction_fanin: usize,
+    /// RAM / SSD / HDD capacities of the tablet's storage stack.
+    pub tier_bytes: (u64, u64, u64),
+    /// Cache policy for the storage stack.
+    pub policy: PolicyKind,
+}
+
+impl Default for BigTableConfig {
+    fn default() -> Self {
+        BigTableConfig {
+            memtable_flush_bytes: 64 * 1024,
+            compaction_fanin: 4,
+            tier_bytes: (1 << 20, 8 << 20, 1 << 40),
+            policy: PolicyKind::Lru,
+        }
+    }
+}
+
+/// An immutable sorted run.
+#[derive(Debug)]
+struct SsTable {
+    id: u64,
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    bloom: Bloom,
+    encoded_bytes: u64,
+}
+
+impl SsTable {
+    fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|idx| self.entries[idx].1.as_slice())
+    }
+}
+
+/// The tablet-server simulator.
+#[derive(Debug)]
+pub struct BigTable {
+    config: BigTableConfig,
+    clock: SimTime,
+    tracer: Tracer,
+    store: TieredStore,
+    net: LatencyModel,
+    memtable: BTreeMap<Vec<u8>, Vec<u8>>,
+    memtable_bytes: usize,
+    sstables: Vec<SsTable>,
+    next_sst_id: u64,
+    compactions: u64,
+    rng_seed: u64,
+    _rng: StdRng,
+}
+
+impl BigTable {
+    /// A fresh tablet server.
+    #[must_use]
+    pub fn new(config: BigTableConfig, seed: u64) -> Self {
+        let (ram, ssd, hdd) = config.tier_bytes;
+        BigTable {
+            config,
+            clock: SimTime::ZERO,
+            tracer: Tracer::new(),
+            store: TieredStore::new(ram, ssd, hdd, config.policy),
+            net: LatencyModel::intra_cluster(),
+            memtable: BTreeMap::new(),
+            memtable_bytes: 0,
+            sstables: Vec::new(),
+            next_sst_id: 1,
+            compactions: 0,
+            rng_seed: seed,
+            _rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The simulated clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of compactions performed.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Number of live SSTables.
+    #[must_use]
+    pub fn sstable_count(&self) -> usize {
+        self.sstables.len()
+    }
+
+    /// Reads a key's current value without simulation side effects — the
+    /// verification hook behind the LSM reference-model property tests.
+    #[must_use]
+    pub fn lookup(&self, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(value) = self.memtable.get(key) {
+            return Some(value.clone());
+        }
+        for table in self.sstables.iter().rev() {
+            if table.bloom.may_contain(key) {
+                if let Some(value) = table.get(key) {
+                    return Some(value.to_vec());
+                }
+            }
+        }
+        None
+    }
+
+    /// Charges the RPC ingress taxes for a request of `bytes`.
+    fn charge_rpc(&self, meter: &mut WorkMeter, bytes: u64, leaf: &'static str) {
+        meter.charge_ops(DatacenterTax::Rpc, leaf, 1, costs::RPC_FIXED_NS);
+        meter.charge_bytes(DatacenterTax::Rpc, leaf, bytes, costs::RPC_NS_PER_BYTE);
+        meter.charge_ops(SystemTax::Networking, "tcp_process", 1, costs::NET_PROCESS_NS_PER_MSG);
+        meter.charge_ops(SystemTax::OperatingSystems, "sys_recvmsg", 3, costs::SYSCALL_NS);
+        meter.charge_ops(SystemTax::Multithreading, "task_wakeup", 1, costs::THREAD_HANDOFF_NS);
+        meter.charge_ops(SystemTax::Stl, "string_buffer_ops", 2, costs::STL_NS_PER_MSG);
+        meter.charge_ops(DatacenterTax::Cryptography, "auth_check", 1, costs::AUTH_CRYPTO_NS_PER_REQ);
+        meter.charge_ops(SystemTax::OtherMemoryOps, "page_ops", 1, costs::OTHER_MEM_NS_PER_QUERY);
+    }
+
+    /// Charges the protobuf taxes for handling a message of `bytes`.
+    fn charge_proto(&self, meter: &mut WorkMeter, bytes: u64, decode: bool) {
+        let (leaf, per_byte) = if decode {
+            ("proto_decode", costs::PROTO_DECODE_NS_PER_BYTE)
+        } else {
+            ("proto_encode", costs::PROTO_ENCODE_NS_PER_BYTE)
+        };
+        meter.charge_bytes(DatacenterTax::Protobuf, leaf, bytes, per_byte);
+        meter.charge_ops(DatacenterTax::Protobuf, "proto_setup", 1, costs::PROTO_PER_MESSAGE_NS);
+        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", costs::ALLOCS_PER_MESSAGE, costs::MALLOC_NS_PER_OP);
+        meter.charge_bytes(DatacenterTax::DataMovement, "memcpy", bytes, costs::MEMCPY_NS_PER_BYTE);
+    }
+
+    /// Encodes SSTable entries: varint-length-prefixed pairs, compressed,
+    /// checksummed. Returns (encoded bytes, raw bytes) and charges the work.
+    fn encode_sstable(
+        meter: &mut WorkMeter,
+        entries: &[(Vec<u8>, Vec<u8>)],
+    ) -> (Vec<u8>, u64) {
+        let mut raw = Vec::new();
+        for (k, v) in entries {
+            encode_varint(k.len() as u64, &mut raw);
+            raw.extend_from_slice(k);
+            encode_varint(v.len() as u64, &mut raw);
+            raw.extend_from_slice(v);
+        }
+        let raw_len = raw.len() as u64;
+        let compressed = hsdp_taxes::compress::compress(&raw);
+        let _ = crc32c(&compressed);
+        meter.charge_bytes(
+            DatacenterTax::Compression,
+            "block_compress",
+            raw_len,
+            costs::COMPRESS_NS_PER_BYTE,
+        );
+        meter.charge_bytes(SystemTax::Edac, "crc32c", compressed.len() as u64, costs::CRC_NS_PER_BYTE);
+        meter.charge_bytes(
+            DatacenterTax::DataMovement,
+            "memcpy",
+            raw_len,
+            costs::MEMCPY_NS_PER_BYTE,
+        );
+        (compressed, raw_len)
+    }
+
+    /// Flushes the memtable into a new SSTable; returns the IO time.
+    fn flush_memtable(&mut self, meter: &mut WorkMeter) -> SimDuration {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            std::mem::take(&mut self.memtable).into_iter().collect();
+        self.memtable_bytes = 0;
+        let mut bloom = Bloom::new(entries.len());
+        for (k, _) in &entries {
+            bloom.insert(k);
+        }
+        meter.charge_ops(
+            CoreComputeOp::Write,
+            "memtable_flush",
+            entries.len() as u64,
+            costs::BTREE_OP_NS,
+        );
+        meter.charge_ops(
+            SystemTax::Stl,
+            "btreemap_drain",
+            entries.len() as u64,
+            costs::STL_NS_PER_ENTRY,
+        );
+        let (encoded, _raw) = Self::encode_sstable(meter, &entries);
+        let id = self.next_sst_id;
+        self.next_sst_id += 1;
+        let io = self.store.write_fast(id, encoded.len() as u64);
+        // Freshly flushed data is hot: its blocks sit in the write-path
+        // buffers.
+        let blocks = (entries.len() / 16).max(1) as u64;
+        for block_idx in 0..blocks {
+            self.store.warm(id << 20 | block_idx, (encoded.len() as u64 / blocks).max(1));
+        }
+        meter.charge_ops(SystemTax::FileSystems, "dfs_write", 1, costs::FS_CLIENT_NS_PER_OP);
+        meter.charge_bytes(
+            SystemTax::FileSystems,
+            "dfs_write",
+            encoded.len() as u64,
+            costs::FS_CLIENT_NS_PER_BYTE,
+        );
+        meter.charge_ops(SystemTax::OperatingSystems, "sys_write", 1, costs::SYSCALL_NS);
+        self.sstables.push(SsTable {
+            id,
+            entries,
+            bloom,
+            encoded_bytes: encoded.len() as u64,
+        });
+        io
+    }
+
+    /// Merges all SSTables into one (size-tiered compaction); returns the
+    /// remote-work time the triggering query observes.
+    fn compact(&mut self, meter: &mut WorkMeter) -> SimDuration {
+        self.compactions += 1;
+        let inputs: Vec<SsTable> = std::mem::take(&mut self.sstables);
+        let total_entries: usize = inputs.iter().map(|s| s.entries.len()).sum();
+        let mut io = SimDuration::ZERO;
+        // Read every input run back from storage.
+        for table in &inputs {
+            io += self.store.read(table.id, table.encoded_bytes).latency;
+            meter.charge_bytes(
+                DatacenterTax::Compression,
+                "block_decompress",
+                table.encoded_bytes,
+                costs::DECOMPRESS_NS_PER_BYTE,
+            );
+            meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
+            let blocks = (table.entries.len() / 16).max(1) as u64;
+            for block_idx in 0..blocks {
+                self.store.invalidate(table.id << 20 | block_idx);
+            }
+            self.store.invalidate(table.id);
+        }
+        // K-way merge, newest run wins on duplicate keys. Runs are pushed
+        // oldest-first, so later inserts overwrite earlier ones.
+        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for table in inputs {
+            for (k, v) in table.entries {
+                merged.insert(k, v);
+            }
+        }
+        meter.charge_ops(
+            CoreComputeOp::Compaction,
+            "merge_runs",
+            total_entries as u64,
+            costs::MERGE_NS_PER_ENTRY,
+        );
+        meter.charge_ops(
+            SystemTax::Stl,
+            "kway_merge_heap",
+            total_entries as u64,
+            costs::STL_NS_PER_ENTRY,
+        );
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = merged.into_iter().collect();
+        let mut bloom = Bloom::new(entries.len());
+        for (k, _) in &entries {
+            bloom.insert(k);
+        }
+        let (encoded, _) = Self::encode_sstable(meter, &entries);
+        let id = self.next_sst_id;
+        self.next_sst_id += 1;
+        io += self.store.write_fast(id, encoded.len() as u64);
+        let blocks = (entries.len() / 16).max(1) as u64;
+        for block_idx in 0..blocks {
+            self.store.warm(id << 20 | block_idx, (encoded.len() as u64 / blocks).max(1));
+        }
+        self.sstables.push(SsTable {
+            id,
+            entries,
+            bloom,
+            encoded_bytes: encoded.len() as u64,
+        });
+        io
+    }
+
+    /// Executes a put, producing its execution record.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let trace = self.tracer.new_trace();
+        let start = self.clock;
+        let root = self.tracer.start(trace, None, "bigtable.put", SpanKind::Container, start);
+
+        // The trace starts at server receipt, as Dapper server spans do.
+        let request_bytes = (key.len() + value.len() + 40) as u64;
+
+        // Decode + apply.
+        self.charge_rpc(&mut meter, request_bytes, "rpc_ingress");
+        self.charge_proto(&mut meter, request_bytes, true);
+        meter.charge_ops(CoreComputeOp::Write, "memtable_insert", 1, costs::BTREE_OP_NS);
+        meter.charge_ops(SystemTax::Stl, "btreemap_insert", 1, costs::STL_NS_PER_ENTRY);
+        self.memtable_bytes += key.len() + value.len();
+        self.memtable.insert(key, value);
+
+        // Flush / compaction if thresholds crossed.
+        let mut io_time = SimDuration::ZERO;
+        // Durability: the commit-log append replicates through the
+        // distributed file system before the put acknowledges. Group commit
+        // amortizes the wait: the put that lands first in a batch waits a
+        // full round, later arrivals piggyback almost for free.
+        let batch_position = {
+            let mut z = (self.rng_seed ^ trace.0).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut remote_time = self
+            .net
+            .one_way(request_bytes, self.rng_seed ^ trace.0 ^ 0x106)
+            .scaled(0.05 + 0.75 * batch_position);
+        if self.memtable_bytes > self.config.memtable_flush_bytes {
+            io_time += self.flush_memtable(&mut meter);
+            if self.sstables.len() >= self.config.compaction_fanin {
+                // The blocked query waits for the remote storage workers'
+                // full compaction (their compute + IO); the compute cycles
+                // still profile as Compaction core compute.
+                let cpu_before = meter.total();
+                let compaction_io = self.compact(&mut meter);
+                remote_time += compaction_io + (meter.total() - cpu_before);
+            }
+        }
+
+        // Respond.
+        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", 1, costs::MALLOC_NS_PER_OP);
+        self.charge_proto(&mut meter, 32, false);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+
+        self.finish_query(trace, root, meter, io_time, remote_time, "put")
+    }
+
+    /// Executes a get.
+    pub fn get(&mut self, key: &[u8]) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let trace = self.tracer.new_trace();
+        let root = self.tracer.start(trace, None, "bigtable.get", SpanKind::Container, self.clock);
+
+        let request_bytes = (key.len() + 32) as u64;
+        self.charge_rpc(&mut meter, request_bytes, "rpc_ingress");
+        self.charge_proto(&mut meter, request_bytes, true);
+
+        // Memtable first.
+        meter.charge_ops(CoreComputeOp::Read, "memtable_lookup", 1, costs::BTREE_OP_NS);
+        let mut io_time = SimDuration::ZERO;
+        let mut found = self.memtable.get(key).map(|v| v.len());
+
+        if found.is_none() {
+            // Newest SSTable first, bloom-gated.
+            for idx in (0..self.sstables.len()).rev() {
+                meter.charge_ops(CoreComputeOp::Read, "bloom_probe", 1, 60.0);
+                if !self.sstables[idx].bloom.may_contain(key) {
+                    continue;
+                }
+                let (id, encoded_bytes, value_len, blocks) = {
+                    let table = &self.sstables[idx];
+                    (
+                        table.id,
+                        table.encoded_bytes,
+                        table.get(key).map(<[u8]>::len),
+                        (table.entries.len() / 16).max(1) as u64,
+                    )
+                };
+                // Touch storage for the specific block holding the key:
+                // caching is block-granular, so rare keys stay cold.
+                let block_bytes = (encoded_bytes / blocks).clamp(512, 64 * 1024);
+                let block_idx = key
+                    .iter()
+                    .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)))
+                    % blocks;
+                io_time += self
+                    .store
+                    .read(id << 20 | block_idx, block_bytes)
+                    .latency;
+                meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
+                meter.charge_ops(SystemTax::OperatingSystems, "sys_read", 1, costs::SYSCALL_NS);
+                meter.charge_bytes(
+                    DatacenterTax::Compression,
+                    "block_decompress",
+                    block_bytes,
+                    costs::DECOMPRESS_NS_PER_BYTE,
+                );
+                meter.charge_ops(
+                    CoreComputeOp::Read,
+                    "sstable_search",
+                    (self.sstables[idx].entries.len().max(2) as f64).log2() as u64 + 1,
+                    costs::BTREE_OP_NS,
+                );
+                meter.charge_ops(
+                    CoreComputeOp::Read,
+                    "block_parse",
+                    (self.sstables[idx].entries.len() as u64 / 16).max(4),
+                    costs::MERGE_NS_PER_ENTRY,
+                );
+                if value_len.is_some() {
+                    found = value_len;
+                    break;
+                }
+            }
+        }
+
+        let response_bytes = found.unwrap_or(0) as u64 + 32;
+        self.charge_proto(&mut meter, response_bytes, false);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+
+        self.finish_query(trace, root, meter, io_time, SimDuration::ZERO, "get")
+    }
+
+    /// Executes a short range scan of up to `limit` rows from `start_key`.
+    pub fn scan(&mut self, start_key: &[u8], limit: usize) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let trace = self.tracer.new_trace();
+        let root = self.tracer.start(trace, None, "bigtable.scan", SpanKind::Container, self.clock);
+
+        self.charge_rpc(&mut meter, 64, "rpc_ingress");
+        self.charge_proto(&mut meter, 64, true);
+
+        // Merge memtable + all sstables over the range.
+        let mut rows: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+        for table in &self.sstables {
+            for (k, v) in &table.entries {
+                if k.as_slice() >= start_key && rows.len() < limit * 2 {
+                    rows.insert(k.clone(), v.len());
+                }
+            }
+        }
+        for (k, v) in self.memtable.range(start_key.to_vec()..) {
+            if rows.len() >= limit * 2 {
+                break;
+            }
+            rows.insert(k.clone(), v.len());
+        }
+        let returned: Vec<usize> = rows.values().copied().take(limit).collect();
+        let scanned = rows.len() as u64;
+
+        let mut io_time = SimDuration::ZERO;
+        for table in &self.sstables {
+            let blocks = (table.entries.len() / 16).max(1) as u64;
+            let block = (table.encoded_bytes / blocks).clamp(512, 64 * 1024);
+            // A short scan touches a few consecutive blocks.
+            let first = start_key
+                .iter()
+                .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)))
+                % blocks;
+            for i in 0..4u64.min(blocks) {
+                io_time += self.store.read(table.id << 20 | (first + i) % blocks, block).latency;
+            }
+            meter.charge_bytes(
+                DatacenterTax::Compression,
+                "block_decompress",
+                block,
+                costs::DECOMPRESS_NS_PER_BYTE,
+            );
+            meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
+        }
+        meter.charge_ops(CoreComputeOp::Read, "scan_merge", scanned, costs::MERGE_NS_PER_ENTRY);
+        meter.charge_ops(SystemTax::Stl, "range_iter", scanned, costs::STL_NS_PER_ENTRY);
+
+        let response_bytes: u64 = returned.iter().map(|&l| l as u64 + 16).sum::<u64>() + 32;
+        self.charge_proto(&mut meter, response_bytes, false);
+        self.charge_rpc(&mut meter, response_bytes, "rpc_egress");
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+
+        self.finish_query(trace, root, meter, io_time, SimDuration::ZERO, "scan")
+    }
+
+    /// Common tail: lay the CPU/IO/remote spans on the timeline and package
+    /// the execution record.
+    fn finish_query(
+        &mut self,
+        trace: hsdp_rpc::span::TraceId,
+        root: hsdp_rpc::tracer::OpenSpan,
+        meter: WorkMeter,
+        io_time: SimDuration,
+        remote_time: SimDuration,
+        _label: &'static str,
+    ) -> QueryExecution {
+        let cpu_time = meter.total();
+        let cpu_span = self.tracer.start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
+        self.clock += cpu_time;
+        self.tracer.finish(cpu_span, self.clock);
+        if !io_time.is_zero() {
+            let io_span = self.tracer.start(trace, Some(root.id()), "storage_io", SpanKind::Io, self.clock);
+            self.clock += io_time;
+            self.tracer.finish(io_span, self.clock);
+        }
+        if !remote_time.is_zero() {
+            let remote_span =
+                self.tracer.start(trace, Some(root.id()), "compaction_wait", SpanKind::RemoteWork, self.clock);
+            self.clock += remote_time;
+            self.tracer.finish(remote_span, self.clock);
+        }
+        self.tracer.finish(root, self.clock);
+        let spans: Vec<_> = self
+            .tracer
+            .take_spans()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        let mut meter = meter;
+        QueryExecution {
+            platform: Platform::BigTable,
+            label: _label,
+            spans,
+            cpu_work: meter.take(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsdp_core::category::{BroadCategory, CpuCategory};
+
+    fn tiny() -> BigTable {
+        BigTable::new(
+            BigTableConfig {
+                memtable_flush_bytes: 2_000,
+                compaction_fanin: 3,
+                ..BigTableConfig::default()
+            },
+            42,
+        )
+    }
+
+    fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+        (
+            format!("key-{i:06}").into_bytes(),
+            format!("value-{i:06}-{}", "x".repeat(80)).into_bytes(),
+        )
+    }
+
+    #[test]
+    fn put_then_get_from_memtable() {
+        let mut bt = tiny();
+        let (k, v) = kv(1);
+        let put = bt.put(k.clone(), v);
+        assert_eq!(put.label, "put");
+        assert!(!put.cpu_work.is_empty());
+        let get = bt.get(&k);
+        let d = get.decomposition();
+        assert!(d.io.is_zero(), "memtable hit needs no storage IO");
+        assert!(!d.cpu.is_zero());
+    }
+
+    #[test]
+    fn flush_creates_sstables_and_gets_read_them() {
+        let mut bt = tiny();
+        for i in 0..40 {
+            let (k, v) = kv(i);
+            bt.put(k, v);
+        }
+        assert!(bt.sstable_count() >= 1, "flushes happened");
+        // A flushed key is no longer in the memtable: the get does IO.
+        let get = bt.get(&kv(0).0);
+        let d = get.decomposition();
+        assert!(!d.io.is_zero(), "sstable read requires storage IO");
+    }
+
+    #[test]
+    fn compaction_triggers_and_counts_as_remote_work() {
+        let mut bt = tiny();
+        let mut saw_remote_compaction = false;
+        for i in 0..400 {
+            let (k, v) = kv(i % 97);
+            let exec = bt.put(k, v);
+            let d = exec.decomposition();
+            if d.remote.as_nanos() > 100_000 {
+                saw_remote_compaction = true;
+            }
+        }
+        assert!(bt.compactions() > 0, "compactions ran");
+        assert!(bt.sstable_count() < 3, "compaction merged runs");
+        assert!(
+            saw_remote_compaction,
+            "some unlucky put observed a long compaction wait"
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_newest_values() {
+        let mut bt = tiny();
+        for round in 0..5 {
+            for i in 0..30 {
+                let k = format!("key-{i:06}").into_bytes();
+                let v = format!("round-{round}-{}", "y".repeat(60)).into_bytes();
+                bt.put(k, v);
+            }
+        }
+        // Find key-000000 via a scan: the newest value should win.
+        let all: Vec<(Vec<u8>, Vec<u8>)> = bt
+            .sstables
+            .iter()
+            .flat_map(|t| t.entries.iter().cloned())
+            .collect();
+        for (k, v) in &all {
+            if k == b"key-000000" {
+                assert!(v.starts_with(b"round-"), "value present");
+            }
+        }
+    }
+
+    #[test]
+    fn scans_touch_all_runs() {
+        let mut bt = tiny();
+        for i in 0..120 {
+            let (k, v) = kv(i);
+            bt.put(k, v);
+        }
+        let scan = bt.scan(b"key-", 10);
+        assert_eq!(scan.label, "scan");
+        let d = scan.decomposition();
+        assert!(!d.io.is_zero());
+    }
+
+    #[test]
+    fn tax_categories_are_charged() {
+        let mut bt = tiny();
+        let mut breakdown = hsdp_core::component::CpuBreakdown::new();
+        for i in 0..200 {
+            let (k, v) = kv(i);
+            let exec = bt.put(k, v);
+            breakdown.merge(&crate::meter::items_breakdown(&exec.cpu_work));
+        }
+        // All three broad categories show up. Puts are tax-dominated (the
+        // paper's point), so core compute only needs to be present.
+        for broad in BroadCategory::ALL {
+            assert!(
+                breakdown.broad_share(broad) > 0.02,
+                "{broad}: {}",
+                breakdown.broad_share(broad)
+            );
+        }
+        // Compression is a major datacenter tax for BigTable (Figure 5).
+        let compression = breakdown.share(CpuCategory::from(DatacenterTax::Compression));
+        assert!(compression > 0.02, "compression share {compression}");
+    }
+
+    #[test]
+    fn missing_key_returns_without_panic() {
+        let mut bt = tiny();
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            bt.put(k, v);
+        }
+        let exec = bt.get(b"absent-key");
+        assert_eq!(exec.label, "get");
+    }
+}

@@ -1,0 +1,114 @@
+//! A Bloom filter for SSTable key membership — the standard LSM read
+//! optimization BigTable uses to avoid touching SSTables that cannot
+//! contain a key.
+
+/// A fixed-size Bloom filter over byte-string keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    hashes: u32,
+    entries: usize,
+}
+
+impl Bloom {
+    /// Builds a filter sized for `expected` entries at roughly 1% false
+    /// positives (10 bits/key, 7 hash functions).
+    #[must_use]
+    pub fn new(expected: usize) -> Self {
+        let bit_count = (expected.max(1) * 10).next_power_of_two();
+        Bloom {
+            bits: vec![0u64; bit_count / 64 + 1],
+            hashes: 7,
+            entries: 0,
+        }
+    }
+
+    fn hash_pair(key: &[u8]) -> (u64, u64) {
+        // FNV-1a for h1; a second pass with a different offset for h2.
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h2: u64 = 0x6c62_272e_07bb_0142;
+        for &b in key {
+            h1 = (h1 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            h2 = (h2 ^ u64::from(b)).wrapping_mul(0x3f4d_72f9_8ac1_76bd);
+        }
+        (h1, h2 | 1) // h2 odd so strides cover the table
+    }
+
+    fn bit_count(&self) -> u64 {
+        self.bits.len() as u64 * 64
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = Self::hash_pair(key);
+        let m = self.bit_count();
+        for i in 0..self.hashes {
+            let bit = h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % m;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.entries += 1;
+    }
+
+    /// True if the key *may* be present (no false negatives).
+    #[must_use]
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = Self::hash_pair(key);
+        let m = self.bit_count();
+        (0..self.hashes).all(|i| {
+            let bit = h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % m;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Number of inserted keys.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Size of the filter in bytes.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bloom = Bloom::new(1000);
+        for i in 0..1000u32 {
+            bloom.insert(format!("key-{i}").as_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(bloom.may_contain(format!("key-{i}").as_bytes()), "key-{i}");
+        }
+        assert_eq!(bloom.entries(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut bloom = Bloom::new(10_000);
+        for i in 0..10_000u32 {
+            bloom.insert(format!("present-{i}").as_bytes());
+        }
+        let mut false_positives = 0;
+        for i in 0..10_000u32 {
+            if bloom.may_contain(format!("absent-{i}").as_bytes()) {
+                false_positives += 1;
+            }
+        }
+        // 10 bits/key with 7 hashes: ~1%; allow 3%.
+        assert!(false_positives < 300, "fp {false_positives}");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let bloom = Bloom::new(10);
+        assert!(!bloom.may_contain(b"anything"));
+        assert!(bloom.byte_size() > 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! CPU work metering: how the simulated platforms charge labeled CPU time.
+//!
+//! Platforms execute *real* code (protobuf encoding, compression, LSM
+//! merges, hash joins) but run under a simulated clock. The [`WorkMeter`]
+//! bridges the two: every unit of work is charged simulated time from the
+//! calibrated cost model ([`crate::costs`]) and labeled with the fine
+//! [`CpuCategory`] and a leaf-function name, exactly the shape GWP samples
+//! arrive in (Section 5.1).
+
+use hsdp_core::category::CpuCategory;
+use hsdp_core::component::CpuBreakdown;
+use hsdp_core::units::Seconds;
+use hsdp_simcore::time::SimDuration;
+
+/// One labeled unit of CPU work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuWorkItem {
+    /// Fine-grained cycle category.
+    pub category: CpuCategory,
+    /// Leaf function name, as a GWP sample would report it.
+    pub leaf: &'static str,
+    /// Simulated CPU time charged.
+    pub time: SimDuration,
+}
+
+/// Accumulates labeled CPU work during query execution.
+#[derive(Debug, Default)]
+pub struct WorkMeter {
+    items: Vec<CpuWorkItem>,
+}
+
+impl WorkMeter {
+    /// An empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `time` of CPU work.
+    pub fn charge(
+        &mut self,
+        category: impl Into<CpuCategory>,
+        leaf: &'static str,
+        time: SimDuration,
+    ) {
+        if time.is_zero() {
+            return;
+        }
+        self.items.push(CpuWorkItem { category: category.into(), leaf, time });
+    }
+
+    /// Charges byte-proportional work (`bytes * ns_per_byte`).
+    pub fn charge_bytes(
+        &mut self,
+        category: impl Into<CpuCategory>,
+        leaf: &'static str,
+        bytes: u64,
+        ns_per_byte: f64,
+    ) {
+        self.charge(
+            category,
+            leaf,
+            SimDuration::from_nanos((bytes as f64 * ns_per_byte).round() as u64),
+        );
+    }
+
+    /// Charges per-operation work (`ops * ns_per_op`).
+    pub fn charge_ops(
+        &mut self,
+        category: impl Into<CpuCategory>,
+        leaf: &'static str,
+        ops: u64,
+        ns_per_op: f64,
+    ) {
+        self.charge(
+            category,
+            leaf,
+            SimDuration::from_nanos((ops as f64 * ns_per_op).round() as u64),
+        );
+    }
+
+    /// Total CPU time charged.
+    #[must_use]
+    pub fn total(&self) -> SimDuration {
+        self.items.iter().map(|i| i.time).sum()
+    }
+
+    /// The items charged so far.
+    #[must_use]
+    pub fn items(&self) -> &[CpuWorkItem] {
+        &self.items
+    }
+
+    /// Drains the items, leaving the meter empty.
+    pub fn take(&mut self) -> Vec<CpuWorkItem> {
+        std::mem::take(&mut self.items)
+    }
+
+    /// Rolls the charged work up into a model-ready [`CpuBreakdown`].
+    #[must_use]
+    pub fn breakdown(&self) -> CpuBreakdown {
+        self.items
+            .iter()
+            .map(|i| (i.category, Seconds::new(i.time.as_secs_f64())))
+            .collect()
+    }
+}
+
+/// Converts a list of work items into a breakdown (for drained items).
+#[must_use]
+pub fn items_breakdown(items: &[CpuWorkItem]) -> CpuBreakdown {
+    items
+        .iter()
+        .map(|i| (i.category, Seconds::new(i.time.as_secs_f64())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsdp_core::category::{CoreComputeOp, DatacenterTax};
+
+    #[test]
+    fn charge_accumulates_and_labels() {
+        let mut meter = WorkMeter::new();
+        meter.charge(CoreComputeOp::Read, "btree_lookup", SimDuration::from_micros(2));
+        meter.charge_bytes(DatacenterTax::Protobuf, "proto_encode", 1000, 2.0);
+        meter.charge_ops(DatacenterTax::MemAllocation, "arena_alloc", 10, 50.0);
+        assert_eq!(meter.items().len(), 3);
+        assert_eq!(meter.total().as_nanos(), 2_000 + 2_000 + 500);
+        let b = meter.breakdown();
+        assert!(b.share(CpuCategory::from(CoreComputeOp::Read)) > 0.4);
+    }
+
+    #[test]
+    fn zero_charges_are_dropped() {
+        let mut meter = WorkMeter::new();
+        meter.charge(CoreComputeOp::Read, "noop", SimDuration::ZERO);
+        meter.charge_bytes(CoreComputeOp::Read, "noop", 0, 5.0);
+        assert!(meter.items().is_empty());
+        assert_eq!(meter.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut meter = WorkMeter::new();
+        meter.charge(CoreComputeOp::Write, "put", SimDuration::from_nanos(10));
+        let items = meter.take();
+        assert_eq!(items.len(), 1);
+        assert!(meter.items().is_empty());
+        assert_eq!(items_breakdown(&items).total().as_secs(), 1e-8);
+    }
+}

@@ -1,0 +1,207 @@
+//! Workload runners: drive each platform with its configured mix and
+//! collect execution records for the profiling pipeline.
+
+use hsdp_core::category::Platform;
+use hsdp_workload::keys::{KeyGen, ValueGen};
+use hsdp_workload::mix::{AnalyticsMix, AnalyticsQuery, DbMix, DbOp};
+use hsdp_workload::rows::FactGen;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::bigquery::{BigQuery, BigQueryConfig};
+use crate::bigtable::{BigTable, BigTableConfig};
+use crate::exec::QueryExecution;
+use crate::spanner::{Spanner, SpannerConfig};
+
+/// Configuration for a full three-platform fleet run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Queries to run against each database platform.
+    pub db_queries: usize,
+    /// Queries to run against the analytics engine.
+    pub analytics_queries: usize,
+    /// Fact rows to load into the analytics engine.
+    pub fact_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            db_queries: 300,
+            analytics_queries: 60,
+            fact_rows: 8_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Runs the Spanner-class workload (a balanced transactional mix).
+#[must_use]
+pub fn run_spanner(queries: usize, seed: u64) -> Vec<QueryExecution> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Spanner::new(SpannerConfig::default(), seed);
+    let keys = KeyGen::new("sp", 5_000, 0.9);
+    let values = ValueGen::new(400);
+    // Transactional traffic: mostly reads, a healthy scan share, and the
+    // write stream that exercises consensus.
+    let mix = DbMix { read: 0.70, write: 0.10, scan: 0.15, rmw: 0.05 };
+
+    // Preload the hot set so reads hit warm data (production steady state).
+    for rank in 0..2_000 {
+        let key = keys.key_for_rank(rank);
+        let value = values.sample(&mut rng);
+        db.commit(key, value);
+    }
+
+    (0..queries)
+        .map(|_| match mix.sample(&mut rng) {
+            DbOp::Read => {
+                let key = keys.sample(&mut rng);
+                db.read(&key)
+            }
+            DbOp::Write => db.commit(keys.sample(&mut rng), values.sample(&mut rng)),
+            DbOp::Scan => db.query(&keys.sample(&mut rng), 60, 100),
+            DbOp::ReadModifyWrite => {
+                db.read_modify_write(keys.sample(&mut rng), values.sample(&mut rng))
+            }
+        })
+        .collect()
+}
+
+/// Runs the BigTable-class workload (a read-heavy key-value mix with enough
+/// writes to exercise flushes and compactions).
+#[must_use]
+pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB16_7AB1E);
+    let mut bt = BigTable::new(
+        BigTableConfig {
+            memtable_flush_bytes: 32 * 1024,
+            compaction_fanin: 4,
+            ..BigTableConfig::default()
+        },
+        seed,
+    );
+    let keys = KeyGen::new("bt", 20_000, 0.99);
+    let values = ValueGen::new(300);
+    let mix = DbMix {
+        read: 0.65,
+        write: 0.25,
+        scan: 0.05,
+        rmw: 0.05,
+    };
+
+    // Preload the hot set (zipf 0.99 concentrates mass in the top ranks).
+    for rank in 0..6_000 {
+        bt.put(keys.key_for_rank(rank), values.sample(&mut rng));
+    }
+
+    (0..queries)
+        .map(|_| match mix.sample(&mut rng) {
+            DbOp::Read => {
+                let key = keys.sample(&mut rng);
+                bt.get(&key)
+            }
+            DbOp::Write => bt.put(keys.sample(&mut rng), values.sample(&mut rng)),
+            DbOp::Scan => {
+                let key = keys.sample(&mut rng);
+                bt.scan(&key, 25)
+            }
+            DbOp::ReadModifyWrite => {
+                let key = keys.sample(&mut rng);
+                let _ = bt.get(&key);
+                bt.put(key, values.sample(&mut rng))
+            }
+        })
+        .collect()
+}
+
+/// Runs the BigQuery-class workload (the dashboard analytics mix).
+#[must_use]
+pub fn run_bigquery(queries: usize, fact_rows: usize, seed: u64) -> Vec<QueryExecution> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB1_6B06);
+    let gen = FactGen::default();
+    let rows = gen.rows(fact_rows, &mut rng);
+    let mut bq = BigQuery::new(BigQueryConfig::default(), seed);
+    bq.load(&rows, gen.dimension());
+    let mix = AnalyticsMix::dashboard();
+
+    (0..queries)
+        .map(|_| match mix.sample(&mut rng) {
+            AnalyticsQuery::ScanFilter => {
+                let threshold = 10.0 + rng.random::<f64>() * 60.0;
+                bq.scan_filter(threshold)
+            }
+            AnalyticsQuery::GroupAggregate => bq.group_aggregate(),
+            AnalyticsQuery::Join => bq.join(),
+            AnalyticsQuery::TopK => bq.top_k(50),
+        })
+        .collect()
+}
+
+/// Runs all three platforms and returns `(platform, executions)` triples.
+#[must_use]
+pub fn run_fleet(config: FleetConfig) -> Vec<(Platform, Vec<QueryExecution>)> {
+    vec![
+        (Platform::Spanner, run_spanner(config.db_queries, config.seed)),
+        (Platform::BigTable, run_bigtable(config.db_queries, config.seed)),
+        (
+            Platform::BigQuery,
+            run_bigquery(config.analytics_queries, config.fact_rows, config.seed),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanner_run_produces_all_op_kinds() {
+        let execs = run_spanner(200, 11);
+        assert_eq!(execs.len(), 200);
+        let labels: std::collections::HashSet<&str> =
+            execs.iter().map(|e| e.label).collect();
+        assert!(labels.contains("read"));
+        assert!(labels.contains("commit"));
+        assert!(labels.contains("query"));
+    }
+
+    #[test]
+    fn bigtable_run_compacts() {
+        let execs = run_bigtable(2_000, 13);
+        assert_eq!(execs.len(), 2_000);
+        // Some query observed a large remote (compaction) wait.
+        let max_remote = execs
+            .iter()
+            .map(|e| e.decomposition().remote.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        assert!(max_remote > 0.0);
+    }
+
+    #[test]
+    fn bigquery_run_covers_query_kinds() {
+        let execs = run_bigquery(30, 2_000, 17);
+        let labels: std::collections::HashSet<&str> =
+            execs.iter().map(|e| e.label).collect();
+        assert!(labels.len() >= 3, "{labels:?}");
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic() {
+        let a = run_fleet(FleetConfig { db_queries: 50, analytics_queries: 5, fact_rows: 500, seed: 3 });
+        let b = run_fleet(FleetConfig { db_queries: 50, analytics_queries: 5, fact_rows: 500, seed: 3 });
+        for ((pa, ea), (pb, eb)) in a.iter().zip(&b) {
+            assert_eq!(pa, pb);
+            assert_eq!(ea.len(), eb.len());
+            for (x, y) in ea.iter().zip(eb) {
+                assert_eq!(x.label, y.label);
+                assert_eq!(
+                    x.decomposition().end_to_end,
+                    y.decomposition().end_to_end
+                );
+            }
+        }
+    }
+}

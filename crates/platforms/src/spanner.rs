@@ -1,0 +1,532 @@
+//! A Spanner-class replicated transactional store: a leader-led consensus
+//! group replicating a write log across regions, with strong reads and
+//! SQL-style scans.
+//!
+//! Matches the paper's characterization hooks: consensus appears both as
+//! core compute (Figure 4's `Consensus` category) and as *remote work*
+//! (Section 4.1: "consensus protocols for Spanner"), RPC is a heavy
+//! datacenter tax (23% in Figure 5), and cross-region round trips dominate
+//! remote-heavy queries.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hsdp_core::category::{CoreComputeOp, DatacenterTax, Platform, SystemTax};
+use hsdp_rpc::latency::LatencyModel;
+use hsdp_rpc::span::SpanKind;
+use hsdp_rpc::tracer::Tracer;
+use hsdp_simcore::time::{SimDuration, SimTime};
+use hsdp_storage::cache::PolicyKind;
+use hsdp_storage::tiered::TieredStore;
+use hsdp_taxes::crc::crc32c;
+use hsdp_taxes::protowire::{FieldDescriptor, FieldType, Message, MessageDescriptor, Value};
+
+use crate::costs;
+use crate::exec::QueryExecution;
+use crate::meter::WorkMeter;
+
+/// Consensus-group configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpannerConfig {
+    /// Number of replicas (including the leader).
+    pub replicas: usize,
+    /// Votes needed to commit (majority by default).
+    pub quorum: usize,
+    /// Tier capacities of the leader's storage stack.
+    pub tier_bytes: (u64, u64, u64),
+}
+
+impl Default for SpannerConfig {
+    fn default() -> Self {
+        SpannerConfig {
+            replicas: 5,
+            quorum: 3,
+            tier_bytes: (8 << 20, 64 << 20, 1 << 40),
+        }
+    }
+}
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Log position.
+    pub index: u64,
+    /// Affected key.
+    pub key: Vec<u8>,
+    /// CRC of the value (the log stores digests in this model).
+    pub value_crc: u32,
+}
+
+/// The consensus-group simulator (leader's view).
+#[derive(Debug)]
+pub struct Spanner {
+    config: SpannerConfig,
+    clock: SimTime,
+    tracer: Tracer,
+    store: TieredStore,
+    state: BTreeMap<Vec<u8>, Vec<u8>>,
+    log: Vec<LogEntry>,
+    net_region: LatencyModel,
+    txn_desc: Arc<MessageDescriptor>,
+    seed: u64,
+}
+
+impl Spanner {
+    /// A fresh group.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= quorum <= replicas`.
+    #[must_use]
+    pub fn new(config: SpannerConfig, seed: u64) -> Self {
+        assert!(
+            (1..=config.replicas).contains(&config.quorum),
+            "quorum must be within the replica set"
+        );
+        let (ram, ssd, hdd) = config.tier_bytes;
+        let txn_desc = Arc::new(
+            MessageDescriptor::new(
+                "TxnRequest",
+                vec![
+                    FieldDescriptor::required(1, "key", FieldType::Bytes),
+                    FieldDescriptor::optional(2, "value", FieldType::Bytes),
+                    FieldDescriptor::required(3, "timestamp", FieldType::Fixed64),
+                ],
+            )
+            .expect("static schema is valid"),
+        );
+        Spanner {
+            config,
+            clock: SimTime::ZERO,
+            tracer: Tracer::new(),
+            store: TieredStore::new(ram, ssd, hdd, PolicyKind::Lru),
+            state: BTreeMap::new(),
+            log: Vec::new(),
+            // Regional quorums: replicas in nearby zones, not continents.
+            net_region: LatencyModel {
+                base: hsdp_simcore::time::SimDuration::from_micros(250),
+                bandwidth: 2e9,
+                jitter_frac: 0.3,
+            },
+            txn_desc,
+            seed,
+        }
+    }
+
+    /// The committed log length.
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Number of live keys.
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.state.len()
+    }
+
+    /// The simulated clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn charge_rpc(&self, meter: &mut WorkMeter, bytes: u64) {
+        meter.charge_ops(DatacenterTax::Rpc, "rpc_dispatch", 1, costs::RPC_FIXED_NS);
+        meter.charge_bytes(DatacenterTax::Rpc, "rpc_dispatch", bytes, costs::RPC_NS_PER_BYTE);
+        meter.charge_ops(SystemTax::Networking, "tcp_process", 1, costs::NET_PROCESS_NS_PER_MSG);
+        meter.charge_ops(SystemTax::OperatingSystems, "sys_sendmsg", 3, costs::SYSCALL_NS);
+        meter.charge_ops(SystemTax::Stl, "string_buffer_ops", 3, costs::STL_NS_PER_MSG);
+        meter.charge_ops(SystemTax::Multithreading, "executor_handoff", 2, costs::THREAD_HANDOFF_NS);
+        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", costs::ALLOCS_PER_MESSAGE, costs::MALLOC_NS_PER_OP);
+        meter.charge_ops(DatacenterTax::Cryptography, "auth_check", 1, costs::AUTH_CRYPTO_NS_PER_REQ);
+        meter.charge_ops(SystemTax::OtherMemoryOps, "page_ops", 2, costs::OTHER_MEM_NS_PER_QUERY);
+    }
+
+    fn encode_txn(&self, meter: &mut WorkMeter, key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
+        let mut msg = Message::new(Arc::clone(&self.txn_desc));
+        msg.set(1, Value::Bytes(key.to_vec())).expect("schema field");
+        if let Some(v) = value {
+            msg.set(2, Value::Bytes(v.to_vec())).expect("schema field");
+        }
+        msg.set(3, Value::Fixed64(self.clock.as_nanos())).expect("schema field");
+        let bytes = msg.encode_to_vec();
+        meter.charge_bytes(
+            DatacenterTax::Protobuf,
+            "proto_encode",
+            bytes.len() as u64,
+            costs::PROTO_ENCODE_NS_PER_BYTE,
+        );
+        meter.charge_ops(DatacenterTax::Protobuf, "proto_setup", 1, costs::PROTO_PER_MESSAGE_NS);
+        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", 3, costs::MALLOC_NS_PER_OP);
+        meter.charge_bytes(
+            DatacenterTax::DataMovement,
+            "memcpy",
+            bytes.len() as u64,
+            costs::MEMCPY_NS_PER_BYTE,
+        );
+        bytes
+    }
+
+    /// The consensus round: replicate `bytes` to followers, wait for a
+    /// quorum of acks. Returns the remote-work wait.
+    fn consensus_round(&mut self, meter: &mut WorkMeter, bytes: u64, salt: u64) -> SimDuration {
+        let followers = self.config.replicas - 1;
+        let needed_acks = self.config.quorum - 1; // leader votes for itself
+        let mut round_trips: Vec<SimDuration> = (0..followers)
+            .map(|i| {
+                self.net_region
+                    .round_trip(bytes, 64, self.seed ^ salt.wrapping_add(i as u64 * 7919))
+            })
+            .collect();
+        round_trips.sort_unstable();
+        // CPU cost of forming/handling each replica message.
+        meter.charge_ops(
+            CoreComputeOp::Consensus,
+            "paxos_propose",
+            followers as u64,
+            costs::CONSENSUS_NS_PER_MSG,
+        );
+        meter.charge_ops(DatacenterTax::Rpc, "rpc_replicate", followers as u64, costs::RPC_FIXED_NS);
+        meter.charge_bytes(
+            DatacenterTax::Rpc,
+            "rpc_replicate",
+            bytes * followers as u64,
+            costs::RPC_NS_PER_BYTE,
+        );
+        meter.charge_ops(
+            SystemTax::Networking,
+            "tcp_process",
+            followers as u64 * 2,
+            costs::NET_PROCESS_NS_PER_MSG,
+        );
+        meter.charge_ops(
+            SystemTax::OperatingSystems,
+            "sys_sendmsg",
+            followers as u64 * 2,
+            costs::SYSCALL_NS,
+        );
+        if needed_acks == 0 {
+            SimDuration::ZERO
+        } else {
+            round_trips[needed_acks - 1]
+        }
+    }
+
+    /// Replicates one record through the group's consensus and applies it,
+    /// charging CPU work into the caller's meter. Returns the quorum wait.
+    ///
+    /// This is the building block the two-phase-commit coordinator
+    /// ([`crate::twopc`]) composes across groups; [`Spanner::commit`] is the
+    /// single-group client-facing path.
+    pub fn replicate_record(
+        &mut self,
+        meter: &mut WorkMeter,
+        key: &[u8],
+        value: Option<&[u8]>,
+        salt: u64,
+    ) -> SimDuration {
+        let encoded = self.encode_txn(meter, key, value);
+        let crc = crc32c(&encoded);
+        meter.charge_bytes(SystemTax::Edac, "crc32c", encoded.len() as u64, costs::CRC_NS_PER_BYTE);
+        let wait = self.consensus_round(meter, encoded.len() as u64, salt);
+        self.log.push(LogEntry {
+            index: self.log.len() as u64 + 1,
+            key: key.to_vec(),
+            value_crc: crc,
+        });
+        meter.charge_ops(CoreComputeOp::Write, "apply_write", 1, costs::BTREE_OP_NS * 2.0);
+        if let Some(v) = value {
+            self.state.insert(key.to_vec(), v.to_vec());
+        }
+        wait
+    }
+
+    /// Reads a key's current value without simulation side effects (the
+    /// verification hook for tests).
+    #[must_use]
+    pub fn lookup(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.state.get(key).cloned()
+    }
+
+    /// Advances the group's clock to at least `at` (used by the 2PC
+    /// coordinator to keep participant clocks coherent).
+    pub fn advance_clock_to(&mut self, at: SimTime) {
+        self.clock = self.clock.max(at);
+    }
+
+    /// Commits a write transaction.
+    pub fn commit(&mut self, key: Vec<u8>, value: Vec<u8>) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let trace = self.tracer.new_trace();
+        let root = self.tracer.start(trace, None, "spanner.commit", SpanKind::Container, self.clock);
+
+        let request_bytes = (key.len() + value.len() + 64) as u64;
+        self.charge_rpc(&mut meter, request_bytes);
+        let encoded = self.encode_txn(&mut meter, &key, Some(&value));
+        let crc = crc32c(&encoded);
+        meter.charge_bytes(SystemTax::Edac, "crc32c", encoded.len() as u64, costs::CRC_NS_PER_BYTE);
+        let _digest = hsdp_taxes::sha3::Sha3_256::digest(&encoded);
+        meter.charge_bytes(
+            DatacenterTax::Cryptography,
+            "txn_digest",
+            encoded.len() as u64,
+            costs::SHA3_NS_PER_BYTE,
+        );
+
+        // Replicate through consensus.
+        let remote = self.consensus_round(&mut meter, encoded.len() as u64, trace.0);
+
+        // Apply to the state machine and persist.
+        self.log.push(LogEntry { index: self.log.len() as u64 + 1, key: key.clone(), value_crc: crc });
+        meter.charge_ops(CoreComputeOp::Write, "apply_write", 1, costs::BTREE_OP_NS * 2.0);
+        meter.charge_ops(SystemTax::Stl, "btreemap_insert", 1, costs::STL_NS_PER_ENTRY);
+        let storage_key = Self::key_hash(&key);
+        let io = self.store.write_fast(storage_key, (key.len() + value.len()) as u64);
+        meter.charge_ops(SystemTax::FileSystems, "log_append", 1, costs::FS_CLIENT_NS_PER_OP);
+        meter.charge_ops(SystemTax::OperatingSystems, "sys_write", 1, costs::SYSCALL_NS);
+        self.state.insert(key, value);
+
+        self.charge_rpc(&mut meter, 64);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+
+        self.finish_query(trace, root, meter, io, remote, "commit")
+    }
+
+    /// A strong (leader-lease) point read.
+    pub fn read(&mut self, key: &[u8]) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let trace = self.tracer.new_trace();
+        let root = self.tracer.start(trace, None, "spanner.read", SpanKind::Container, self.clock);
+
+        let request_bytes = (key.len() + 48) as u64;
+        self.charge_rpc(&mut meter, request_bytes);
+        meter.charge_bytes(
+            DatacenterTax::Protobuf,
+            "proto_decode",
+            request_bytes,
+            costs::PROTO_DECODE_NS_PER_BYTE,
+        );
+        // Lease validation: cheap consensus bookkeeping, no round trip.
+        meter.charge_ops(CoreComputeOp::Consensus, "lease_check", 1, costs::CONSENSUS_NS_PER_MSG / 4.0);
+
+        // Session management, SQL binding, and row assembly: the read path
+        // is far more than one tree lookup in a SQL database.
+        meter.charge_ops(CoreComputeOp::Query, "session_and_bind", 1, 20_000.0);
+        meter.charge_ops(CoreComputeOp::Read, "row_deserialize", 1, 8_000.0);
+        meter.charge_ops(CoreComputeOp::Read, "btree_lookup", 1, costs::BTREE_OP_NS * 2.0);
+        meter.charge_ops(SystemTax::Stl, "btreemap_get", 1, costs::STL_NS_PER_ENTRY);
+        let value_len = self.state.get(key).map_or(0, Vec::len) as u64;
+        // Touch storage (cache-hit most of the time for hot keys).
+        let io = self.store.read(Self::key_hash(key), value_len.max(64)).latency;
+        meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
+        meter.charge_ops(SystemTax::OperatingSystems, "sys_read", 1, costs::SYSCALL_NS);
+
+        let response_bytes = value_len + 48;
+        meter.charge_bytes(
+            DatacenterTax::Protobuf,
+            "proto_encode",
+            response_bytes,
+            costs::PROTO_ENCODE_NS_PER_BYTE,
+        );
+        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", 2, costs::MALLOC_NS_PER_OP);
+        meter.charge_bytes(DatacenterTax::DataMovement, "memcpy", response_bytes, costs::MEMCPY_NS_PER_BYTE);
+        self.charge_rpc(&mut meter, response_bytes);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+
+        self.finish_query(trace, root, meter, io, SimDuration::ZERO, "read")
+    }
+
+    /// A SQL-style scan: filter up to `limit` rows whose value length
+    /// exceeds `min_len` starting at `start_key`.
+    pub fn query(&mut self, start_key: &[u8], limit: usize, min_len: usize) -> QueryExecution {
+        let mut meter = WorkMeter::new();
+        let trace = self.tracer.new_trace();
+        let root = self.tracer.start(trace, None, "spanner.query", SpanKind::Container, self.clock);
+
+        self.charge_rpc(&mut meter, 128);
+
+        let mut scanned = 0u64;
+        let mut matched: u64 = 0;
+        let mut response_bytes = 64u64;
+        for (k, v) in self.state.range(start_key.to_vec()..) {
+            scanned += 1;
+            if v.len() >= min_len {
+                matched += 1;
+                response_bytes += (k.len() + v.len()) as u64;
+            }
+            if matched as usize >= limit || scanned >= (limit as u64) * 20 {
+                break;
+            }
+        }
+        meter.charge_ops(CoreComputeOp::Query, "sql_predicate_eval", scanned, costs::QUERY_EVAL_NS_PER_ROW);
+        meter.charge_ops(CoreComputeOp::Read, "row_fetch", matched, costs::BTREE_OP_NS);
+        meter.charge_ops(SystemTax::Stl, "range_iter", scanned, costs::STL_NS_PER_ENTRY);
+        meter.charge_ops(CoreComputeOp::MiscCore, "plan_and_bind", 1, 8_000.0);
+
+        // Matched rows may hit storage for cold values.
+        let io = self
+            .store
+            .read(Self::key_hash(start_key) ^ 0x51ca, response_bytes.max(256))
+            .latency;
+        meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
+
+        meter.charge_bytes(
+            DatacenterTax::Protobuf,
+            "proto_encode",
+            response_bytes,
+            costs::PROTO_ENCODE_NS_PER_BYTE,
+        );
+        meter.charge_bytes(
+            DatacenterTax::Compression,
+            "response_compress",
+            response_bytes,
+            costs::COMPRESS_NS_PER_BYTE,
+        );
+        self.charge_rpc(&mut meter, response_bytes);
+        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+
+        self.finish_query(trace, root, meter, io, SimDuration::ZERO, "query")
+    }
+
+    /// A read-modify-write transaction: strong read + conditional commit.
+    pub fn read_modify_write(&mut self, key: Vec<u8>, new_value: Vec<u8>) -> QueryExecution {
+        // Compose from the primitives, merging the execution records.
+        let read_exec = self.read(&key);
+        let commit_exec = self.commit(key, new_value);
+        let mut spans = read_exec.spans;
+        spans.extend(commit_exec.spans);
+        let mut cpu_work = read_exec.cpu_work;
+        cpu_work.extend(commit_exec.cpu_work);
+        QueryExecution {
+            platform: Platform::Spanner,
+            label: "read-modify-write",
+            spans,
+            cpu_work,
+        }
+    }
+
+    fn key_hash(key: &[u8]) -> u64 {
+        key.iter()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            })
+    }
+
+    fn finish_query(
+        &mut self,
+        trace: hsdp_rpc::span::TraceId,
+        root: hsdp_rpc::tracer::OpenSpan,
+        mut meter: WorkMeter,
+        io_time: SimDuration,
+        remote_time: SimDuration,
+        label: &'static str,
+    ) -> QueryExecution {
+        let cpu_span = self.tracer.start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
+        self.clock += meter.total();
+        self.tracer.finish(cpu_span, self.clock);
+        if !remote_time.is_zero() {
+            let remote_span = self
+                .tracer
+                .start(trace, Some(root.id()), "consensus_wait", SpanKind::RemoteWork, self.clock);
+            self.clock += remote_time;
+            self.tracer.finish(remote_span, self.clock);
+        }
+        if !io_time.is_zero() {
+            let io_span = self.tracer.start(trace, Some(root.id()), "storage_io", SpanKind::Io, self.clock);
+            self.clock += io_time;
+            self.tracer.finish(io_span, self.clock);
+        }
+        self.tracer.finish(root, self.clock);
+        let spans: Vec<_> = self
+            .tracer
+            .take_spans()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        QueryExecution {
+            platform: Platform::Spanner,
+            label,
+            spans,
+            cpu_work: meter.take(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsdp_core::category::CpuCategory;
+
+    fn db() -> Spanner {
+        Spanner::new(SpannerConfig::default(), 7)
+    }
+
+    #[test]
+    fn commit_replicates_and_waits_on_quorum() {
+        let mut s = db();
+        let exec = s.commit(b"k1".to_vec(), b"v1".to_vec());
+        let d = exec.decomposition();
+        // Regional quorum wait: hundreds of microseconds of remote work.
+        assert!(d.remote.as_secs_f64() > 2e-4, "remote {}", d.remote);
+        assert_eq!(s.log_len(), 1);
+        assert_eq!(s.key_count(), 1);
+        // Consensus CPU was charged.
+        let b = crate::meter::items_breakdown(&exec.cpu_work);
+        assert!(b.share(CpuCategory::from(CoreComputeOp::Consensus)) > 0.0);
+    }
+
+    #[test]
+    fn read_after_commit_is_fast_and_local() {
+        let mut s = db();
+        s.commit(b"k1".to_vec(), b"hello".to_vec());
+        let exec = s.read(b"k1");
+        let d = exec.decomposition();
+        assert!(
+            d.remote.as_secs_f64() < 1e-4,
+            "strong leader reads avoid quorum waits"
+        );
+        assert!(!d.cpu.is_zero());
+    }
+
+    #[test]
+    fn query_scans_and_filters() {
+        let mut s = db();
+        for i in 0..50 {
+            let v = if i % 2 == 0 { vec![b'x'; 100] } else { vec![b'y'; 10] };
+            s.commit(format!("row-{i:04}").into_bytes(), v);
+        }
+        let exec = s.query(b"row-", 10, 50);
+        assert_eq!(exec.label, "query");
+        let b = crate::meter::items_breakdown(&exec.cpu_work);
+        assert!(b.share(CpuCategory::from(CoreComputeOp::Query)) > 0.0);
+    }
+
+    #[test]
+    fn rmw_composes_read_and_commit() {
+        let mut s = db();
+        s.commit(b"ctr".to_vec(), b"1".to_vec());
+        let exec = s.read_modify_write(b"ctr".to_vec(), b"2".to_vec());
+        assert_eq!(exec.label, "read-modify-write");
+        let d = exec.decomposition();
+        assert!(d.remote.as_secs_f64() > 2e-4, "the commit leg pays consensus");
+        assert_eq!(s.log_len(), 2);
+    }
+
+    #[test]
+    fn quorum_wait_uses_kth_fastest_replica() {
+        // With quorum 2 of 5, the wait is the fastest follower; quorum 5
+        // waits for the slowest. Larger quorums never wait less.
+        let mut fast = Spanner::new(SpannerConfig { quorum: 2, ..SpannerConfig::default() }, 7);
+        let mut slow = Spanner::new(SpannerConfig { quorum: 5, ..SpannerConfig::default() }, 7);
+        let f = fast.commit(b"k".to_vec(), b"v".to_vec()).decomposition().remote;
+        let s = slow.commit(b"k".to_vec(), b"v".to_vec()).decomposition().remote;
+        assert!(s >= f, "quorum-5 wait {s} >= quorum-2 wait {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum must be within")]
+    fn invalid_quorum_panics() {
+        let _ = Spanner::new(SpannerConfig { replicas: 3, quorum: 4, ..SpannerConfig::default() }, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: the BigTable LSM tree against a reference model.
+//!
+//! Whatever flushes and compactions the simulator performs along the way,
+//! the visible key-value contents must match a plain map driven by the same
+//! operation sequence.
+
+use std::collections::HashMap;
+
+use hsdp_platforms::bigtable::{BigTable, BigTableConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Get(u16),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..200, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+            (0u16..200).prop_map(Op::Get),
+        ],
+        1..300,
+    )
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("key-{k:05}").into_bytes()
+}
+
+fn value(k: u16, v: u8) -> Vec<u8> {
+    // Large enough to trigger flushes/compactions within a sequence.
+    format!("v-{k}-{v}-{}", "x".repeat(64)).into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lsm_matches_reference_map(ops in arb_ops()) {
+        let mut bt = BigTable::new(
+            BigTableConfig {
+                memtable_flush_bytes: 1_500,
+                compaction_fanin: 3,
+                ..BigTableConfig::default()
+            },
+            7,
+        );
+        let mut reference: HashMap<u16, u8> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Put(k, v) => {
+                    bt.put(key(k), value(k, v));
+                    reference.insert(k, v);
+                }
+                Op::Get(k) => {
+                    let expected = reference.get(&k).map(|&v| value(k, v));
+                    prop_assert_eq!(bt.lookup(&key(k)), expected, "key {}", k);
+                }
+            }
+        }
+        // Final sweep: every reference entry is visible, and no phantom
+        // keys exist.
+        for (&k, &v) in &reference {
+            prop_assert_eq!(bt.lookup(&key(k)), Some(value(k, v)));
+        }
+        prop_assert_eq!(bt.lookup(b"never-written"), None);
+    }
+
+    #[test]
+    fn lsm_is_deterministic(puts in proptest::collection::vec((0u16..100, any::<u8>()), 1..100)) {
+        let run = |seed: u64| {
+            let mut bt = BigTable::new(
+                BigTableConfig {
+                    memtable_flush_bytes: 1_000,
+                    compaction_fanin: 3,
+                    ..BigTableConfig::default()
+                },
+                seed,
+            );
+            let mut total_e2e = 0u64;
+            for &(k, v) in &puts {
+                let exec = bt.put(key(k), value(k, v));
+                total_e2e += exec.decomposition().end_to_end.as_nanos();
+            }
+            (total_e2e, bt.compactions(), bt.sstable_count())
+        };
+        prop_assert_eq!(run(42), run(42), "same seed, same simulation");
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end breakdown aggregation: from per-query trace decompositions to
+//! the Figure 2 chart data.
+
+use hsdp_core::profile::QueryGroup;
+use hsdp_rpc::decompose::E2eDecomposition;
+use serde::{Deserialize, Serialize};
+
+/// Classifies one decomposed query into its Figure 2 group.
+#[must_use]
+pub fn classify(d: &E2eDecomposition) -> QueryGroup {
+    QueryGroup::classify(d.cpu_share(), d.io_share(), d.remote_share())
+}
+
+/// One row of the Figure 2 chart.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure2Row {
+    /// The query group (the final row repeats `Others` but represents the
+    /// overall average; see [`Figure2::overall`]).
+    pub group: QueryGroup,
+    /// Fraction of queries in the group.
+    pub query_fraction: f64,
+    /// Mean share of end-to-end time on CPU within the group.
+    pub cpu_share: f64,
+    /// Mean share on remote work.
+    pub remote_share: f64,
+    /// Mean share on IO.
+    pub io_share: f64,
+}
+
+/// The aggregated Figure 2 data for one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2 {
+    /// Per-group rows in the paper's order.
+    pub groups: Vec<Figure2Row>,
+    /// The overall-average row.
+    pub overall: Figure2Row,
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+/// Aggregates per-query decompositions into the Figure 2 rows.
+///
+/// Time shares are time-weighted within each group (total group seconds,
+/// not per-query means), matching how the trace logs aggregate.
+#[must_use]
+pub fn figure2(decompositions: &[E2eDecomposition]) -> Figure2 {
+    let total_queries = decompositions.len();
+    let mut groups = Vec::with_capacity(QueryGroup::ALL.len());
+    for group in QueryGroup::ALL {
+        let members: Vec<&E2eDecomposition> = decompositions
+            .iter()
+            .filter(|d| classify(d) == group)
+            .collect();
+        groups.push(summarize(group, &members, total_queries));
+    }
+    let all: Vec<&E2eDecomposition> = decompositions.iter().collect();
+    let mut overall = summarize(QueryGroup::Others, &all, total_queries);
+    overall.query_fraction = 1.0;
+    Figure2 {
+        groups,
+        overall,
+        queries: total_queries,
+    }
+}
+
+fn summarize(
+    group: QueryGroup,
+    members: &[&E2eDecomposition],
+    total_queries: usize,
+) -> Figure2Row {
+    let sum = |f: fn(&E2eDecomposition) -> u64| -> f64 {
+        members.iter().map(|d| f(d) as f64).sum()
+    };
+    let cpu = sum(|d| d.cpu.as_nanos());
+    let io = sum(|d| d.io.as_nanos());
+    let remote = sum(|d| d.remote.as_nanos());
+    let e2e = sum(|d| d.end_to_end.as_nanos());
+    let share = |part: f64| if e2e > 0.0 { part / e2e } else { 0.0 };
+    Figure2Row {
+        group,
+        query_fraction: if total_queries > 0 {
+            members.len() as f64 / total_queries as f64
+        } else {
+            0.0
+        },
+        cpu_share: share(cpu),
+        remote_share: share(remote),
+        io_share: share(io),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsdp_simcore::time::SimDuration;
+
+    fn dec(cpu: u64, io: u64, remote: u64) -> E2eDecomposition {
+        E2eDecomposition {
+            cpu: SimDuration::from_nanos(cpu),
+            io: SimDuration::from_nanos(io),
+            remote: SimDuration::from_nanos(remote),
+            end_to_end: SimDuration::from_nanos(cpu + io + remote),
+            idle: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn classification_mirrors_core_rules() {
+        assert_eq!(classify(&dec(70, 20, 10)), QueryGroup::CpuHeavy);
+        assert_eq!(classify(&dec(30, 50, 20)), QueryGroup::IoHeavy);
+        assert_eq!(classify(&dec(30, 20, 50)), QueryGroup::RemoteWorkHeavy);
+        assert_eq!(classify(&dec(50, 25, 25)), QueryGroup::Others);
+    }
+
+    #[test]
+    fn figure2_fractions_sum_to_one() {
+        let decs = vec![
+            dec(70, 20, 10),
+            dec(70, 20, 10),
+            dec(30, 50, 20),
+            dec(30, 20, 50),
+            dec(50, 25, 25),
+        ];
+        let fig = figure2(&decs);
+        assert_eq!(fig.queries, 5);
+        let total: f64 = fig.groups.iter().map(|r| r.query_fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let cpu_row = &fig.groups[0];
+        assert_eq!(cpu_row.group, QueryGroup::CpuHeavy);
+        assert!((cpu_row.query_fraction - 0.4).abs() < 1e-9);
+        assert!((cpu_row.cpu_share - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overall_row_is_time_weighted() {
+        // One giant IO query dominates the overall shares despite equal
+        // query counts.
+        let decs = vec![dec(100, 0, 0), dec(0, 10_000, 0)];
+        let fig = figure2(&decs);
+        assert!(fig.overall.io_share > 0.9);
+        assert_eq!(fig.overall.query_fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let fig = figure2(&[]);
+        assert_eq!(fig.queries, 0);
+        assert_eq!(fig.overall.cpu_share, 0.0);
+        assert!(fig.groups.iter().all(|r| r.query_fraction == 0.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! # hsdp-profiling
+//!
+//! The fleet-profiling pipeline of the paper's methodology sections:
+//!
+//! - [`gwp`] — a GWP-style sampling profiler over labeled CPU work
+//!   (Section 5.1), producing the Figures 3–6 category breakdowns.
+//! - [`e2e`] — aggregation of Dapper-style trace decompositions into the
+//!   Figure 2 query groups (Section 4).
+//! - [`microarch`] — a CPI-stack model fitted to the paper's Tables 6–7,
+//!   predicting IPC from MPKI statistics.
+//! - [`report`] — text-table rendering for the regeneration benches.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod e2e;
+pub mod gwp;
+pub mod microarch;
+pub mod report;
+
+pub use e2e::{classify, figure2, Figure2, Figure2Row};
+pub use gwp::{CycleProfile, GwpConfig, GwpProfiler, LeafWork};
+pub use microarch::{fit_cpi_model, regenerate_tables, CalibrationRow, CpiModel};

@@ -1,0 +1,25 @@
+//! # hsdp-rpc
+//!
+//! Dapper-style RPC tracing for the simulated platforms (Section 4.1 of the
+//! paper):
+//!
+//! - [`span`] — traces, spans, and the CPU / IO / remote-work span kinds.
+//! - [`tracer`] — the span collector.
+//! - [`decompose`](mod@decompose) — trace → end-to-end time breakdown, implementing the
+//!   paper's overlap-attribution rule (remote work ≻ IO ≻ CPU) plus a
+//!   proportional ablation variant.
+//! - [`latency`] — intra-cluster and cross-region RPC latency models with
+//!   deterministic jitter.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod decompose;
+pub mod latency;
+pub mod span;
+pub mod tracer;
+
+pub use decompose::{decompose, decompose_proportional, Attribution, E2eDecomposition};
+pub use latency::LatencyModel;
+pub use span::{Span, SpanId, SpanKind, TraceId};
+pub use tracer::{OpenSpan, Tracer};

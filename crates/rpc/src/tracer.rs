@@ -1,0 +1,221 @@
+//! The trace collector: allocates ids, records spans, groups them by trace.
+
+use std::collections::BTreeMap;
+
+use hsdp_simcore::time::SimTime;
+
+use crate::span::{Span, SpanId, SpanKind, TraceId};
+
+/// A handle to an open (started but unfinished) span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenSpan {
+    trace: TraceId,
+    id: SpanId,
+}
+
+impl OpenSpan {
+    /// The span's id (usable as a parent for children).
+    #[must_use]
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// The trace id.
+    #[must_use]
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+}
+
+/// Collects spans from the simulated platforms.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    next_trace: u64,
+    next_span: u64,
+    open: BTreeMap<SpanId, Span>,
+    finished: Vec<Span>,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh trace id (one per query).
+    pub fn new_trace(&mut self) -> TraceId {
+        self.next_trace += 1;
+        TraceId(self.next_trace)
+    }
+
+    /// Starts a span.
+    pub fn start(
+        &mut self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        name: &str,
+        kind: SpanKind,
+        now: SimTime,
+    ) -> OpenSpan {
+        self.next_span += 1;
+        let id = SpanId(self.next_span);
+        self.open.insert(
+            id,
+            Span {
+                trace,
+                id,
+                parent,
+                name: name.to_owned(),
+                kind,
+                start: now,
+                end: now,
+            },
+        );
+        OpenSpan { trace, id }
+    }
+
+    /// Finishes an open span at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span was already finished (double-finish is a tracer
+    /// bug in the caller).
+    pub fn finish(&mut self, open: OpenSpan, now: SimTime) {
+        let mut span = self
+            .open
+            .remove(&open.id)
+            .expect("span finished twice or never started");
+        span.end = now.max(span.start);
+        self.finished.push(span);
+    }
+
+    /// Records an already-timed span in one call.
+    pub fn record(
+        &mut self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        name: &str,
+        kind: SpanKind,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanId {
+        self.next_span += 1;
+        let id = SpanId(self.next_span);
+        self.finished.push(Span {
+            trace,
+            id,
+            parent,
+            name: name.to_owned(),
+            kind,
+            start,
+            end: end.max(start),
+        });
+        id
+    }
+
+    /// All finished spans, in completion order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.finished
+    }
+
+    /// Finished spans of one trace, in start order.
+    #[must_use]
+    pub fn trace_spans(&self, trace: TraceId) -> Vec<&Span> {
+        let mut spans: Vec<&Span> = self
+            .finished
+            .iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        spans.sort_by_key(|s| (s.start, s.id));
+        spans
+    }
+
+    /// The distinct traces recorded, in id order.
+    #[must_use]
+    pub fn traces(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = self.finished.iter().map(|s| s.trace).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of spans still open (should be zero after a query completes).
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Drains all finished spans, leaving the tracer empty for reuse.
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        std::mem::take(&mut self.finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsdp_simcore::time::SimDuration;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn start_finish_lifecycle() {
+        let mut tracer = Tracer::new();
+        let trace = tracer.new_trace();
+        let root = tracer.start(trace, None, "query", SpanKind::Container, t(0));
+        let child = tracer.start(trace, Some(root.id()), "read", SpanKind::Io, t(10));
+        assert_eq!(tracer.open_count(), 2);
+        tracer.finish(child, t(50));
+        tracer.finish(root, t(60));
+        assert_eq!(tracer.open_count(), 0);
+        let spans = tracer.trace_spans(trace);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "query");
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[1].duration(), SimDuration::from_nanos(40));
+    }
+
+    #[test]
+    fn traces_are_distinct() {
+        let mut tracer = Tracer::new();
+        let t1 = tracer.new_trace();
+        let t2 = tracer.new_trace();
+        assert_ne!(t1, t2);
+        tracer.record(t1, None, "a", SpanKind::Cpu, t(0), t(5));
+        tracer.record(t2, None, "b", SpanKind::Cpu, t(0), t(5));
+        assert_eq!(tracer.traces(), vec![t1, t2]);
+        assert_eq!(tracer.trace_spans(t1).len(), 1);
+    }
+
+    #[test]
+    fn record_clamps_inverted_times() {
+        let mut tracer = Tracer::new();
+        let trace = tracer.new_trace();
+        tracer.record(trace, None, "x", SpanKind::Cpu, t(100), t(50));
+        assert_eq!(tracer.spans()[0].duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished twice")]
+    fn double_finish_panics() {
+        let mut tracer = Tracer::new();
+        let trace = tracer.new_trace();
+        let span = tracer.start(trace, None, "x", SpanKind::Cpu, t(0));
+        tracer.finish(span, t(1));
+        tracer.finish(span, t(2));
+    }
+
+    #[test]
+    fn take_spans_resets() {
+        let mut tracer = Tracer::new();
+        let trace = tracer.new_trace();
+        tracer.record(trace, None, "x", SpanKind::Cpu, t(0), t(1));
+        let taken = tracer.take_spans();
+        assert_eq!(taken.len(), 1);
+        assert!(tracer.spans().is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! Sampling distributions for workload generation, implemented from scratch
+//! (the approved dependency set has no `rand_distr`).
+//!
+//! Includes the zipfian popularity distribution hyperscale key-value traces
+//! exhibit (YCSB-style), plus exponential, bounded Pareto, and log-normal
+//! service-time distributions.
+
+use rand::{Rng, RngExt};
+
+/// A sampling distribution over `f64`.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// A fixed value (degenerate distribution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and both are finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need lo < hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.random::<f64>()
+    }
+}
+
+/// Exponential with the given mean (inverse-transform sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is positive and finite.
+    #[must_use]
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Exponential { mean }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u in (0, 1]: avoid ln(0).
+        let u = 1.0 - rng.random::<f64>();
+        -self.mean * u.ln()
+    }
+}
+
+/// Bounded Pareto over `[lo, hi]` with shape `alpha` — the heavy-tailed
+/// service times behind datacenter tail latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "need 0 < lo < hi, alpha > 0");
+        BoundedPareto { lo, hi, alpha }
+    }
+}
+
+impl Sample for BoundedPareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.random::<f64>();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+}
+
+/// Log-normal given the mean and sigma of the underlying normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution (`exp(N(mu, sigma))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma` is non-negative and both are finite.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller.
+        let u1: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Zipfian distribution over ranks `0..n` (rank 0 most popular), using the
+/// Gray et al. / YCSB constant-time generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// A zipfian over `n` items with skew `theta` in `(0, 1)`.
+    ///
+    /// YCSB's default skew is 0.99. Construction is `O(n)` (computes the
+    /// generalized harmonic number exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 1` and `theta ∈ (0, 1)`.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "need at least one item");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, zetan, alpha, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn items(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `0..n`, 0 being the most popular.
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+impl Sample for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+/// Convenience: a deterministic RNG for reproducible simulations.
+#[must_use]
+pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(dist: &impl Sample, n: usize, seed: u64) -> f64 {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        assert!((mean_of(&Constant(4.2), 10, 1) - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(2.0, 4.0);
+        let mut rng = seeded_rng(7);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        let m = mean_of(&d, 20_000, 7);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(5.0);
+        let m = mean_of(&d, 50_000, 11);
+        assert!((m - 5.0).abs() < 0.2, "mean {m}");
+        let mut rng = seeded_rng(11);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = BoundedPareto::new(1.0, 1000.0, 1.1);
+        let mut rng = seeded_rng(13);
+        let mut saw_tail = false;
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=1000.0 + 1e-9).contains(&x), "{x}");
+            if x > 100.0 {
+                saw_tail = true;
+            }
+        }
+        assert!(saw_tail, "heavy tail should produce large values");
+    }
+
+    #[test]
+    fn log_normal_positive_and_skewed() {
+        let d = LogNormal::new(0.0, 1.0);
+        let mut rng = seeded_rng(17);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        // Log-normal: mean (e^0.5 ~ 1.65) well above median (~1.0).
+        assert!(mean > median * 1.3, "mean {mean} median {median}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let d = Zipf::new(1000, 0.99);
+        let mut rng = seeded_rng(19);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            let r = d.sample_rank(&mut rng);
+            assert!(r < 1000);
+            counts[r as usize] += 1;
+        }
+        // Rank 0 dominates and frequencies decay.
+        assert!(counts[0] > counts[9] && counts[0] > 10 * counts[500].max(1));
+        // Top 10 ranks account for a large share under theta=0.99.
+        let top10: u32 = counts[..10].iter().sum();
+        assert!(top10 > 30_000, "top10 {top10}");
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let d = Zipf::new(1, 0.5);
+        let mut rng = seeded_rng(23);
+        assert_eq!(d.sample_rank(&mut rng), 0);
+        assert_eq!(d.items(), 1);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let d = Exponential::new(1.0);
+        let a: Vec<f64> = {
+            let mut rng = seeded_rng(42);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = seeded_rng(42);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

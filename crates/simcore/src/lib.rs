@@ -1,0 +1,30 @@
+//! # hsdp-simcore
+//!
+//! A deterministic discrete-event simulation core used by every simulated
+//! substrate in the workspace:
+//!
+//! - [`time`] — nanosecond [`time::SimTime`] / [`time::SimDuration`].
+//! - [`engine`] — the event loop ([`engine::Simulator`]).
+//! - [`resource`] — FIFO multi-server queueing timelines.
+//! - [`dist`] — zipf / exponential / pareto / log-normal sampling, from
+//!   scratch.
+//! - [`stats`] — streaming summaries and percentile collectors.
+//!
+//! The platform simulators (`hsdp-platforms`) schedule RPCs, storage
+//! accesses, consensus rounds, compactions and shuffles through this engine,
+//! giving the profiling pipeline deterministic, reproducible traces.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dist;
+pub mod engine;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use dist::{seeded_rng, BoundedPareto, Constant, Exponential, LogNormal, Sample, Uniform, Zipf};
+pub use engine::Simulator;
+pub use resource::{FifoResource, Grant};
+pub use stats::{Percentiles, Summary};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,169 @@
+//! Queueing resources: FIFO multi-server timelines.
+//!
+//! A [`FifoResource`] models a station with `k` identical servers (CPU
+//! cores, disk channels, network links). Jobs are offered in arrival order;
+//! each is assigned to the earliest-free server, yielding deterministic
+//! queueing delays without event-driven bookkeeping.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// The outcome of offering a job to a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service began (>= arrival).
+    pub start: SimTime,
+    /// When service completed.
+    pub finish: SimTime,
+    /// How long the job waited in queue.
+    pub queued: SimDuration,
+}
+
+/// A FIFO station with a fixed number of identical servers.
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    /// Earliest time each server becomes free (min-heap).
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    busy: SimDuration,
+    jobs: u64,
+    queued_total: SimDuration,
+}
+
+impl FifoResource {
+    /// A resource with `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    #[must_use]
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a resource needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        FifoResource {
+            free_at,
+            busy: SimDuration::ZERO,
+            jobs: 0,
+            queued_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Offers a job arriving at `arrival` needing `service` time; returns
+    /// when it starts and finishes. Jobs must be offered in arrival order
+    /// for FIFO semantics.
+    pub fn offer(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
+        let Reverse(free) = self.free_at.pop().expect("heap has `servers` entries");
+        let start = free.max(arrival);
+        let finish = start + service;
+        self.free_at.push(Reverse(finish));
+        self.busy += service;
+        self.jobs += 1;
+        let queued = start.since(arrival);
+        self.queued_total += queued;
+        Grant { start, finish, queued }
+    }
+
+    /// Total service time delivered.
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Jobs served.
+    #[must_use]
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Mean queueing delay across jobs served (zero if none).
+    #[must_use]
+    pub fn mean_queue_delay(&self) -> SimDuration {
+        if self.jobs == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.queued_total.as_nanos() / self.jobs)
+        }
+    }
+
+    /// The earliest instant all servers are idle.
+    #[must_use]
+    pub fn drained_at(&self) -> SimTime {
+        self.free_at
+            .iter()
+            .map(|Reverse(t)| *t)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+    fn d(n: u64) -> SimDuration {
+        SimDuration::from_nanos(n)
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        let mut r = FifoResource::new(1);
+        let g1 = r.offer(t(0), d(10));
+        let g2 = r.offer(t(0), d(10));
+        assert_eq!(g1.start, t(0));
+        assert_eq!(g1.finish, t(10));
+        assert_eq!(g2.start, t(10));
+        assert_eq!(g2.finish, t(20));
+        assert_eq!(g2.queued, d(10));
+        assert_eq!(r.mean_queue_delay(), d(5));
+    }
+
+    #[test]
+    fn idle_gap_no_queueing() {
+        let mut r = FifoResource::new(1);
+        r.offer(t(0), d(10));
+        let g = r.offer(t(50), d(5));
+        assert_eq!(g.start, t(50));
+        assert_eq!(g.queued, d(0));
+        assert_eq!(r.drained_at(), t(55));
+    }
+
+    #[test]
+    fn multi_server_parallelism() {
+        let mut r = FifoResource::new(3);
+        let grants: Vec<Grant> = (0..3).map(|_| r.offer(t(0), d(100))).collect();
+        for g in &grants {
+            assert_eq!(g.start, t(0), "all three run immediately");
+        }
+        let g4 = r.offer(t(0), d(100));
+        assert_eq!(g4.start, t(100), "fourth job waits for a server");
+        assert_eq!(r.jobs(), 4);
+        assert_eq!(r.busy_time(), d(400));
+    }
+
+    #[test]
+    fn earliest_free_server_wins() {
+        let mut r = FifoResource::new(2);
+        r.offer(t(0), d(100)); // server A busy until 100
+        r.offer(t(0), d(10)); // server B busy until 10
+        let g = r.offer(t(20), d(5));
+        assert_eq!(g.start, t(20), "server B is free at 10 < 20");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = FifoResource::new(0);
+    }
+}

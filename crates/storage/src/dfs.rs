@@ -1,0 +1,339 @@
+//! A replicated, chunked distributed file system model.
+//!
+//! The platforms access "data and metadata through the distributed caching
+//! and file system layers" (Section 2.2). Files are split into fixed-size
+//! chunks; each chunk is replicated across `R` storage servers chosen by
+//! rendezvous hashing; reads go to the fastest replica (with a network hop),
+//! writes must reach all replicas.
+
+use std::collections::HashMap;
+
+use hsdp_simcore::time::SimDuration;
+
+use crate::cache::PolicyKind;
+use crate::tiered::TieredStore;
+
+/// Default chunk size (64 MiB, GFS/Colossus-style).
+pub const DEFAULT_CHUNK: u64 = 64 * 1024 * 1024;
+
+/// A file identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Configuration of the distributed file system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfsConfig {
+    /// Number of storage servers.
+    pub servers: usize,
+    /// Replication factor.
+    pub replication: usize,
+    /// Chunk size in bytes.
+    pub chunk_size: u64,
+    /// One-way network latency between any client and server.
+    pub network_latency: SimDuration,
+    /// Network bandwidth in bytes/sec.
+    pub network_bandwidth: f64,
+    /// Per-server tier capacities (RAM, SSD, HDD).
+    pub tier_bytes: (u64, u64, u64),
+    /// Cache policy on every server.
+    pub policy: PolicyKind,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            servers: 8,
+            replication: 3,
+            chunk_size: DEFAULT_CHUNK,
+            network_latency: SimDuration::from_micros(50),
+            network_bandwidth: 5e9,
+            tier_bytes: (1 << 28, 1 << 31, 1 << 40),
+            policy: PolicyKind::Lru,
+        }
+    }
+}
+
+/// Metadata for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FileMeta {
+    size: u64,
+}
+
+/// Outcome of a DFS read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsReadOutcome {
+    /// Total simulated latency (network + storage, per chunk serialized).
+    pub latency: SimDuration,
+    /// Chunks touched.
+    pub chunks: u64,
+    /// Bytes returned.
+    pub bytes: u64,
+}
+
+/// The distributed file system.
+#[derive(Debug)]
+pub struct Dfs {
+    config: DfsConfig,
+    servers: Vec<TieredStore>,
+    files: HashMap<FileId, FileMeta>,
+}
+
+impl Dfs {
+    /// Builds a DFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= replication <= servers` and `chunk_size > 0`.
+    #[must_use]
+    pub fn new(config: DfsConfig) -> Self {
+        assert!(config.servers >= 1, "need at least one server");
+        assert!(
+            (1..=config.servers).contains(&config.replication),
+            "replication must be in 1..=servers"
+        );
+        assert!(config.chunk_size > 0, "chunk size must be positive");
+        let (ram, ssd, hdd) = config.tier_bytes;
+        let servers = (0..config.servers)
+            .map(|_| TieredStore::new(ram, ssd, hdd, config.policy))
+            .collect();
+        Dfs { config, servers, files: HashMap::new() }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// Per-server tiered stores (for statistics inspection).
+    #[must_use]
+    pub fn servers(&self) -> &[TieredStore] {
+        &self.servers
+    }
+
+    /// Rendezvous-hash the replica set for a chunk.
+    fn replicas(&self, file: FileId, chunk_index: u64) -> Vec<usize> {
+        let mut scored: Vec<(u64, usize)> = (0..self.config.servers)
+            .map(|server| {
+                let mut h = file.0 ^ chunk_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                h ^= (server as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+                h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                h ^= h >> 33;
+                (h, server)
+            })
+            .collect();
+        scored.sort_unstable();
+        scored
+            .into_iter()
+            .take(self.config.replication)
+            .map(|(_, s)| s)
+            .collect()
+    }
+
+    fn chunk_key(file: FileId, chunk_index: u64) -> u64 {
+        file.0
+            .wrapping_mul(0x1000_0000_01b3)
+            .wrapping_add(chunk_index)
+    }
+
+    fn network_time(&self, bytes: u64) -> SimDuration {
+        self.config.network_latency
+            + SimDuration::from_secs_f64(bytes as f64 / self.config.network_bandwidth)
+    }
+
+    /// Creates (or truncates) a file of `size` bytes, writing all replicas.
+    /// Returns the simulated write latency (slowest replica per chunk,
+    /// chunks pipelined — the max chunk cost plus per-chunk network).
+    pub fn write_file(&mut self, file: FileId, size: u64) -> SimDuration {
+        self.files.insert(file, FileMeta { size });
+        let chunks = size.div_ceil(self.config.chunk_size).max(1);
+        let mut total = SimDuration::ZERO;
+        for chunk_index in 0..chunks {
+            let chunk_bytes = if chunk_index == chunks - 1 && size % self.config.chunk_size != 0 {
+                size % self.config.chunk_size
+            } else {
+                self.config.chunk_size.min(size.max(1))
+            };
+            let mut slowest = SimDuration::ZERO;
+            for server in self.replicas(file, chunk_index) {
+                let t = self.servers[server].write(Self::chunk_key(file, chunk_index), chunk_bytes);
+                slowest = slowest.max(t);
+            }
+            total += self.network_time(chunk_bytes) + slowest;
+        }
+        total
+    }
+
+    /// Reads `bytes` starting at `offset`. Chunks are fetched serially from
+    /// the first replica in rendezvous order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file does not exist or the range exceeds its size.
+    pub fn read(&mut self, file: FileId, offset: u64, bytes: u64) -> DfsReadOutcome {
+        let meta = self.files.get(&file).expect("file must exist");
+        assert!(
+            offset.saturating_add(bytes) <= meta.size,
+            "read past end of file"
+        );
+        if bytes == 0 {
+            return DfsReadOutcome { latency: self.network_time(0), chunks: 0, bytes: 0 };
+        }
+        let first_chunk = offset / self.config.chunk_size;
+        let last_chunk = (offset + bytes - 1) / self.config.chunk_size;
+        let mut latency = SimDuration::ZERO;
+        for chunk_index in first_chunk..=last_chunk {
+            let chunk_start = chunk_index * self.config.chunk_size;
+            let chunk_end = chunk_start + self.config.chunk_size;
+            let read_start = offset.max(chunk_start);
+            let read_end = (offset + bytes).min(chunk_end);
+            let span = read_end - read_start;
+            let primary = self.replicas(file, chunk_index)[0];
+            let outcome =
+                self.servers[primary].read(Self::chunk_key(file, chunk_index), span);
+            latency += self.network_time(span) + outcome.latency;
+        }
+        DfsReadOutcome {
+            latency,
+            chunks: last_chunk - first_chunk + 1,
+            bytes,
+        }
+    }
+
+    /// The size of a file, if it exists.
+    #[must_use]
+    pub fn file_size(&self, file: FileId) -> Option<u64> {
+        self.files.get(&file).map(|m| m.size)
+    }
+
+    /// Deletes a file's metadata and invalidates its chunks in every cache.
+    pub fn delete(&mut self, file: FileId) {
+        if let Some(meta) = self.files.remove(&file) {
+            let chunks = meta.size.div_ceil(self.config.chunk_size).max(1);
+            for chunk_index in 0..chunks {
+                let key = Self::chunk_key(file, chunk_index);
+                for server in self.replicas(file, chunk_index) {
+                    self.servers[server].invalidate(key);
+                }
+            }
+        }
+    }
+
+    /// Number of live files.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::TierKind;
+
+    fn small_dfs() -> Dfs {
+        Dfs::new(DfsConfig {
+            servers: 4,
+            replication: 2,
+            chunk_size: 1024,
+            tier_bytes: (16 * 1024, 256 * 1024, 1 << 30),
+            ..DfsConfig::default()
+        })
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_stable() {
+        let dfs = small_dfs();
+        let r1 = dfs.replicas(FileId(1), 0);
+        let r2 = dfs.replicas(FileId(1), 0);
+        assert_eq!(r1, r2, "placement is deterministic");
+        assert_eq!(r1.len(), 2);
+        assert_ne!(r1[0], r1[1], "replicas on distinct servers");
+    }
+
+    #[test]
+    fn placement_spreads_load() {
+        let dfs = small_dfs();
+        let mut counts = vec![0u32; 4];
+        for f in 0..200 {
+            for &s in &dfs.replicas(FileId(f), 0) {
+                counts[s] += 1;
+            }
+        }
+        // 400 placements over 4 servers: each should get a fair share.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((50..=150).contains(&c), "server {s} got {c}");
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_latency() {
+        let mut dfs = small_dfs();
+        let write_latency = dfs.write_file(FileId(7), 4096);
+        assert!(!write_latency.is_zero());
+        assert_eq!(dfs.file_size(FileId(7)), Some(4096));
+
+        let cold = dfs.read(FileId(7), 0, 4096);
+        assert_eq!(cold.chunks, 4);
+        assert_eq!(cold.bytes, 4096);
+        // Written data sits in RAM write buffers: reads are warm.
+        let warm = dfs.read(FileId(7), 0, 4096);
+        assert!(warm.latency <= cold.latency);
+    }
+
+    #[test]
+    fn partial_reads_touch_right_chunks() {
+        let mut dfs = small_dfs();
+        dfs.write_file(FileId(1), 10_000);
+        let outcome = dfs.read(FileId(1), 1500, 1000);
+        // Bytes 1500..2500 span chunks 1 and 2 (size 1024).
+        assert_eq!(outcome.chunks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn read_past_end_panics() {
+        let mut dfs = small_dfs();
+        dfs.write_file(FileId(1), 100);
+        let _ = dfs.read(FileId(1), 50, 100);
+    }
+
+    #[test]
+    fn delete_invalidates() {
+        let mut dfs = small_dfs();
+        dfs.write_file(FileId(3), 2048);
+        dfs.delete(FileId(3));
+        assert_eq!(dfs.file_size(FileId(3)), None);
+        assert_eq!(dfs.file_count(), 0);
+    }
+
+    #[test]
+    fn cold_reads_hit_hdd() {
+        let mut dfs = Dfs::new(DfsConfig {
+            servers: 2,
+            replication: 1,
+            chunk_size: 1024,
+            // Tiny caches: everything spills.
+            tier_bytes: (64, 128, 1 << 30),
+            ..DfsConfig::default()
+        });
+        dfs.write_file(FileId(5), 8192);
+        dfs.read(FileId(5), 0, 8192);
+        let hdd_reads: u64 = dfs
+            .servers()
+            .iter()
+            .map(|s| s.stats(TierKind::Hdd).bytes_read)
+            .sum();
+        assert!(hdd_reads > 0, "tiny caches force HDD reads");
+    }
+
+    #[test]
+    #[should_panic(expected = "replication must be in")]
+    fn invalid_replication_panics() {
+        let _ = Dfs::new(DfsConfig {
+            servers: 2,
+            replication: 3,
+            ..DfsConfig::default()
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! A predictive (frequency-learning) cache policy — the paper's Section 3
+//! future-work direction: "using machine learning to place data between the
+//! storage tiers".
+//!
+//! [`PredictiveCache`] keeps an exponentially-decayed access-frequency
+//! estimate per key (including *ghost* entries for keys not currently
+//! cached) and admits/evicts by predicted reuse: a newly seen key only
+//! displaces a resident entry whose learned score is lower. One-shot scans
+//! never build enough score to evict the hot set.
+
+use std::collections::HashMap;
+
+use crate::cache::CachePolicy;
+
+/// Decay applied to every score per access event (half-life ≈ 700 events).
+const DECAY: f64 = 0.999;
+/// Score added on each access.
+const HIT_BOOST: f64 = 1.0;
+/// Maximum ghost entries remembered (bounded learning state).
+const MAX_GHOSTS: usize = 4_096;
+
+/// A byte-capacity cache with learned admission and eviction.
+#[derive(Debug)]
+pub struct PredictiveCache {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    resident: HashMap<u64, (u64, f64, u64)>, // key -> (size, score, last_tick)
+    ghosts: HashMap<u64, (f64, u64)>,        // key -> (score, last_tick)
+}
+
+impl PredictiveCache {
+    /// An empty predictive cache with the given byte capacity.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        PredictiveCache {
+            capacity,
+            used: 0,
+            clock: 0,
+            resident: HashMap::new(),
+            ghosts: HashMap::new(),
+        }
+    }
+
+    fn decayed(score: f64, last_tick: u64, now: u64) -> f64 {
+        score * DECAY.powi((now - last_tick).min(100_000) as i32)
+    }
+
+    fn bump_ghost(&mut self, key: u64) -> f64 {
+        let now = self.clock;
+        let entry = self.ghosts.entry(key).or_insert((0.0, now));
+        let score = Self::decayed(entry.0, entry.1, now) + HIT_BOOST;
+        *entry = (score, now);
+        if self.ghosts.len() > MAX_GHOSTS {
+            // Forget the stalest ghost (linear scan is fine at this size).
+            if let Some((&victim, _)) = self
+                .ghosts
+                .iter()
+                .min_by(|a, b| {
+                    Self::decayed(a.1 .0, a.1 .1, now)
+                        .total_cmp(&Self::decayed(b.1 .0, b.1 .1, now))
+                })
+            {
+                self.ghosts.remove(&victim);
+            }
+        }
+        score
+    }
+
+    /// The resident entry with the lowest current score.
+    fn coldest_resident(&self) -> Option<(u64, f64)> {
+        let now = self.clock;
+        self.resident
+            .iter()
+            .map(|(&k, &(_, score, tick))| (k, Self::decayed(score, tick, now)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+impl CachePolicy for PredictiveCache {
+    fn access(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        let now = self.clock;
+        if let Some(entry) = self.resident.get_mut(&key) {
+            entry.1 = Self::decayed(entry.1, entry.2, now) + HIT_BOOST;
+            entry.2 = now;
+            true
+        } else {
+            self.bump_ghost(key);
+            false
+        }
+    }
+
+    fn insert(&mut self, key: u64, size: u64) {
+        self.clock += 1;
+        self.remove(key);
+        if size > self.capacity {
+            return;
+        }
+        // Learned admission: the candidate's score must beat the entries it
+        // would displace.
+        let candidate_score = self.bump_ghost(key);
+        while self.used + size > self.capacity {
+            let Some((victim, victim_score)) = self.coldest_resident() else {
+                break;
+            };
+            if victim_score >= candidate_score {
+                // The cache is full of provably hotter data: do not admit.
+                return;
+            }
+            if let Some((vsize, vscore, vtick)) = self.resident.remove(&victim) {
+                self.used -= vsize;
+                self.ghosts.insert(victim, (vscore, vtick));
+            }
+        }
+        self.ghosts.remove(&key);
+        self.resident.insert(key, (size, candidate_score, self.clock));
+        self.used += size;
+    }
+
+    fn remove(&mut self, key: u64) {
+        if let Some((size, _, _)) = self.resident.remove(&key) {
+            self.used -= size;
+        }
+        self.ghosts.remove(&key);
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.resident.contains_key(&key)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_access() {
+        let mut c = PredictiveCache::new(100);
+        c.insert(1, 40);
+        assert!(c.contains(1));
+        assert!(c.access(1));
+        assert!(!c.access(2));
+        assert_eq!(c.used_bytes(), 40);
+        c.remove(1);
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn hot_entries_resist_one_shot_scans() {
+        let mut c = PredictiveCache::new(100);
+        // Build a hot set with repeated accesses.
+        for _ in 0..20 {
+            for key in 0..5 {
+                if !c.access(key) {
+                    c.insert(key, 20);
+                }
+            }
+        }
+        assert_eq!(c.len(), 5);
+        // A long one-shot scan: each key seen once, never again.
+        for key in 1_000..1_400 {
+            if !c.access(key) {
+                c.insert(key, 20);
+            }
+        }
+        // The learned scores keep the hot set resident.
+        let survivors = (0..5).filter(|&k| c.contains(k)).count();
+        assert!(survivors >= 4, "hot set survived the scan: {survivors}/5");
+    }
+
+    #[test]
+    fn repeated_misses_eventually_earn_admission() {
+        let mut c = PredictiveCache::new(40);
+        for _ in 0..10 {
+            c.access(1);
+            c.insert(1, 40);
+        }
+        assert!(c.contains(1));
+        // A new key that keeps getting requested overtakes a decayed one.
+        for _ in 0..2_000 {
+            if !c.access(2) {
+                c.insert(2, 40);
+            }
+        }
+        assert!(c.contains(2), "persistent demand wins admission");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = PredictiveCache::new(100);
+        for key in 0..50 {
+            c.insert(key, 30);
+            assert!(c.used_bytes() <= 100);
+        }
+        c.insert(99, 1_000); // larger than the cache: bypass
+        assert!(!c.contains(99));
+    }
+
+    #[test]
+    fn ghost_table_is_bounded() {
+        let mut c = PredictiveCache::new(10);
+        for key in 0..(MAX_GHOSTS as u64 * 2) {
+            c.access(key);
+        }
+        assert!(c.ghosts.len() <= MAX_GHOSTS + 1);
+    }
+}

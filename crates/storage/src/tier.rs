@@ -1,0 +1,164 @@
+//! Storage tier models: RAM, SSD, HDD device characteristics.
+
+use hsdp_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The three storage tiers of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TierKind {
+    /// DRAM read caches / write buffers.
+    Ram,
+    /// Flash cache.
+    Ssd,
+    /// Spinning disk capacity tier.
+    Hdd,
+}
+
+impl TierKind {
+    /// The tiers from fastest to slowest.
+    pub const ALL: [TierKind; 3] = [TierKind::Ram, TierKind::Ssd, TierKind::Hdd];
+
+    /// The next slower tier, if any.
+    #[must_use]
+    pub fn slower(self) -> Option<TierKind> {
+        match self {
+            TierKind::Ram => Some(TierKind::Ssd),
+            TierKind::Ssd => Some(TierKind::Hdd),
+            TierKind::Hdd => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            TierKind::Ram => "RAM",
+            TierKind::Ssd => "SSD",
+            TierKind::Hdd => "HDD",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Device characteristics of one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Fixed per-access latency.
+    pub access_latency: SimDuration,
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl TierSpec {
+    /// Time to service an access of `bytes` bytes: latency + transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not positive (checked at construction via
+    /// [`TierSpec::validated`]; direct struct literals are on the caller).
+    #[must_use]
+    pub fn access_time(&self, bytes: u64) -> SimDuration {
+        assert!(self.bandwidth > 0.0, "tier bandwidth must be positive");
+        self.access_latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive bandwidth.
+    #[must_use]
+    pub fn validated(self) -> Self {
+        assert!(self.bandwidth > 0.0, "tier bandwidth must be positive");
+        self
+    }
+
+    /// Representative defaults per tier kind, scaled to `capacity` bytes:
+    /// DRAM ~100 ns / 20 GB/s, SSD ~80 us / 2 GB/s, HDD ~8 ms / 200 MB/s.
+    #[must_use]
+    pub fn typical(kind: TierKind, capacity: u64) -> TierSpec {
+        match kind {
+            TierKind::Ram => TierSpec {
+                capacity,
+                access_latency: SimDuration::from_nanos(100),
+                bandwidth: 20e9,
+            },
+            TierKind::Ssd => TierSpec {
+                capacity,
+                access_latency: SimDuration::from_micros(80),
+                bandwidth: 2e9,
+            },
+            TierKind::Hdd => TierSpec {
+                capacity,
+                access_latency: SimDuration::from_millis(8),
+                bandwidth: 200e6,
+            },
+        }
+    }
+}
+
+/// Per-tier access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierStats {
+    /// Accesses that hit this tier.
+    pub hits: u64,
+    /// Accesses that had to fall through to a slower tier.
+    pub misses: u64,
+    /// Bytes read from this tier.
+    pub bytes_read: u64,
+    /// Bytes written into this tier (fills + writes).
+    pub bytes_written: u64,
+}
+
+impl TierStats {
+    /// Hit rate among accesses that consulted this tier (0 when unused).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ordering_and_slower_chain() {
+        assert_eq!(TierKind::Ram.slower(), Some(TierKind::Ssd));
+        assert_eq!(TierKind::Ssd.slower(), Some(TierKind::Hdd));
+        assert_eq!(TierKind::Hdd.slower(), None);
+        assert!(TierKind::Ram < TierKind::Hdd);
+    }
+
+    #[test]
+    fn access_time_scales_with_size() {
+        let spec = TierSpec::typical(TierKind::Ssd, 1 << 30);
+        let small = spec.access_time(4 * 1024);
+        let large = spec.access_time(4 * 1024 * 1024);
+        assert!(large > small);
+        // 4 MiB at 2 GB/s ~ 2.1 ms dominated by transfer.
+        assert!(large.as_secs_f64() > 1.9e-3);
+    }
+
+    #[test]
+    fn typical_latency_ordering() {
+        let ram = TierSpec::typical(TierKind::Ram, 1).access_time(4096);
+        let ssd = TierSpec::typical(TierKind::Ssd, 1).access_time(4096);
+        let hdd = TierSpec::typical(TierKind::Hdd, 1).access_time(4096);
+        assert!(ram < ssd && ssd < hdd);
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        let stats = TierStats { hits: 3, misses: 1, ..TierStats::default() };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(TierStats::default().hit_rate(), 0.0);
+    }
+}

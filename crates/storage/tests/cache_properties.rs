@@ -1,0 +1,100 @@
+//! Property tests over every cache policy: capacity safety, hit/miss
+//! consistency, and zipf hit-rate sanity.
+
+use hsdp_storage::cache::{build_cache, PolicyKind};
+use proptest::prelude::*;
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Lru,
+    PolicyKind::Lfu,
+    PolicyKind::TwoQ,
+    PolicyKind::Predictive,
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Access(u64),
+    Remove(u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..64, 1u64..40).prop_map(|(k, s)| Op::Insert(k, s)),
+            (0u64..64).prop_map(Op::Access),
+            (0u64..64).prop_map(Op::Remove),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Capacity is never exceeded and bookkeeping never underflows, for any
+    /// operation sequence, under every policy.
+    #[test]
+    fn capacity_and_bookkeeping_invariants(ops in arb_ops(), capacity in 10u64..200) {
+        for policy in POLICIES {
+            let mut cache = build_cache(policy, capacity);
+            for op in &ops {
+                match *op {
+                    Op::Insert(k, s) => cache.insert(k, s),
+                    Op::Access(k) => {
+                        let hit = cache.access(k);
+                        prop_assert_eq!(hit, cache.contains(k), "{:?}", policy);
+                    }
+                    Op::Remove(k) => cache.remove(k),
+                }
+                prop_assert!(cache.used_bytes() <= cache.capacity(), "{:?}", policy);
+                prop_assert_eq!(cache.is_empty(), cache.len() == 0, "{:?}", policy);
+            }
+        }
+    }
+
+    /// A removed key is gone under every policy.
+    #[test]
+    fn remove_is_definitive(key in 0u64..1000, size in 1u64..50) {
+        for policy in POLICIES {
+            let mut cache = build_cache(policy, 1_000);
+            cache.insert(key, size);
+            cache.remove(key);
+            prop_assert!(!cache.contains(key), "{policy:?}");
+            prop_assert_eq!(cache.used_bytes(), 0, "{:?}", policy);
+        }
+    }
+}
+
+/// On a zipf-skewed stream with capacity for the hot set, every policy
+/// should achieve a solid steady-state hit rate.
+#[test]
+fn zipf_hit_rates_are_reasonable() {
+    use hsdp_simcore::dist::{seeded_rng, Zipf};
+
+    let zipf = Zipf::new(500, 0.99);
+    for policy in POLICIES {
+        let mut cache = build_cache(policy, 40 * 16); // room for ~40 hot keys
+        let mut rng = seeded_rng(11);
+        // Warm-up.
+        for _ in 0..2_000 {
+            let key = zipf.sample_rank(&mut rng);
+            if !cache.access(key) {
+                cache.insert(key, 16);
+            }
+        }
+        // Measure.
+        let mut hits = 0;
+        let total = 4_000;
+        for _ in 0..total {
+            let key = zipf.sample_rank(&mut rng);
+            if cache.access(key) {
+                hits += 1;
+            } else {
+                cache.insert(key, 16);
+            }
+        }
+        let rate = f64::from(hits) / f64::from(total);
+        assert!(rate > 0.45, "{policy:?}: zipf hit rate {rate}");
+    }
+}

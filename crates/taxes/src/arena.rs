@@ -1,0 +1,245 @@
+//! A bump arena with allocation statistics — the memory-allocation
+//! datacenter tax (Table 2), and the software analogue of the Mallacc
+//! accelerator's target.
+//!
+//! The simulated platforms route their scratch allocations through
+//! [`Arena`]s so the profiler can attribute allocation work; the statistics
+//! feed the `Mem. Allocation` category of Figure 5.
+
+use std::cell::{Cell, RefCell};
+
+/// Default size of each arena chunk.
+const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// Allocation statistics for one arena.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Number of allocations served.
+    pub allocations: usize,
+    /// Total bytes requested.
+    pub bytes_requested: usize,
+    /// Bytes currently reserved from the system (sum of chunk sizes).
+    pub bytes_reserved: usize,
+    /// Number of fresh chunks obtained.
+    pub chunks: usize,
+    /// Number of times the arena was reset for reuse.
+    pub resets: usize,
+}
+
+/// A bump allocator over append-only chunks.
+///
+/// Allocations return offsets into arena-owned buffers rather than raw
+/// pointers, which keeps the type safe while still modelling the bump-pointer
+/// cost profile (cheap common case, occasional chunk refill).
+///
+/// # Examples
+///
+/// ```
+/// use hsdp_taxes::arena::Arena;
+///
+/// let arena = Arena::new();
+/// let a = arena.alloc(b"hello");
+/// let b = arena.alloc(b" world");
+/// assert_eq!(arena.get(a), b"hello");
+/// assert_eq!(arena.get(b), b" world");
+/// assert_eq!(arena.stats().allocations, 2);
+/// ```
+#[derive(Debug)]
+pub struct Arena {
+    chunks: RefCell<Vec<Vec<u8>>>,
+    chunk_size: usize,
+    allocations: Cell<usize>,
+    bytes_requested: Cell<usize>,
+    resets: Cell<usize>,
+}
+
+/// A handle to bytes stored in an [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArenaRef {
+    chunk: usize,
+    offset: usize,
+    len: usize,
+}
+
+impl ArenaRef {
+    /// Length of the referenced slice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the referenced slice is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Arena {
+    /// An arena with the default chunk size (64 KiB).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_chunk_size(DEFAULT_CHUNK)
+    }
+
+    /// An arena with a custom chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    #[must_use]
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Arena {
+            chunks: RefCell::new(Vec::new()),
+            chunk_size,
+            allocations: Cell::new(0),
+            bytes_requested: Cell::new(0),
+            resets: Cell::new(0),
+        }
+    }
+
+    /// Copies `data` into the arena, returning a handle.
+    pub fn alloc(&self, data: &[u8]) -> ArenaRef {
+        let handle = self.alloc_uninit(data.len());
+        if !data.is_empty() {
+            let mut chunks = self.chunks.borrow_mut();
+            let chunk = &mut chunks[handle.chunk];
+            chunk[handle.offset..handle.offset + data.len()].copy_from_slice(data);
+        }
+        handle
+    }
+
+    /// Reserves `len` zeroed bytes.
+    pub fn alloc_uninit(&self, len: usize) -> ArenaRef {
+        self.allocations.set(self.allocations.get() + 1);
+        self.bytes_requested.set(self.bytes_requested.get() + len);
+
+        let mut chunks = self.chunks.borrow_mut();
+        let needs_new = match chunks.last() {
+            Some(last) => last.len() + len > last.capacity(),
+            None => true,
+        };
+        if needs_new {
+            let capacity = self.chunk_size.max(len);
+            chunks.push(Vec::with_capacity(capacity));
+        }
+        let chunk_index = chunks.len() - 1;
+        let chunk = &mut chunks[chunk_index];
+        let offset = chunk.len();
+        chunk.resize(offset + len, 0);
+        ArenaRef {
+            chunk: chunk_index,
+            offset,
+            len,
+        }
+    }
+
+    /// Reads back an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` came from another arena or from before a
+    /// [`Arena::reset`].
+    #[must_use]
+    pub fn get(&self, handle: ArenaRef) -> Vec<u8> {
+        let chunks = self.chunks.borrow();
+        chunks[handle.chunk][handle.offset..handle.offset + handle.len].to_vec()
+    }
+
+    /// Drops all allocations but keeps one chunk's reservation for reuse —
+    /// the "per-request arena" pattern the platforms use.
+    pub fn reset(&self) {
+        let mut chunks = self.chunks.borrow_mut();
+        chunks.truncate(1);
+        if let Some(first) = chunks.first_mut() {
+            first.clear();
+        }
+        self.resets.set(self.resets.get() + 1);
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> ArenaStats {
+        let chunks = self.chunks.borrow();
+        ArenaStats {
+            allocations: self.allocations.get(),
+            bytes_requested: self.bytes_requested.get(),
+            bytes_reserved: chunks.iter().map(Vec::capacity).sum(),
+            chunks: chunks.len(),
+            resets: self.resets.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_read_back() {
+        let arena = Arena::new();
+        let handles: Vec<ArenaRef> = (0..100)
+            .map(|i| arena.alloc(format!("value-{i}").as_bytes()))
+            .collect();
+        for (i, &h) in handles.iter().enumerate() {
+            assert_eq!(arena.get(h), format!("value-{i}").as_bytes());
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.allocations, 100);
+        assert!(stats.bytes_requested > 700);
+    }
+
+    #[test]
+    fn large_allocation_gets_own_chunk() {
+        let arena = Arena::with_chunk_size(64);
+        let big = vec![0xabu8; 1000];
+        let h = arena.alloc(&big);
+        assert_eq!(arena.get(h), big);
+        assert!(arena.stats().bytes_reserved >= 1000);
+    }
+
+    #[test]
+    fn chunk_rollover_preserves_earlier_data() {
+        let arena = Arena::with_chunk_size(32);
+        let a = arena.alloc(&[1u8; 20]);
+        let b = arena.alloc(&[2u8; 20]); // forces a second chunk
+        let c = arena.alloc(&[3u8; 20]);
+        assert_eq!(arena.get(a), vec![1u8; 20]);
+        assert_eq!(arena.get(b), vec![2u8; 20]);
+        assert_eq!(arena.get(c), vec![3u8; 20]);
+        assert!(arena.stats().chunks >= 2);
+    }
+
+    #[test]
+    fn reset_reuses_reservation() {
+        let arena = Arena::with_chunk_size(1024);
+        for _ in 0..10 {
+            arena.alloc(&[0u8; 100]);
+        }
+        let before = arena.stats();
+        arena.reset();
+        let after = arena.stats();
+        assert_eq!(after.resets, 1);
+        assert!(after.chunks <= 1);
+        assert!(after.bytes_reserved <= before.bytes_reserved);
+        // The arena still works after reset.
+        let h = arena.alloc(b"again");
+        assert_eq!(arena.get(h), b"again");
+    }
+
+    #[test]
+    fn empty_allocation() {
+        let arena = Arena::new();
+        let h = arena.alloc(b"");
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(arena.get(h), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,376 @@
+//! Block compression — the (de)compression datacenter tax (Table 2).
+//!
+//! Implements an LZ77-family byte-oriented block format in the spirit of the
+//! fast datacenter codecs (Snappy/LZ4) the paper's platforms run on their
+//! critical paths: a greedy hash-table match finder over a 64 KiB window,
+//! literal runs and back-reference copies, plus a trivial RLE codec used by
+//! the columnar engine for sorted columns.
+//!
+//! ## Stream layout
+//!
+//! ```text
+//! magic "HZ" | version 0x01 | varint(uncompressed_len) | ops...
+//! op: tag byte
+//!     bit 0 = 0: literal run — upper 7 bits hold len-1 if < 127,
+//!                else 0x7f<<1 marker followed by varint(len)
+//!     bit 0 = 1: copy — upper 7 bits hold len-MIN_MATCH if < 127,
+//!                else marker followed by varint(len), then varint(offset)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use hsdp_taxes::compress::{compress, decompress};
+//!
+//! let data = b"abcabcabcabcabcabc hyperscale hyperscale hyperscale".to_vec();
+//! let packed = compress(&data);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(decompress(&packed)?, data);
+//! # Ok::<(), hsdp_taxes::error::CompressError>(())
+//! ```
+
+use crate::error::CompressError;
+use crate::varint::{decode_varint, encode_varint};
+
+/// Stream magic bytes.
+const MAGIC: [u8; 2] = *b"HZ";
+/// Format version.
+const VERSION: u8 = 1;
+/// Minimum back-reference length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum back-reference distance (64 KiB window).
+const MAX_OFFSET: usize = 1 << 16;
+/// log2 of the match-finder hash table size.
+const HASH_BITS: u32 = 14;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+fn emit_literals(data: &[u8], out: &mut Vec<u8>) {
+    if data.is_empty() {
+        return;
+    }
+    let len = data.len();
+    if len - 1 < 0x7f {
+        out.push(((len - 1) as u8) << 1);
+    } else {
+        out.push(0x7f << 1);
+        encode_varint(len as u64, out);
+    }
+    out.extend_from_slice(data);
+}
+
+fn emit_copy(len: usize, offset: usize, out: &mut Vec<u8>) {
+    debug_assert!(len >= MIN_MATCH && offset >= 1);
+    if len - MIN_MATCH < 0x7f {
+        out.push((((len - MIN_MATCH) as u8) << 1) | 1);
+    } else {
+        out.push((0x7f << 1) | 1);
+        encode_varint(len as u64, out);
+    }
+    encode_varint(offset as u64, out);
+}
+
+/// Compresses `data` into a self-describing block.
+#[must_use]
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    encode_varint(data.len() as u64, &mut out);
+
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0;
+    let mut literal_start = 0;
+
+    while pos + MIN_MATCH <= data.len() {
+        let h = hash4(&data[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+
+        let valid = candidate != usize::MAX
+            && pos - candidate <= MAX_OFFSET
+            && data[candidate..candidate + MIN_MATCH] == data[pos..pos + MIN_MATCH];
+        if valid {
+            // Extend the match as far as it goes.
+            let mut len = MIN_MATCH;
+            while pos + len < data.len() && data[candidate + len] == data[pos + len] {
+                len += 1;
+            }
+            emit_literals(&data[literal_start..pos], &mut out);
+            emit_copy(len, pos - candidate, &mut out);
+            // Seed the table sparsely inside the match to keep compression
+            // fast on long runs.
+            let end = pos + len;
+            let mut seed = pos + 1;
+            while seed + MIN_MATCH <= end.min(data.len()) && seed < pos + 16 {
+                table[hash4(&data[seed..])] = seed;
+                seed += 1;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    emit_literals(&data[literal_start..], &mut out);
+    out
+}
+
+/// Decompresses a block produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns a [`CompressError`] on bad headers, truncated streams, invalid
+/// back-references, or a length mismatch against the header.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if input.len() < 3 || input[..2] != MAGIC || input[2] != VERSION {
+        return Err(CompressError::BadHeader);
+    }
+    let mut pos = 3;
+    let (expected_len, n) =
+        decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+    pos += n;
+    let expected_len =
+        usize::try_from(expected_len).map_err(|_| CompressError::BadHeader)?;
+
+    let mut out = Vec::with_capacity(expected_len);
+    while pos < input.len() {
+        let tag = input[pos];
+        pos += 1;
+        let is_copy = tag & 1 == 1;
+        let short_len = (tag >> 1) as usize;
+        if is_copy {
+            let len = if short_len < 0x7f {
+                short_len + MIN_MATCH
+            } else {
+                let (l, n) =
+                    decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+                pos += n;
+                usize::try_from(l).map_err(|_| CompressError::Truncated)?
+            };
+            let (offset, n) =
+                decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+            pos += n;
+            let offset = usize::try_from(offset).map_err(|_| CompressError::Truncated)?;
+            if offset == 0 || offset > out.len() {
+                return Err(CompressError::InvalidBackref { at: pos });
+            }
+            // Byte-at-a-time copy: overlapping references (offset < len)
+            // repeat recent output, which is how RLE-like runs encode.
+            let start = out.len() - offset;
+            for i in 0..len {
+                let byte = out[start + i];
+                out.push(byte);
+            }
+        } else {
+            let len = if short_len < 0x7f {
+                short_len + 1
+            } else {
+                let (l, n) =
+                    decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+                pos += n;
+                usize::try_from(l).map_err(|_| CompressError::Truncated)?
+            };
+            let literals = input
+                .get(pos..pos + len)
+                .ok_or(CompressError::Truncated)?;
+            out.extend_from_slice(literals);
+            pos += len;
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CompressError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Run-length encodes `data` as `(varint count, byte)` pairs.
+///
+/// Effective for the long sorted runs columnar storage produces; pathological
+/// (2x expansion) on runless data — callers pick the codec per column.
+#[must_use]
+pub fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut iter = data.iter().copied().peekable();
+    while let Some(byte) = iter.next() {
+        let mut run: u64 = 1;
+        while iter.peek() == Some(&byte) {
+            iter.next();
+            run += 1;
+        }
+        encode_varint(run, &mut out);
+        out.push(byte);
+    }
+    out
+}
+
+/// Decodes an RLE stream produced by [`rle_compress`].
+///
+/// # Errors
+///
+/// Returns [`CompressError::Truncated`] on malformed input.
+pub fn rle_decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < input.len() {
+        let (run, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+        pos += n;
+        let byte = *input.get(pos).ok_or(CompressError::Truncated)?;
+        pos += 1;
+        let run = usize::try_from(run).map_err(|_| CompressError::Truncated)?;
+        out.resize(out.len() + run, byte);
+    }
+    Ok(out)
+}
+
+/// The compression ratio achieved on `data` (original / compressed size).
+///
+/// Returns 1.0 for empty input.
+#[must_use]
+pub fn compression_ratio(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    data.len() as f64 / compress(data).len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let unpacked = decompress(&packed).unwrap();
+        assert_eq!(unpacked, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_input_shrinks() {
+        let data = b"the quick brown fox ".repeat(100);
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() / 4, "{} vs {}", packed.len(), data.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input_roundtrips() {
+        // Pseudo-random bytes: no 4-byte repeats worth finding.
+        let mut state = 0x12345678u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_copy_rle_style() {
+        // A single-byte run compresses via overlapping back-references.
+        let data = vec![7u8; 100_000];
+        let packed = compress(&data);
+        assert!(packed.len() < 100, "run should collapse, got {}", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn long_literals_cross_escape_boundary() {
+        // Literal runs longer than the 7-bit short form.
+        let data: Vec<u8> = (0..400u32).map(|i| (i % 251) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn matches_beyond_window_are_not_used() {
+        // Repeat separated by > 64 KiB of junk: still roundtrips.
+        let mut data = b"needle-needle-needle".to_vec();
+        let mut state = 1u64;
+        data.extend((0..MAX_OFFSET + 100).map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 33) as u8
+        }));
+        data.extend_from_slice(b"needle-needle-needle");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(decompress(b""), Err(CompressError::BadHeader));
+        assert_eq!(decompress(b"XZ\x01"), Err(CompressError::BadHeader));
+        assert_eq!(decompress(b"HZ\x02\x00"), Err(CompressError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let packed = compress(b"hello world hello world hello world");
+        for cut in 3..packed.len() {
+            let result = decompress(&packed[..cut]);
+            assert!(result.is_err(), "prefix of len {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_backref_rejected() {
+        // Hand-build: header, len 4, then a copy with offset 9 into an empty
+        // output buffer.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&MAGIC);
+        bad.push(VERSION);
+        encode_varint(4, &mut bad);
+        bad.push(1); // copy, short len = MIN_MATCH
+        encode_varint(9, &mut bad); // offset 9 > output len 0
+        assert!(matches!(
+            decompress(&bad),
+            Err(CompressError::InvalidBackref { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut packed = compress(b"abcdef");
+        // Tamper with the declared length (varint 6 -> 7).
+        packed[3] = 7;
+        assert!(matches!(
+            decompress(&packed),
+            Err(CompressError::LengthMismatch { expected: 7, actual: 6 })
+        ));
+    }
+
+    #[test]
+    fn rle_roundtrip_and_shrink() {
+        let data = [vec![1u8; 1000], vec![2u8; 500], vec![3u8]].concat();
+        let packed = rle_compress(&data);
+        assert!(packed.len() < 10);
+        assert_eq!(rle_decompress(&packed).unwrap(), data);
+        assert_eq!(rle_decompress(&rle_compress(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn rle_truncated_rejected() {
+        let packed = rle_compress(&[5u8; 10]);
+        assert!(rle_decompress(&packed[..packed.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn ratio_reports_sensibly() {
+        assert!(compression_ratio(&vec![0u8; 10_000]) > 50.0);
+        assert_eq!(compression_ratio(b""), 1.0);
+    }
+}

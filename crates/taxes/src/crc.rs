@@ -1,0 +1,115 @@
+//! CRC32C (Castagnoli) checksums — the EDAC/error-handling system tax
+//! (Table 3) and the integrity check used by the storage and RPC substrates.
+
+/// The reflected CRC32C polynomial.
+const POLY: u32 = 0x82f6_3b78;
+
+/// Byte-indexed lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC32C of `data`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hsdp_taxes::crc::crc32c(b"123456789"), 0xe306_9283);
+/// ```
+#[must_use]
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Extends a CRC32C over more data (streaming use).
+#[must_use]
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// An incremental CRC32C hasher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Crc32c {
+    crc: u32,
+}
+
+impl Crc32c {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, data: &[u8]) {
+        self.crc = crc32c_append(self.crc, data);
+    }
+
+    /// The checksum so far.
+    #[must_use]
+    pub fn finalize(self) -> u32 {
+        self.crc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Cross-checked against a bitwise reference implementation.
+        assert_eq!(crc32c(b""), 0x0000_0000);
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+        assert_eq!(
+            crc32c(b"The quick brown fox jumps over the lazy dog"),
+            0x2262_0404
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 256) as u8).collect();
+        let oneshot = crc32c(&data);
+        for chunk in [1usize, 3, 17, 100, 999] {
+            let mut h = Crc32c::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"hello world, this is a checksum test".to_vec();
+        let original = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&data), original, "flip {byte}:{bit}");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! RPC message framing — the wire layer of the RPC datacenter tax.
+//!
+//! Frames carry a fixed header (magic, kind, method, request id, payload
+//! length, header CRC) followed by the payload and a payload CRC32C. The
+//! RPC substrate (`hsdp-rpc`) and the platforms serialize every simulated
+//! RPC through this codec so its CPU cost is real, measurable work.
+
+use crate::crc::crc32c;
+use crate::error::FrameError;
+
+/// Frame magic bytes.
+const MAGIC: [u8; 2] = *b"RF";
+/// Fixed header length: magic(2) + kind(1) + method(2) + request_id(8) +
+/// payload_len(4) + header_crc(4).
+pub const HEADER_LEN: usize = 21;
+/// Trailing payload checksum length.
+pub const TRAILER_LEN: usize = 4;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// A request from client to server.
+    Request,
+    /// A successful response.
+    Response,
+    /// An application-level error response.
+    Error,
+    /// A cancellation notice.
+    Cancel,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+            FrameKind::Error => 2,
+            FrameKind::Cancel => 3,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Result<Self, FrameError> {
+        match byte {
+            0 => Ok(FrameKind::Request),
+            1 => Ok(FrameKind::Response),
+            2 => Ok(FrameKind::Error),
+            3 => Ok(FrameKind::Cancel),
+            _ => Err(FrameError::BadMagic),
+        }
+    }
+}
+
+/// A decoded RPC frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Method identifier.
+    pub method: u16,
+    /// Request correlation id.
+    pub request_id: u64,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a request frame.
+    #[must_use]
+    pub fn request(method: u16, request_id: u64, payload: Vec<u8>) -> Self {
+        Frame { kind: FrameKind::Request, method, request_id, payload }
+    }
+
+    /// Creates a response frame.
+    #[must_use]
+    pub fn response(method: u16, request_id: u64, payload: Vec<u8>) -> Self {
+        Frame { kind: FrameKind::Response, method, request_id, payload }
+    }
+
+    /// Total encoded length.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + TRAILER_LEN
+    }
+
+    /// Encodes the frame, appending to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let header_start = out.len();
+        out.extend_from_slice(&MAGIC);
+        out.push(self.kind.to_byte());
+        out.extend_from_slice(&self.method.to_le_bytes());
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        let header_crc = crc32c(&out[header_start..header_start + HEADER_LEN - 4]);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&crc32c(&self.payload).to_le_bytes());
+    }
+
+    /// Encodes to a fresh buffer.
+    #[must_use]
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning it and the bytes
+    /// consumed. `max_payload` bounds accepted payload sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] on truncation, bad magic, checksum failures,
+    /// or oversized payloads.
+    pub fn decode(buf: &[u8], max_payload: usize) -> Result<(Frame, usize), FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::Truncated);
+        }
+        if buf[..2] != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let declared_header_crc =
+            u32::from_le_bytes(buf[HEADER_LEN - 4..HEADER_LEN].try_into().expect("4 bytes"));
+        if crc32c(&buf[..HEADER_LEN - 4]) != declared_header_crc {
+            return Err(FrameError::HeaderChecksum);
+        }
+        let kind = FrameKind::from_byte(buf[2])?;
+        let method = u16::from_le_bytes(buf[3..5].try_into().expect("2 bytes"));
+        let request_id = u64::from_le_bytes(buf[5..13].try_into().expect("8 bytes"));
+        let payload_len = u32::from_le_bytes(buf[13..17].try_into().expect("4 bytes")) as usize;
+        if payload_len > max_payload {
+            return Err(FrameError::Oversized { declared: payload_len, max: max_payload });
+        }
+        let total = HEADER_LEN + payload_len + TRAILER_LEN;
+        if buf.len() < total {
+            return Err(FrameError::Truncated);
+        }
+        let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len];
+        let declared_payload_crc = u32::from_le_bytes(
+            buf[HEADER_LEN + payload_len..total].try_into().expect("4 bytes"),
+        );
+        if crc32c(payload) != declared_payload_crc {
+            return Err(FrameError::PayloadChecksum);
+        }
+        Ok((
+            Frame { kind, method, request_id, payload: payload.to_vec() },
+            total,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            FrameKind::Request,
+            FrameKind::Response,
+            FrameKind::Error,
+            FrameKind::Cancel,
+        ] {
+            let frame = Frame { kind, method: 7, request_id: 0xfeed, payload: b"payload".to_vec() };
+            let bytes = frame.encode_to_vec();
+            assert_eq!(bytes.len(), frame.encoded_len());
+            let (decoded, consumed) = Frame::decode(&bytes, 1024).unwrap();
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn empty_payload() {
+        let frame = Frame::request(1, 2, Vec::new());
+        let bytes = frame.encode_to_vec();
+        let (decoded, _) = Frame::decode(&bytes, 0).unwrap();
+        assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn streams_of_frames_decode_in_order() {
+        let mut stream = Vec::new();
+        for i in 0..10u64 {
+            Frame::request(i as u16, i, vec![i as u8; i as usize]).encode(&mut stream);
+        }
+        let mut pos = 0;
+        for i in 0..10u64 {
+            let (frame, n) = Frame::decode(&stream[pos..], 1024).unwrap();
+            assert_eq!(frame.request_id, i);
+            assert_eq!(frame.payload.len(), i as usize);
+            pos += n;
+        }
+        assert_eq!(pos, stream.len());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = Frame::request(1, 2, b"data".to_vec()).encode_to_vec();
+        for cut in 0..bytes.len() {
+            assert!(
+                Frame::decode(&bytes[..cut], 1024).is_err(),
+                "prefix {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_detected_everywhere() {
+        let bytes = Frame::request(3, 99, b"integrity matters".to_vec()).encode_to_vec();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(Frame::decode(&bad, 1024).is_err(), "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn oversized_payload_rejected_before_allocation() {
+        let bytes = Frame::request(1, 2, vec![0u8; 100]).encode_to_vec();
+        assert!(matches!(
+            Frame::decode(&bytes, 10),
+            Err(FrameError::Oversized { declared: 100, max: 10 })
+        ));
+    }
+}

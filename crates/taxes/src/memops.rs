@@ -1,0 +1,121 @@
+//! Counted data-movement operations — the `mem{cpy,move}` datacenter tax
+//! (Table 2).
+//!
+//! The substrates route bulk copies through [`MoveCounter`] so the profiler
+//! can attribute data-movement bytes and operations per platform.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Accumulates data-movement statistics. Cheap, thread-safe, shareable.
+#[derive(Debug, Default)]
+pub struct MoveCounter {
+    operations: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl MoveCounter {
+    /// A fresh counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `src` into a fresh buffer, counting the movement.
+    #[must_use]
+    pub fn copy_out(&self, src: &[u8]) -> Vec<u8> {
+        self.record(src.len());
+        src.to_vec()
+    }
+
+    /// Copies `src` into `dst`, counting the movement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn copy_into(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "copy_into requires equal lengths");
+        dst.copy_from_slice(src);
+        self.record(src.len());
+    }
+
+    /// Appends `src` to `dst`, counting the movement.
+    pub fn append(&self, src: &[u8], dst: &mut Vec<u8>) {
+        dst.extend_from_slice(src);
+        self.record(src.len());
+    }
+
+    /// Records a movement performed elsewhere.
+    pub fn record(&self, bytes: usize) {
+        self.operations.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Number of copy operations recorded.
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.operations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters.
+    pub fn reset(&self) {
+        self.operations.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_and_counts() {
+        let counter = MoveCounter::new();
+        let out = counter.copy_out(b"hello");
+        assert_eq!(out, b"hello");
+        let mut dst = vec![0u8; 5];
+        counter.copy_into(b"world", &mut dst);
+        assert_eq!(dst, b"world");
+        let mut buf = Vec::new();
+        counter.append(b"!!", &mut buf);
+        assert_eq!(counter.operations(), 3);
+        assert_eq!(counter.bytes(), 12);
+        counter.reset();
+        assert_eq!(counter.operations(), 0);
+        assert_eq!(counter.bytes(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let counter = Arc::new(MoveCounter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let _ = c.copy_out(&[0u8; 10]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.operations(), 400);
+        assert_eq!(counter.bytes(), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn copy_into_length_mismatch_panics() {
+        let counter = MoveCounter::new();
+        let mut dst = vec![0u8; 3];
+        counter.copy_into(b"four", &mut dst);
+    }
+}

@@ -1,0 +1,867 @@
+//! A from-scratch protobuf wire-format codec with dynamic messages.
+//!
+//! Protobuf (de)serialization is the single largest datacenter tax the paper
+//! identifies (Figure 5, 20–25% of tax cycles). This module implements the
+//! protobuf wire format — varint/zigzag scalars, fixed-width scalars,
+//! length-delimited strings/bytes/submessages, tag encoding, unknown-field
+//! skipping — over *dynamic* messages described by runtime
+//! [`MessageDescriptor`]s, in the spirit of HyperProtoBench's
+//! fleet-representative message shapes.
+//!
+//! # Examples
+//!
+//! ```
+//! use hsdp_taxes::protowire::{FieldDescriptor, FieldType, Message, MessageDescriptor, Value};
+//! use std::sync::Arc;
+//!
+//! let desc = Arc::new(MessageDescriptor::new(
+//!     "KeyValue",
+//!     vec![
+//!         FieldDescriptor::required(1, "key", FieldType::String),
+//!         FieldDescriptor::optional(2, "value", FieldType::Bytes),
+//!     ],
+//! )?);
+//! let mut msg = Message::new(Arc::clone(&desc));
+//! msg.set(1, Value::Str("user:42".into()))?;
+//! msg.set(2, Value::Bytes(vec![1, 2, 3]))?;
+//!
+//! let bytes = msg.encode_to_vec();
+//! let decoded = Message::decode(Arc::clone(&desc), &bytes)?;
+//! assert_eq!(msg, decoded);
+//! # Ok::<(), hsdp_taxes::error::WireError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::WireError;
+use crate::varint::{decode_varint, encode_varint, varint_len, zigzag_decode, zigzag_encode};
+
+/// Maximum protobuf field number.
+pub const MAX_FIELD_NUMBER: u64 = (1 << 29) - 1;
+
+/// Maximum message nesting depth accepted by the decoder.
+pub const RECURSION_LIMIT: usize = 64;
+
+/// Protobuf wire types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireType {
+    /// Base-128 varint.
+    Varint,
+    /// Little-endian 64-bit scalar.
+    Fixed64,
+    /// Length-prefixed bytes (strings, bytes, submessages).
+    LengthDelimited,
+    /// Little-endian 32-bit scalar.
+    Fixed32,
+}
+
+impl WireType {
+    /// The on-wire discriminant.
+    #[must_use]
+    pub fn discriminant(self) -> u8 {
+        match self {
+            WireType::Varint => 0,
+            WireType::Fixed64 => 1,
+            WireType::LengthDelimited => 2,
+            WireType::Fixed32 => 5,
+        }
+    }
+
+    /// Parses a discriminant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnknownWireType`] for deprecated group types and
+    /// reserved values.
+    pub fn from_discriminant(bits: u8) -> Result<Self, WireError> {
+        match bits {
+            0 => Ok(WireType::Varint),
+            1 => Ok(WireType::Fixed64),
+            2 => Ok(WireType::LengthDelimited),
+            5 => Ok(WireType::Fixed32),
+            other => Err(WireError::UnknownWireType { wire_type: other }),
+        }
+    }
+}
+
+/// Encodes a field tag (field number + wire type).
+pub fn encode_tag(field: u32, wire_type: WireType, out: &mut Vec<u8>) {
+    encode_varint(
+        (u64::from(field) << 3) | u64::from(wire_type.discriminant()),
+        out,
+    );
+}
+
+/// Decodes a field tag, returning `(field, wire type, bytes consumed)`.
+///
+/// # Errors
+///
+/// Propagates varint errors; rejects field number 0 and numbers above the
+/// protobuf maximum.
+pub fn decode_tag(buf: &[u8]) -> Result<(u32, WireType, usize), WireError> {
+    let (raw, consumed) = decode_varint(buf)?;
+    let field = raw >> 3;
+    if field == 0 || field > MAX_FIELD_NUMBER {
+        return Err(WireError::InvalidFieldNumber { field });
+    }
+    let wire_type = WireType::from_discriminant((raw & 0x7) as u8)?;
+    Ok((field as u32, wire_type, consumed))
+}
+
+/// Field value types understood by the codec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldType {
+    /// Unsigned varint (`uint64`/`uint32`).
+    Uint64,
+    /// Two's-complement varint (`int64`/`int32`).
+    Int64,
+    /// ZigZag varint (`sint64`/`sint32`).
+    Sint64,
+    /// Varint-encoded boolean.
+    Bool,
+    /// 64-bit little-endian unsigned (`fixed64`).
+    Fixed64,
+    /// IEEE-754 double.
+    Double,
+    /// 32-bit little-endian unsigned (`fixed32`).
+    Fixed32,
+    /// IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    String,
+    /// Raw bytes.
+    Bytes,
+    /// A nested message with the given descriptor.
+    Message(Arc<MessageDescriptor>),
+}
+
+impl FieldType {
+    /// The wire type values of this field type use.
+    #[must_use]
+    pub fn wire_type(&self) -> WireType {
+        match self {
+            FieldType::Uint64 | FieldType::Int64 | FieldType::Sint64 | FieldType::Bool => {
+                WireType::Varint
+            }
+            FieldType::Fixed64 | FieldType::Double => WireType::Fixed64,
+            FieldType::Fixed32 | FieldType::Float => WireType::Fixed32,
+            FieldType::String | FieldType::Bytes | FieldType::Message(_) => {
+                WireType::LengthDelimited
+            }
+        }
+    }
+
+    /// Human-readable type name (for errors).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldType::Uint64 => "uint64",
+            FieldType::Int64 => "int64",
+            FieldType::Sint64 => "sint64",
+            FieldType::Bool => "bool",
+            FieldType::Fixed64 => "fixed64",
+            FieldType::Double => "double",
+            FieldType::Fixed32 => "fixed32",
+            FieldType::Float => "float",
+            FieldType::String => "string",
+            FieldType::Bytes => "bytes",
+            FieldType::Message(_) => "message",
+        }
+    }
+}
+
+/// A field in a message schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDescriptor {
+    /// Field number (1..=2^29-1).
+    pub number: u32,
+    /// Field name.
+    pub name: String,
+    /// Value type.
+    pub ty: FieldType,
+    /// Whether multiple values are allowed.
+    pub repeated: bool,
+    /// Whether the field must be present after decode.
+    pub required: bool,
+}
+
+impl FieldDescriptor {
+    /// An optional singular field.
+    #[must_use]
+    pub fn optional(number: u32, name: &str, ty: FieldType) -> Self {
+        FieldDescriptor { number, name: name.to_owned(), ty, repeated: false, required: false }
+    }
+
+    /// A required singular field.
+    #[must_use]
+    pub fn required(number: u32, name: &str, ty: FieldType) -> Self {
+        FieldDescriptor { number, name: name.to_owned(), ty, repeated: false, required: true }
+    }
+
+    /// A repeated field.
+    #[must_use]
+    pub fn repeated(number: u32, name: &str, ty: FieldType) -> Self {
+        FieldDescriptor { number, name: name.to_owned(), ty, repeated: true, required: false }
+    }
+}
+
+/// A message schema: an ordered set of field descriptors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageDescriptor {
+    name: String,
+    fields: Vec<FieldDescriptor>,
+    by_number: BTreeMap<u32, usize>,
+}
+
+impl MessageDescriptor {
+    /// Builds a descriptor, validating field numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidFieldNumber`] for zero/out-of-range or
+    /// duplicate field numbers.
+    pub fn new(name: &str, fields: Vec<FieldDescriptor>) -> Result<Self, WireError> {
+        let mut by_number = BTreeMap::new();
+        for (idx, field) in fields.iter().enumerate() {
+            if field.number == 0 || u64::from(field.number) > MAX_FIELD_NUMBER {
+                return Err(WireError::InvalidFieldNumber { field: u64::from(field.number) });
+            }
+            if by_number.insert(field.number, idx).is_some() {
+                return Err(WireError::InvalidFieldNumber { field: u64::from(field.number) });
+            }
+        }
+        Ok(MessageDescriptor { name: name.to_owned(), fields, by_number })
+    }
+
+    /// The message name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fields, in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> &[FieldDescriptor] {
+        &self.fields
+    }
+
+    /// Looks up a field by number.
+    #[must_use]
+    pub fn field(&self, number: u32) -> Option<&FieldDescriptor> {
+        self.by_number.get(&number).map(|&idx| &self.fields[idx])
+    }
+}
+
+/// A dynamic field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `uint64`.
+    Uint64(u64),
+    /// `int64`.
+    Int64(i64),
+    /// `sint64` (zigzag).
+    Sint64(i64),
+    /// `bool`.
+    Bool(bool),
+    /// `fixed64`.
+    Fixed64(u64),
+    /// `double`.
+    Double(f64),
+    /// `fixed32`.
+    Fixed32(u32),
+    /// `float`.
+    Float(f32),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Nested message.
+    Message(Message),
+}
+
+impl Value {
+    fn matches(&self, ty: &FieldType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Uint64(_), FieldType::Uint64)
+                | (Value::Int64(_), FieldType::Int64)
+                | (Value::Sint64(_), FieldType::Sint64)
+                | (Value::Bool(_), FieldType::Bool)
+                | (Value::Fixed64(_), FieldType::Fixed64)
+                | (Value::Double(_), FieldType::Double)
+                | (Value::Fixed32(_), FieldType::Fixed32)
+                | (Value::Float(_), FieldType::Float)
+                | (Value::Str(_), FieldType::String)
+                | (Value::Bytes(_), FieldType::Bytes)
+                | (Value::Message(_), FieldType::Message(_))
+        )
+    }
+}
+
+/// A dynamic protobuf message: a descriptor plus field values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    descriptor: Arc<MessageDescriptor>,
+    values: BTreeMap<u32, Vec<Value>>,
+}
+
+impl Message {
+    /// An empty message of the given schema.
+    #[must_use]
+    pub fn new(descriptor: Arc<MessageDescriptor>) -> Self {
+        Message { descriptor, values: BTreeMap::new() }
+    }
+
+    /// The message's descriptor.
+    #[must_use]
+    pub fn descriptor(&self) -> &Arc<MessageDescriptor> {
+        &self.descriptor
+    }
+
+    /// Sets a singular field (replacing any existing value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidFieldNumber`] for fields not in the schema
+    /// and [`WireError::TypeMismatch`] for wrongly-typed values.
+    pub fn set(&mut self, number: u32, value: Value) -> Result<(), WireError> {
+        let field = self.check(number, &value)?;
+        let _ = field;
+        self.values.insert(number, vec![value]);
+        Ok(())
+    }
+
+    /// Appends a value to a repeated field.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Message::set`].
+    pub fn push(&mut self, number: u32, value: Value) -> Result<(), WireError> {
+        self.check(number, &value)?;
+        self.values.entry(number).or_default().push(value);
+        Ok(())
+    }
+
+    fn check(&self, number: u32, value: &Value) -> Result<&FieldDescriptor, WireError> {
+        let field = self
+            .descriptor
+            .field(number)
+            .ok_or(WireError::InvalidFieldNumber { field: u64::from(number) })?;
+        if !value.matches(&field.ty) {
+            return Err(WireError::TypeMismatch { field: number, expected: field.ty.name() });
+        }
+        Ok(field)
+    }
+
+    /// The first value of a field, if present.
+    #[must_use]
+    pub fn get(&self, number: u32) -> Option<&Value> {
+        self.values.get(&number).and_then(|v| v.first())
+    }
+
+    /// All values of a field (empty slice if unset).
+    #[must_use]
+    pub fn get_all(&self, number: u32) -> &[Value] {
+        self.values.get(&number).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of set fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no field is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The exact encoded size in bytes, without encoding.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        let mut len = 0;
+        for (&number, values) in &self.values {
+            for value in values {
+                len += tag_len(number) + value_len(value);
+            }
+        }
+        len
+    }
+
+    /// Serializes the message to the wire format, appending to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for (&number, values) in &self.values {
+            for value in values {
+                encode_value(number, value, out);
+            }
+        }
+    }
+
+    /// Serializes to a fresh buffer.
+    #[must_use]
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Parses a message of the given schema from `buf`.
+    ///
+    /// Unknown fields are skipped per their wire type, as protobuf requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed input, type conflicts with the
+    /// schema, missing required fields, or nesting beyond
+    /// [`RECURSION_LIMIT`].
+    pub fn decode(descriptor: Arc<MessageDescriptor>, buf: &[u8]) -> Result<Self, WireError> {
+        Self::decode_at_depth(descriptor, buf, 0)
+    }
+
+    fn decode_at_depth(
+        descriptor: Arc<MessageDescriptor>,
+        buf: &[u8],
+        depth: usize,
+    ) -> Result<Self, WireError> {
+        if depth > RECURSION_LIMIT {
+            return Err(WireError::RecursionLimit);
+        }
+        let mut message = Message::new(Arc::clone(&descriptor));
+        let mut pos = 0;
+        while pos < buf.len() {
+            let (number, wire_type, n) = decode_tag(&buf[pos..])?;
+            pos += n;
+            match descriptor.field(number) {
+                Some(field) if field.ty.wire_type() == wire_type => {
+                    let (value, n) = decode_value(&field.ty, number, &buf[pos..], depth)?;
+                    pos += n;
+                    message.values.entry(number).or_default().push(value);
+                }
+                // Unknown field, or known field arriving with an unexpected
+                // wire type: skip it per the wire rules.
+                _ => pos += skip_len(wire_type, number, &buf[pos..])?,
+            }
+        }
+        for field in descriptor.fields() {
+            if field.required && !message.values.contains_key(&field.number) {
+                return Err(WireError::MissingField { field: field.number });
+            }
+        }
+        Ok(message)
+    }
+}
+
+fn tag_len(number: u32) -> usize {
+    varint_len(u64::from(number) << 3)
+}
+
+fn value_len(value: &Value) -> usize {
+    match value {
+        Value::Uint64(v) => varint_len(*v),
+        Value::Int64(v) => varint_len(*v as u64),
+        Value::Sint64(v) => varint_len(zigzag_encode(*v)),
+        Value::Bool(_) => 1,
+        Value::Fixed64(_) | Value::Double(_) => 8,
+        Value::Fixed32(_) | Value::Float(_) => 4,
+        Value::Str(s) => varint_len(s.len() as u64) + s.len(),
+        Value::Bytes(b) => varint_len(b.len() as u64) + b.len(),
+        Value::Message(m) => {
+            let inner = m.encoded_len();
+            varint_len(inner as u64) + inner
+        }
+    }
+}
+
+fn encode_value(number: u32, value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Uint64(v) => {
+            encode_tag(number, WireType::Varint, out);
+            encode_varint(*v, out);
+        }
+        Value::Int64(v) => {
+            encode_tag(number, WireType::Varint, out);
+            encode_varint(*v as u64, out);
+        }
+        Value::Sint64(v) => {
+            encode_tag(number, WireType::Varint, out);
+            encode_varint(zigzag_encode(*v), out);
+        }
+        Value::Bool(v) => {
+            encode_tag(number, WireType::Varint, out);
+            out.push(u8::from(*v));
+        }
+        Value::Fixed64(v) => {
+            encode_tag(number, WireType::Fixed64, out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Double(v) => {
+            encode_tag(number, WireType::Fixed64, out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Fixed32(v) => {
+            encode_tag(number, WireType::Fixed32, out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Float(v) => {
+            encode_tag(number, WireType::Fixed32, out);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Str(s) => {
+            encode_tag(number, WireType::LengthDelimited, out);
+            encode_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            encode_tag(number, WireType::LengthDelimited, out);
+            encode_varint(b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::Message(m) => {
+            encode_tag(number, WireType::LengthDelimited, out);
+            encode_varint(m.encoded_len() as u64, out);
+            m.encode(out);
+        }
+    }
+}
+
+fn decode_value(
+    ty: &FieldType,
+    number: u32,
+    buf: &[u8],
+    depth: usize,
+) -> Result<(Value, usize), WireError> {
+    match ty {
+        FieldType::Uint64 => {
+            let (v, n) = decode_varint(buf)?;
+            Ok((Value::Uint64(v), n))
+        }
+        FieldType::Int64 => {
+            let (v, n) = decode_varint(buf)?;
+            Ok((Value::Int64(v as i64), n))
+        }
+        FieldType::Sint64 => {
+            let (v, n) = decode_varint(buf)?;
+            Ok((Value::Sint64(zigzag_decode(v)), n))
+        }
+        FieldType::Bool => {
+            let (v, n) = decode_varint(buf)?;
+            Ok((Value::Bool(v != 0), n))
+        }
+        FieldType::Fixed64 => {
+            let bytes = take(buf, 8, number)?;
+            Ok((Value::Fixed64(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))), 8))
+        }
+        FieldType::Double => {
+            let bytes = take(buf, 8, number)?;
+            Ok((Value::Double(f64::from_le_bytes(bytes.try_into().expect("8 bytes"))), 8))
+        }
+        FieldType::Fixed32 => {
+            let bytes = take(buf, 4, number)?;
+            Ok((Value::Fixed32(u32::from_le_bytes(bytes.try_into().expect("4 bytes"))), 4))
+        }
+        FieldType::Float => {
+            let bytes = take(buf, 4, number)?;
+            Ok((Value::Float(f32::from_le_bytes(bytes.try_into().expect("4 bytes"))), 4))
+        }
+        FieldType::String => {
+            let (payload, n) = take_length_delimited(buf, number)?;
+            let s = std::str::from_utf8(payload)
+                .map_err(|_| WireError::InvalidUtf8 { field: number })?;
+            Ok((Value::Str(s.to_owned()), n))
+        }
+        FieldType::Bytes => {
+            let (payload, n) = take_length_delimited(buf, number)?;
+            Ok((Value::Bytes(payload.to_vec()), n))
+        }
+        FieldType::Message(desc) => {
+            let (payload, n) = take_length_delimited(buf, number)?;
+            let inner = Message::decode_at_depth(Arc::clone(desc), payload, depth + 1)?;
+            Ok((Value::Message(inner), n))
+        }
+    }
+}
+
+fn take<'a>(buf: &'a [u8], len: usize, field: u32) -> Result<&'a [u8], WireError> {
+    buf.get(..len).ok_or(WireError::TruncatedField { field })
+}
+
+fn take_length_delimited(buf: &[u8], field: u32) -> Result<(&[u8], usize), WireError> {
+    let (len, n) = decode_varint(buf)?;
+    let len = usize::try_from(len).map_err(|_| WireError::TruncatedField { field })?;
+    let payload = buf
+        .get(n..n + len)
+        .ok_or(WireError::TruncatedField { field })?;
+    Ok((payload, n + len))
+}
+
+/// The number of bytes a field of `wire_type` occupies at the front of `buf`
+/// (used to skip unknown fields).
+fn skip_len(wire_type: WireType, field: u32, buf: &[u8]) -> Result<usize, WireError> {
+    match wire_type {
+        WireType::Varint => decode_varint(buf).map(|(_, n)| n),
+        WireType::Fixed64 => take(buf, 8, field).map(|_| 8),
+        WireType::Fixed32 => take(buf, 4, field).map(|_| 4),
+        WireType::LengthDelimited => take_length_delimited(buf, field).map(|(_, n)| n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_desc() -> Arc<MessageDescriptor> {
+        Arc::new(
+            MessageDescriptor::new(
+                "Simple",
+                vec![
+                    FieldDescriptor::optional(1, "id", FieldType::Uint64),
+                    FieldDescriptor::optional(2, "name", FieldType::String),
+                    FieldDescriptor::optional(3, "score", FieldType::Double),
+                    FieldDescriptor::repeated(4, "tags", FieldType::Sint64),
+                    FieldDescriptor::optional(5, "active", FieldType::Bool),
+                    FieldDescriptor::optional(6, "blob", FieldType::Bytes),
+                    FieldDescriptor::optional(7, "ts32", FieldType::Fixed32),
+                    FieldDescriptor::optional(8, "ts64", FieldType::Fixed64),
+                    FieldDescriptor::optional(9, "ratio", FieldType::Float),
+                    FieldDescriptor::optional(10, "delta", FieldType::Int64),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn filled_simple() -> Message {
+        let mut m = Message::new(simple_desc());
+        m.set(1, Value::Uint64(42)).unwrap();
+        m.set(2, Value::Str("hello".into())).unwrap();
+        m.set(3, Value::Double(2.5)).unwrap();
+        m.push(4, Value::Sint64(-7)).unwrap();
+        m.push(4, Value::Sint64(900)).unwrap();
+        m.set(5, Value::Bool(true)).unwrap();
+        m.set(6, Value::Bytes(vec![0, 255, 128])).unwrap();
+        m.set(7, Value::Fixed32(0xdead_beef)).unwrap();
+        m.set(8, Value::Fixed64(0x0123_4567_89ab_cdef)).unwrap();
+        m.set(9, Value::Float(-1.5)).unwrap();
+        m.set(10, Value::Int64(-3)).unwrap();
+        m
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let m = filled_simple();
+        let bytes = m.encode_to_vec();
+        assert_eq!(bytes.len(), m.encoded_len());
+        let decoded = Message::decode(simple_desc(), &bytes).unwrap();
+        assert_eq!(m, decoded);
+    }
+
+    #[test]
+    fn known_wire_encoding_field1_varint() {
+        // Field 1, varint, value 150 -> 08 96 01 (protobuf docs example).
+        let desc = Arc::new(
+            MessageDescriptor::new(
+                "T",
+                vec![FieldDescriptor::optional(1, "a", FieldType::Uint64)],
+            )
+            .unwrap(),
+        );
+        let mut m = Message::new(desc);
+        m.set(1, Value::Uint64(150)).unwrap();
+        assert_eq!(m.encode_to_vec(), vec![0x08, 0x96, 0x01]);
+    }
+
+    #[test]
+    fn known_wire_encoding_string() {
+        // Field 2, string "testing" -> 12 07 74 65 73 74 69 6e 67.
+        let desc = Arc::new(
+            MessageDescriptor::new(
+                "T",
+                vec![FieldDescriptor::optional(2, "b", FieldType::String)],
+            )
+            .unwrap(),
+        );
+        let mut m = Message::new(desc);
+        m.set(2, Value::Str("testing".into())).unwrap();
+        assert_eq!(
+            m.encode_to_vec(),
+            vec![0x12, 0x07, 0x74, 0x65, 0x73, 0x74, 0x69, 0x6e, 0x67]
+        );
+    }
+
+    #[test]
+    fn nested_message_roundtrip() {
+        let inner_desc = simple_desc();
+        let outer_desc = Arc::new(
+            MessageDescriptor::new(
+                "Outer",
+                vec![
+                    FieldDescriptor::required(1, "inner", FieldType::Message(Arc::clone(&inner_desc))),
+                    FieldDescriptor::repeated(2, "many", FieldType::Message(Arc::clone(&inner_desc))),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut outer = Message::new(Arc::clone(&outer_desc));
+        outer.set(1, Value::Message(filled_simple())).unwrap();
+        outer.push(2, Value::Message(filled_simple())).unwrap();
+        outer.push(2, Value::Message(Message::new(simple_desc()))).unwrap();
+        let bytes = outer.encode_to_vec();
+        let decoded = Message::decode(outer_desc, &bytes).unwrap();
+        assert_eq!(outer, decoded);
+        assert_eq!(decoded.get_all(2).len(), 2);
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped() {
+        // Encode with the full schema, decode with a narrower one.
+        let m = filled_simple();
+        let bytes = m.encode_to_vec();
+        let narrow = Arc::new(
+            MessageDescriptor::new(
+                "Narrow",
+                vec![FieldDescriptor::optional(2, "name", FieldType::String)],
+            )
+            .unwrap(),
+        );
+        let decoded = Message::decode(narrow, &bytes).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded.get(2), Some(&Value::Str("hello".into())));
+    }
+
+    #[test]
+    fn missing_required_field_fails() {
+        let desc = Arc::new(
+            MessageDescriptor::new(
+                "R",
+                vec![FieldDescriptor::required(1, "must", FieldType::Uint64)],
+            )
+            .unwrap(),
+        );
+        let err = Message::decode(desc, &[]).unwrap_err();
+        assert_eq!(err, WireError::MissingField { field: 1 });
+    }
+
+    #[test]
+    fn type_mismatch_on_set() {
+        let mut m = Message::new(simple_desc());
+        let err = m.set(1, Value::Str("oops".into())).unwrap_err();
+        assert!(matches!(err, WireError::TypeMismatch { field: 1, .. }));
+        let err = m.set(99, Value::Uint64(0)).unwrap_err();
+        assert!(matches!(err, WireError::InvalidFieldNumber { field: 99 }));
+    }
+
+    #[test]
+    fn wire_type_conflict_is_skipped_not_error() {
+        // Field 1 encoded as a string but schema says varint: skipped.
+        let str_desc = Arc::new(
+            MessageDescriptor::new(
+                "S",
+                vec![FieldDescriptor::optional(1, "s", FieldType::String)],
+            )
+            .unwrap(),
+        );
+        let mut m = Message::new(str_desc);
+        m.set(1, Value::Str("x".into())).unwrap();
+        let bytes = m.encode_to_vec();
+        let decoded = Message::decode(simple_desc(), &bytes).unwrap();
+        assert!(decoded.get(1).is_none());
+    }
+
+    #[test]
+    fn truncated_inputs_fail_cleanly() {
+        let m = filled_simple();
+        let bytes = m.encode_to_vec();
+        // Every strict prefix either decodes to fewer fields or errors, but
+        // never panics.
+        for cut in 0..bytes.len() {
+            let _ = Message::decode(simple_desc(), &bytes[..cut]);
+        }
+        // A length-delimited field whose declared length exceeds the buffer.
+        let bad = vec![0x12, 0x0a, b'x'];
+        assert!(matches!(
+            Message::decode(simple_desc(), &bad).unwrap_err(),
+            WireError::TruncatedField { field: 2 }
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_string_fails() {
+        let bad = vec![0x12, 0x02, 0xff, 0xfe];
+        assert_eq!(
+            Message::decode(simple_desc(), &bad).unwrap_err(),
+            WireError::InvalidUtf8 { field: 2 }
+        );
+    }
+
+    #[test]
+    fn recursion_limit_enforced() {
+        // Build a self-nesting descriptor chain deeper than the limit.
+        let leaf = Arc::new(
+            MessageDescriptor::new(
+                "Leaf",
+                vec![FieldDescriptor::optional(1, "v", FieldType::Uint64)],
+            )
+            .unwrap(),
+        );
+        let mut desc = leaf;
+        for _ in 0..(RECURSION_LIMIT + 2) {
+            desc = Arc::new(
+                MessageDescriptor::new(
+                    "Nest",
+                    vec![FieldDescriptor::optional(1, "inner", FieldType::Message(desc))],
+                )
+                .unwrap(),
+            );
+        }
+        // Hand-construct deeply nested bytes: each level is tag 0x0a + len.
+        let mut bytes = vec![0x08, 0x01];
+        for _ in 0..(RECURSION_LIMIT + 2) {
+            let mut outer = vec![0x0a];
+            encode_varint(bytes.len() as u64, &mut outer);
+            outer.extend_from_slice(&bytes);
+            bytes = outer;
+        }
+        assert_eq!(
+            Message::decode(desc, &bytes).unwrap_err(),
+            WireError::RecursionLimit
+        );
+    }
+
+    #[test]
+    fn descriptor_rejects_bad_field_numbers() {
+        assert!(MessageDescriptor::new(
+            "Bad",
+            vec![FieldDescriptor::optional(0, "zero", FieldType::Bool)]
+        )
+        .is_err());
+        assert!(MessageDescriptor::new(
+            "Dup",
+            vec![
+                FieldDescriptor::optional(1, "a", FieldType::Bool),
+                FieldDescriptor::optional(1, "b", FieldType::Bool),
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for field in [1u32, 15, 16, 2047, 1 << 20] {
+            for wt in [
+                WireType::Varint,
+                WireType::Fixed64,
+                WireType::LengthDelimited,
+                WireType::Fixed32,
+            ] {
+                let mut buf = Vec::new();
+                encode_tag(field, wt, &mut buf);
+                let (f, w, n) = decode_tag(&buf).unwrap();
+                assert_eq!((f, w, n), (field, wt, buf.len()));
+            }
+        }
+        assert!(decode_tag(&[0x00]).is_err(), "field 0 rejected");
+        assert!(decode_tag(&[0x03]).is_err(), "group wire type rejected");
+    }
+}

@@ -1,0 +1,168 @@
+//! Base-128 varints and ZigZag encoding — the integer primitives of the
+//! protobuf wire format.
+
+use crate::error::WireError;
+
+/// Maximum encoded size of a 64-bit varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends a varint-encoded `u64` to `out`, returning the encoded length.
+pub fn encode_varint(mut value: u64, out: &mut Vec<u8>) -> usize {
+    let mut len = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        len += 1;
+        if value == 0 {
+            out.push(byte);
+            return len;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint from the front of `buf`.
+///
+/// Returns the value and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError::TruncatedVarint`] if the buffer ends mid-varint and
+/// [`WireError::VarintOverflow`] if the encoding exceeds 10 bytes or
+/// overflows 64 bits.
+pub fn decode_varint(buf: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(WireError::VarintOverflow);
+        }
+        let payload = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute a single bit.
+        if i == MAX_VARINT_LEN - 1 && payload > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+    }
+    Err(WireError::TruncatedVarint)
+}
+
+/// ZigZag-encodes a signed 64-bit integer (`sint64` semantics).
+#[must_use]
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// ZigZag-decodes to a signed 64-bit integer.
+#[must_use]
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// The encoded length of a varint without encoding it.
+#[must_use]
+pub fn varint_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut buf = Vec::new();
+            let len = encode_varint(v, &mut buf);
+            assert_eq!(len, buf.len());
+            assert_eq!(len, varint_len(v), "value {v}");
+            let (decoded, consumed) = decode_varint(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(consumed, len);
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = Vec::new();
+        encode_varint(300, &mut buf);
+        assert_eq!(buf, vec![0xac, 0x02]);
+        buf.clear();
+        encode_varint(1, &mut buf);
+        assert_eq!(buf, vec![0x01]);
+    }
+
+    #[test]
+    fn truncated_varint_fails() {
+        assert!(matches!(
+            decode_varint(&[0x80]),
+            Err(WireError::TruncatedVarint)
+        ));
+        assert!(matches!(decode_varint(&[]), Err(WireError::TruncatedVarint)));
+    }
+
+    #[test]
+    fn overlong_varint_fails() {
+        // 11 continuation bytes can never be a valid 64-bit varint.
+        let buf = [0x80u8; 11];
+        assert!(matches!(
+            decode_varint(&buf),
+            Err(WireError::VarintOverflow)
+        ));
+        // A 10-byte varint whose final byte exceeds 1 overflows 64 bits.
+        let mut buf = [0xffu8; 10];
+        buf[9] = 0x02;
+        assert!(matches!(
+            decode_varint(&buf),
+            Err(WireError::VarintOverflow)
+        ));
+    }
+
+    #[test]
+    fn max_u64_roundtrips_at_10_bytes() {
+        let mut buf = Vec::new();
+        assert_eq!(encode_varint(u64::MAX, &mut buf), 10);
+        assert_eq!(decode_varint(&buf).unwrap(), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn zigzag_known_values() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-1_000_000i64, -1, 0, 1, 42, i64::MIN, i64::MAX] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let buf = [0x01, 0xde, 0xad];
+        let (v, n) = decode_varint(&buf).unwrap();
+        assert_eq!((v, n), (1, 1));
+    }
+}

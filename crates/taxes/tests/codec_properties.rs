@@ -1,0 +1,164 @@
+//! Property-based roundtrip tests for every codec in hsdp-taxes.
+
+use std::sync::Arc;
+
+use hsdp_taxes::compress::{compress, decompress, rle_compress, rle_decompress};
+use hsdp_taxes::crc::{crc32c, Crc32c};
+use hsdp_taxes::frame::{Frame, FrameKind};
+use hsdp_taxes::protowire::{
+    FieldDescriptor, FieldType, Message, MessageDescriptor, Value,
+};
+use hsdp_taxes::sha3::Sha3_256;
+use hsdp_taxes::varint::{
+    decode_varint, encode_varint, varint_len, zigzag_decode, zigzag_encode,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        let len = encode_varint(v, &mut buf);
+        prop_assert_eq!(len, varint_len(v));
+        let (decoded, consumed) = decode_varint(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(consumed, len);
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn zigzag_small_magnitude_small_encoding(v in -1000i64..1000) {
+        // ZigZag's purpose: small magnitudes encode small.
+        prop_assert!(zigzag_encode(v) <= 2000);
+    }
+
+    #[test]
+    fn compress_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_roundtrip_repetitive(
+        pattern in proptest::collection::vec(any::<u8>(), 1..32),
+        repeats in 1usize..200,
+    ) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * repeats).collect();
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn rle_roundtrip(data in proptest::collection::vec(0u8..4, 0..2048)) {
+        let packed = rle_compress(&data);
+        prop_assert_eq!(rle_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn crc_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        split in 0usize..1024,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Crc32c::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), crc32c(&data));
+    }
+
+    #[test]
+    fn sha3_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha3_256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha3_256::digest(&data));
+    }
+
+    #[test]
+    fn frame_roundtrip(
+        method in any::<u16>(),
+        request_id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frame = Frame { kind: FrameKind::Request, method, request_id, payload };
+        let bytes = frame.encode_to_vec();
+        let (decoded, consumed) = Frame::decode(&bytes, 1024).unwrap();
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn frame_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(&data, 1 << 20);
+    }
+
+    #[test]
+    fn message_roundtrip(
+        id in any::<u64>(),
+        name in "[a-zA-Z0-9 ]{0,64}",
+        score in any::<f64>(),
+        tags in proptest::collection::vec(any::<i64>(), 0..16),
+        blob in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let desc = Arc::new(MessageDescriptor::new(
+            "P",
+            vec![
+                FieldDescriptor::optional(1, "id", FieldType::Uint64),
+                FieldDescriptor::optional(2, "name", FieldType::String),
+                FieldDescriptor::optional(3, "score", FieldType::Double),
+                FieldDescriptor::repeated(4, "tags", FieldType::Sint64),
+                FieldDescriptor::optional(5, "blob", FieldType::Bytes),
+            ],
+        ).unwrap());
+        let mut msg = Message::new(Arc::clone(&desc));
+        msg.set(1, Value::Uint64(id)).unwrap();
+        msg.set(2, Value::Str(name)).unwrap();
+        msg.set(3, Value::Double(score)).unwrap();
+        for t in tags {
+            msg.push(4, Value::Sint64(t)).unwrap();
+        }
+        msg.set(5, Value::Bytes(blob)).unwrap();
+
+        let bytes = msg.encode_to_vec();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let decoded = Message::decode(desc, &bytes).unwrap();
+        // NaN != NaN breaks full equality; compare encodings instead, which
+        // must be byte-identical.
+        prop_assert_eq!(decoded.encode_to_vec(), bytes);
+    }
+
+    #[test]
+    fn message_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let desc = Arc::new(MessageDescriptor::new(
+            "F",
+            vec![
+                FieldDescriptor::optional(1, "a", FieldType::Uint64),
+                FieldDescriptor::optional(2, "b", FieldType::String),
+                FieldDescriptor::optional(3, "c", FieldType::Fixed64),
+            ],
+        ).unwrap());
+        let _ = Message::decode(desc, &data);
+    }
+
+    #[test]
+    fn sha3_distinct_for_distinct_inputs(
+        a in proptest::collection::vec(any::<u8>(), 0..256),
+        b in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Sha3_256::digest(&a), Sha3_256::digest(&b));
+    }
+}

@@ -1,0 +1,188 @@
+//! Key and value generation for the database workloads.
+//!
+//! Production key-value traffic is highly skewed; keys follow a zipfian
+//! popularity (Section 3 motivates the RAM caches this skew rewards).
+//! Values mix compressible, structured content with incompressible payload
+//! so the compression tax does real work.
+
+use rand::{Rng, RngExt};
+
+/// Generates keys from a keyspace with zipfian popularity.
+#[derive(Debug, Clone)]
+pub struct KeyGen {
+    zipf: ZipfRanks,
+    prefix: String,
+}
+
+/// Internal zipf over ranks, YCSB-style (duplicated minimal form to keep
+/// this crate independent of `hsdp-simcore`'s `Sample` trait objects).
+#[derive(Debug, Clone)]
+struct ZipfRanks {
+    n: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl ZipfRanks {
+    fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1 && theta > 0.0 && theta < 1.0);
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfRanks { n, theta, zetan, alpha, eta }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        (((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64)
+            .min(self.n - 1)
+    }
+}
+
+impl KeyGen {
+    /// A zipfian keyspace of `keys` keys with skew `theta` and a table
+    /// prefix (e.g. `"user"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `keys >= 1` and `theta ∈ (0, 1)`.
+    #[must_use]
+    pub fn new(prefix: &str, keys: u64, theta: f64) -> Self {
+        KeyGen {
+            zipf: ZipfRanks::new(keys, theta),
+            prefix: prefix.to_owned(),
+        }
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn keyspace(&self) -> u64 {
+        self.zipf.n
+    }
+
+    /// Draws a key. Rank is FNV-mixed so popular keys scatter across the
+    /// sorted keyspace (as production hashing layers do).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let rank = self.zipf.sample(rng);
+        self.key_for_rank(rank)
+    }
+
+    /// The key bytes for a specific popularity rank.
+    #[must_use]
+    pub fn key_for_rank(&self, rank: u64) -> Vec<u8> {
+        let scattered = rank
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(0xcbf2_9ce4_8422_2325)
+            % self.zipf.n;
+        format!("{}:{scattered:016x}", self.prefix).into_bytes()
+    }
+}
+
+/// Generates values: a compressible structured header plus an
+/// incompressibility-controlled payload.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueGen {
+    /// Mean value size in bytes.
+    pub mean_size: usize,
+    /// Fraction of the payload that is incompressible noise (`0..=1`).
+    pub noise_fraction: f64,
+}
+
+impl ValueGen {
+    /// A generator with the given mean size and 30% incompressible content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_size` is zero.
+    #[must_use]
+    pub fn new(mean_size: usize) -> Self {
+        assert!(mean_size > 0, "mean size must be positive");
+        ValueGen { mean_size, noise_fraction: 0.3 }
+    }
+
+    /// Draws a value body. Sizes vary uniformly in `[mean/2, 3*mean/2]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let lo = (self.mean_size / 2).max(1);
+        let hi = self.mean_size + self.mean_size / 2;
+        let size = rng.random_range(lo..=hi);
+        let noise_bytes = (size as f64 * self.noise_fraction) as usize;
+        let mut value = Vec::with_capacity(size);
+        // Compressible structured region: repeated field-like text.
+        while value.len() < size - noise_bytes {
+            let field = value.len() / 24;
+            value.extend_from_slice(format!("field{field}=common-value;").as_bytes());
+        }
+        value.truncate(size - noise_bytes);
+        // Incompressible tail.
+        for _ in 0..noise_bytes {
+            value.push(rng.random::<u8>());
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn keys_are_skewed_and_prefixed() {
+        let gen = KeyGen::new("tbl", 10_000, 0.99);
+        let mut rng = rng();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let key = gen.sample(&mut rng);
+            assert!(key.starts_with(b"tbl:"));
+            *counts.entry(key).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 1000, "hottest key should dominate, got {max}");
+        assert!(counts.len() > 100, "long tail exists");
+    }
+
+    #[test]
+    fn rank_keys_are_stable_and_distinct() {
+        let gen = KeyGen::new("t", 1000, 0.9);
+        assert_eq!(gen.key_for_rank(5), gen.key_for_rank(5));
+        assert_ne!(gen.key_for_rank(5), gen.key_for_rank(6));
+        assert_eq!(gen.keyspace(), 1000);
+    }
+
+    #[test]
+    fn values_have_requested_size_range() {
+        let gen = ValueGen::new(1000);
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = gen.sample(&mut rng);
+            assert!((500..=1500).contains(&v.len()), "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn values_are_partially_compressible() {
+        let gen = ValueGen::new(4096);
+        let mut rng = rng();
+        let v = gen.sample(&mut rng);
+        let ratio = hsdp_taxes::compress::compression_ratio(&v);
+        // Structured region compresses, noise does not: ratio in between.
+        assert!(ratio > 1.3 && ratio < 30.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # hsdp-workload
+//!
+//! Synthetic workload generation standing in for the paper's proprietary
+//! production traffic (see DESIGN.md's substitution table):
+//!
+//! - [`keys`] — zipfian key popularity and partially compressible values
+//!   for the database platforms.
+//! - [`rows`] — wide fact/dimension tables for the analytics engine.
+//! - [`mix`] — operation mixes (YCSB-style DB mixes, dashboard analytics
+//!   mixes).
+//! - [`proto_corpus`] — HyperProtoBench-style fleet-representative protobuf
+//!   message corpora for the chained-accelerator validation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod keys;
+pub mod mix;
+pub mod proto_corpus;
+pub mod rows;
+
+pub use keys::{KeyGen, ValueGen};
+pub use mix::{AnalyticsMix, AnalyticsQuery, DbMix, DbOp};
+pub use proto_corpus::{corpus, MessageShape};
+pub use rows::{DimRow, FactGen, FactRow};

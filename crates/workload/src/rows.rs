@@ -1,0 +1,130 @@
+//! Analytic table row generation for the query-engine workload.
+//!
+//! Models the workloads the paper's introduction motivates for BigQuery:
+//! "analysis of crawled web documents, resolving issues from crash reports,
+//! and spam analysis" — wide fact tables with categorical, numeric, and
+//! string columns, plus a small dimension table for joins.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// One fact-table row: a request-log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactRow {
+    /// User identifier (zipf-ish popularity via modulo mixing).
+    pub user_id: i64,
+    /// Region key (joins against [`DimRow`]).
+    pub region: u32,
+    /// Request latency in milliseconds.
+    pub latency_ms: f64,
+    /// Response size in bytes.
+    pub bytes: i64,
+    /// Request URL (string column).
+    pub url: String,
+    /// Whether the request succeeded.
+    pub success: bool,
+}
+
+/// One dimension-table row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimRow {
+    /// Region key.
+    pub region: u32,
+    /// Region name.
+    pub name: String,
+}
+
+/// Generates fact rows with realistic column distributions.
+#[derive(Debug, Clone, Copy)]
+pub struct FactGen {
+    /// Number of distinct users.
+    pub users: i64,
+    /// Number of distinct regions.
+    pub regions: u32,
+}
+
+impl Default for FactGen {
+    fn default() -> Self {
+        FactGen { users: 100_000, regions: 32 }
+    }
+}
+
+impl FactGen {
+    /// Draws one row.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FactRow {
+        // Square a uniform to skew user popularity toward low ids.
+        let u: f64 = rng.random();
+        let user_id = ((u * u) * self.users as f64) as i64;
+        let region = rng.random_range(0..self.regions);
+        // Log-normal-ish latency: exp of a small normal via sum of uniforms.
+        let z: f64 = (0..4).map(|_| rng.random::<f64>()).sum::<f64>() - 2.0;
+        let latency_ms = (z * 0.8).exp() * 20.0;
+        let bytes = rng.random_range(200..200_000);
+        let url = format!(
+            "/api/v{}/{}/{}",
+            rng.random_range(1..4),
+            ["search", "ads", "docs", "maps", "play"][rng.random_range(0..5)],
+            rng.random_range(0..10_000)
+        );
+        let success = rng.random_bool(0.97);
+        FactRow { user_id, region, latency_ms, bytes, url, success }
+    }
+
+    /// Generates `count` rows.
+    pub fn rows<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<FactRow> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The matching dimension table (one row per region).
+    #[must_use]
+    pub fn dimension(&self) -> Vec<DimRow> {
+        (0..self.regions)
+            .map(|region| DimRow { region, name: format!("region-{region:03}") })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_are_in_expected_domains() {
+        let gen = FactGen::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for row in gen.rows(1000, &mut rng) {
+            assert!((0..gen.users).contains(&row.user_id));
+            assert!(row.region < gen.regions);
+            assert!(row.latency_ms > 0.0);
+            assert!((200..200_000).contains(&row.bytes));
+            assert!(row.url.starts_with("/api/v"));
+        }
+    }
+
+    #[test]
+    fn user_popularity_is_skewed() {
+        let gen = FactGen { users: 1000, regions: 4 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let rows = gen.rows(10_000, &mut rng);
+        let low = rows.iter().filter(|r| r.user_id < 250).count();
+        assert!(low > 4000, "bottom quartile of ids gets >40% of rows: {low}");
+    }
+
+    #[test]
+    fn dimension_covers_all_regions() {
+        let gen = FactGen { users: 10, regions: 8 };
+        let dim = gen.dimension();
+        assert_eq!(dim.len(), 8);
+        assert_eq!(dim[3].name, "region-003");
+    }
+
+    #[test]
+    fn success_rate_is_high() {
+        let gen = FactGen::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let rows = gen.rows(5000, &mut rng);
+        let ok = rows.iter().filter(|r| r.success).count();
+        assert!(ok > 4500);
+    }
+}

@@ -1,0 +1,76 @@
+//! Chained-accelerator model validation (the paper's Section 6.4 /
+//! Table 8): replay the published RTL numbers through the model, then run a
+//! real protobuf-serialize → SHA3 software pipeline and compare measurement
+//! to the model estimate.
+//!
+//! Run with `cargo run --release --example chained_pipeline`.
+
+use hsdp::accelsim::modeled::{
+    analytic_chained, simulate_asynchronous, simulate_chained, simulate_synchronous, StageSpec,
+};
+use hsdp::accelsim::validate::{paper_replay, software_validation};
+use hsdp::simcore::time::SimDuration;
+
+fn main() {
+    println!("chained-accelerator model validation");
+    println!("====================================\n");
+
+    // Part 1: Table 8 replay.
+    let replay = paper_replay();
+    println!("paper replay (published RISC-V RTL inputs):");
+    println!(
+        "  serialization: t_sub {:.1}us, {:.0}x, setup {:.1}us",
+        replay.inputs.proto_tsub_us, replay.inputs.proto_speedup, replay.inputs.proto_setup_us
+    );
+    println!(
+        "  SHA3:          t_sub {:.1}us, {:.1}x, setup {:.1}us",
+        replay.inputs.sha3_tsub_us, replay.inputs.sha3_speedup, replay.inputs.sha3_setup_us
+    );
+    println!("  non-accelerated CPU: {:.1}us", replay.inputs.nacc_cpu_us);
+    println!(
+        "  model estimate: {:.1}us (paper printed {:.1}us; measured {:.1}us)",
+        replay.recomputed_modeled_us,
+        replay.inputs.modeled_chained_us,
+        replay.inputs.measured_chained_us
+    );
+    println!(
+        "  model-vs-measured difference: {:.1}% (paper reports 6.1%)\n",
+        replay.model_vs_measured * 100.0
+    );
+
+    // Part 2: event-level execution-model cross-check.
+    println!("execution-model cross-check (event-level simulation, 1000 items):");
+    let stages = [
+        StageSpec { per_item: SimDuration::from_micros(17), setup: SimDuration::from_micros(1489) },
+        StageSpec { per_item: SimDuration::from_micros(22), setup: SimDuration::from_micros(4) },
+    ];
+    println!(
+        "  synchronous  {:?}",
+        simulate_synchronous(&stages, 1000)
+    );
+    println!(
+        "  asynchronous {:?}",
+        simulate_asynchronous(&stages, 1000)
+    );
+    println!(
+        "  chained      {:?} (closed form: {:?})\n",
+        simulate_chained(&stages, 1000),
+        analytic_chained(&stages, 1000)
+    );
+
+    // Part 3: real software pipeline over a fleet-representative corpus.
+    let messages = 2_000;
+    println!("software pipeline ({messages} HyperProtoBench-style messages):");
+    let v = software_validation(messages, 0x7ab1e8);
+    println!("  serialize t_sub: {:>10.1}us", v.serialize_us);
+    println!("  sha3 t_sub:      {:>10.1}us", v.sha3_us);
+    println!("  sequential wall: {:>10.1}us", v.sequential_us);
+    println!("  chained wall:    {:>10.1}us (measured)", v.chained_measured_us);
+    println!("  chained model:   {:>10.1}us (Eq. 10 estimate)", v.chained_modeled_us);
+    println!(
+        "  model-vs-measured difference: {:.1}%",
+        v.model_vs_measured * 100.0
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  (host parallelism: {cores} core(s))");
+}

@@ -1,0 +1,58 @@
+//! Distributed transactions: two-phase commit across Spanner consensus
+//! groups, and why multi-group writes are the remote-heaviest queries in
+//! the fleet.
+//!
+//! Run with `cargo run --release --example distributed_txn`.
+
+use hsdp::platforms::spanner::{Spanner, SpannerConfig};
+use hsdp::platforms::twopc::{distributed_commit, TxnWrite};
+
+fn main() {
+    println!("two-phase commit across consensus groups");
+    println!("========================================\n");
+
+    // Three replication groups (each 5 replicas, quorum 3).
+    let mut groups: Vec<Spanner> = (0..3)
+        .map(|i| Spanner::new(SpannerConfig::default(), 1000 + i))
+        .collect();
+
+    // Baseline: a single-group commit.
+    let single = groups[0].commit(b"user:1:balance".to_vec(), b"100".to_vec());
+    let sd = single.decomposition();
+    println!(
+        "single-group commit: cpu {} | remote {} | io {}",
+        sd.cpu, sd.remote, sd.io
+    );
+
+    // A transfer touching two groups: debit in group 0, credit in group 2.
+    let mut refs: Vec<&mut Spanner> = groups.iter_mut().collect();
+    let writes = vec![
+        TxnWrite { group: 0, key: b"user:1:balance".to_vec(), value: b"60".to_vec() },
+        TxnWrite { group: 2, key: b"user:9:balance".to_vec(), value: b"40".to_vec() },
+    ];
+    let txn = distributed_commit(&mut refs, &writes, 42);
+    let td = txn.decomposition();
+    println!(
+        "two-group 2PC:       cpu {} | remote {} | io {}",
+        td.cpu, td.remote, td.io
+    );
+    println!(
+        "  remote-work share: {:.0}% (prepare + commit quorum rounds)",
+        td.remote_share() * 100.0
+    );
+
+    // Both groups applied their writes atomically-in-effect.
+    assert_eq!(groups[0].lookup(b"user:1:balance"), Some(b"60".to_vec()));
+    assert_eq!(groups[2].lookup(b"user:9:balance"), Some(b"40".to_vec()));
+    println!(
+        "\nwrites visible in both groups; each group logged prepare + commit \
+         records ({} and {} log entries)",
+        groups[0].log_len(),
+        groups[2].log_len()
+    );
+    println!(
+        "\ntakeaway: a distributed write pays two serialized quorum waits — the\n\
+         remote-work pattern that makes consensus the co-design target the\n\
+         paper's Figure 10 remote-heavy group represents."
+    );
+}

@@ -1,0 +1,84 @@
+//! Fleet profiling: run the three simulated platforms on live synthetic
+//! traffic and print their Dapper/GWP-style profiles (the paper's
+//! Figures 2–6 pipeline, end to end).
+//!
+//! Run with `cargo run --release --example fleet_profiling`.
+
+use hsdp::core::category::BroadCategory;
+use hsdp::fleet::{profile_fleet, PlatformRun};
+use hsdp::platforms::runner::FleetConfig;
+use hsdp::profiling::report;
+
+fn main() {
+    let config = FleetConfig {
+        db_queries: 400,
+        analytics_queries: 60,
+        fact_rows: 8_000,
+        seed: 0xF1EE7,
+    };
+    println!("running the simulated fleet: {config:?}\n");
+
+    for run in profile_fleet(config) {
+        print_platform(&run);
+    }
+}
+
+fn print_platform(run: &PlatformRun) {
+    println!("{}", "=".repeat(64));
+    // Figure 2: end-to-end time decomposition by query group.
+    print!("{}", report::render_figure2(run.platform, &run.figure2));
+    println!();
+
+    // Figure 3: broad cycle categories.
+    print!("{}", report::render_figure3(run.platform, &run.profile));
+
+    // Figure 4: core compute fine categories.
+    let core_rows: Vec<(String, f64)> = run
+        .profile
+        .core_compute_rows(run.platform)
+        .into_iter()
+        .filter(|(_, share)| *share > 0.0)
+        .map(|(op, share)| (op.to_string(), share))
+        .collect();
+    print!(
+        "{}",
+        report::render_category_rows("  core compute breakdown (Figure 4):", &core_rows)
+    );
+
+    // Figure 5: datacenter taxes.
+    let dct_rows: Vec<(String, f64)> = run
+        .profile
+        .datacenter_tax_rows()
+        .into_iter()
+        .map(|(tax, share)| (tax.to_string(), share))
+        .collect();
+    print!(
+        "{}",
+        report::render_category_rows("  datacenter tax breakdown (Figure 5):", &dct_rows)
+    );
+
+    // Figure 6: system taxes.
+    let st_rows: Vec<(String, f64)> = run
+        .profile
+        .system_tax_rows()
+        .into_iter()
+        .map(|(tax, share)| (tax.to_string(), share))
+        .collect();
+    print!(
+        "{}",
+        report::render_category_rows("  system tax breakdown (Figure 6):", &st_rows)
+    );
+
+    // Hottest leaf functions, GWP style.
+    println!("  hottest leaf functions:");
+    for (leaf, category, samples) in run.profile.top_leaves(5) {
+        println!("    {leaf:<24} {category:<18} {samples} samples");
+    }
+    let taxes = run.profile.broad_share(BroadCategory::DatacenterTax)
+        + run.profile.broad_share(BroadCategory::SystemTax);
+    println!(
+        "  => {:.0}% of {} cycles are datacenter + system taxes\n",
+        taxes * 100.0,
+        run.platform
+    );
+}

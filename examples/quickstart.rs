@@ -1,0 +1,51 @@
+//! Quickstart: evaluate the sea-of-accelerators model on the calibrated
+//! paper populations.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hsdp::core::accel::Speedup;
+use hsdp::core::category::Platform;
+use hsdp::core::error::ModelError;
+use hsdp::core::paper;
+use hsdp::core::plan::{AccelerationPlan, InvocationModel};
+
+fn main() -> Result<(), ModelError> {
+    println!("sea-of-accelerators quickstart");
+    println!("==============================\n");
+
+    for platform in Platform::ALL {
+        let population = paper::query_population(platform);
+        let categories = paper::accelerated_categories(platform);
+        println!(
+            "{platform}: accelerating {} components (top taxes + core compute)",
+            categories.len()
+        );
+
+        for speedup in [8.0, 64.0] {
+            let sync = AccelerationPlan::uniform(
+                categories.clone(),
+                Speedup::new(speedup)?,
+                InvocationModel::Synchronous,
+            )?;
+            let chained = sync.with_invocation(InvocationModel::Chained);
+
+            println!(
+                "  {speedup:>4.0}x/accel | hw-only (deps kept): sync {:>5.2}x, chained {:>5.2}x | \
+                 co-design (deps removed): {:>7.2}x aggregate, {:>9.1}x peak query",
+                population.aggregate_speedup(&sync),
+                population.aggregate_speedup(&chained),
+                population.aggregate_codesign_speedup(&sync),
+                population.peak_codesign_speedup(&sync),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "takeaway: with IO and remote work retained, hardware-only acceleration\n\
+         saturates around 1.4x-2.2x (the paper's Figure 9 bound); removing the\n\
+         distributed overheads through software-hardware co-design unlocks\n\
+         order-of-magnitude per-query peaks."
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! System balance: derive the paper's Table 1 storage-to-storage ratios
+//! from zipfian hit-rate provisioning, and exercise the tiered store / DFS
+//! substrate that sits under the platforms.
+//!
+//! Run with `cargo run --example storage_balance`.
+
+use hsdp::core::category::Platform;
+use hsdp::core::paper;
+use hsdp::storage::cache::PolicyKind;
+use hsdp::storage::dfs::{Dfs, DfsConfig, FileId};
+use hsdp::storage::provision::{paper_spec, provision, PlatformClass};
+use hsdp::storage::tier::TierKind;
+
+fn main() {
+    println!("system balance (Table 1)");
+    println!("========================\n");
+
+    println!("paper-published RAM : SSD : HDD ratios:");
+    for platform in Platform::ALL {
+        let r = paper::storage_ratio(platform);
+        println!(
+            "  {platform:<9} 1 : {:>4.0} : {:>4.0}   (HDD/SSD = {:.0}x)",
+            r.ssd,
+            r.hdd,
+            r.hdd_per_ssd()
+        );
+    }
+
+    println!("\nratios derived from zipf(0.9) hit-rate provisioning:");
+    for (class, platform) in [
+        (PlatformClass::Spanner, Platform::Spanner),
+        (PlatformClass::BigTable, Platform::BigTable),
+        (PlatformClass::BigQuery, Platform::BigQuery),
+    ] {
+        let spec = paper_spec(class);
+        let p = provision(&spec);
+        let (_, ssd, hdd) = p.ratio();
+        println!(
+            "  {platform:<9} 1 : {ssd:>5.1} : {hdd:>5.1}   (RAM hit target {:.0}%, RAM+SSD {:.0}%)",
+            spec.ram_hit_target * 100.0,
+            spec.ram_ssd_hit_target * 100.0
+        );
+    }
+
+    // Exercise the DFS: write a "table", read it hot and cold.
+    println!("\ndistributed file system demo:");
+    let mut dfs = Dfs::new(DfsConfig {
+        servers: 8,
+        replication: 3,
+        chunk_size: 4 * 1024 * 1024,
+        tier_bytes: (8 << 20, 128 << 20, 1 << 40),
+        policy: PolicyKind::TwoQ,
+        ..DfsConfig::default()
+    });
+    let table = FileId(42);
+    let write = dfs.write_file(table, 64 * 1024 * 1024);
+    println!("  wrote 64 MiB across 3 replicas in {write}");
+    let cold = dfs.read(table, 0, 64 * 1024 * 1024);
+    println!("  cold scan: {} over {} chunks", cold.latency, cold.chunks);
+    let warm = dfs.read(table, 0, 64 * 1024 * 1024);
+    println!("  warm scan: {} (cache hits)", warm.latency);
+
+    for tier in [TierKind::Ram, TierKind::Ssd] {
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        for server in dfs.servers() {
+            let stats = server.stats(tier);
+            hits += stats.hits;
+            total += stats.hits + stats.misses;
+        }
+        println!(
+            "  fleet {tier} hit rate after the warm scan: {:.0}%",
+            if total > 0 { hits as f64 / total as f64 * 100.0 } else { 0.0 }
+        );
+    }
+}
