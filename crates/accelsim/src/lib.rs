@@ -12,6 +12,7 @@
 //!   measurements through the model, and measuring our own
 //!   protobuf-serialize → SHA3 pipeline against the model's estimate.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -19,6 +20,8 @@ pub mod modeled;
 pub mod pipeline;
 pub mod validate;
 
-pub use modeled::{analytic_chained, simulate_asynchronous, simulate_chained, simulate_synchronous, StageSpec};
+pub use modeled::{
+    analytic_chained, simulate_asynchronous, simulate_chained, simulate_synchronous, StageSpec,
+};
 pub use pipeline::{run_chained, run_sequential, FnStage, PipelineRun, PipelineStage};
 pub use validate::{paper_replay, software_validation, PaperReplay, SoftwareValidation};

@@ -9,10 +9,9 @@
 //! bench.
 
 use hsdp_simcore::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// One accelerator stage in the executable model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageSpec {
     /// Per-item processing time on the accelerator.
     pub per_item: SimDuration,
@@ -99,9 +98,18 @@ mod tests {
 
     fn stages() -> Vec<StageSpec> {
         vec![
-            StageSpec { per_item: us(10), setup: us(100) },
-            StageSpec { per_item: us(25), setup: us(5) },
-            StageSpec { per_item: us(15), setup: us(40) },
+            StageSpec {
+                per_item: us(10),
+                setup: us(100),
+            },
+            StageSpec {
+                per_item: us(25),
+                setup: us(5),
+            },
+            StageSpec {
+                per_item: us(15),
+                setup: us(40),
+            },
         ]
     }
 
@@ -143,7 +151,10 @@ mod tests {
 
     #[test]
     fn single_stage_chain_equals_serial() {
-        let s = vec![StageSpec { per_item: us(7), setup: us(3) }];
+        let s = vec![StageSpec {
+            per_item: us(7),
+            setup: us(3),
+        }];
         assert_eq!(
             simulate_chained(&s, 10).as_micros(),
             simulate_synchronous(&s, 10).as_micros()
@@ -173,8 +184,7 @@ mod tests {
         ];
         let chained = simulate_chained(&stages, 1);
         // One item: setup + both stage times (no overlap possible).
-        let expected =
-            1_488_900 + stages[0].per_item.as_nanos() + stages[1].per_item.as_nanos();
+        let expected = 1_488_900 + stages[0].per_item.as_nanos() + stages[1].per_item.as_nanos();
         assert_eq!(chained.as_nanos(), expected);
         // Large batches converge to the analytic chained bound (Eq. 10).
         let big = simulate_chained(&stages, 1000).as_nanos() as f64;

@@ -24,7 +24,9 @@ pub struct FnStage<F> {
 
 impl<F> std::fmt::Debug for FnStage<F> {
     fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        fmt.debug_struct("FnStage").field("name", &self.name).finish()
+        fmt.debug_struct("FnStage")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -56,10 +58,7 @@ pub struct PipelineRun {
 
 /// Runs items through the stages sequentially on the calling thread — the
 /// unchained, core-coordinated baseline.
-pub fn run_sequential(
-    stages: Vec<Box<dyn PipelineStage>>,
-    inputs: Vec<Vec<u8>>,
-) -> PipelineRun {
+pub fn run_sequential(stages: Vec<Box<dyn PipelineStage>>, inputs: Vec<Vec<u8>>) -> PipelineRun {
     let mut stages = stages;
     let start = Instant::now();
     let outputs = inputs
@@ -71,7 +70,10 @@ pub fn run_sequential(
             item
         })
         .collect();
-    PipelineRun { outputs, wall: start.elapsed() }
+    PipelineRun {
+        outputs,
+        wall: start.elapsed(),
+    }
 }
 
 /// Runs items through the stages as a chained pipeline: one thread per
@@ -109,13 +111,19 @@ pub fn run_chained(stages: Vec<Box<dyn PipelineStage>>, inputs: Vec<Vec<u8>>) ->
 
     let mut outputs = Vec::with_capacity(n);
     for _ in 0..n {
+        // audit: allow(panic, the feeder sends exactly n items and every stage forwards each one)
         outputs.push(prev_rx.recv().expect("pipeline produced all items"));
     }
+    // audit: allow(panic, join only fails if the worker itself panicked; surfacing that is correct)
     feeder.join().expect("feeder thread");
     for handle in handles {
+        // audit: allow(panic, join only fails if the worker itself panicked; surfacing that is correct)
         handle.join().expect("stage thread");
     }
-    PipelineRun { outputs, wall: start.elapsed() }
+    PipelineRun {
+        outputs,
+        wall: start.elapsed(),
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! The DESIGN.md ablation studies: chained-penalty bound, cache policy,
 //! and trace-attribution rule.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hsdp_bench::exhibits;
+use hsdp_bench::harness::Criterion;
+use hsdp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn quick() -> Criterion {

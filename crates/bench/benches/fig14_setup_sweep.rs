@@ -1,7 +1,8 @@
 //! Regenerates Figure 14 (setup time sweep) and benchmarks the model evaluation behind it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hsdp_bench::exhibits;
+use hsdp_bench::harness::Criterion;
+use hsdp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn quick() -> Criterion {

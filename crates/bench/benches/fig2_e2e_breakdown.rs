@@ -1,8 +1,9 @@
 //! Regenerates Figure 2 (end-to-end breakdown) from the simulated fleet and benchmarks the
 //! aggregation stage.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hsdp_bench::exhibits;
+use hsdp_bench::harness::Criterion;
+use hsdp_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn quick() -> Criterion {

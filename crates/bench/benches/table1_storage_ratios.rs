@@ -1,8 +1,9 @@
 //! Regenerates Table 1 (storage-to-storage ratios) and benchmarks the
 //! provisioning model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hsdp_bench::exhibits;
+use hsdp_bench::harness::Criterion;
+use hsdp_bench::{criterion_group, criterion_main};
 use hsdp_storage::provision::{paper_spec, provision, PlatformClass};
 use std::hint::black_box;
 
@@ -17,7 +18,11 @@ fn bench(c: &mut Criterion) {
     println!("\n{}", exhibits::table1());
     c.bench_function("table1/provision_all_platforms", |b| {
         b.iter(|| {
-            for class in [PlatformClass::Spanner, PlatformClass::BigTable, PlatformClass::BigQuery] {
+            for class in [
+                PlatformClass::Spanner,
+                PlatformClass::BigTable,
+                PlatformClass::BigQuery,
+            ] {
                 black_box(provision(&paper_spec(class)));
             }
         })

@@ -2,10 +2,11 @@
 //! numbers through the model, measures the real software pipeline, and
 //! benchmarks the model-side arithmetic.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hsdp_accelsim::modeled::{analytic_chained, simulate_chained, StageSpec};
 use hsdp_accelsim::validate::paper_replay;
 use hsdp_bench::exhibits;
+use hsdp_bench::harness::Criterion;
+use hsdp_bench::{criterion_group, criterion_main};
 use hsdp_simcore::time::SimDuration;
 use std::hint::black_box;
 
@@ -18,10 +19,18 @@ fn quick() -> Criterion {
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", exhibits::table8(800));
-    c.bench_function("table8/paper_replay", |b| b.iter(|| black_box(paper_replay())));
+    c.bench_function("table8/paper_replay", |b| {
+        b.iter(|| black_box(paper_replay()))
+    });
     let stages = [
-        StageSpec { per_item: SimDuration::from_micros(17), setup: SimDuration::from_micros(1489) },
-        StageSpec { per_item: SimDuration::from_micros(22), setup: SimDuration::from_micros(4) },
+        StageSpec {
+            per_item: SimDuration::from_micros(17),
+            setup: SimDuration::from_micros(1489),
+        },
+        StageSpec {
+            per_item: SimDuration::from_micros(22),
+            setup: SimDuration::from_micros(4),
+        },
     ];
     c.bench_function("table8/simulate_chained_1k_items", |b| {
         b.iter(|| black_box(simulate_chained(black_box(&stages), 1000)))

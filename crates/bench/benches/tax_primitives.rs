@@ -1,7 +1,8 @@
 //! Microbenchmarks of the datacenter-tax primitives the platforms execute:
 //! the per-byte costs behind the Figure 5 categories.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hsdp_bench::harness::{Criterion, Throughput};
+use hsdp_bench::{criterion_group, criterion_main};
 use hsdp_taxes::compress::{compress, decompress};
 use hsdp_taxes::crc::crc32c;
 use hsdp_taxes::sha3::Sha3_256;
@@ -31,7 +32,9 @@ fn bench(c: &mut Criterion) {
             }
         })
     });
-    group.bench_function("sha3_256", |b| b.iter(|| black_box(Sha3_256::digest(&blob))));
+    group.bench_function("sha3_256", |b| {
+        b.iter(|| black_box(Sha3_256::digest(&blob)))
+    });
     group.bench_function("crc32c", |b| b.iter(|| black_box(crc32c(&blob))));
     group.bench_function("compress", |b| b.iter(|| black_box(compress(&blob))));
     group.bench_function("decompress", |b| {

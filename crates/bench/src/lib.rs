@@ -5,8 +5,10 @@
 //! (`benches/`) and the `figures` binary. Each function returns the
 //! rendered exhibit as text so benches can both print and time it.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exhibits;
+pub mod harness;
 
 pub use exhibits::*;

@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 use crate::units::{Bandwidth, Bytes, Seconds};
 
@@ -17,7 +15,7 @@ use crate::units::{Bandwidth, Bytes, Seconds};
 ///
 /// `1` means fully synchronous (no overlap with other work); `0` means fully
 /// asynchronous (complete overlap).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct OverlapFactor(f64);
 
 impl OverlapFactor {
@@ -61,7 +59,7 @@ impl fmt::Display for OverlapFactor {
 }
 
 /// An acceleration factor `s_sub_i >= 1`.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Speedup(f64);
 
 impl Speedup {
@@ -112,7 +110,7 @@ impl fmt::Display for Speedup {
 /// On-chip shared-memory-coherent accelerators see the data in cache/DRAM, so
 /// the offload payload `B_i` is treated as 0; off-chip accelerators pay
 /// `2 * B_i / BW_i` to round-trip the payload over the link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Placement {
     /// Shared-memory-coherent accelerator; no offload data movement.
     OnChip,
@@ -169,7 +167,7 @@ impl fmt::Display for Placement {
 /// assert!(accelerated.as_secs() < 1e-3);
 /// # Ok::<(), hsdp_core::error::ModelError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcceleratorSpec {
     speedup: Speedup,
     setup: Seconds,

@@ -6,10 +6,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The three production platforms characterized by the paper (Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Platform {
     /// Globally-distributed, synchronously-replicated SQL database.
     Spanner,
@@ -45,7 +43,7 @@ impl fmt::Display for Platform {
 }
 
 /// Broad cycle categories of Figure 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BroadCategory {
     /// Essential business logic of the platform (Tables 4 and 5).
     CoreCompute,
@@ -76,7 +74,7 @@ impl fmt::Display for BroadCategory {
 }
 
 /// Datacenter-tax fine categories (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DatacenterTax {
     /// (De)compression operations.
     Compression,
@@ -119,7 +117,7 @@ impl fmt::Display for DatacenterTax {
 }
 
 /// System-tax fine categories (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SystemTax {
     /// Error handling (checksums, etc.).
     Edac,
@@ -171,7 +169,7 @@ impl fmt::Display for SystemTax {
 
 /// Core-compute fine categories for the database platforms (Table 4) and the
 /// analytics engine (Table 5), merged into one enum.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CoreComputeOp {
     // Table 4: Spanner and BigTable.
     /// Read operations.
@@ -270,7 +268,7 @@ impl fmt::Display for CoreComputeOp {
 
 /// A fine-grained CPU cycle category: the unit of accounting in Figures 4–6
 /// and the unit of acceleration in the sea-of-accelerators model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CpuCategory {
     /// A core-compute operation.
     Core(CoreComputeOp),
@@ -353,10 +351,8 @@ mod tests {
         assert_eq!(CoreComputeOp::for_platform(Platform::Spanner).len(), 7);
         assert_eq!(CoreComputeOp::for_platform(Platform::BigTable).len(), 7);
         assert_eq!(CoreComputeOp::for_platform(Platform::BigQuery).len(), 10);
-        assert!(CoreComputeOp::for_platform(Platform::BigQuery)
-            .contains(&CoreComputeOp::Filter));
-        assert!(!CoreComputeOp::for_platform(Platform::Spanner)
-            .contains(&CoreComputeOp::Filter));
+        assert!(CoreComputeOp::for_platform(Platform::BigQuery).contains(&CoreComputeOp::Filter));
+        assert!(!CoreComputeOp::for_platform(Platform::Spanner).contains(&CoreComputeOp::Filter));
     }
 
     #[test]
@@ -371,7 +367,7 @@ mod tests {
 
     #[test]
     fn category_ordering_is_stable_for_map_keys() {
-        let mut cats = vec![
+        let mut cats = [
             CpuCategory::from(SystemTax::Stl),
             CpuCategory::from(CoreComputeOp::Read),
             CpuCategory::from(DatacenterTax::Rpc),

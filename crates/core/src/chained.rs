@@ -12,8 +12,6 @@
 //! t_lsubnp = max(t_sub_i / s_sub_i) over chained i   (Eq. 12)
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::accel::AcceleratorSpec;
 use crate::category::CpuCategory;
 use crate::error::ModelError;
@@ -21,7 +19,7 @@ use crate::units::Seconds;
 
 /// One stage of an accelerator chain: a component's original time plus the
 /// accelerator that will process it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChainStage {
     /// Which CPU component this stage accelerates.
     pub category: CpuCategory,
@@ -32,7 +30,7 @@ pub struct ChainStage {
 }
 
 /// The result of evaluating Equations 10–12 over a chain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChainEstimate {
     /// `t_lpen`: the largest single accelerator penalty (Eq. 11).
     pub largest_penalty: Seconds,
@@ -104,9 +102,7 @@ pub fn chain_estimate(stages: &[ChainStage]) -> Result<ChainEstimate, ModelError
 /// # Errors
 ///
 /// Returns [`ModelError::EmptyChain`] if `stages` is empty.
-pub fn chain_estimate_summed_penalties(
-    stages: &[ChainStage],
-) -> Result<ChainEstimate, ModelError> {
+pub fn chain_estimate_summed_penalties(stages: &[ChainStage]) -> Result<ChainEstimate, ModelError> {
     if stages.is_empty() {
         return Err(ModelError::EmptyChain);
     }
@@ -160,16 +156,14 @@ mod tests {
     #[test]
     fn slowest_stage_dominates() {
         // Stage A: 100us/10x = 10us; stage B: 400us/10x = 40us.
-        let est = chain_estimate(&[stage(100.0, 10.0, 0.0), stage(400.0, 10.0, 0.0)])
-            .unwrap();
+        let est = chain_estimate(&[stage(100.0, 10.0, 0.0), stage(400.0, 10.0, 0.0)]).unwrap();
         assert!((est.largest_stage.as_micros() - 40.0).abs() < 1e-9);
         assert!((est.chained_time.as_micros() - 40.0).abs() < 1e-9);
     }
 
     #[test]
     fn largest_penalty_bounds_fill_cost() {
-        let est = chain_estimate(&[stage(100.0, 10.0, 3.0), stage(100.0, 10.0, 7.0)])
-            .unwrap();
+        let est = chain_estimate(&[stage(100.0, 10.0, 3.0), stage(100.0, 10.0, 7.0)]).unwrap();
         assert!((est.largest_penalty.as_micros() - 7.0).abs() < 1e-9);
         assert!((est.chained_time.as_micros() - 17.0).abs() < 1e-9);
     }

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::category::{BroadCategory, CpuCategory};
 use crate::error::ModelError;
 use crate::units::Seconds;
@@ -39,7 +37,7 @@ const SHARE_SUM_TOLERANCE: f64 = 1e-6;
 /// assert!((breakdown.total().as_secs() - 1.0).abs() < 1e-9);
 /// # Ok::<(), hsdp_core::error::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CpuBreakdown {
     components: BTreeMap<CpuCategory, Seconds>,
 }
@@ -81,10 +79,7 @@ impl CpuBreakdown {
     /// Returns [`ModelError::UnnormalizedBreakdown`] if the shares do not sum
     /// to 1, [`ModelError::DuplicateComponent`] on duplicate categories, or
     /// [`ModelError::InvalidQuantity`] if a share is negative.
-    pub fn from_shares(
-        total: Seconds,
-        shares: &[(CpuCategory, f64)],
-    ) -> Result<Self, ModelError> {
+    pub fn from_shares(total: Seconds, shares: &[(CpuCategory, f64)]) -> Result<Self, ModelError> {
         let sum: f64 = shares.iter().map(|(_, s)| s).sum();
         if (sum - 1.0).abs() > SHARE_SUM_TOLERANCE {
             return Err(ModelError::UnnormalizedBreakdown { sum });
@@ -114,7 +109,10 @@ impl CpuBreakdown {
     /// The time attributed to `category`, zero if absent.
     #[must_use]
     pub fn time(&self, category: CpuCategory) -> Seconds {
-        self.components.get(&category).copied().unwrap_or(Seconds::ZERO)
+        self.components
+            .get(&category)
+            .copied()
+            .unwrap_or(Seconds::ZERO)
     }
 
     /// Total CPU time across all components (`t_cpu`).
@@ -247,18 +245,15 @@ mod tests {
 
     #[test]
     fn from_shares_rejects_unnormalized() {
-        let err = CpuBreakdown::from_shares(Seconds::new(1.0), &[(cat_read(), 0.5)])
-            .unwrap_err();
+        let err = CpuBreakdown::from_shares(Seconds::new(1.0), &[(cat_read(), 0.5)]).unwrap_err();
         assert!(matches!(err, ModelError::UnnormalizedBreakdown { .. }));
     }
 
     #[test]
     fn from_shares_rejects_negative_share() {
-        let err = CpuBreakdown::from_shares(
-            Seconds::new(1.0),
-            &[(cat_read(), 1.5), (cat_proto(), -0.5)],
-        )
-        .unwrap_err();
+        let err =
+            CpuBreakdown::from_shares(Seconds::new(1.0), &[(cat_read(), 1.5), (cat_proto(), -0.5)])
+                .unwrap_err();
         assert!(matches!(err, ModelError::InvalidQuantity { .. }));
     }
 
@@ -298,11 +293,9 @@ mod tests {
 
     #[test]
     fn rescale_preserves_shares() {
-        let b = CpuBreakdown::from_shares(
-            Seconds::new(2.0),
-            &[(cat_read(), 0.7), (cat_proto(), 0.3)],
-        )
-        .unwrap();
+        let b =
+            CpuBreakdown::from_shares(Seconds::new(2.0), &[(cat_read(), 0.7), (cat_proto(), 0.3)])
+                .unwrap();
         let r = b.rescaled(Seconds::new(10.0));
         assert!((r.total().as_secs() - 10.0).abs() < 1e-9);
         assert!((r.share(cat_read()) - 0.7).abs() < 1e-9);

@@ -44,7 +44,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::InvalidQuantity { quantity, value } => {
-                write!(f, "invalid {quantity}: {value} (must be finite and in range)")
+                write!(
+                    f,
+                    "invalid {quantity}: {value} (must be finite and in range)"
+                )
             }
             ModelError::InvalidOverlapFactor { value } => {
                 write!(f, "overlap factor {value} outside [0, 1]")
@@ -73,11 +76,16 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let errs: Vec<ModelError> = vec![
-            ModelError::InvalidQuantity { quantity: "Seconds", value: -1.0 },
+            ModelError::InvalidQuantity {
+                quantity: "Seconds",
+                value: -1.0,
+            },
             ModelError::InvalidOverlapFactor { value: 2.0 },
             ModelError::InvalidSpeedup { value: 0.5 },
             ModelError::UnnormalizedBreakdown { sum: 0.8 },
-            ModelError::DuplicateComponent { category: "Protobuf".into() },
+            ModelError::DuplicateComponent {
+                category: "Protobuf".into(),
+            },
             ModelError::EmptyChain,
             ModelError::EmptyPopulation,
         ];

@@ -8,6 +8,8 @@
 //! ## Layout
 //!
 //! - [`units`] — `Seconds` / `Bytes` / `Bandwidth` newtypes.
+//! - [`audit`] — redundant invariant checks over breakdowns, populations,
+//!   and speedup curves, wired into `debug_assert!` hooks.
 //! - [`category`] — platforms and the core-compute / datacenter-tax /
 //!   system-tax taxonomy (Tables 2–5).
 //! - [`component`] — [`component::CpuBreakdown`]: where CPU time goes.
@@ -50,10 +52,12 @@
 //! # Ok::<(), hsdp_core::error::ModelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod accel;
+pub mod audit;
 pub mod category;
 pub mod chained;
 pub mod component;
@@ -66,9 +70,8 @@ pub mod study;
 pub mod units;
 
 pub use accel::{AcceleratorSpec, OverlapFactor, Placement, Speedup};
-pub use category::{
-    BroadCategory, CoreComputeOp, CpuCategory, DatacenterTax, Platform, SystemTax,
-};
+pub use audit::{audit, AuditFailure, Violation};
+pub use category::{BroadCategory, CoreComputeOp, CpuCategory, DatacenterTax, Platform, SystemTax};
 pub use component::CpuBreakdown;
 pub use error::ModelError;
 pub use model::QueryPhases;

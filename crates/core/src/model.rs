@@ -12,8 +12,6 @@
 //! `f = 1` means CPU and its dependencies fully serialize; `f = 0` means the
 //! smaller of the two is completely hidden under the larger.
 
-use serde::{Deserialize, Serialize};
-
 use crate::accel::OverlapFactor;
 use crate::units::Seconds;
 
@@ -34,7 +32,9 @@ use crate::units::Seconds;
 /// );
 /// assert!((q.end_to_end().as_secs() - 5.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// These are the inputs `t_cpu`, `t_dep`, and `f` of Equation 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryPhases {
     cpu: Seconds,
     dep: Seconds,
@@ -43,31 +43,31 @@ pub struct QueryPhases {
 
 impl QueryPhases {
     /// Creates phases from CPU time, non-CPU dependency time, and the
-    /// synchronization factor `f` between them.
+    /// synchronization factor `f` between them — the inputs of Equation 1.
     #[must_use]
     pub fn new(cpu: Seconds, dep: Seconds, overlap: OverlapFactor) -> Self {
         QueryPhases { cpu, dep, overlap }
     }
 
-    /// Phases for a purely CPU-bound query (`t_dep = 0`).
+    /// Phases for a purely CPU-bound query (`t_dep = 0` in Equation 1).
     #[must_use]
     pub fn cpu_only(cpu: Seconds) -> Self {
         QueryPhases::new(cpu, Seconds::ZERO, OverlapFactor::SYNCHRONOUS)
     }
 
-    /// The CPU time `t_cpu`.
+    /// The CPU time `t_cpu` of Equation 1.
     #[must_use]
     pub fn cpu(&self) -> Seconds {
         self.cpu
     }
 
-    /// The non-CPU dependency time `t_dep` (IO + remote work).
+    /// The non-CPU dependency time `t_dep` of Equation 1 (IO + remote work).
     #[must_use]
     pub fn dep(&self) -> Seconds {
         self.dep
     }
 
-    /// The synchronization factor `f`.
+    /// The synchronization factor `f` of Equation 1.
     #[must_use]
     pub fn overlap(&self) -> OverlapFactor {
         self.overlap
@@ -96,12 +96,14 @@ impl QueryPhases {
 
     /// Fraction of end-to-end time attributable to CPU (after the overlap
     /// subtraction is charged to the dependency side, matching the paper's
-    /// trace-attribution priority of remote work and IO over CPU).
+    /// trace-attribution priority of remote work and IO over CPU, Section 3).
     ///
     /// Returns 0 for a zero-length query.
     #[must_use]
     pub fn cpu_fraction(&self) -> f64 {
-        self.cpu.ratio(self.end_to_end()).map_or(0.0, |r| r.min(1.0))
+        self.cpu
+            .ratio(self.end_to_end())
+            .map_or(0.0, |r| r.min(1.0))
     }
 }
 
@@ -109,20 +111,24 @@ impl QueryPhases {
 #[must_use]
 pub fn end_to_end_time(cpu: Seconds, dep: Seconds, overlap: OverlapFactor) -> Seconds {
     let hidden = cpu.min(dep).scaled(1.0 - overlap.value());
-    cpu + dep - hidden
+    let e2e = cpu + dep - hidden;
+    debug_assert!(
+        crate::audit::e2e_within_bounds(cpu, dep, e2e),
+        "Eq. 1 result {e2e:?} escapes [max(t_cpu, t_dep), t_cpu + t_dep] \
+         for cpu={cpu:?} dep={dep:?} f={overlap:?}"
+    );
+    e2e
 }
 
 /// Equation 2: end-to-end time with the CPU term replaced by its accelerated
 /// estimate `t'_cpu`, holding `t_dep` and `f` fixed.
 #[must_use]
-pub fn accelerated_end_to_end_time(
-    accelerated_cpu: Seconds,
-    phases: &QueryPhases,
-) -> Seconds {
+pub fn accelerated_end_to_end_time(accelerated_cpu: Seconds, phases: &QueryPhases) -> Seconds {
     end_to_end_time(accelerated_cpu, phases.dep(), phases.overlap())
 }
 
-/// The speedup of `accelerated` relative to `original` end-to-end time.
+/// The speedup of `accelerated` relative to `original` end-to-end time —
+/// the metric reported by the Figure 9 and Figure 10 studies.
 ///
 /// Returns 1.0 when both are zero (an empty query neither speeds up nor slows
 /// down); returns `f64::INFINITY` when only the accelerated time is zero.
@@ -212,7 +218,10 @@ mod tests {
     #[test]
     fn speedup_ratio_edge_cases() {
         assert_eq!(speedup_ratio(Seconds::ZERO, Seconds::ZERO), 1.0);
-        assert_eq!(speedup_ratio(Seconds::new(1.0), Seconds::ZERO), f64::INFINITY);
+        assert_eq!(
+            speedup_ratio(Seconds::new(1.0), Seconds::ZERO),
+            f64::INFINITY
+        );
         assert!((speedup_ratio(Seconds::new(4.0), Seconds::new(2.0)) - 2.0).abs() < 1e-12);
     }
 

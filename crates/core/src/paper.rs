@@ -12,11 +12,7 @@
 //! aggregate speedups, and Figure 13 trade-offs land near the paper's
 //! published values. The calibration arithmetic is documented inline.
 
-use serde::{Deserialize, Serialize};
-
-use crate::category::{
-    CoreComputeOp, CpuCategory, DatacenterTax, Platform, SystemTax,
-};
+use crate::category::{CoreComputeOp, CpuCategory, DatacenterTax, Platform, SystemTax};
 use crate::component::CpuBreakdown;
 use crate::profile::{PlatformProfile, QueryPopulation, QueryRecord};
 use crate::units::{Bytes, Seconds};
@@ -26,7 +22,7 @@ use crate::units::{Bytes, Seconds};
 // ---------------------------------------------------------------------------
 
 /// A RAM : SSD : HDD provisioning ratio (Table 1), normalized to RAM = 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StorageRatio {
     /// RAM petabytes (normalized to 1).
     pub ram: f64,
@@ -37,7 +33,8 @@ pub struct StorageRatio {
 }
 
 impl StorageRatio {
-    /// SSD-to-HDD ratio (the paper notes it is "approx. 10x to 110x").
+    /// SSD-to-HDD ratio (the paper notes it is "approx. 10x to 110x",
+    /// Section 5).
     #[must_use]
     pub fn hdd_per_ssd(&self) -> f64 {
         self.hdd / self.ssd
@@ -50,9 +47,21 @@ impl StorageRatio {
 #[must_use]
 pub fn storage_ratio(platform: Platform) -> StorageRatio {
     match platform {
-        Platform::Spanner => StorageRatio { ram: 1.0, ssd: 8.0, hdd: 90.0 },
-        Platform::BigTable => StorageRatio { ram: 1.0, ssd: 16.0, hdd: 164.0 },
-        Platform::BigQuery => StorageRatio { ram: 1.0, ssd: 7.0, hdd: 777.0 },
+        Platform::Spanner => StorageRatio {
+            ram: 1.0,
+            ssd: 8.0,
+            hdd: 90.0,
+        },
+        Platform::BigTable => StorageRatio {
+            ram: 1.0,
+            ssd: 16.0,
+            hdd: 164.0,
+        },
+        Platform::BigQuery => StorageRatio {
+            ram: 1.0,
+            ssd: 7.0,
+            hdd: 777.0,
+        },
     }
 }
 
@@ -225,6 +234,7 @@ pub fn fleet_breakdown(platform: Platform) -> CpuBreakdown {
         *s /= sum;
     }
     CpuBreakdown::from_shares(Seconds::new(1.0), &shares)
+        // audit: allow(panic, the shares are renormalized above and the static tables are duplicate-free)
         .expect("paper shares are normalized and duplicate-free")
 }
 
@@ -295,8 +305,9 @@ pub fn average_query_payload(platform: Platform) -> Bytes {
 // Figure 2 / Figures 9–10: query populations.
 // ---------------------------------------------------------------------------
 
-/// One synthetic query class used to build a platform's population.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+/// One synthetic query class used to build a platform's population
+/// (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryClass {
     /// Descriptive name (e.g. `"compaction-blocked-tail"`).
     pub name: &'static str,
@@ -315,7 +326,8 @@ pub struct QueryClass {
 }
 
 /// The platform's base query time scale: databases serve millisecond
-/// transactions, the analytics engine second-scale scans.
+/// transactions, the analytics engine second-scale scans (the Figure 2
+/// end-to-end scales).
 #[must_use]
 pub fn base_query_time(platform: Platform) -> Seconds {
     match platform {
@@ -338,28 +350,140 @@ pub fn base_query_time(platform: Platform) -> Seconds {
 pub fn query_classes(platform: Platform) -> Vec<QueryClass> {
     match platform {
         Platform::Spanner => vec![
-            QueryClass { name: "point-txn-compute", weight: 0.02, cpu: 1.0, io: 0.0, remote: 0.0, tilt: 6.5 },
-            QueryClass { name: "txn-cpu-heavy", weight: 0.60, cpu: 0.8, io: 0.12, remote: 0.08, tilt: 3.0 },
-            QueryClass { name: "storage-io-heavy", weight: 0.12, cpu: 0.3, io: 0.55, remote: 0.15, tilt: 1.0 },
-            QueryClass { name: "consensus-remote-heavy", weight: 0.14, cpu: 0.3, io: 0.15, remote: 0.55, tilt: 1.0 },
-            QueryClass { name: "mixed-others", weight: 0.12, cpu: 0.5, io: 0.25, remote: 0.25, tilt: 1.5 },
+            QueryClass {
+                name: "point-txn-compute",
+                weight: 0.02,
+                cpu: 1.0,
+                io: 0.0,
+                remote: 0.0,
+                tilt: 6.5,
+            },
+            QueryClass {
+                name: "txn-cpu-heavy",
+                weight: 0.60,
+                cpu: 0.8,
+                io: 0.12,
+                remote: 0.08,
+                tilt: 3.0,
+            },
+            QueryClass {
+                name: "storage-io-heavy",
+                weight: 0.12,
+                cpu: 0.3,
+                io: 0.55,
+                remote: 0.15,
+                tilt: 1.0,
+            },
+            QueryClass {
+                name: "consensus-remote-heavy",
+                weight: 0.14,
+                cpu: 0.3,
+                io: 0.15,
+                remote: 0.55,
+                tilt: 1.0,
+            },
+            QueryClass {
+                name: "mixed-others",
+                weight: 0.12,
+                cpu: 0.5,
+                io: 0.25,
+                remote: 0.25,
+                tilt: 1.5,
+            },
         ],
         Platform::BigTable => vec![
-            QueryClass { name: "inmem-read-compute", weight: 0.02, cpu: 1.0, io: 0.0, remote: 0.0, tilt: 2.5 },
-            QueryClass { name: "kv-cpu-heavy", weight: 0.63, cpu: 0.8, io: 0.1, remote: 0.1, tilt: 2.5 },
-            QueryClass { name: "sstable-io-heavy", weight: 0.10, cpu: 0.3, io: 0.55, remote: 0.15, tilt: 1.0 },
-            QueryClass { name: "compaction-remote-heavy", weight: 0.145, cpu: 0.3, io: 0.1, remote: 0.6, tilt: 1.0 },
-            QueryClass { name: "mixed-others", weight: 0.10, cpu: 0.5, io: 0.25, remote: 0.25, tilt: 1.5 },
+            QueryClass {
+                name: "inmem-read-compute",
+                weight: 0.02,
+                cpu: 1.0,
+                io: 0.0,
+                remote: 0.0,
+                tilt: 2.5,
+            },
+            QueryClass {
+                name: "kv-cpu-heavy",
+                weight: 0.63,
+                cpu: 0.8,
+                io: 0.1,
+                remote: 0.1,
+                tilt: 2.5,
+            },
+            QueryClass {
+                name: "sstable-io-heavy",
+                weight: 0.10,
+                cpu: 0.3,
+                io: 0.55,
+                remote: 0.15,
+                tilt: 1.0,
+            },
+            QueryClass {
+                name: "compaction-remote-heavy",
+                weight: 0.145,
+                cpu: 0.3,
+                io: 0.1,
+                remote: 0.6,
+                tilt: 1.0,
+            },
+            QueryClass {
+                name: "mixed-others",
+                weight: 0.10,
+                cpu: 0.5,
+                io: 0.25,
+                remote: 0.25,
+                tilt: 1.5,
+            },
             // Rare compaction-blocked query: removing its remote wait exposes
             // a ~3,000x co-design opportunity (the BigTable peak of Fig. 9).
-            QueryClass { name: "compaction-blocked-tail", weight: 0.005, cpu: 0.05, io: 0.5, remote: 18.0, tilt: 3.0 },
+            QueryClass {
+                name: "compaction-blocked-tail",
+                weight: 0.005,
+                cpu: 0.05,
+                io: 0.5,
+                remote: 18.0,
+                tilt: 3.0,
+            },
         ],
         Platform::BigQuery => vec![
-            QueryClass { name: "cached-compute-query", weight: 0.01, cpu: 1.0, io: 0.0, remote: 0.0, tilt: 4.0 },
-            QueryClass { name: "analytic-cpu-heavy", weight: 0.09, cpu: 0.7, io: 0.2, remote: 0.1, tilt: 2.0 },
-            QueryClass { name: "scan-io-heavy", weight: 0.42, cpu: 0.35, io: 0.47, remote: 0.18, tilt: 1.0 },
-            QueryClass { name: "shuffle-remote-heavy", weight: 0.33, cpu: 0.35, io: 0.13, remote: 0.52, tilt: 1.0 },
-            QueryClass { name: "mixed-others", weight: 0.15, cpu: 0.45, io: 0.28, remote: 0.27, tilt: 1.5 },
+            QueryClass {
+                name: "cached-compute-query",
+                weight: 0.01,
+                cpu: 1.0,
+                io: 0.0,
+                remote: 0.0,
+                tilt: 4.0,
+            },
+            QueryClass {
+                name: "analytic-cpu-heavy",
+                weight: 0.09,
+                cpu: 0.7,
+                io: 0.2,
+                remote: 0.1,
+                tilt: 2.0,
+            },
+            QueryClass {
+                name: "scan-io-heavy",
+                weight: 0.42,
+                cpu: 0.35,
+                io: 0.47,
+                remote: 0.18,
+                tilt: 1.0,
+            },
+            QueryClass {
+                name: "shuffle-remote-heavy",
+                weight: 0.33,
+                cpu: 0.35,
+                io: 0.13,
+                remote: 0.52,
+                tilt: 1.0,
+            },
+            QueryClass {
+                name: "mixed-others",
+                weight: 0.15,
+                cpu: 0.45,
+                io: 0.28,
+                remote: 0.27,
+                tilt: 1.5,
+            },
         ],
     }
 }
@@ -368,13 +492,10 @@ pub fn query_classes(platform: Platform) -> Vec<QueryClass> {
 /// `tilt` and the whole breakdown renormalized to the same total.
 ///
 /// This models query classes whose CPU time concentrates more (tilt > 1) in
-/// the accelerable categories than the fleet average does.
+/// the accelerable categories than the fleet average does; the shares being
+/// tilted are the Figure 5 fleet-average composition.
 #[must_use]
-pub fn tilted_breakdown(
-    fleet: &CpuBreakdown,
-    boosted: &[CpuCategory],
-    tilt: f64,
-) -> CpuBreakdown {
+pub fn tilted_breakdown(fleet: &CpuBreakdown, boosted: &[CpuCategory], tilt: f64) -> CpuBreakdown {
     let total = fleet.total();
     let weighted: Vec<(CpuCategory, f64)> = fleet
         .iter()
@@ -393,7 +514,8 @@ pub fn tilted_breakdown(
         .collect()
 }
 
-/// Builds the calibrated query population for one platform.
+/// Builds the calibrated query population for one platform (Figure 2) —
+/// the input to the Figure 9 and Figure 10 sweeps.
 #[must_use]
 pub fn query_population(platform: Platform) -> QueryPopulation {
     let fleet = fleet_breakdown(platform);
@@ -403,8 +525,7 @@ pub fn query_population(platform: Platform) -> QueryPopulation {
         .into_iter()
         .map(|class| {
             let cpu = Seconds::new(class.cpu * base);
-            let breakdown =
-                tilted_breakdown(&fleet, &accel, class.tilt).rescaled(cpu);
+            let breakdown = tilted_breakdown(&fleet, &accel, class.tilt).rescaled(cpu);
             QueryRecord {
                 cpu,
                 io: Seconds::new(class.io * base),
@@ -415,13 +536,19 @@ pub fn query_population(platform: Platform) -> QueryPopulation {
             }
         })
         .collect();
+    // audit: allow(panic, the static class tables for every platform are non-empty)
     QueryPopulation::new(records).expect("paper query classes are non-empty")
 }
 
-/// The full calibrated profile for one platform.
+/// The full calibrated profile for one platform: the Figure 2 population
+/// plus the Figure 5 fleet breakdown.
 #[must_use]
 pub fn platform_profile(platform: Platform) -> PlatformProfile {
-    PlatformProfile::new(platform, query_population(platform), fleet_breakdown(platform))
+    PlatformProfile::new(
+        platform,
+        query_population(platform),
+        fleet_breakdown(platform),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -429,7 +556,7 @@ pub fn platform_profile(platform: Platform) -> PlatformProfile {
 // ---------------------------------------------------------------------------
 
 /// IPC and misses-per-kilo-instruction statistics (Tables 6 and 7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MicroarchStats {
     /// Instructions per cycle.
     pub ipc: f64,
@@ -451,9 +578,33 @@ pub struct MicroarchStats {
 #[must_use]
 pub fn table6(platform: Platform) -> MicroarchStats {
     match platform {
-        Platform::Spanner => MicroarchStats { ipc: 0.7, br: 5.5, l1i: 19.0, l2i: 9.7, llc: 1.2, itlb: 0.5, dtlb_ld: 2.3 },
-        Platform::BigTable => MicroarchStats { ipc: 0.7, br: 6.2, l1i: 18.2, l2i: 11.5, llc: 1.3, itlb: 0.5, dtlb_ld: 2.9 },
-        Platform::BigQuery => MicroarchStats { ipc: 1.2, br: 3.5, l1i: 11.3, l2i: 4.6, llc: 1.0, itlb: 0.4, dtlb_ld: 1.8 },
+        Platform::Spanner => MicroarchStats {
+            ipc: 0.7,
+            br: 5.5,
+            l1i: 19.0,
+            l2i: 9.7,
+            llc: 1.2,
+            itlb: 0.5,
+            dtlb_ld: 2.3,
+        },
+        Platform::BigTable => MicroarchStats {
+            ipc: 0.7,
+            br: 6.2,
+            l1i: 18.2,
+            l2i: 11.5,
+            llc: 1.3,
+            itlb: 0.5,
+            dtlb_ld: 2.9,
+        },
+        Platform::BigQuery => MicroarchStats {
+            ipc: 1.2,
+            br: 3.5,
+            l1i: 11.3,
+            l2i: 4.6,
+            llc: 1.0,
+            itlb: 0.4,
+            dtlb_ld: 1.8,
+        },
     }
 }
 
@@ -462,15 +613,87 @@ pub fn table6(platform: Platform) -> MicroarchStats {
 pub fn table7(platform: Platform, broad: crate::category::BroadCategory) -> MicroarchStats {
     use crate::category::BroadCategory::*;
     match (platform, broad) {
-        (Platform::Spanner, CoreCompute) => MicroarchStats { ipc: 0.9, br: 5.4, l1i: 12.4, l2i: 4.2, llc: 0.6, itlb: 0.2, dtlb_ld: 0.8 },
-        (Platform::Spanner, DatacenterTax) => MicroarchStats { ipc: 0.6, br: 5.5, l1i: 16.7, l2i: 8.0, llc: 1.0, itlb: 0.6, dtlb_ld: 2.0 },
-        (Platform::Spanner, SystemTax) => MicroarchStats { ipc: 0.7, br: 5.5, l1i: 21.6, l2i: 11.8, llc: 1.4, itlb: 0.4, dtlb_ld: 2.7 },
-        (Platform::BigTable, CoreCompute) => MicroarchStats { ipc: 0.6, br: 5.2, l1i: 9.6, l2i: 4.2, llc: 1.0, itlb: 0.2, dtlb_ld: 1.3 },
-        (Platform::BigTable, DatacenterTax) => MicroarchStats { ipc: 0.6, br: 5.3, l1i: 14.7, l2i: 8.4, llc: 1.2, itlb: 0.5, dtlb_ld: 2.1 },
-        (Platform::BigTable, SystemTax) => MicroarchStats { ipc: 0.7, br: 6.9, l1i: 21.9, l2i: 14.7, llc: 1.4, itlb: 0.5, dtlb_ld: 3.6 },
-        (Platform::BigQuery, CoreCompute) => MicroarchStats { ipc: 1.4, br: 2.0, l1i: 1.1, l2i: 0.4, llc: 0.3, itlb: 0.1, dtlb_ld: 0.6 },
-        (Platform::BigQuery, DatacenterTax) => MicroarchStats { ipc: 1.0, br: 3.8, l1i: 13.6, l2i: 3.4, llc: 1.1, itlb: 0.6, dtlb_ld: 2.2 },
-        (Platform::BigQuery, SystemTax) => MicroarchStats { ipc: 1.0, br: 3.5, l1i: 10.8, l2i: 6.0, llc: 1.1, itlb: 0.2, dtlb_ld: 1.7 },
+        (Platform::Spanner, CoreCompute) => MicroarchStats {
+            ipc: 0.9,
+            br: 5.4,
+            l1i: 12.4,
+            l2i: 4.2,
+            llc: 0.6,
+            itlb: 0.2,
+            dtlb_ld: 0.8,
+        },
+        (Platform::Spanner, DatacenterTax) => MicroarchStats {
+            ipc: 0.6,
+            br: 5.5,
+            l1i: 16.7,
+            l2i: 8.0,
+            llc: 1.0,
+            itlb: 0.6,
+            dtlb_ld: 2.0,
+        },
+        (Platform::Spanner, SystemTax) => MicroarchStats {
+            ipc: 0.7,
+            br: 5.5,
+            l1i: 21.6,
+            l2i: 11.8,
+            llc: 1.4,
+            itlb: 0.4,
+            dtlb_ld: 2.7,
+        },
+        (Platform::BigTable, CoreCompute) => MicroarchStats {
+            ipc: 0.6,
+            br: 5.2,
+            l1i: 9.6,
+            l2i: 4.2,
+            llc: 1.0,
+            itlb: 0.2,
+            dtlb_ld: 1.3,
+        },
+        (Platform::BigTable, DatacenterTax) => MicroarchStats {
+            ipc: 0.6,
+            br: 5.3,
+            l1i: 14.7,
+            l2i: 8.4,
+            llc: 1.2,
+            itlb: 0.5,
+            dtlb_ld: 2.1,
+        },
+        (Platform::BigTable, SystemTax) => MicroarchStats {
+            ipc: 0.7,
+            br: 6.9,
+            l1i: 21.9,
+            l2i: 14.7,
+            llc: 1.4,
+            itlb: 0.5,
+            dtlb_ld: 3.6,
+        },
+        (Platform::BigQuery, CoreCompute) => MicroarchStats {
+            ipc: 1.4,
+            br: 2.0,
+            l1i: 1.1,
+            l2i: 0.4,
+            llc: 0.3,
+            itlb: 0.1,
+            dtlb_ld: 0.6,
+        },
+        (Platform::BigQuery, DatacenterTax) => MicroarchStats {
+            ipc: 1.0,
+            br: 3.8,
+            l1i: 13.6,
+            l2i: 3.4,
+            llc: 1.1,
+            itlb: 0.6,
+            dtlb_ld: 2.2,
+        },
+        (Platform::BigQuery, SystemTax) => MicroarchStats {
+            ipc: 1.0,
+            br: 3.5,
+            l1i: 10.8,
+            l2i: 6.0,
+            llc: 1.1,
+            itlb: 0.2,
+            dtlb_ld: 1.7,
+        },
     }
 }
 
@@ -487,7 +710,7 @@ pub fn table7(platform: Platform, broad: crate::category::BroadCategory) -> Micr
 /// EXPERIMENTS.md. The qualitative result the figure shows — holistic
 /// synchronous acceleration of 1.5x–1.7x, with chaining bottlenecked by the
 /// modest memory-allocation speedup — is preserved.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PriorAccelerator {
     /// Short name (e.g. `"Mallacc"`).
     pub name: &'static str,
@@ -544,7 +767,7 @@ pub fn prior_accelerators(platform: Platform) -> Vec<PriorAccelerator> {
 // ---------------------------------------------------------------------------
 
 /// The measured RISC-V RTL numbers of Table 8 (microseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table8 {
     /// Protobuf serialization CPU time `t_sub`.
     pub proto_tsub_us: f64,
@@ -637,7 +860,10 @@ mod tests {
     #[test]
     fn datacenter_tax_anchors() {
         // RPC 23 / 37 / 11.
-        assert_eq!(datacenter_tax_shares(Platform::Spanner)[0], (DatacenterTax::Rpc, 0.23));
+        assert_eq!(
+            datacenter_tax_shares(Platform::Spanner)[0],
+            (DatacenterTax::Rpc, 0.23)
+        );
         let bt: Vec<_> = datacenter_tax_shares(Platform::BigTable);
         assert!(bt.contains(&(DatacenterTax::Rpc, 0.37)));
         let bq: Vec<_> = datacenter_tax_shares(Platform::BigQuery);
@@ -686,8 +912,15 @@ mod tests {
         for p in [Platform::Spanner, Platform::BigTable] {
             let pop = query_population(p);
             let rows = pop.e2e_breakdown();
-            let cpu_row = rows.iter().find(|r| r.group == QueryGroup::CpuHeavy).unwrap();
-            assert!(cpu_row.query_fraction > 0.60, "{p}: {}", cpu_row.query_fraction);
+            let cpu_row = rows
+                .iter()
+                .find(|r| r.group == QueryGroup::CpuHeavy)
+                .unwrap();
+            assert!(
+                cpu_row.query_fraction > 0.60,
+                "{p}: {}",
+                cpu_row.query_fraction
+            );
         }
         let bq = query_population(Platform::BigQuery).e2e_breakdown();
         let cpu_row = bq.iter().find(|r| r.group == QueryGroup::CpuHeavy).unwrap();
@@ -763,10 +996,12 @@ mod tests {
         // t_chnd = max setups + max(t_sub/s); t'_cpu = t_chnd + t_nacc.
         let t8 = TABLE8;
         let chnd = t8.proto_setup_us.max(t8.sha3_setup_us)
-            + (t8.proto_tsub_us / t8.proto_speedup)
-                .max(t8.sha3_tsub_us / t8.sha3_speedup);
+            + (t8.proto_tsub_us / t8.proto_speedup).max(t8.sha3_tsub_us / t8.sha3_speedup);
         let modeled = chnd + t8.nacc_cpu_us;
-        assert!((modeled - t8.modeled_chained_us).abs() < 0.5, "modeled {modeled}");
+        assert!(
+            (modeled - t8.modeled_chained_us).abs() < 0.5,
+            "modeled {modeled}"
+        );
         // Paper: 6.1% difference from measured.
         let diff = (modeled - t8.measured_chained_us) / t8.measured_chained_us;
         assert!((diff - 0.061).abs() < 0.005, "diff {diff}");

@@ -13,8 +13,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::accel::{AcceleratorSpec, OverlapFactor, Placement, Speedup};
 use crate::category::CpuCategory;
 use crate::chained::{chain_estimate, ChainStage};
@@ -24,7 +22,7 @@ use crate::model::{accelerated_end_to_end_time, speedup_ratio, QueryPhases};
 use crate::units::{Bytes, Seconds};
 
 /// How accelerator invocations relate to one another (Section 6.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InvocationModel {
     /// Strict serial dependency between the core and every accelerator.
     #[default]
@@ -50,7 +48,7 @@ impl std::fmt::Display for InvocationModel {
 }
 
 /// Per-component outcome of a plan evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentEstimate {
     /// The component.
     pub category: CpuCategory,
@@ -63,7 +61,7 @@ pub struct ComponentEstimate {
 }
 
 /// The accelerated CPU time and its decomposition (Equations 3–12).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuEstimate {
     /// `t_acc` — combined accelerated-component time (Eq. 5), or `t_chnd`
     /// for a chained plan (Eq. 10).
@@ -78,7 +76,7 @@ pub struct CpuEstimate {
 }
 
 /// Full end-to-end outcome of applying a plan to one query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanOutcome {
     /// Original end-to-end time (Eq. 1).
     pub original_e2e: Seconds,
@@ -118,7 +116,7 @@ pub struct PlanOutcome {
 /// assert!(outcome.speedup > 7.9);
 /// # Ok::<(), hsdp_core::error::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AccelerationPlan {
     assignments: BTreeMap<CpuCategory, AcceleratorSpec>,
     invocation: InvocationModel,
@@ -283,9 +281,7 @@ impl AccelerationPlan {
         match self.invocation {
             InvocationModel::Synchronous => OverlapFactor::SYNCHRONOUS.value(),
             InvocationModel::Asynchronous => OverlapFactor::ASYNCHRONOUS.value(),
-            InvocationModel::PerComponent | InvocationModel::Chained => {
-                spec.overlap().value()
-            }
+            InvocationModel::PerComponent | InvocationModel::Chained => spec.overlap().value(),
         }
     }
 
@@ -296,11 +292,7 @@ impl AccelerationPlan {
     /// treated as unaccelerated (it joins `t_nacc`). If the breakdown's total
     /// exceeds `total_cpu`, the breakdown is authoritative.
     #[must_use]
-    pub fn accelerated_cpu(
-        &self,
-        total_cpu: Seconds,
-        breakdown: &CpuBreakdown,
-    ) -> CpuEstimate {
+    pub fn accelerated_cpu(&self, total_cpu: Seconds, breakdown: &CpuBreakdown) -> CpuEstimate {
         let covered = breakdown.total();
         let uncovered = total_cpu - covered; // saturating
 
@@ -340,6 +332,7 @@ impl AccelerationPlan {
             match chain_estimate(&chain_stages) {
                 Ok(est) => est.chained_time,
                 Err(ModelError::EmptyChain) => Seconds::ZERO,
+                // audit: allow(panic, EmptyChain is chain_estimate's only error variant and is handled above)
                 Err(_) => unreachable!("chain_estimate only fails on empty chains"),
             }
         } else if components.is_empty() {

@@ -8,8 +8,6 @@
 //! groups (Figure 2), and evaluates acceleration plans over the whole
 //! population.
 
-use serde::{Deserialize, Serialize};
-
 use crate::accel::OverlapFactor;
 use crate::category::Platform;
 use crate::component::CpuBreakdown;
@@ -23,7 +21,7 @@ use crate::units::Seconds;
 /// Classification thresholds per Section 4.2: CPU-heavy queries spend more
 /// than 60% of end-to-end time on CPU; IO-heavy and remote-work-heavy queries
 /// spend more than 30% on distributed storage or remote work, respectively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum QueryGroup {
     /// More than 60% of time on CPU computation.
     CpuHeavy,
@@ -75,7 +73,7 @@ impl std::fmt::Display for QueryGroup {
 }
 
 /// One query (or weighted query class) in a population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryRecord {
     /// CPU time.
     pub cpu: Seconds,
@@ -154,7 +152,7 @@ impl QueryRecord {
 
 /// One row of the Figure 2 chart: a query group's population share and its
 /// average end-to-end time composition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupBreakdown {
     /// The group.
     pub group: QueryGroup,
@@ -169,7 +167,7 @@ pub struct GroupBreakdown {
 }
 
 /// A weighted population of queries for one platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryPopulation {
     records: Vec<QueryRecord>,
 }
@@ -274,8 +272,7 @@ impl QueryPopulation {
             .map(|r| {
                 let original = r.end_to_end();
                 let stripped = r.phases().without_dependencies();
-                let accelerated =
-                    plan.evaluate(&stripped, &r.breakdown).accelerated_e2e;
+                let accelerated = plan.evaluate(&stripped, &r.breakdown).accelerated_e2e;
                 speedup_ratio(original, accelerated)
             })
             .fold(1.0, f64::max)
@@ -325,7 +322,11 @@ impl QueryPopulation {
             let (cpu, io, remote, e2e) = weighted_phase_sums(&members);
             rows.push(GroupBreakdown {
                 group,
-                query_fraction: if total_weight > 0.0 { weight / total_weight } else { 0.0 },
+                query_fraction: if total_weight > 0.0 {
+                    weight / total_weight
+                } else {
+                    0.0
+                },
                 cpu_share: share(cpu, e2e),
                 remote_share: share(remote, e2e),
                 io_share: share(io, e2e),
@@ -378,7 +379,7 @@ fn share(part: Seconds, whole: Seconds) -> f64 {
 
 /// A platform together with its query population and fleet CPU breakdown —
 /// everything the limit studies need.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformProfile {
     /// Which platform this profile describes.
     pub platform: Platform,
@@ -469,11 +470,9 @@ mod tests {
 
     #[test]
     fn aggregate_speedup_weights_by_time() {
-        let pop = QueryPopulation::new(vec![
-            record(1.0, 0.0, 0.0, 1.0),
-            record(1.0, 9.0, 0.0, 1.0),
-        ])
-        .unwrap();
+        let pop =
+            QueryPopulation::new(vec![record(1.0, 0.0, 0.0, 1.0), record(1.0, 9.0, 0.0, 1.0)])
+                .unwrap();
         let plan = AccelerationPlan::uniform(
             [
                 CpuCategory::from(CoreComputeOp::Read),
@@ -524,11 +523,9 @@ mod tests {
 
     #[test]
     fn group_population_roundtrip() {
-        let pop = QueryPopulation::new(vec![
-            record(7.0, 2.0, 1.0, 1.0),
-            record(1.0, 8.0, 1.0, 1.0),
-        ])
-        .unwrap();
+        let pop =
+            QueryPopulation::new(vec![record(7.0, 2.0, 1.0, 1.0), record(1.0, 8.0, 1.0, 1.0)])
+                .unwrap();
         let cpu_pop = pop.group_population(QueryGroup::CpuHeavy).unwrap();
         assert_eq!(cpu_pop.len(), 1);
         assert!(pop.group_population(QueryGroup::RemoteWorkHeavy).is_none());
@@ -536,11 +533,9 @@ mod tests {
 
     #[test]
     fn fleet_breakdown_weights_records() {
-        let pop = QueryPopulation::new(vec![
-            record(1.0, 0.0, 0.0, 3.0),
-            record(2.0, 0.0, 0.0, 1.0),
-        ])
-        .unwrap();
+        let pop =
+            QueryPopulation::new(vec![record(1.0, 0.0, 0.0, 3.0), record(2.0, 0.0, 0.0, 1.0)])
+                .unwrap();
         let fleet = pop.fleet_breakdown();
         // Total CPU = 3*1 + 1*2 = 5, split evenly between the two categories.
         assert!((fleet.total().as_secs() - 5.0).abs() < 1e-9);

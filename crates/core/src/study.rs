@@ -12,8 +12,6 @@
 //! - [`prior_accelerator_study`] — Figure 15: published accelerators,
 //!   individually and combined.
 
-use serde::{Deserialize, Serialize};
-
 use crate::accel::{AcceleratorSpec, Placement, Speedup};
 use crate::category::{CpuCategory, Platform};
 use crate::paper;
@@ -22,7 +20,7 @@ use crate::profile::{QueryGroup, QueryPopulation};
 use crate::units::{Bytes, Seconds};
 
 /// A named accelerator-system configuration (the four lines of Figure 13).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcceleratorConfig {
     /// Display name (e.g. `"Sync + Off-Chip"`).
     pub name: &'static str,
@@ -63,7 +61,8 @@ impl AcceleratorConfig {
 }
 
 /// Builds a plan assigning the same accelerator (speedup, setup, payload,
-/// placement) to every category, under the configuration's invocation model.
+/// placement) to every category, under the configuration's invocation model
+/// — the uniform-accelerator configuration swept in Figures 9 and 10.
 #[must_use]
 pub fn build_plan(
     categories: &[CpuCategory],
@@ -85,7 +84,7 @@ pub fn build_plan(
 }
 
 /// One point of a Figure 9-style sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// Per-accelerator speedup `s_sub` at this point.
     pub accel_speedup: f64,
@@ -106,11 +105,12 @@ pub fn speedup_sweep(
     categories: &[CpuCategory],
     speedups: &[f64],
 ) -> Vec<SweepPoint> {
-    speedups
+    let points: Vec<SweepPoint> = speedups
         .iter()
         .map(|&s| {
             let plan = build_plan(
                 categories,
+                // audit: allow(panic, the max(1.0) clamp guarantees a valid speedup)
                 Speedup::new(s.max(1.0)).expect("sweep speedups are >= 1"),
                 Seconds::ZERO,
                 Bytes::ZERO,
@@ -127,7 +127,23 @@ pub fn speedup_sweep(
                 peak_without_deps: population.peak_codesign_speedup(&plan),
             }
         })
-        .collect()
+        .collect();
+    debug_assert!(
+        {
+            let with: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (p.accel_speedup, p.with_deps))
+                .collect();
+            let without: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (p.accel_speedup, p.without_deps))
+                .collect();
+            crate::audit::check_speedup_curve("Figure 9 with dependencies", &with).is_empty()
+                && crate::audit::check_speedup_curve("Figure 9 co-design", &without).is_empty()
+        },
+        "Figure 9 sweep violated the Eq. 9 speedup bound or monotonicity"
+    );
+    points
 }
 
 /// The default sweep grid of Figures 9–10 (1x to 64x).
@@ -138,7 +154,7 @@ pub fn default_speedup_grid() -> Vec<f64> {
 
 /// One series of the Figure 10 chart: a query group's co-design speedups
 /// across the sweep grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupSweep {
     /// The query group.
     pub group: QueryGroup,
@@ -163,6 +179,7 @@ pub fn grouped_sweep(
                 .map(|&s| {
                     let plan = build_plan(
                         categories,
+                        // audit: allow(panic, the max(1.0) clamp guarantees a valid speedup)
                         Speedup::new(s.max(1.0)).expect("sweep speedups are >= 1"),
                         Seconds::ZERO,
                         Bytes::ZERO,
@@ -182,7 +199,7 @@ pub fn grouped_sweep(
 
 /// One step of the Figure 13 incremental study: the speedup of each
 /// configuration once accelerators up to and including `added` are active.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureStep {
     /// The accelerator added at this step.
     pub added: CpuCategory,
@@ -204,17 +221,17 @@ pub const FEATURE_STUDY_SPEEDUP: f64 = 8.0;
 pub fn feature_study(platform: Platform, population: &QueryPopulation) -> Vec<FeatureStep> {
     let order = paper::incremental_accelerator_order(platform);
     let payload = paper::average_query_payload(platform);
+    // audit: allow(panic, FEATURE_STUDY_SPEEDUP is a compile-time constant >= 1)
     let speedup = Speedup::new(FEATURE_STUDY_SPEEDUP).expect("constant is >= 1");
     let configs = AcceleratorConfig::figure13_set();
 
-    (1..=order.len())
+    let steps: Vec<FeatureStep> = (1..=order.len())
         .map(|n| {
             let active = &order[..n];
             let speedups = configs
                 .iter()
                 .map(|&config| {
-                    let plan =
-                        build_plan(active, speedup, Seconds::ZERO, payload, config);
+                    let plan = build_plan(active, speedup, Seconds::ZERO, payload, config);
                     (config.name, population.aggregate_speedup(&plan))
                 })
                 .collect();
@@ -223,11 +240,31 @@ pub fn feature_study(platform: Platform, population: &QueryPopulation) -> Vec<Fe
                 speedups,
             }
         })
-        .collect()
+        .collect();
+    // Off-chip configurations pay a payload round-trip and may legitimately
+    // dip below 1x, but the zero-setup on-chip series must be monotone in
+    // the offloaded fraction (Eq. 9).
+    debug_assert!(
+        {
+            let on_chip: Vec<(f64, f64)> = steps
+                .iter()
+                .enumerate()
+                .filter_map(|(i, step)| {
+                    step.speedups
+                        .iter()
+                        .find(|(name, _)| *name == "Sync + On-Chip")
+                        .map(|&(_, s)| (i as f64, s))
+                })
+                .collect();
+            crate::audit::check_speedup_curve("Figure 13 Sync + On-Chip", &on_chip).is_empty()
+        },
+        "Figure 13 on-chip series violated Eq. 9 monotonicity in the offload fraction"
+    );
+    steps
 }
 
 /// One point of the Figure 14 setup-time sweep.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetupPoint {
     /// The per-accelerator setup time at this point.
     pub setup: Seconds,
@@ -254,6 +291,7 @@ pub fn setup_sweep(
 ) -> Vec<SetupPoint> {
     let categories = paper::accelerated_categories(platform);
     let payload = paper::average_query_payload(platform);
+    // audit: allow(panic, FEATURE_STUDY_SPEEDUP is a compile-time constant >= 1)
     let speedup = Speedup::new(FEATURE_STUDY_SPEEDUP).expect("constant is >= 1");
     let configs = AcceleratorConfig::figure13_set();
 
@@ -274,7 +312,7 @@ pub fn setup_sweep(
 
 /// One bar group of Figure 15: a prior accelerator evaluated alone (or the
 /// full roster combined), under synchronous and chained on-chip execution.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PriorAcceleratorPoint {
     /// Accelerator name, or `"Combined"` for the full roster.
     pub name: &'static str,
@@ -298,6 +336,7 @@ pub fn prior_accelerator_study(
         let mut sync_plan = AccelerationPlan::new(InvocationModel::Synchronous);
         for acc in accs {
             let spec = AcceleratorSpec::ideal(
+                // audit: allow(panic, the max(1.0) clamp guarantees a valid speedup)
                 Speedup::new(acc.speedup.max(1.0)).expect("published speedups are >= 1"),
             );
             for &target in &acc.targets {
@@ -312,10 +351,8 @@ pub fn prior_accelerator_study(
         }
     };
 
-    let mut points: Vec<PriorAcceleratorPoint> = roster
-        .iter()
-        .map(|acc| eval(&[acc], acc.name))
-        .collect();
+    let mut points: Vec<PriorAcceleratorPoint> =
+        roster.iter().map(|acc| eval(&[acc], acc.name)).collect();
     let all: Vec<&paper::PriorAccelerator> = roster.iter().collect();
     points.push(eval(&all, "Combined"));
     points
@@ -411,8 +448,18 @@ mod tests {
         let pop = query_population(Platform::Spanner);
         let steps = feature_study(Platform::Spanner, &pop);
         for pair in steps.windows(2) {
-            let prev = pair[0].speedups.iter().find(|(n, _)| *n == "Sync + On-Chip").unwrap().1;
-            let next = pair[1].speedups.iter().find(|(n, _)| *n == "Sync + On-Chip").unwrap().1;
+            let prev = pair[0]
+                .speedups
+                .iter()
+                .find(|(n, _)| *n == "Sync + On-Chip")
+                .unwrap()
+                .1;
+            let next = pair[1]
+                .speedups
+                .iter()
+                .find(|(n, _)| *n == "Sync + On-Chip")
+                .unwrap()
+                .1;
             assert!(next >= prev - 1e-9);
         }
     }
@@ -423,9 +470,8 @@ mod tests {
         let points = setup_sweep(Platform::Spanner, &pop, &default_setup_grid());
         let first = &points[0];
         let last = points.last().unwrap();
-        let get = |pt: &SetupPoint, name: &str| {
-            pt.speedups.iter().find(|(n, _)| *n == name).unwrap().1
-        };
+        let get =
+            |pt: &SetupPoint, name: &str| pt.speedups.iter().find(|(n, _)| *n == name).unwrap().1;
         // Tiny setup: sync on-chip speedup is healthy.
         assert!(get(first, "Sync + On-Chip") > 1.5);
         // Huge (100 ms) setup on 10 ms queries: sync collapses below 1x.

@@ -11,8 +11,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 
 /// A span of time in seconds.
@@ -24,7 +22,7 @@ use crate::error::ModelError;
 /// let t = Seconds::from_micros(518.3);
 /// assert!((t.as_secs() - 518.3e-6).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Seconds(f64);
 
 impl Seconds {
@@ -39,6 +37,7 @@ impl Seconds {
     /// for fallible construction.
     #[must_use]
     pub fn new(secs: f64) -> Self {
+        // audit: allow(panic, documented panic contract; try_new is the fallible form)
         Self::try_new(secs).expect("Seconds::new requires a finite, non-negative value")
     }
 
@@ -213,7 +212,7 @@ impl fmt::Display for Seconds {
 /// let t = link.transfer_time(payload);
 /// assert!(t.as_secs() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Bytes(f64);
 
 impl Bytes {
@@ -227,6 +226,7 @@ impl Bytes {
     /// Panics if `bytes` is negative, NaN or infinite.
     #[must_use]
     pub fn new(bytes: f64) -> Self {
+        // audit: allow(panic, documented panic contract; try_new is the fallible form)
         Self::try_new(bytes).expect("Bytes::new requires a finite, non-negative value")
     }
 
@@ -345,7 +345,7 @@ impl fmt::Display for Bytes {
 }
 
 /// A link bandwidth (the `BW_i` of Equation 8), in bytes per second.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {
@@ -358,6 +358,7 @@ impl Bandwidth {
     #[must_use]
     pub fn new(bytes_per_sec: f64) -> Self {
         Self::try_new(bytes_per_sec)
+            // audit: allow(panic, documented panic contract; try_new is the fallible form)
             .expect("Bandwidth::new requires a positive, finite value")
     }
 
@@ -475,10 +476,7 @@ mod tests {
         assert_eq!(Bytes::from_mib(1.0).as_f64(), 1024.0 * 1024.0);
         assert_eq!(Bytes::from_gib(1.0).as_f64(), 1024f64.powi(3));
         assert_eq!(Bytes::from_pib(1.0).as_f64(), 1024f64.powi(5));
-        assert_eq!(
-            Bytes::from_mib(2.0).ratio(Bytes::from_mib(1.0)),
-            Some(2.0)
-        );
+        assert_eq!(Bytes::from_mib(2.0).ratio(Bytes::from_mib(1.0)), Some(2.0));
         assert_eq!(Bytes::from_mib(2.0).ratio(Bytes::ZERO), None);
     }
 

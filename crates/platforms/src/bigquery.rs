@@ -121,7 +121,10 @@ impl BigQuery {
                     (key, bytes, *raw as u64)
                 })
                 .collect();
-            self.partitions.push(StoredPartition { table, column_files });
+            self.partitions.push(StoredPartition {
+                table,
+                column_files,
+            });
         }
     }
 
@@ -139,7 +142,12 @@ impl BigQuery {
 
     /// Per-worker column scan: charges IO + decompress + decode for the
     /// given column indexes, returns the worker's IO time.
-    fn scan_columns(&mut self, worker: usize, columns: &[usize], meter: &mut WorkMeter) -> SimDuration {
+    fn scan_columns(
+        &mut self,
+        worker: usize,
+        columns: &[usize],
+        meter: &mut WorkMeter,
+    ) -> SimDuration {
         let mut io = SimDuration::ZERO;
         let rows = self.partitions[worker].table.rows() as u64;
         for &c in columns {
@@ -155,16 +163,61 @@ impl BigQuery {
                     .read(key << 16 | chunk, chunk_bytes)
                     .latency;
             }
-            meter.charge_ops(SystemTax::FileSystems, "dfs_read", chunks, costs::FS_CLIENT_NS_PER_OP);
-            meter.charge_bytes(SystemTax::FileSystems, "dfs_read", compressed, costs::FS_CLIENT_NS_PER_BYTE);
-            meter.charge_ops(SystemTax::OperatingSystems, "sys_read", chunks, costs::SYSCALL_NS);
-            meter.charge_bytes(DatacenterTax::Compression, "column_decompress", raw, costs::DECOMPRESS_NS_PER_BYTE);
-            meter.charge_ops(CoreComputeOp::Destructure, "column_decode", rows, costs::DESTRUCTURE_NS_PER_VALUE);
-            meter.charge_ops(CoreComputeOp::Project, "column_project", rows, costs::PROJECT_NS_PER_VALUE);
-            meter.charge_ops(DatacenterTax::MemAllocation, "column_alloc", 2, costs::MALLOC_NS_PER_OP);
-            meter.charge_bytes(DatacenterTax::DataMovement, "memcpy", raw, costs::MEMCPY_NS_PER_BYTE);
+            meter.charge_ops(
+                SystemTax::FileSystems,
+                "dfs_read",
+                chunks,
+                costs::FS_CLIENT_NS_PER_OP,
+            );
+            meter.charge_bytes(
+                SystemTax::FileSystems,
+                "dfs_read",
+                compressed,
+                costs::FS_CLIENT_NS_PER_BYTE,
+            );
+            meter.charge_ops(
+                SystemTax::OperatingSystems,
+                "sys_read",
+                chunks,
+                costs::SYSCALL_NS,
+            );
+            meter.charge_bytes(
+                DatacenterTax::Compression,
+                "column_decompress",
+                raw,
+                costs::DECOMPRESS_NS_PER_BYTE,
+            );
+            meter.charge_ops(
+                CoreComputeOp::Destructure,
+                "column_decode",
+                rows,
+                costs::DESTRUCTURE_NS_PER_VALUE,
+            );
+            meter.charge_ops(
+                CoreComputeOp::Project,
+                "column_project",
+                rows,
+                costs::PROJECT_NS_PER_VALUE,
+            );
+            meter.charge_ops(
+                DatacenterTax::MemAllocation,
+                "column_alloc",
+                2,
+                costs::MALLOC_NS_PER_OP,
+            );
+            meter.charge_bytes(
+                DatacenterTax::DataMovement,
+                "memcpy",
+                raw,
+                costs::MEMCPY_NS_PER_BYTE,
+            );
         }
-        meter.charge_ops(SystemTax::Stl, "vector_ops", rows * columns.len() as u64, 12.0);
+        meter.charge_ops(
+            SystemTax::Stl,
+            "vector_ops",
+            rows * columns.len() as u64,
+            12.0,
+        );
         io
     }
 
@@ -174,24 +227,65 @@ impl BigQuery {
     fn shuffle(&mut self, meter: &mut WorkMeter, bytes_per_worker: u64, salt: u64) -> SimDuration {
         let mut slowest = SimDuration::ZERO;
         for w in 0..self.config.workers {
-            meter.charge_bytes(DatacenterTax::Protobuf, "shuffle_serialize", bytes_per_worker, costs::PROTO_ENCODE_NS_PER_BYTE);
-            meter.charge_bytes(DatacenterTax::Compression, "shuffle_compress", bytes_per_worker, costs::COMPRESS_NS_PER_BYTE);
+            meter.charge_bytes(
+                DatacenterTax::Protobuf,
+                "shuffle_serialize",
+                bytes_per_worker,
+                costs::PROTO_ENCODE_NS_PER_BYTE,
+            );
+            meter.charge_bytes(
+                DatacenterTax::Compression,
+                "shuffle_compress",
+                bytes_per_worker,
+                costs::COMPRESS_NS_PER_BYTE,
+            );
             meter.charge_ops(DatacenterTax::Rpc, "shuffle_send", 1, costs::RPC_FIXED_NS);
-            meter.charge_bytes(DatacenterTax::Rpc, "shuffle_send", bytes_per_worker, costs::RPC_NS_PER_BYTE);
-            meter.charge_ops(SystemTax::Networking, "tcp_process", 2, costs::NET_PROCESS_NS_PER_MSG);
-            meter.charge_ops(SystemTax::OperatingSystems, "sys_sendmsg", 2, costs::SYSCALL_NS);
-            meter.charge_ops(SystemTax::Multithreading, "task_handoff", 1, costs::THREAD_HANDOFF_NS);
-            meter.charge_ops(SystemTax::Stl, "string_buffer_ops", 1, costs::STL_NS_PER_MSG);
+            meter.charge_bytes(
+                DatacenterTax::Rpc,
+                "shuffle_send",
+                bytes_per_worker,
+                costs::RPC_NS_PER_BYTE,
+            );
+            meter.charge_ops(
+                SystemTax::Networking,
+                "tcp_process",
+                2,
+                costs::NET_PROCESS_NS_PER_MSG,
+            );
+            meter.charge_ops(
+                SystemTax::OperatingSystems,
+                "sys_sendmsg",
+                2,
+                costs::SYSCALL_NS,
+            );
+            meter.charge_ops(
+                SystemTax::Multithreading,
+                "task_handoff",
+                1,
+                costs::THREAD_HANDOFF_NS,
+            );
+            meter.charge_ops(
+                SystemTax::Stl,
+                "string_buffer_ops",
+                1,
+                costs::STL_NS_PER_MSG,
+            );
             meter.charge_bytes(
                 DatacenterTax::Cryptography,
                 "shuffle_digest",
                 bytes_per_worker / 2,
                 costs::SHA3_NS_PER_BYTE,
             );
-            meter.charge_ops(SystemTax::OtherMemoryOps, "page_ops", 1, costs::OTHER_MEM_NS_PER_QUERY);
-            let t = self
-                .shuffle_net
-                .one_way(bytes_per_worker, self.seed ^ salt.wrapping_add(w as u64 * 131));
+            meter.charge_ops(
+                SystemTax::OtherMemoryOps,
+                "page_ops",
+                1,
+                costs::OTHER_MEM_NS_PER_QUERY,
+            );
+            let t = self.shuffle_net.one_way(
+                bytes_per_worker,
+                self.seed ^ salt.wrapping_add(w as u64 * 131),
+            );
             slowest = slowest.max(t);
         }
         // Stage-2 ingest: decode what was sent.
@@ -207,16 +301,36 @@ impl BigQuery {
     /// Returns small result sets to the coordinator over the ordinary
     /// cluster fabric (unlike the heavyweight shuffle).
     fn collect_results(&mut self, meter: &mut WorkMeter, bytes: u64, salt: u64) -> SimDuration {
-        meter.charge_bytes(DatacenterTax::Protobuf, "result_serialize", bytes, costs::PROTO_ENCODE_NS_PER_BYTE);
+        meter.charge_bytes(
+            DatacenterTax::Protobuf,
+            "result_serialize",
+            bytes,
+            costs::PROTO_ENCODE_NS_PER_BYTE,
+        );
         meter.charge_ops(DatacenterTax::Rpc, "result_send", 1, costs::RPC_FIXED_NS);
-        meter.charge_ops(SystemTax::Networking, "tcp_process", 1, costs::NET_PROCESS_NS_PER_MSG);
-        meter.charge_ops(SystemTax::OperatingSystems, "sys_sendmsg", 1, costs::SYSCALL_NS);
+        meter.charge_ops(
+            SystemTax::Networking,
+            "tcp_process",
+            1,
+            costs::NET_PROCESS_NS_PER_MSG,
+        );
+        meter.charge_ops(
+            SystemTax::OperatingSystems,
+            "sys_sendmsg",
+            1,
+            costs::SYSCALL_NS,
+        );
         self.net.one_way(bytes, self.seed ^ salt)
     }
 
-    fn start_query(&mut self, name: &'static str) -> (hsdp_rpc::span::TraceId, hsdp_rpc::tracer::OpenSpan) {
+    fn start_query(
+        &mut self,
+        name: &'static str,
+    ) -> (hsdp_rpc::span::TraceId, hsdp_rpc::tracer::OpenSpan) {
         let trace = self.tracer.new_trace();
-        let root = self.tracer.start(trace, None, name, SpanKind::Container, self.clock);
+        let root = self
+            .tracer
+            .start(trace, None, name, SpanKind::Container, self.clock);
         (trace, root)
     }
 
@@ -233,24 +347,39 @@ impl BigQuery {
         // the per-worker stripe. Column decode pipelines with the fetch, so
         // the CPU span starts halfway through the IO span (the overlap the
         // Section 4.1 attribution rule then charges to IO).
-        let cpu_wall = SimDuration::from_nanos(
-            meter.total().as_nanos() / self.config.workers as u64,
-        );
+        let cpu_wall =
+            SimDuration::from_nanos(meter.total().as_nanos() / self.config.workers as u64);
         if !io_time.is_zero() {
-            let io_span = self.tracer.start(trace, Some(root.id()), "column_io", SpanKind::Io, self.clock);
+            let io_span = self.tracer.start(
+                trace,
+                Some(root.id()),
+                "column_io",
+                SpanKind::Io,
+                self.clock,
+            );
             let io_end = self.clock + io_time;
             let cpu_start = self.clock + SimDuration::from_nanos(io_time.as_nanos() / 2);
-            let cpu_span = self.tracer.start(trace, Some(root.id()), "cpu", SpanKind::Cpu, cpu_start);
+            let cpu_span =
+                self.tracer
+                    .start(trace, Some(root.id()), "cpu", SpanKind::Cpu, cpu_start);
             self.tracer.finish(io_span, io_end);
             self.clock = (cpu_start + cpu_wall).max(io_end);
             self.tracer.finish(cpu_span, cpu_start + cpu_wall);
         } else {
-            let cpu_span = self.tracer.start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
+            let cpu_span =
+                self.tracer
+                    .start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
             self.clock += cpu_wall;
             self.tracer.finish(cpu_span, self.clock);
         }
         if !shuffle_time.is_zero() {
-            let remote = self.tracer.start(trace, Some(root.id()), "shuffle", SpanKind::RemoteWork, self.clock);
+            let remote = self.tracer.start(
+                trace,
+                Some(root.id()),
+                "shuffle",
+                SpanKind::RemoteWork,
+                self.clock,
+            );
             self.clock += shuffle_time;
             self.tracer.finish(remote, self.clock);
         }
@@ -283,24 +412,43 @@ impl BigQuery {
             let (Column::Float64(latency), Column::Str(urls), Column::Bool(success)) =
                 (part.column(2), part.column(4), part.column(5))
             else {
+                // audit: allow(panic, the fact-table column layout is fixed at construction)
                 unreachable!("fact schema is fixed")
             };
             let rows = part.rows() as u64;
-            meter.charge_ops(CoreComputeOp::Filter, "predicate_eval", rows * 2, costs::FILTER_NS_PER_ROW);
+            meter.charge_ops(
+                CoreComputeOp::Filter,
+                "predicate_eval",
+                rows * 2,
+                costs::FILTER_NS_PER_ROW,
+            );
             for i in 0..part.rows() {
                 if latency[i] > latency_threshold && success[i] {
                     matched += 1;
                     result_bytes += urls[i].len() as u64 + 12;
                 }
             }
-            meter.charge_ops(CoreComputeOp::Materialize, "result_rows", matched, costs::MATERIALIZE_NS_PER_ROW);
+            meter.charge_ops(
+                CoreComputeOp::Materialize,
+                "result_rows",
+                matched,
+                costs::MATERIALIZE_NS_PER_ROW,
+            );
         }
         // Workers run in parallel: wall IO is the average stripe, modeled as
         // total/workers.
         let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
-        let collect =
-            self.collect_results(&mut meter, result_bytes / self.config.workers as u64 + 64, trace.0);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        let collect = self.collect_results(
+            &mut meter,
+            result_bytes / self.config.workers as u64 + 64,
+            trace.0,
+        );
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
         self.finish_query(trace, root, meter, io_wall, collect, "scan-filter")
     }
 
@@ -320,6 +468,7 @@ impl BigQuery {
             let (Column::Int64(users), Column::U32(regions), Column::Int64(bytes)) =
                 (part.column(0), part.column(1), part.column(3))
             else {
+                // audit: allow(panic, the fact-table column layout is fixed at construction)
                 unreachable!("fact schema is fixed")
             };
             meter.charge_ops(
@@ -329,7 +478,7 @@ impl BigQuery {
                 costs::AGG_NS_PER_ROW,
             );
             for i in 0..part.rows() {
-                let key = users[i].unsigned_abs() << 8 | u64::from(regions[i]) % 256;
+                let key = (users[i].unsigned_abs() << 8) | (u64::from(regions[i]) % 256);
                 let entry = partials.entry(key).or_insert((0, 0));
                 entry.0 += bytes[i];
                 entry.1 += 1;
@@ -343,10 +492,30 @@ impl BigQuery {
         let shuffle_bytes = (total_rows * 24).max(groups * 24) / self.config.workers as u64 + 64;
         let shuffle = self.shuffle(&mut meter, shuffle_bytes, trace.0);
         // Final merge + post-aggregation compute (averages).
-        meter.charge_ops(CoreComputeOp::Aggregate, "merge_partials", groups, costs::AGG_NS_PER_ROW);
-        meter.charge_ops(CoreComputeOp::Compute, "column_divide", groups, costs::COMPUTE_NS_PER_GROUP);
-        meter.charge_ops(CoreComputeOp::Materialize, "result_table", groups, costs::MATERIALIZE_NS_PER_ROW);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            CoreComputeOp::Aggregate,
+            "merge_partials",
+            groups,
+            costs::AGG_NS_PER_ROW,
+        );
+        meter.charge_ops(
+            CoreComputeOp::Compute,
+            "column_divide",
+            groups,
+            costs::COMPUTE_NS_PER_GROUP,
+        );
+        meter.charge_ops(
+            CoreComputeOp::Materialize,
+            "result_table",
+            groups,
+            costs::MATERIALIZE_NS_PER_ROW,
+        );
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
         let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
         self.finish_query(trace, root, meter, io_wall, shuffle, "group-aggregate")
     }
@@ -380,9 +549,15 @@ impl BigQuery {
             let part = &self.partitions[w].table;
             let (Column::U32(regions), Column::Int64(bytes)) = (part.column(1), part.column(3))
             else {
+                // audit: allow(panic, the fact-table column layout is fixed at construction)
                 unreachable!("fact schema is fixed")
             };
-            meter.charge_ops(CoreComputeOp::Join, "hash_probe", part.rows() as u64, costs::JOIN_NS_PER_ROW);
+            meter.charge_ops(
+                CoreComputeOp::Join,
+                "hash_probe",
+                part.rows() as u64,
+                costs::JOIN_NS_PER_ROW,
+            );
             for i in 0..part.rows() {
                 if let Some(name) = dim_names.get(&regions[i]) {
                     *joined.entry(name.clone()).or_insert(0) += bytes[i];
@@ -390,9 +565,24 @@ impl BigQuery {
             }
         }
         let groups = joined.len() as u64;
-        meter.charge_ops(CoreComputeOp::Aggregate, "post_join_agg", groups, costs::AGG_NS_PER_ROW);
-        meter.charge_ops(CoreComputeOp::Materialize, "result_table", groups, costs::MATERIALIZE_NS_PER_ROW);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            CoreComputeOp::Aggregate,
+            "post_join_agg",
+            groups,
+            costs::AGG_NS_PER_ROW,
+        );
+        meter.charge_ops(
+            CoreComputeOp::Materialize,
+            "result_table",
+            groups,
+            costs::MATERIALIZE_NS_PER_ROW,
+        );
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
         let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
         self.finish_query(trace, root, meter, io_wall, broadcast, "join")
     }
@@ -409,6 +599,7 @@ impl BigQuery {
             let part = &self.partitions[w].table;
             let (Column::Int64(users), Column::Int64(bytes)) = (part.column(0), part.column(3))
             else {
+                // audit: allow(panic, the fact-table column layout is fixed at construction)
                 unreachable!("fact schema is fixed")
             };
             let rows = part.rows();
@@ -423,13 +614,13 @@ impl BigQuery {
             let mut local: Vec<(i64, u64)> = (0..rows)
                 .map(|i| (bytes[i], users[i].unsigned_abs()))
                 .collect();
-            local.sort_by(|a, b| b.0.cmp(&a.0));
+            local.sort_by_key(|e| std::cmp::Reverse(e.0));
             candidates.extend(local.into_iter().take(k));
         }
         let shuffle = self.collect_results(&mut meter, (k * 16) as u64, trace.0);
         // Final merge of the worker top-k lists.
         let merge_n = candidates.len();
-        candidates.sort_by(|a, b| b.0.cmp(&a.0));
+        candidates.sort_by_key(|e| std::cmp::Reverse(e.0));
         candidates.truncate(k);
         meter.charge_ops(
             CoreComputeOp::Sort,
@@ -437,8 +628,18 @@ impl BigQuery {
             (merge_n.max(2) as f64 * (merge_n.max(2) as f64).log2()) as u64,
             costs::SORT_NS_PER_ROW_LOG,
         );
-        meter.charge_ops(CoreComputeOp::Materialize, "result_rows", k as u64, costs::MATERIALIZE_NS_PER_ROW);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            CoreComputeOp::Materialize,
+            "result_rows",
+            k as u64,
+            costs::MATERIALIZE_NS_PER_ROW,
+        );
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
         let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
         self.finish_query(trace, root, meter, io_wall, shuffle, "top-k")
     }
@@ -449,10 +650,9 @@ mod tests {
     use super::*;
     use hsdp_core::category::{BroadCategory, CpuCategory};
     use hsdp_workload::rows::FactGen;
-    use rand::SeedableRng;
 
     fn engine(rows: usize) -> BigQuery {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut rng = hsdp_rng::StdRng::seed_from_u64(31);
         let gen = FactGen::default();
         let data = gen.rows(rows, &mut rng);
         let mut bq = BigQuery::new(BigQueryConfig::default(), 5);
@@ -519,7 +719,11 @@ mod tests {
             all.merge(&crate::meter::items_breakdown(&exec.cpu_work));
         }
         for broad in BroadCategory::ALL {
-            assert!(all.broad_share(broad) > 0.05, "{broad}: {}", all.broad_share(broad));
+            assert!(
+                all.broad_share(broad) > 0.05,
+                "{broad}: {}",
+                all.broad_share(broad)
+            );
         }
     }
 
@@ -528,6 +732,9 @@ mod tests {
         let mut bq = engine(2000);
         let cold = bq.scan_filter(25.0).decomposition().io;
         let warm = bq.scan_filter(25.0).decomposition().io;
-        assert!(warm <= cold, "second scan benefits from caches: {warm} vs {cold}");
+        assert!(
+            warm <= cold,
+            "second scan benefits from caches: {warm} vs {cold}"
+        );
     }
 }

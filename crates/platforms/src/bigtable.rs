@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use hsdp_core::category::{CoreComputeOp, DatacenterTax, Platform, SystemTax};
+use hsdp_rng::StdRng;
 use hsdp_rpc::latency::LatencyModel;
 use hsdp_rpc::span::SpanKind;
 use hsdp_rpc::tracer::Tracer;
@@ -18,8 +19,6 @@ use hsdp_storage::cache::PolicyKind;
 use hsdp_storage::tiered::TieredStore;
 use hsdp_taxes::crc::crc32c;
 use hsdp_taxes::varint::encode_varint;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::bloom::Bloom;
 use crate::costs;
@@ -145,12 +144,42 @@ impl BigTable {
     fn charge_rpc(&self, meter: &mut WorkMeter, bytes: u64, leaf: &'static str) {
         meter.charge_ops(DatacenterTax::Rpc, leaf, 1, costs::RPC_FIXED_NS);
         meter.charge_bytes(DatacenterTax::Rpc, leaf, bytes, costs::RPC_NS_PER_BYTE);
-        meter.charge_ops(SystemTax::Networking, "tcp_process", 1, costs::NET_PROCESS_NS_PER_MSG);
-        meter.charge_ops(SystemTax::OperatingSystems, "sys_recvmsg", 3, costs::SYSCALL_NS);
-        meter.charge_ops(SystemTax::Multithreading, "task_wakeup", 1, costs::THREAD_HANDOFF_NS);
-        meter.charge_ops(SystemTax::Stl, "string_buffer_ops", 2, costs::STL_NS_PER_MSG);
-        meter.charge_ops(DatacenterTax::Cryptography, "auth_check", 1, costs::AUTH_CRYPTO_NS_PER_REQ);
-        meter.charge_ops(SystemTax::OtherMemoryOps, "page_ops", 1, costs::OTHER_MEM_NS_PER_QUERY);
+        meter.charge_ops(
+            SystemTax::Networking,
+            "tcp_process",
+            1,
+            costs::NET_PROCESS_NS_PER_MSG,
+        );
+        meter.charge_ops(
+            SystemTax::OperatingSystems,
+            "sys_recvmsg",
+            3,
+            costs::SYSCALL_NS,
+        );
+        meter.charge_ops(
+            SystemTax::Multithreading,
+            "task_wakeup",
+            1,
+            costs::THREAD_HANDOFF_NS,
+        );
+        meter.charge_ops(
+            SystemTax::Stl,
+            "string_buffer_ops",
+            2,
+            costs::STL_NS_PER_MSG,
+        );
+        meter.charge_ops(
+            DatacenterTax::Cryptography,
+            "auth_check",
+            1,
+            costs::AUTH_CRYPTO_NS_PER_REQ,
+        );
+        meter.charge_ops(
+            SystemTax::OtherMemoryOps,
+            "page_ops",
+            1,
+            costs::OTHER_MEM_NS_PER_QUERY,
+        );
     }
 
     /// Charges the protobuf taxes for handling a message of `bytes`.
@@ -161,17 +190,29 @@ impl BigTable {
             ("proto_encode", costs::PROTO_ENCODE_NS_PER_BYTE)
         };
         meter.charge_bytes(DatacenterTax::Protobuf, leaf, bytes, per_byte);
-        meter.charge_ops(DatacenterTax::Protobuf, "proto_setup", 1, costs::PROTO_PER_MESSAGE_NS);
-        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", costs::ALLOCS_PER_MESSAGE, costs::MALLOC_NS_PER_OP);
-        meter.charge_bytes(DatacenterTax::DataMovement, "memcpy", bytes, costs::MEMCPY_NS_PER_BYTE);
+        meter.charge_ops(
+            DatacenterTax::Protobuf,
+            "proto_setup",
+            1,
+            costs::PROTO_PER_MESSAGE_NS,
+        );
+        meter.charge_ops(
+            DatacenterTax::MemAllocation,
+            "malloc",
+            costs::ALLOCS_PER_MESSAGE,
+            costs::MALLOC_NS_PER_OP,
+        );
+        meter.charge_bytes(
+            DatacenterTax::DataMovement,
+            "memcpy",
+            bytes,
+            costs::MEMCPY_NS_PER_BYTE,
+        );
     }
 
     /// Encodes SSTable entries: varint-length-prefixed pairs, compressed,
     /// checksummed. Returns (encoded bytes, raw bytes) and charges the work.
-    fn encode_sstable(
-        meter: &mut WorkMeter,
-        entries: &[(Vec<u8>, Vec<u8>)],
-    ) -> (Vec<u8>, u64) {
+    fn encode_sstable(meter: &mut WorkMeter, entries: &[(Vec<u8>, Vec<u8>)]) -> (Vec<u8>, u64) {
         let mut raw = Vec::new();
         for (k, v) in entries {
             encode_varint(k.len() as u64, &mut raw);
@@ -188,7 +229,12 @@ impl BigTable {
             raw_len,
             costs::COMPRESS_NS_PER_BYTE,
         );
-        meter.charge_bytes(SystemTax::Edac, "crc32c", compressed.len() as u64, costs::CRC_NS_PER_BYTE);
+        meter.charge_bytes(
+            SystemTax::Edac,
+            "crc32c",
+            compressed.len() as u64,
+            costs::CRC_NS_PER_BYTE,
+        );
         meter.charge_bytes(
             DatacenterTax::DataMovement,
             "memcpy",
@@ -227,16 +273,27 @@ impl BigTable {
         // buffers.
         let blocks = (entries.len() / 16).max(1) as u64;
         for block_idx in 0..blocks {
-            self.store.warm(id << 20 | block_idx, (encoded.len() as u64 / blocks).max(1));
+            self.store
+                .warm(id << 20 | block_idx, (encoded.len() as u64 / blocks).max(1));
         }
-        meter.charge_ops(SystemTax::FileSystems, "dfs_write", 1, costs::FS_CLIENT_NS_PER_OP);
+        meter.charge_ops(
+            SystemTax::FileSystems,
+            "dfs_write",
+            1,
+            costs::FS_CLIENT_NS_PER_OP,
+        );
         meter.charge_bytes(
             SystemTax::FileSystems,
             "dfs_write",
             encoded.len() as u64,
             costs::FS_CLIENT_NS_PER_BYTE,
         );
-        meter.charge_ops(SystemTax::OperatingSystems, "sys_write", 1, costs::SYSCALL_NS);
+        meter.charge_ops(
+            SystemTax::OperatingSystems,
+            "sys_write",
+            1,
+            costs::SYSCALL_NS,
+        );
         self.sstables.push(SsTable {
             id,
             entries,
@@ -262,7 +319,12 @@ impl BigTable {
                 table.encoded_bytes,
                 costs::DECOMPRESS_NS_PER_BYTE,
             );
-            meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
+            meter.charge_ops(
+                SystemTax::FileSystems,
+                "dfs_read",
+                1,
+                costs::FS_CLIENT_NS_PER_OP,
+            );
             let blocks = (table.entries.len() / 16).max(1) as u64;
             for block_idx in 0..blocks {
                 self.store.invalidate(table.id << 20 | block_idx);
@@ -300,7 +362,8 @@ impl BigTable {
         io += self.store.write_fast(id, encoded.len() as u64);
         let blocks = (entries.len() / 16).max(1) as u64;
         for block_idx in 0..blocks {
-            self.store.warm(id << 20 | block_idx, (encoded.len() as u64 / blocks).max(1));
+            self.store
+                .warm(id << 20 | block_idx, (encoded.len() as u64 / blocks).max(1));
         }
         self.sstables.push(SsTable {
             id,
@@ -316,7 +379,9 @@ impl BigTable {
         let mut meter = WorkMeter::new();
         let trace = self.tracer.new_trace();
         let start = self.clock;
-        let root = self.tracer.start(trace, None, "bigtable.put", SpanKind::Container, start);
+        let root = self
+            .tracer
+            .start(trace, None, "bigtable.put", SpanKind::Container, start);
 
         // The trace starts at server receipt, as Dapper server spans do.
         let request_bytes = (key.len() + value.len() + 40) as u64;
@@ -324,8 +389,18 @@ impl BigTable {
         // Decode + apply.
         self.charge_rpc(&mut meter, request_bytes, "rpc_ingress");
         self.charge_proto(&mut meter, request_bytes, true);
-        meter.charge_ops(CoreComputeOp::Write, "memtable_insert", 1, costs::BTREE_OP_NS);
-        meter.charge_ops(SystemTax::Stl, "btreemap_insert", 1, costs::STL_NS_PER_ENTRY);
+        meter.charge_ops(
+            CoreComputeOp::Write,
+            "memtable_insert",
+            1,
+            costs::BTREE_OP_NS,
+        );
+        meter.charge_ops(
+            SystemTax::Stl,
+            "btreemap_insert",
+            1,
+            costs::STL_NS_PER_ENTRY,
+        );
         self.memtable_bytes += key.len() + value.len();
         self.memtable.insert(key, value);
 
@@ -358,9 +433,19 @@ impl BigTable {
         }
 
         // Respond.
-        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", 1, costs::MALLOC_NS_PER_OP);
+        meter.charge_ops(
+            DatacenterTax::MemAllocation,
+            "malloc",
+            1,
+            costs::MALLOC_NS_PER_OP,
+        );
         self.charge_proto(&mut meter, 32, false);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
 
         self.finish_query(trace, root, meter, io_time, remote_time, "put")
     }
@@ -369,14 +454,21 @@ impl BigTable {
     pub fn get(&mut self, key: &[u8]) -> QueryExecution {
         let mut meter = WorkMeter::new();
         let trace = self.tracer.new_trace();
-        let root = self.tracer.start(trace, None, "bigtable.get", SpanKind::Container, self.clock);
+        let root = self
+            .tracer
+            .start(trace, None, "bigtable.get", SpanKind::Container, self.clock);
 
         let request_bytes = (key.len() + 32) as u64;
         self.charge_rpc(&mut meter, request_bytes, "rpc_ingress");
         self.charge_proto(&mut meter, request_bytes, true);
 
         // Memtable first.
-        meter.charge_ops(CoreComputeOp::Read, "memtable_lookup", 1, costs::BTREE_OP_NS);
+        meter.charge_ops(
+            CoreComputeOp::Read,
+            "memtable_lookup",
+            1,
+            costs::BTREE_OP_NS,
+        );
         let mut io_time = SimDuration::ZERO;
         let mut found = self.memtable.get(key).map(|v| v.len());
 
@@ -403,12 +495,19 @@ impl BigTable {
                     .iter()
                     .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)))
                     % blocks;
-                io_time += self
-                    .store
-                    .read(id << 20 | block_idx, block_bytes)
-                    .latency;
-                meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
-                meter.charge_ops(SystemTax::OperatingSystems, "sys_read", 1, costs::SYSCALL_NS);
+                io_time += self.store.read(id << 20 | block_idx, block_bytes).latency;
+                meter.charge_ops(
+                    SystemTax::FileSystems,
+                    "dfs_read",
+                    1,
+                    costs::FS_CLIENT_NS_PER_OP,
+                );
+                meter.charge_ops(
+                    SystemTax::OperatingSystems,
+                    "sys_read",
+                    1,
+                    costs::SYSCALL_NS,
+                );
                 meter.charge_bytes(
                     DatacenterTax::Compression,
                     "block_decompress",
@@ -436,7 +535,12 @@ impl BigTable {
 
         let response_bytes = found.unwrap_or(0) as u64 + 32;
         self.charge_proto(&mut meter, response_bytes, false);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
 
         self.finish_query(trace, root, meter, io_time, SimDuration::ZERO, "get")
     }
@@ -445,7 +549,13 @@ impl BigTable {
     pub fn scan(&mut self, start_key: &[u8], limit: usize) -> QueryExecution {
         let mut meter = WorkMeter::new();
         let trace = self.tracer.new_trace();
-        let root = self.tracer.start(trace, None, "bigtable.scan", SpanKind::Container, self.clock);
+        let root = self.tracer.start(
+            trace,
+            None,
+            "bigtable.scan",
+            SpanKind::Container,
+            self.clock,
+        );
 
         self.charge_rpc(&mut meter, 64, "rpc_ingress");
         self.charge_proto(&mut meter, 64, true);
@@ -478,7 +588,10 @@ impl BigTable {
                 .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)))
                 % blocks;
             for i in 0..4u64.min(blocks) {
-                io_time += self.store.read(table.id << 20 | (first + i) % blocks, block).latency;
+                io_time += self
+                    .store
+                    .read((table.id << 20) | ((first + i) % blocks), block)
+                    .latency;
             }
             meter.charge_bytes(
                 DatacenterTax::Compression,
@@ -486,15 +599,35 @@ impl BigTable {
                 block,
                 costs::DECOMPRESS_NS_PER_BYTE,
             );
-            meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
+            meter.charge_ops(
+                SystemTax::FileSystems,
+                "dfs_read",
+                1,
+                costs::FS_CLIENT_NS_PER_OP,
+            );
         }
-        meter.charge_ops(CoreComputeOp::Read, "scan_merge", scanned, costs::MERGE_NS_PER_ENTRY);
-        meter.charge_ops(SystemTax::Stl, "range_iter", scanned, costs::STL_NS_PER_ENTRY);
+        meter.charge_ops(
+            CoreComputeOp::Read,
+            "scan_merge",
+            scanned,
+            costs::MERGE_NS_PER_ENTRY,
+        );
+        meter.charge_ops(
+            SystemTax::Stl,
+            "range_iter",
+            scanned,
+            costs::STL_NS_PER_ENTRY,
+        );
 
         let response_bytes: u64 = returned.iter().map(|&l| l as u64 + 16).sum::<u64>() + 32;
         self.charge_proto(&mut meter, response_bytes, false);
         self.charge_rpc(&mut meter, response_bytes, "rpc_egress");
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
 
         self.finish_query(trace, root, meter, io_time, SimDuration::ZERO, "scan")
     }
@@ -511,17 +644,30 @@ impl BigTable {
         _label: &'static str,
     ) -> QueryExecution {
         let cpu_time = meter.total();
-        let cpu_span = self.tracer.start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
+        let cpu_span = self
+            .tracer
+            .start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
         self.clock += cpu_time;
         self.tracer.finish(cpu_span, self.clock);
         if !io_time.is_zero() {
-            let io_span = self.tracer.start(trace, Some(root.id()), "storage_io", SpanKind::Io, self.clock);
+            let io_span = self.tracer.start(
+                trace,
+                Some(root.id()),
+                "storage_io",
+                SpanKind::Io,
+                self.clock,
+            );
             self.clock += io_time;
             self.tracer.finish(io_span, self.clock);
         }
         if !remote_time.is_zero() {
-            let remote_span =
-                self.tracer.start(trace, Some(root.id()), "compaction_wait", SpanKind::RemoteWork, self.clock);
+            let remote_span = self.tracer.start(
+                trace,
+                Some(root.id()),
+                "compaction_wait",
+                SpanKind::RemoteWork,
+                self.clock,
+            );
             self.clock += remote_time;
             self.tracer.finish(remote_span, self.clock);
         }

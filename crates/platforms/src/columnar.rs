@@ -162,6 +162,7 @@ impl Column {
                     let bytes = rest
                         .get(pos..pos + 8)
                         .ok_or(ColumnError::Malformed("float body"))?;
+                    // audit: allow(panic, get(pos..pos + 8) returned Some so the slice is exactly 8 bytes)
                     values.push(f64::from_le_bytes(bytes.try_into().expect("8 bytes")));
                     pos += 8;
                 }
@@ -172,7 +173,8 @@ impl Column {
                 for _ in 0..count {
                     let (len, n) = decode_varint(&rest[pos..])?;
                     pos += n;
-                    let len = usize::try_from(len).map_err(|_| ColumnError::Malformed("str len"))?;
+                    let len =
+                        usize::try_from(len).map_err(|_| ColumnError::Malformed("str len"))?;
                     let bytes = rest
                         .get(pos..pos + len)
                         .ok_or(ColumnError::Malformed("str body"))?;
@@ -210,8 +212,7 @@ impl Column {
 }
 
 /// The fact-table schema: column names in storage order.
-pub const FACT_COLUMNS: [&str; 6] =
-    ["user_id", "region", "latency_ms", "bytes", "url", "success"];
+pub const FACT_COLUMNS: [&str; 6] = ["user_id", "region", "latency_ms", "bytes", "url", "success"];
 
 /// A columnar table (one partition of the fact table).
 #[derive(Debug, Clone, PartialEq)]
@@ -272,10 +273,9 @@ impl ColumnTable {
 mod tests {
     use super::*;
     use hsdp_workload::rows::FactGen;
-    use rand::SeedableRng;
 
     fn sample_rows(n: usize) -> Vec<FactRow> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut rng = hsdp_rng::StdRng::seed_from_u64(21);
         FactGen::default().rows(n, &mut rng)
     }
 
@@ -285,7 +285,9 @@ mod tests {
             Column::Int64(vec![-5, 0, 7, i64::MAX, i64::MIN]),
             Column::Float64(vec![1.5, -2.25, f64::INFINITY]),
             Column::Str(vec!["a".into(), String::new(), "日本語".into()]),
-            Column::Bool(vec![true, false, true, true, false, false, true, true, false]),
+            Column::Bool(vec![
+                true, false, true, true, false, false, true, true, false,
+            ]),
             Column::U32(vec![0, 1, u32::MAX]),
         ];
         for col in cols {

@@ -95,6 +95,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins published relative magnitudes
     fn costs_are_order_of_magnitude_sane() {
         // Serialization slower than memcpy, faster than hashing.
         assert!(PROTO_ENCODE_NS_PER_BYTE > MEMCPY_NS_PER_BYTE);

@@ -18,6 +18,7 @@
 //! [`columnar`] (the column codec), [`bloom`], and [`runner`] (workload
 //! drivers).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

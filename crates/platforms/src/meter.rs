@@ -46,7 +46,11 @@ impl WorkMeter {
         if time.is_zero() {
             return;
         }
-        self.items.push(CpuWorkItem { category: category.into(), leaf, time });
+        self.items.push(CpuWorkItem {
+            category: category.into(),
+            leaf,
+            time,
+        });
     }
 
     /// Charges byte-proportional work (`bytes * ns_per_byte`).
@@ -60,6 +64,7 @@ impl WorkMeter {
         self.charge(
             category,
             leaf,
+            // audit: allow(cast, u64 byte count to f64 for per-byte costing is exact below 2^53)
             SimDuration::from_nanos((bytes as f64 * ns_per_byte).round() as u64),
         );
     }
@@ -123,7 +128,11 @@ mod tests {
     #[test]
     fn charge_accumulates_and_labels() {
         let mut meter = WorkMeter::new();
-        meter.charge(CoreComputeOp::Read, "btree_lookup", SimDuration::from_micros(2));
+        meter.charge(
+            CoreComputeOp::Read,
+            "btree_lookup",
+            SimDuration::from_micros(2),
+        );
         meter.charge_bytes(DatacenterTax::Protobuf, "proto_encode", 1000, 2.0);
         meter.charge_ops(DatacenterTax::MemAllocation, "arena_alloc", 10, 50.0);
         assert_eq!(meter.items().len(), 3);

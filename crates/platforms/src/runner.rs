@@ -2,11 +2,11 @@
 //! collect execution records for the profiling pipeline.
 
 use hsdp_core::category::Platform;
+use hsdp_rng::Rng;
+use hsdp_rng::StdRng;
 use hsdp_workload::keys::{KeyGen, ValueGen};
 use hsdp_workload::mix::{AnalyticsMix, AnalyticsQuery, DbMix, DbOp};
 use hsdp_workload::rows::FactGen;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::bigquery::{BigQuery, BigQueryConfig};
 use crate::bigtable::{BigTable, BigTableConfig};
@@ -46,7 +46,12 @@ pub fn run_spanner(queries: usize, seed: u64) -> Vec<QueryExecution> {
     let values = ValueGen::new(400);
     // Transactional traffic: mostly reads, a healthy scan share, and the
     // write stream that exercises consensus.
-    let mix = DbMix { read: 0.70, write: 0.10, scan: 0.15, rmw: 0.05 };
+    let mix = DbMix {
+        read: 0.70,
+        write: 0.10,
+        scan: 0.15,
+        rmw: 0.05,
+    };
 
     // Preload the hot set so reads hit warm data (production steady state).
     for rank in 0..2_000 {
@@ -144,8 +149,14 @@ pub fn run_bigquery(queries: usize, fact_rows: usize, seed: u64) -> Vec<QueryExe
 #[must_use]
 pub fn run_fleet(config: FleetConfig) -> Vec<(Platform, Vec<QueryExecution>)> {
     vec![
-        (Platform::Spanner, run_spanner(config.db_queries, config.seed)),
-        (Platform::BigTable, run_bigtable(config.db_queries, config.seed)),
+        (
+            Platform::Spanner,
+            run_spanner(config.db_queries, config.seed),
+        ),
+        (
+            Platform::BigTable,
+            run_bigtable(config.db_queries, config.seed),
+        ),
         (
             Platform::BigQuery,
             run_bigquery(config.analytics_queries, config.fact_rows, config.seed),
@@ -161,8 +172,7 @@ mod tests {
     fn spanner_run_produces_all_op_kinds() {
         let execs = run_spanner(200, 11);
         assert_eq!(execs.len(), 200);
-        let labels: std::collections::HashSet<&str> =
-            execs.iter().map(|e| e.label).collect();
+        let labels: std::collections::HashSet<&str> = execs.iter().map(|e| e.label).collect();
         assert!(labels.contains("read"));
         assert!(labels.contains("commit"));
         assert!(labels.contains("query"));
@@ -183,24 +193,30 @@ mod tests {
     #[test]
     fn bigquery_run_covers_query_kinds() {
         let execs = run_bigquery(30, 2_000, 17);
-        let labels: std::collections::HashSet<&str> =
-            execs.iter().map(|e| e.label).collect();
+        let labels: std::collections::HashSet<&str> = execs.iter().map(|e| e.label).collect();
         assert!(labels.len() >= 3, "{labels:?}");
     }
 
     #[test]
     fn fleet_run_is_deterministic() {
-        let a = run_fleet(FleetConfig { db_queries: 50, analytics_queries: 5, fact_rows: 500, seed: 3 });
-        let b = run_fleet(FleetConfig { db_queries: 50, analytics_queries: 5, fact_rows: 500, seed: 3 });
+        let a = run_fleet(FleetConfig {
+            db_queries: 50,
+            analytics_queries: 5,
+            fact_rows: 500,
+            seed: 3,
+        });
+        let b = run_fleet(FleetConfig {
+            db_queries: 50,
+            analytics_queries: 5,
+            fact_rows: 500,
+            seed: 3,
+        });
         for ((pa, ea), (pb, eb)) in a.iter().zip(&b) {
             assert_eq!(pa, pb);
             assert_eq!(ea.len(), eb.len());
             for (x, y) in ea.iter().zip(eb) {
                 assert_eq!(x.label, y.label);
-                assert_eq!(
-                    x.decomposition().end_to_end,
-                    y.decomposition().end_to_end
-                );
+                assert_eq!(x.decomposition().end_to_end, y.decomposition().end_to_end);
             }
         }
     }

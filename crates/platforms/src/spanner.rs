@@ -93,6 +93,7 @@ impl Spanner {
                     FieldDescriptor::required(3, "timestamp", FieldType::Fixed64),
                 ],
             )
+            // audit: allow(panic, the schema literal above is statically valid)
             .expect("static schema is valid"),
         );
         Spanner {
@@ -133,23 +134,68 @@ impl Spanner {
 
     fn charge_rpc(&self, meter: &mut WorkMeter, bytes: u64) {
         meter.charge_ops(DatacenterTax::Rpc, "rpc_dispatch", 1, costs::RPC_FIXED_NS);
-        meter.charge_bytes(DatacenterTax::Rpc, "rpc_dispatch", bytes, costs::RPC_NS_PER_BYTE);
-        meter.charge_ops(SystemTax::Networking, "tcp_process", 1, costs::NET_PROCESS_NS_PER_MSG);
-        meter.charge_ops(SystemTax::OperatingSystems, "sys_sendmsg", 3, costs::SYSCALL_NS);
-        meter.charge_ops(SystemTax::Stl, "string_buffer_ops", 3, costs::STL_NS_PER_MSG);
-        meter.charge_ops(SystemTax::Multithreading, "executor_handoff", 2, costs::THREAD_HANDOFF_NS);
-        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", costs::ALLOCS_PER_MESSAGE, costs::MALLOC_NS_PER_OP);
-        meter.charge_ops(DatacenterTax::Cryptography, "auth_check", 1, costs::AUTH_CRYPTO_NS_PER_REQ);
-        meter.charge_ops(SystemTax::OtherMemoryOps, "page_ops", 2, costs::OTHER_MEM_NS_PER_QUERY);
+        meter.charge_bytes(
+            DatacenterTax::Rpc,
+            "rpc_dispatch",
+            bytes,
+            costs::RPC_NS_PER_BYTE,
+        );
+        meter.charge_ops(
+            SystemTax::Networking,
+            "tcp_process",
+            1,
+            costs::NET_PROCESS_NS_PER_MSG,
+        );
+        meter.charge_ops(
+            SystemTax::OperatingSystems,
+            "sys_sendmsg",
+            3,
+            costs::SYSCALL_NS,
+        );
+        meter.charge_ops(
+            SystemTax::Stl,
+            "string_buffer_ops",
+            3,
+            costs::STL_NS_PER_MSG,
+        );
+        meter.charge_ops(
+            SystemTax::Multithreading,
+            "executor_handoff",
+            2,
+            costs::THREAD_HANDOFF_NS,
+        );
+        meter.charge_ops(
+            DatacenterTax::MemAllocation,
+            "malloc",
+            costs::ALLOCS_PER_MESSAGE,
+            costs::MALLOC_NS_PER_OP,
+        );
+        meter.charge_ops(
+            DatacenterTax::Cryptography,
+            "auth_check",
+            1,
+            costs::AUTH_CRYPTO_NS_PER_REQ,
+        );
+        meter.charge_ops(
+            SystemTax::OtherMemoryOps,
+            "page_ops",
+            2,
+            costs::OTHER_MEM_NS_PER_QUERY,
+        );
     }
 
     fn encode_txn(&self, meter: &mut WorkMeter, key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
         let mut msg = Message::new(Arc::clone(&self.txn_desc));
-        msg.set(1, Value::Bytes(key.to_vec())).expect("schema field");
+        msg.set(1, Value::Bytes(key.to_vec()))
+            // audit: allow(panic, field ids match the static schema defined in new())
+            .expect("schema field");
         if let Some(v) = value {
+            // audit: allow(panic, field ids match the static schema defined in new())
             msg.set(2, Value::Bytes(v.to_vec())).expect("schema field");
         }
-        msg.set(3, Value::Fixed64(self.clock.as_nanos())).expect("schema field");
+        msg.set(3, Value::Fixed64(self.clock.as_nanos()))
+            // audit: allow(panic, field ids match the static schema defined in new())
+            .expect("schema field");
         let bytes = msg.encode_to_vec();
         meter.charge_bytes(
             DatacenterTax::Protobuf,
@@ -157,8 +203,18 @@ impl Spanner {
             bytes.len() as u64,
             costs::PROTO_ENCODE_NS_PER_BYTE,
         );
-        meter.charge_ops(DatacenterTax::Protobuf, "proto_setup", 1, costs::PROTO_PER_MESSAGE_NS);
-        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", 3, costs::MALLOC_NS_PER_OP);
+        meter.charge_ops(
+            DatacenterTax::Protobuf,
+            "proto_setup",
+            1,
+            costs::PROTO_PER_MESSAGE_NS,
+        );
+        meter.charge_ops(
+            DatacenterTax::MemAllocation,
+            "malloc",
+            3,
+            costs::MALLOC_NS_PER_OP,
+        );
         meter.charge_bytes(
             DatacenterTax::DataMovement,
             "memcpy",
@@ -175,8 +231,11 @@ impl Spanner {
         let needed_acks = self.config.quorum - 1; // leader votes for itself
         let mut round_trips: Vec<SimDuration> = (0..followers)
             .map(|i| {
-                self.net_region
-                    .round_trip(bytes, 64, self.seed ^ salt.wrapping_add(i as u64 * 7919))
+                self.net_region.round_trip(
+                    bytes,
+                    64,
+                    self.seed ^ salt.wrapping_add(i as u64 * 7919),
+                )
             })
             .collect();
         round_trips.sort_unstable();
@@ -187,7 +246,12 @@ impl Spanner {
             followers as u64,
             costs::CONSENSUS_NS_PER_MSG,
         );
-        meter.charge_ops(DatacenterTax::Rpc, "rpc_replicate", followers as u64, costs::RPC_FIXED_NS);
+        meter.charge_ops(
+            DatacenterTax::Rpc,
+            "rpc_replicate",
+            followers as u64,
+            costs::RPC_FIXED_NS,
+        );
         meter.charge_bytes(
             DatacenterTax::Rpc,
             "rpc_replicate",
@@ -228,14 +292,24 @@ impl Spanner {
     ) -> SimDuration {
         let encoded = self.encode_txn(meter, key, value);
         let crc = crc32c(&encoded);
-        meter.charge_bytes(SystemTax::Edac, "crc32c", encoded.len() as u64, costs::CRC_NS_PER_BYTE);
+        meter.charge_bytes(
+            SystemTax::Edac,
+            "crc32c",
+            encoded.len() as u64,
+            costs::CRC_NS_PER_BYTE,
+        );
         let wait = self.consensus_round(meter, encoded.len() as u64, salt);
         self.log.push(LogEntry {
             index: self.log.len() as u64 + 1,
             key: key.to_vec(),
             value_crc: crc,
         });
-        meter.charge_ops(CoreComputeOp::Write, "apply_write", 1, costs::BTREE_OP_NS * 2.0);
+        meter.charge_ops(
+            CoreComputeOp::Write,
+            "apply_write",
+            1,
+            costs::BTREE_OP_NS * 2.0,
+        );
         if let Some(v) = value {
             self.state.insert(key.to_vec(), v.to_vec());
         }
@@ -259,13 +333,24 @@ impl Spanner {
     pub fn commit(&mut self, key: Vec<u8>, value: Vec<u8>) -> QueryExecution {
         let mut meter = WorkMeter::new();
         let trace = self.tracer.new_trace();
-        let root = self.tracer.start(trace, None, "spanner.commit", SpanKind::Container, self.clock);
+        let root = self.tracer.start(
+            trace,
+            None,
+            "spanner.commit",
+            SpanKind::Container,
+            self.clock,
+        );
 
         let request_bytes = (key.len() + value.len() + 64) as u64;
         self.charge_rpc(&mut meter, request_bytes);
         let encoded = self.encode_txn(&mut meter, &key, Some(&value));
         let crc = crc32c(&encoded);
-        meter.charge_bytes(SystemTax::Edac, "crc32c", encoded.len() as u64, costs::CRC_NS_PER_BYTE);
+        meter.charge_bytes(
+            SystemTax::Edac,
+            "crc32c",
+            encoded.len() as u64,
+            costs::CRC_NS_PER_BYTE,
+        );
         let _digest = hsdp_taxes::sha3::Sha3_256::digest(&encoded);
         meter.charge_bytes(
             DatacenterTax::Cryptography,
@@ -278,17 +363,48 @@ impl Spanner {
         let remote = self.consensus_round(&mut meter, encoded.len() as u64, trace.0);
 
         // Apply to the state machine and persist.
-        self.log.push(LogEntry { index: self.log.len() as u64 + 1, key: key.clone(), value_crc: crc });
-        meter.charge_ops(CoreComputeOp::Write, "apply_write", 1, costs::BTREE_OP_NS * 2.0);
-        meter.charge_ops(SystemTax::Stl, "btreemap_insert", 1, costs::STL_NS_PER_ENTRY);
+        self.log.push(LogEntry {
+            index: self.log.len() as u64 + 1,
+            key: key.clone(),
+            value_crc: crc,
+        });
+        meter.charge_ops(
+            CoreComputeOp::Write,
+            "apply_write",
+            1,
+            costs::BTREE_OP_NS * 2.0,
+        );
+        meter.charge_ops(
+            SystemTax::Stl,
+            "btreemap_insert",
+            1,
+            costs::STL_NS_PER_ENTRY,
+        );
         let storage_key = Self::key_hash(&key);
-        let io = self.store.write_fast(storage_key, (key.len() + value.len()) as u64);
-        meter.charge_ops(SystemTax::FileSystems, "log_append", 1, costs::FS_CLIENT_NS_PER_OP);
-        meter.charge_ops(SystemTax::OperatingSystems, "sys_write", 1, costs::SYSCALL_NS);
+        let io = self
+            .store
+            .write_fast(storage_key, (key.len() + value.len()) as u64);
+        meter.charge_ops(
+            SystemTax::FileSystems,
+            "log_append",
+            1,
+            costs::FS_CLIENT_NS_PER_OP,
+        );
+        meter.charge_ops(
+            SystemTax::OperatingSystems,
+            "sys_write",
+            1,
+            costs::SYSCALL_NS,
+        );
         self.state.insert(key, value);
 
         self.charge_rpc(&mut meter, 64);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
 
         self.finish_query(trace, root, meter, io, remote, "commit")
     }
@@ -297,7 +413,9 @@ impl Spanner {
     pub fn read(&mut self, key: &[u8]) -> QueryExecution {
         let mut meter = WorkMeter::new();
         let trace = self.tracer.new_trace();
-        let root = self.tracer.start(trace, None, "spanner.read", SpanKind::Container, self.clock);
+        let root = self
+            .tracer
+            .start(trace, None, "spanner.read", SpanKind::Container, self.clock);
 
         let request_bytes = (key.len() + 48) as u64;
         self.charge_rpc(&mut meter, request_bytes);
@@ -308,19 +426,42 @@ impl Spanner {
             costs::PROTO_DECODE_NS_PER_BYTE,
         );
         // Lease validation: cheap consensus bookkeeping, no round trip.
-        meter.charge_ops(CoreComputeOp::Consensus, "lease_check", 1, costs::CONSENSUS_NS_PER_MSG / 4.0);
+        meter.charge_ops(
+            CoreComputeOp::Consensus,
+            "lease_check",
+            1,
+            costs::CONSENSUS_NS_PER_MSG / 4.0,
+        );
 
         // Session management, SQL binding, and row assembly: the read path
         // is far more than one tree lookup in a SQL database.
         meter.charge_ops(CoreComputeOp::Query, "session_and_bind", 1, 20_000.0);
         meter.charge_ops(CoreComputeOp::Read, "row_deserialize", 1, 8_000.0);
-        meter.charge_ops(CoreComputeOp::Read, "btree_lookup", 1, costs::BTREE_OP_NS * 2.0);
+        meter.charge_ops(
+            CoreComputeOp::Read,
+            "btree_lookup",
+            1,
+            costs::BTREE_OP_NS * 2.0,
+        );
         meter.charge_ops(SystemTax::Stl, "btreemap_get", 1, costs::STL_NS_PER_ENTRY);
         let value_len = self.state.get(key).map_or(0, Vec::len) as u64;
         // Touch storage (cache-hit most of the time for hot keys).
-        let io = self.store.read(Self::key_hash(key), value_len.max(64)).latency;
-        meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
-        meter.charge_ops(SystemTax::OperatingSystems, "sys_read", 1, costs::SYSCALL_NS);
+        let io = self
+            .store
+            .read(Self::key_hash(key), value_len.max(64))
+            .latency;
+        meter.charge_ops(
+            SystemTax::FileSystems,
+            "dfs_read",
+            1,
+            costs::FS_CLIENT_NS_PER_OP,
+        );
+        meter.charge_ops(
+            SystemTax::OperatingSystems,
+            "sys_read",
+            1,
+            costs::SYSCALL_NS,
+        );
 
         let response_bytes = value_len + 48;
         meter.charge_bytes(
@@ -329,10 +470,25 @@ impl Spanner {
             response_bytes,
             costs::PROTO_ENCODE_NS_PER_BYTE,
         );
-        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", 2, costs::MALLOC_NS_PER_OP);
-        meter.charge_bytes(DatacenterTax::DataMovement, "memcpy", response_bytes, costs::MEMCPY_NS_PER_BYTE);
+        meter.charge_ops(
+            DatacenterTax::MemAllocation,
+            "malloc",
+            2,
+            costs::MALLOC_NS_PER_OP,
+        );
+        meter.charge_bytes(
+            DatacenterTax::DataMovement,
+            "memcpy",
+            response_bytes,
+            costs::MEMCPY_NS_PER_BYTE,
+        );
         self.charge_rpc(&mut meter, response_bytes);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
 
         self.finish_query(trace, root, meter, io, SimDuration::ZERO, "read")
     }
@@ -342,7 +498,13 @@ impl Spanner {
     pub fn query(&mut self, start_key: &[u8], limit: usize, min_len: usize) -> QueryExecution {
         let mut meter = WorkMeter::new();
         let trace = self.tracer.new_trace();
-        let root = self.tracer.start(trace, None, "spanner.query", SpanKind::Container, self.clock);
+        let root = self.tracer.start(
+            trace,
+            None,
+            "spanner.query",
+            SpanKind::Container,
+            self.clock,
+        );
 
         self.charge_rpc(&mut meter, 128);
 
@@ -359,9 +521,24 @@ impl Spanner {
                 break;
             }
         }
-        meter.charge_ops(CoreComputeOp::Query, "sql_predicate_eval", scanned, costs::QUERY_EVAL_NS_PER_ROW);
-        meter.charge_ops(CoreComputeOp::Read, "row_fetch", matched, costs::BTREE_OP_NS);
-        meter.charge_ops(SystemTax::Stl, "range_iter", scanned, costs::STL_NS_PER_ENTRY);
+        meter.charge_ops(
+            CoreComputeOp::Query,
+            "sql_predicate_eval",
+            scanned,
+            costs::QUERY_EVAL_NS_PER_ROW,
+        );
+        meter.charge_ops(
+            CoreComputeOp::Read,
+            "row_fetch",
+            matched,
+            costs::BTREE_OP_NS,
+        );
+        meter.charge_ops(
+            SystemTax::Stl,
+            "range_iter",
+            scanned,
+            costs::STL_NS_PER_ENTRY,
+        );
         meter.charge_ops(CoreComputeOp::MiscCore, "plan_and_bind", 1, 8_000.0);
 
         // Matched rows may hit storage for cold values.
@@ -369,7 +546,12 @@ impl Spanner {
             .store
             .read(Self::key_hash(start_key) ^ 0x51ca, response_bytes.max(256))
             .latency;
-        meter.charge_ops(SystemTax::FileSystems, "dfs_read", 1, costs::FS_CLIENT_NS_PER_OP);
+        meter.charge_ops(
+            SystemTax::FileSystems,
+            "dfs_read",
+            1,
+            costs::FS_CLIENT_NS_PER_OP,
+        );
 
         meter.charge_bytes(
             DatacenterTax::Protobuf,
@@ -384,7 +566,12 @@ impl Spanner {
             costs::COMPRESS_NS_PER_BYTE,
         );
         self.charge_rpc(&mut meter, response_bytes);
-        meter.charge_ops(SystemTax::MiscSystem, "misc", 1, costs::MISC_SYSTEM_NS_PER_QUERY);
+        meter.charge_ops(
+            SystemTax::MiscSystem,
+            "misc",
+            1,
+            costs::MISC_SYSTEM_NS_PER_QUERY,
+        );
 
         self.finish_query(trace, root, meter, io, SimDuration::ZERO, "query")
     }
@@ -407,10 +594,9 @@ impl Spanner {
     }
 
     fn key_hash(key: &[u8]) -> u64 {
-        key.iter()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
-                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-            })
+        key.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        })
     }
 
     fn finish_query(
@@ -422,18 +608,30 @@ impl Spanner {
         remote_time: SimDuration,
         label: &'static str,
     ) -> QueryExecution {
-        let cpu_span = self.tracer.start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
+        let cpu_span = self
+            .tracer
+            .start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
         self.clock += meter.total();
         self.tracer.finish(cpu_span, self.clock);
         if !remote_time.is_zero() {
-            let remote_span = self
-                .tracer
-                .start(trace, Some(root.id()), "consensus_wait", SpanKind::RemoteWork, self.clock);
+            let remote_span = self.tracer.start(
+                trace,
+                Some(root.id()),
+                "consensus_wait",
+                SpanKind::RemoteWork,
+                self.clock,
+            );
             self.clock += remote_time;
             self.tracer.finish(remote_span, self.clock);
         }
         if !io_time.is_zero() {
-            let io_span = self.tracer.start(trace, Some(root.id()), "storage_io", SpanKind::Io, self.clock);
+            let io_span = self.tracer.start(
+                trace,
+                Some(root.id()),
+                "storage_io",
+                SpanKind::Io,
+                self.clock,
+            );
             self.clock += io_time;
             self.tracer.finish(io_span, self.clock);
         }
@@ -493,7 +691,11 @@ mod tests {
     fn query_scans_and_filters() {
         let mut s = db();
         for i in 0..50 {
-            let v = if i % 2 == 0 { vec![b'x'; 100] } else { vec![b'y'; 10] };
+            let v = if i % 2 == 0 {
+                vec![b'x'; 100]
+            } else {
+                vec![b'y'; 10]
+            };
             s.commit(format!("row-{i:04}").into_bytes(), v);
         }
         let exec = s.query(b"row-", 10, 50);
@@ -509,7 +711,10 @@ mod tests {
         let exec = s.read_modify_write(b"ctr".to_vec(), b"2".to_vec());
         assert_eq!(exec.label, "read-modify-write");
         let d = exec.decomposition();
-        assert!(d.remote.as_secs_f64() > 2e-4, "the commit leg pays consensus");
+        assert!(
+            d.remote.as_secs_f64() > 2e-4,
+            "the commit leg pays consensus"
+        );
         assert_eq!(s.log_len(), 2);
     }
 
@@ -517,16 +722,41 @@ mod tests {
     fn quorum_wait_uses_kth_fastest_replica() {
         // With quorum 2 of 5, the wait is the fastest follower; quorum 5
         // waits for the slowest. Larger quorums never wait less.
-        let mut fast = Spanner::new(SpannerConfig { quorum: 2, ..SpannerConfig::default() }, 7);
-        let mut slow = Spanner::new(SpannerConfig { quorum: 5, ..SpannerConfig::default() }, 7);
-        let f = fast.commit(b"k".to_vec(), b"v".to_vec()).decomposition().remote;
-        let s = slow.commit(b"k".to_vec(), b"v".to_vec()).decomposition().remote;
+        let mut fast = Spanner::new(
+            SpannerConfig {
+                quorum: 2,
+                ..SpannerConfig::default()
+            },
+            7,
+        );
+        let mut slow = Spanner::new(
+            SpannerConfig {
+                quorum: 5,
+                ..SpannerConfig::default()
+            },
+            7,
+        );
+        let f = fast
+            .commit(b"k".to_vec(), b"v".to_vec())
+            .decomposition()
+            .remote;
+        let s = slow
+            .commit(b"k".to_vec(), b"v".to_vec())
+            .decomposition()
+            .remote;
         assert!(s >= f, "quorum-5 wait {s} >= quorum-2 wait {f}");
     }
 
     #[test]
     #[should_panic(expected = "quorum must be within")]
     fn invalid_quorum_panics() {
-        let _ = Spanner::new(SpannerConfig { replicas: 3, quorum: 4, ..SpannerConfig::default() }, 1);
+        let _ = Spanner::new(
+            SpannerConfig {
+                replicas: 3,
+                quorum: 4,
+                ..SpannerConfig::default()
+            },
+            1,
+        );
     }
 }

@@ -59,9 +59,24 @@ pub fn distributed_commit(
         participants.len() as u64,
         costs::CONSENSUS_NS_PER_MSG,
     );
-    meter.charge_ops(DatacenterTax::Rpc, "rpc_dispatch", participants.len() as u64 * 2, costs::RPC_FIXED_NS);
-    meter.charge_ops(SystemTax::OperatingSystems, "sys_sendmsg", participants.len() as u64 * 2, costs::SYSCALL_NS);
-    meter.charge_ops(SystemTax::Multithreading, "fanout_tasks", participants.len() as u64, costs::THREAD_HANDOFF_NS);
+    meter.charge_ops(
+        DatacenterTax::Rpc,
+        "rpc_dispatch",
+        participants.len() as u64 * 2,
+        costs::RPC_FIXED_NS,
+    );
+    meter.charge_ops(
+        SystemTax::OperatingSystems,
+        "sys_sendmsg",
+        participants.len() as u64 * 2,
+        costs::SYSCALL_NS,
+    );
+    meter.charge_ops(
+        SystemTax::Multithreading,
+        "fanout_tasks",
+        participants.len() as u64,
+        costs::THREAD_HANDOFF_NS,
+    );
 
     // Keep participant clocks coherent with the coordinator's view.
     let start = groups
@@ -167,8 +182,16 @@ mod tests {
         let mut gs = groups(3);
         let mut refs: Vec<&mut Spanner> = gs.iter_mut().collect();
         let writes = vec![
-            TxnWrite { group: 0, key: b"a".to_vec(), value: b"1".to_vec() },
-            TxnWrite { group: 2, key: b"b".to_vec(), value: b"2".to_vec() },
+            TxnWrite {
+                group: 0,
+                key: b"a".to_vec(),
+                value: b"1".to_vec(),
+            },
+            TxnWrite {
+                group: 2,
+                key: b"b".to_vec(),
+                value: b"2".to_vec(),
+            },
         ];
         let exec = distributed_commit(&mut refs, &writes, 7);
         assert_eq!(exec.label, "2pc-commit");
@@ -190,8 +213,16 @@ mod tests {
         let mut gs = groups(2);
         let mut refs: Vec<&mut Spanner> = gs.iter_mut().collect();
         let writes = vec![
-            TxnWrite { group: 0, key: b"k".to_vec(), value: b"v".to_vec() },
-            TxnWrite { group: 1, key: b"k2".to_vec(), value: b"v".to_vec() },
+            TxnWrite {
+                group: 0,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+            TxnWrite {
+                group: 1,
+                key: b"k2".to_vec(),
+                value: b"v".to_vec(),
+            },
         ];
         let exec = distributed_commit(&mut refs, &writes, 9);
         let d = exec.decomposition();
@@ -210,10 +241,18 @@ mod tests {
     fn classified_remote_heavy() {
         let mut gs = groups(2);
         let mut refs: Vec<&mut Spanner> = gs.iter_mut().collect();
-        let writes = vec![TxnWrite { group: 1, key: b"x".to_vec(), value: b"y".to_vec() }];
+        let writes = vec![TxnWrite {
+            group: 1,
+            key: b"x".to_vec(),
+            value: b"y".to_vec(),
+        }];
         let exec = distributed_commit(&mut refs, &writes, 11);
         let d = exec.decomposition();
-        assert!(d.remote_share() > 0.3, "2pc is remote-work heavy: {}", d.remote_share());
+        assert!(
+            d.remote_share() > 0.3,
+            "2pc is remote-work heavy: {}",
+            d.remote_share()
+        );
     }
 
     #[test]
@@ -229,7 +268,11 @@ mod tests {
     fn out_of_range_group_panics() {
         let mut gs = groups(1);
         let mut refs: Vec<&mut Spanner> = gs.iter_mut().collect();
-        let writes = vec![TxnWrite { group: 5, key: b"x".to_vec(), value: b"y".to_vec() }];
+        let writes = vec![TxnWrite {
+            group: 5,
+            key: b"x".to_vec(),
+            value: b"y".to_vec(),
+        }];
         let _ = distributed_commit(&mut refs, &writes, 1);
     }
 }

@@ -1,13 +1,14 @@
-//! Property tests: the BigTable LSM tree against a reference model.
+//! Randomized tests: the BigTable LSM tree against a reference model.
 //!
 //! Whatever flushes and compactions the simulator performs along the way,
 //! the visible key-value contents must match a plain map driven by the same
-//! operation sequence.
+//! operation sequence. Formerly `proptest` strategies; now driven by the
+//! in-repo deterministic PRNG so the workspace stays dependency-free.
 
 use std::collections::HashMap;
 
 use hsdp_platforms::bigtable::{BigTable, BigTableConfig};
-use proptest::prelude::*;
+use hsdp_rng::{Rng, StdRng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,14 +16,17 @@ enum Op {
     Get(u16),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u16..200, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
-            (0u16..200).prop_map(Op::Get),
-        ],
-        1..300,
-    )
+fn arb_ops(rng: &mut StdRng) -> Vec<Op> {
+    let len = rng.random_range(1..300usize);
+    (0..len)
+        .map(|_| {
+            if rng.random_bool(0.5) {
+                Op::Put(rng.random_range(0u16..200), rng.random())
+            } else {
+                Op::Get(rng.random_range(0u16..200))
+            }
+        })
+        .collect()
 }
 
 fn key(k: u16) -> Vec<u8> {
@@ -34,11 +38,11 @@ fn value(k: u16, v: u8) -> Vec<u8> {
     format!("v-{k}-{v}-{}", "x".repeat(64)).into_bytes()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lsm_matches_reference_map(ops in arb_ops()) {
+#[test]
+fn lsm_matches_reference_map() {
+    let mut rng = StdRng::seed_from_u64(0x15B1);
+    for _ in 0..32 {
+        let ops = arb_ops(&mut rng);
         let mut bt = BigTable::new(
             BigTableConfig {
                 memtable_flush_bytes: 1_500,
@@ -57,20 +61,26 @@ proptest! {
                 }
                 Op::Get(k) => {
                     let expected = reference.get(&k).map(|&v| value(k, v));
-                    prop_assert_eq!(bt.lookup(&key(k)), expected, "key {}", k);
+                    assert_eq!(bt.lookup(&key(k)), expected, "key {k}");
                 }
             }
         }
         // Final sweep: every reference entry is visible, and no phantom
         // keys exist.
         for (&k, &v) in &reference {
-            prop_assert_eq!(bt.lookup(&key(k)), Some(value(k, v)));
+            assert_eq!(bt.lookup(&key(k)), Some(value(k, v)));
         }
-        prop_assert_eq!(bt.lookup(b"never-written"), None);
+        assert_eq!(bt.lookup(b"never-written"), None);
     }
+}
 
-    #[test]
-    fn lsm_is_deterministic(puts in proptest::collection::vec((0u16..100, any::<u8>()), 1..100)) {
+#[test]
+fn lsm_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x15B2);
+    for _ in 0..16 {
+        let puts: Vec<(u16, u8)> = (0..rng.random_range(1..100usize))
+            .map(|_| (rng.random_range(0u16..100), rng.random()))
+            .collect();
         let run = |seed: u64| {
             let mut bt = BigTable::new(
                 BigTableConfig {
@@ -87,6 +97,6 @@ proptest! {
             }
             (total_e2e, bt.compactions(), bt.sstable_count())
         };
-        prop_assert_eq!(run(42), run(42), "same seed, same simulation");
+        assert_eq!(run(42), run(42), "same seed, same simulation");
     }
 }

@@ -3,7 +3,6 @@
 
 use hsdp_core::profile::QueryGroup;
 use hsdp_rpc::decompose::E2eDecomposition;
-use serde::{Deserialize, Serialize};
 
 /// Classifies one decomposed query into its Figure 2 group.
 #[must_use]
@@ -12,7 +11,7 @@ pub fn classify(d: &E2eDecomposition) -> QueryGroup {
 }
 
 /// One row of the Figure 2 chart.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Figure2Row {
     /// The query group (the final row repeats `Others` but represents the
     /// overall average; see [`Figure2::overall`]).
@@ -28,7 +27,7 @@ pub struct Figure2Row {
 }
 
 /// The aggregated Figure 2 data for one platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure2 {
     /// Per-group rows in the paper's order.
     pub groups: Vec<Figure2Row>,
@@ -63,14 +62,9 @@ pub fn figure2(decompositions: &[E2eDecomposition]) -> Figure2 {
     }
 }
 
-fn summarize(
-    group: QueryGroup,
-    members: &[&E2eDecomposition],
-    total_queries: usize,
-) -> Figure2Row {
-    let sum = |f: fn(&E2eDecomposition) -> u64| -> f64 {
-        members.iter().map(|d| f(d) as f64).sum()
-    };
+fn summarize(group: QueryGroup, members: &[&E2eDecomposition], total_queries: usize) -> Figure2Row {
+    let sum =
+        |f: fn(&E2eDecomposition) -> u64| -> f64 { members.iter().map(|d| f(d) as f64).sum() };
     let cpu = sum(|d| d.cpu.as_nanos());
     let io = sum(|d| d.io.as_nanos());
     let remote = sum(|d| d.remote.as_nanos());

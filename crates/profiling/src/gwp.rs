@@ -13,9 +13,9 @@ use std::collections::BTreeMap;
 use hsdp_core::category::{BroadCategory, CoreComputeOp, CpuCategory, DatacenterTax, SystemTax};
 use hsdp_core::component::CpuBreakdown;
 use hsdp_core::units::Seconds;
+use hsdp_rng::Rng;
+use hsdp_rng::StdRng;
 use hsdp_simcore::time::SimDuration;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// One labeled unit of CPU work offered to the profiler.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,16 +128,17 @@ impl CycleProfile {
         }
         by_category
             .into_iter()
-            .map(|(category, count)| {
-                (category, Seconds::new(count as f64 / self.total as f64))
-            })
+            .map(|(category, count)| (category, Seconds::new(count as f64 / self.total as f64)))
             .collect()
     }
 
     /// The categories present in Figure 4 order for the given platform,
     /// with their within-broad shares.
     #[must_use]
-    pub fn core_compute_rows(&self, platform: hsdp_core::category::Platform) -> Vec<(CoreComputeOp, f64)> {
+    pub fn core_compute_rows(
+        &self,
+        platform: hsdp_core::category::Platform,
+    ) -> Vec<(CoreComputeOp, f64)> {
         CoreComputeOp::for_platform(platform)
             .iter()
             .map(|&op| (op, self.share_within_broad(CpuCategory::Core(op))))
@@ -288,12 +289,9 @@ mod tests {
         let p = profiler.profile();
         assert!((p.broad_share(BroadCategory::CoreCompute) - 0.5).abs() < 0.02);
         assert!((p.broad_share(BroadCategory::DatacenterTax) - 0.5).abs() < 0.02);
+        assert!((p.share_within_broad(CpuCategory::Core(CoreComputeOp::Read)) - 0.5).abs() < 0.05);
         assert!(
-            (p.share_within_broad(CpuCategory::Core(CoreComputeOp::Read)) - 0.5).abs() < 0.05
-        );
-        assert!(
-            (p.share_within_broad(CpuCategory::Datacenter(DatacenterTax::Rpc)) - 1.0).abs()
-                < 1e-9
+            (p.share_within_broad(CpuCategory::Datacenter(DatacenterTax::Rpc)) - 1.0).abs() < 1e-9
         );
     }
 

@@ -10,6 +10,7 @@
 //!   predicting IPC from MPKI statistics.
 //! - [`report`] — text-table rendering for the regeneration benches.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -9,10 +9,9 @@
 
 use hsdp_core::category::{BroadCategory, Platform};
 use hsdp_core::paper::{table6, table7, MicroarchStats};
-use serde::{Deserialize, Serialize};
 
 /// The fitted CPI-stack model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpiModel {
     /// Base (miss-free) CPI.
     pub base_cpi: f64,
@@ -24,7 +23,14 @@ impl CpiModel {
     /// Predicted CPI for a row of MPKI statistics.
     #[must_use]
     pub fn predict_cpi(&self, stats: &MicroarchStats) -> f64 {
-        let events = [stats.br, stats.l1i, stats.l2i, stats.llc, stats.itlb, stats.dtlb_ld];
+        let events = [
+            stats.br,
+            stats.l1i,
+            stats.l2i,
+            stats.llc,
+            stats.itlb,
+            stats.dtlb_ld,
+        ];
         self.base_cpi
             + events
                 .iter()
@@ -41,7 +47,7 @@ impl CpiModel {
 }
 
 /// One calibration row: observed stats and where they came from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationRow {
     /// The platform.
     pub platform: Platform,
@@ -93,12 +99,14 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         // Eliminate below.
-        for row in col + 1..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for (offset, row) in rest.iter_mut().enumerate() {
+            let factor = row[col] / pivot_row[col];
+            for (target, source) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *target -= factor * *source;
             }
-            b[row] -= factor * b[col];
+            b[col + 1 + offset] -= factor * b[col];
         }
     }
     // Back-substitute.
@@ -159,18 +167,20 @@ pub fn fit_cpi_model(rows: &[CalibrationRow]) -> CpiModel {
         for (i, row) in ata.iter_mut().enumerate() {
             row[i] += 1e-9;
         }
+        // audit: allow(panic, the ridge term added above makes the normal equations non-singular)
         let solution = solve(ata, atb).expect("ridge-stabilized system is solvable");
         let mut params = [0.0f64; 7];
         for (i, &fi) in free.iter().enumerate() {
             params[fi] = solution[i];
         }
         // Clamp negative penalties (not the base) and refit.
-        let negatives: Vec<usize> =
-            (1..7).filter(|&i| active[i] && params[i] < 0.0).collect();
+        let negatives: Vec<usize> = (1..7).filter(|&i| active[i] && params[i] < 0.0).collect();
         if negatives.is_empty() {
             return CpiModel {
                 base_cpi: params[0].max(0.05),
-                penalties: [params[1], params[2], params[3], params[4], params[5], params[6]],
+                penalties: [
+                    params[1], params[2], params[3], params[4], params[5], params[6],
+                ],
             };
         }
         for i in negatives {
@@ -180,7 +190,7 @@ pub fn fit_cpi_model(rows: &[CalibrationRow]) -> CpiModel {
 }
 
 /// A regenerated microarch table row: observed vs model-predicted IPC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictedRow {
     /// The calibration row.
     pub row: CalibrationRow,
@@ -242,11 +252,17 @@ mod tests {
             rows.push(CalibrationRow {
                 platform: Platform::Spanner,
                 category: None,
-                stats: MicroarchStats { ipc: 1.0 / cpi, ..stats },
+                stats: MicroarchStats {
+                    ipc: 1.0 / cpi,
+                    ..stats
+                },
             });
         }
         let fitted = fit_cpi_model(&rows);
-        assert!((fitted.base_cpi - truth.base_cpi).abs() < 0.05, "{fitted:?}");
+        assert!(
+            (fitted.base_cpi - truth.base_cpi).abs() < 0.05,
+            "{fitted:?}"
+        );
         for (f, t) in fitted.penalties.iter().zip(truth.penalties) {
             assert!((f - t).abs() < 2.0, "{fitted:?}");
         }

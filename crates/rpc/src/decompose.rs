@@ -8,12 +8,11 @@
 //! that splits overlapped time evenly among the active categories.
 
 use hsdp_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::span::{Span, SpanKind};
 
 /// The end-to-end breakdown of one trace.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct E2eDecomposition {
     /// Time attributed to local CPU.
     pub cpu: SimDuration,
@@ -51,6 +50,7 @@ fn share(part: SimDuration, whole: SimDuration) -> f64 {
     if whole.is_zero() {
         0.0
     } else {
+        // audit: allow(cast, nanosecond counts to f64 for a dimensionless ratio; exact below 2^53 ns)
         part.as_nanos() as f64 / whole.as_nanos() as f64
     }
 }
@@ -93,10 +93,7 @@ pub fn decompose_with(spans: &[Span], attribution: Attribution) -> E2eDecomposit
     let end_to_end = last.since(first);
 
     // Elementary-interval sweep over all categorized span boundaries.
-    let mut boundaries: Vec<SimTime> = categorized
-        .iter()
-        .flat_map(|s| [s.start, s.end])
-        .collect();
+    let mut boundaries: Vec<SimTime> = categorized.iter().flat_map(|s| [s.start, s.end]).collect();
     boundaries.sort_unstable();
     boundaries.dedup();
 
@@ -213,10 +210,7 @@ mod tests {
 
     #[test]
     fn proportional_splits_overlap() {
-        let spans = vec![
-            span(SpanKind::Cpu, 0, 100),
-            span(SpanKind::Io, 0, 100),
-        ];
+        let spans = vec![span(SpanKind::Cpu, 0, 100), span(SpanKind::Io, 0, 100)];
         let d = decompose_proportional(&spans);
         assert_eq!(d.cpu.as_nanos(), 50);
         assert_eq!(d.io.as_nanos(), 50);
@@ -228,10 +222,7 @@ mod tests {
 
     #[test]
     fn idle_gaps_are_tracked() {
-        let spans = vec![
-            span(SpanKind::Cpu, 0, 10),
-            span(SpanKind::Cpu, 50, 60),
-        ];
+        let spans = vec![span(SpanKind::Cpu, 0, 10), span(SpanKind::Cpu, 50, 60)];
         let d = decompose(&spans);
         assert_eq!(d.cpu.as_nanos(), 20);
         assert_eq!(d.end_to_end.as_nanos(), 60);
@@ -279,8 +270,7 @@ mod tests {
             // Nanosecond rounding can push the sum a hair over 1.
             assert!(total <= 1.0 + 0.02, "{attribution:?}: {total}");
             let covered = d.cpu + d.io + d.remote + d.idle;
-            let drift =
-                covered.as_nanos().abs_diff(d.end_to_end.as_nanos());
+            let drift = covered.as_nanos().abs_diff(d.end_to_end.as_nanos());
             // Proportional splits round each category independently: allow
             // a couple of nanoseconds of rounding drift.
             assert!(drift <= 2, "{attribution:?}: drift {drift}ns");

@@ -3,10 +3,9 @@
 //! threading an RNG through every call site.
 
 use hsdp_simcore::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a network path between two services.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// One-way propagation latency.
     pub base: SimDuration,
@@ -46,6 +45,7 @@ impl LatencyModel {
     #[must_use]
     pub fn one_way(&self, bytes: u64, seed: u64) -> SimDuration {
         assert!(self.bandwidth > 0.0, "bandwidth must be positive");
+        // audit: allow(cast, u64 byte count to f64 for bandwidth division is exact below 2^53)
         let transfer = SimDuration::from_secs_f64(bytes as f64 / self.bandwidth);
         let jitter = if self.jitter_frac > 0.0 {
             // splitmix64 finalizer: uniform in [0, jitter_frac).

@@ -11,6 +11,7 @@
 //! - [`latency`] — intra-cluster and cross-region RPC latency models with
 //!   deterministic jitter.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -7,23 +7,18 @@
 //! drives the end-to-end time decomposition.
 
 use hsdp_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Identifies one end-to-end request (query) across all services.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TraceId(pub u64);
 
 /// Identifies one span within a trace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SpanId(pub u64);
 
 /// What kind of work a span represents — the categories of the Section 4
 /// end-to-end breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SpanKind {
     /// Local CPU computation.
     Cpu,
@@ -51,7 +46,7 @@ impl SpanKind {
 }
 
 /// One timed operation in a trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     /// The trace this span belongs to.
     pub trace: TraceId,

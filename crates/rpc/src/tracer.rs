@@ -85,6 +85,7 @@ impl Tracer {
         let mut span = self
             .open
             .remove(&open.id)
+            // audit: allow(panic, documented panic contract: double-finish is a tracer bug in the caller)
             .expect("span finished twice or never started");
         span.end = now.max(span.start);
         self.finished.push(span);
@@ -123,11 +124,7 @@ impl Tracer {
     /// Finished spans of one trace, in start order.
     #[must_use]
     pub fn trace_spans(&self, trace: TraceId) -> Vec<&Span> {
-        let mut spans: Vec<&Span> = self
-            .finished
-            .iter()
-            .filter(|s| s.trace == trace)
-            .collect();
+        let mut spans: Vec<&Span> = self.finished.iter().filter(|s| s.trace == trace).collect();
         spans.sort_by_key(|s| (s.start, s.id));
         spans
     }

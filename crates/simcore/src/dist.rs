@@ -5,7 +5,7 @@
 //! exhibit (YCSB-style), plus exponential, bounded Pareto, and log-normal
 //! service-time distributions.
 
-use rand::{Rng, RngExt};
+use hsdp_rng::Rng;
 
 /// A sampling distribution over `f64`.
 pub trait Sample {
@@ -93,7 +93,10 @@ impl BoundedPareto {
     /// Panics unless `0 < lo < hi` and `alpha > 0`.
     #[must_use]
     pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
-        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "need 0 < lo < hi, alpha > 0");
+        assert!(
+            lo > 0.0 && hi > lo && alpha > 0.0,
+            "need 0 < lo < hi, alpha > 0"
+        );
         BoundedPareto { lo, hi, alpha }
     }
 }
@@ -162,12 +165,22 @@ impl Zipf {
     #[must_use]
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n >= 1, "need at least one item");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0, 1)"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, zetan, alpha, eta, zeta2 }
+        Zipf {
+            n,
+            theta,
+            zetan,
+            alpha,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -206,9 +219,8 @@ impl Sample for Zipf {
 
 /// Convenience: a deterministic RNG for reproducible simulations.
 #[must_use]
-pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
-    use rand::SeedableRng;
-    rand::rngs::StdRng::seed_from_u64(seed)
+pub fn seeded_rng(seed: u64) -> hsdp_rng::StdRng {
+    hsdp_rng::StdRng::seed_from_u64(seed)
 }
 
 #[cfg(test)]

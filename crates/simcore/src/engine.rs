@@ -116,7 +116,8 @@ impl<E> Simulator<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(HeapEntry(Scheduled { at, seq, event })));
+        self.queue
+            .push(Reverse(HeapEntry(Scheduled { at, seq, event })));
     }
 
     /// Pops the next event, advancing the clock to its instant.
@@ -149,6 +150,7 @@ impl<E> Simulator<E> {
             if next.at > deadline {
                 break;
             }
+            // audit: allow(panic, peek() just returned Some so step() cannot fail)
             let event = self.step().expect("peeked entry exists");
             handler(self, event);
         }

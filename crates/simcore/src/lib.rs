@@ -14,6 +14,7 @@
 //! accesses, consensus rounds, compactions and shuffles through this engine,
 //! giving the profiling pipeline deterministic, reproducible traces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -23,7 +24,9 @@ pub mod resource;
 pub mod stats;
 pub mod time;
 
-pub use dist::{seeded_rng, BoundedPareto, Constant, Exponential, LogNormal, Sample, Uniform, Zipf};
+pub use dist::{
+    seeded_rng, BoundedPareto, Constant, Exponential, LogNormal, Sample, Uniform, Zipf,
+};
 pub use engine::Simulator;
 pub use resource::{FifoResource, Grant};
 pub use stats::{Percentiles, Summary};

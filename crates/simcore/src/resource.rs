@@ -62,6 +62,7 @@ impl FifoResource {
     /// when it starts and finishes. Jobs must be offered in arrival order
     /// for FIFO semantics.
     pub fn offer(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
+        // audit: allow(panic, the heap is seeded with `servers` entries and every pop is paired with a push)
         let Reverse(free) = self.free_at.pop().expect("heap has `servers` entries");
         let start = free.max(arrival);
         let finish = start + service;
@@ -70,7 +71,11 @@ impl FifoResource {
         self.jobs += 1;
         let queued = start.since(arrival);
         self.queued_total += queued;
-        Grant { start, finish, queued }
+        Grant {
+            start,
+            finish,
+            queued,
+        }
     }
 
     /// Total service time delivered.
@@ -88,11 +93,10 @@ impl FifoResource {
     /// Mean queueing delay across jobs served (zero if none).
     #[must_use]
     pub fn mean_queue_delay(&self) -> SimDuration {
-        if self.jobs == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(self.queued_total.as_nanos() / self.jobs)
-        }
+        self.queued_total
+            .as_nanos()
+            .checked_div(self.jobs)
+            .map_or(SimDuration::ZERO, SimDuration::from_nanos)
     }
 
     /// The earliest instant all servers are idle.

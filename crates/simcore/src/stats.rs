@@ -1,9 +1,7 @@
 //! Streaming statistics for simulation measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford-style streaming summary: count, mean, variance, min, max.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -16,7 +14,13 @@ impl Summary {
     /// An empty summary.
     #[must_use]
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -105,7 +109,7 @@ impl Summary {
 }
 
 /// Exact percentile collector (stores all samples; sorted lazily).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Percentiles {
     samples: Vec<f64>,
 }

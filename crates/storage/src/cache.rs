@@ -255,7 +255,9 @@ impl TwoQCache {
 
     fn evict_probation_to_fit(&mut self, incoming: u64) {
         while self.probation_used + incoming > self.probation_capacity {
-            let Some(victim) = self.probation.pop_front() else { break };
+            let Some(victim) = self.probation.pop_front() else {
+                break;
+            };
             if let Some(size) = self.probation_sizes.remove(&victim) {
                 self.probation_used -= size;
             }
@@ -419,7 +421,12 @@ mod tests {
 
     #[test]
     fn remove_works_across_policies() {
-        for kind in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::TwoQ, PolicyKind::Predictive] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Lfu,
+            PolicyKind::TwoQ,
+            PolicyKind::Predictive,
+        ] {
             let mut c = build_cache(kind, 100);
             c.insert(1, 10);
             assert!(c.contains(1), "{kind:?}");
@@ -432,7 +439,12 @@ mod tests {
 
     #[test]
     fn capacity_never_exceeded() {
-        for kind in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::TwoQ, PolicyKind::Predictive] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Lfu,
+            PolicyKind::TwoQ,
+            PolicyKind::Predictive,
+        ] {
             let mut c = build_cache(kind, 100);
             for k in 0..1000 {
                 c.insert(k, 7);

@@ -96,7 +96,11 @@ impl Dfs {
         let servers = (0..config.servers)
             .map(|_| TieredStore::new(ram, ssd, hdd, config.policy))
             .collect();
-        Dfs { config, servers, files: HashMap::new() }
+        Dfs {
+            config,
+            servers,
+            files: HashMap::new(),
+        }
     }
 
     /// The configuration.
@@ -138,6 +142,7 @@ impl Dfs {
 
     fn network_time(&self, bytes: u64) -> SimDuration {
         self.config.network_latency
+            // audit: allow(cast, u64 byte count to f64 for bandwidth division is exact below 2^53)
             + SimDuration::from_secs_f64(bytes as f64 / self.config.network_bandwidth)
     }
 
@@ -149,11 +154,12 @@ impl Dfs {
         let chunks = size.div_ceil(self.config.chunk_size).max(1);
         let mut total = SimDuration::ZERO;
         for chunk_index in 0..chunks {
-            let chunk_bytes = if chunk_index == chunks - 1 && size % self.config.chunk_size != 0 {
-                size % self.config.chunk_size
-            } else {
-                self.config.chunk_size.min(size.max(1))
-            };
+            let chunk_bytes =
+                if chunk_index == chunks - 1 && !size.is_multiple_of(self.config.chunk_size) {
+                    size % self.config.chunk_size
+                } else {
+                    self.config.chunk_size.min(size.max(1))
+                };
             let mut slowest = SimDuration::ZERO;
             for server in self.replicas(file, chunk_index) {
                 let t = self.servers[server].write(Self::chunk_key(file, chunk_index), chunk_bytes);
@@ -171,13 +177,18 @@ impl Dfs {
     ///
     /// Panics if the file does not exist or the range exceeds its size.
     pub fn read(&mut self, file: FileId, offset: u64, bytes: u64) -> DfsReadOutcome {
+        // audit: allow(panic, documented panic contract: reading an unknown file is a caller bug)
         let meta = self.files.get(&file).expect("file must exist");
         assert!(
             offset.saturating_add(bytes) <= meta.size,
             "read past end of file"
         );
         if bytes == 0 {
-            return DfsReadOutcome { latency: self.network_time(0), chunks: 0, bytes: 0 };
+            return DfsReadOutcome {
+                latency: self.network_time(0),
+                chunks: 0,
+                bytes: 0,
+            };
         }
         let first_chunk = offset / self.config.chunk_size;
         let last_chunk = (offset + bytes - 1) / self.config.chunk_size;
@@ -189,8 +200,7 @@ impl Dfs {
             let read_end = (offset + bytes).min(chunk_end);
             let span = read_end - read_start;
             let primary = self.replicas(file, chunk_index)[0];
-            let outcome =
-                self.servers[primary].read(Self::chunk_key(file, chunk_index), span);
+            let outcome = self.servers[primary].read(Self::chunk_key(file, chunk_index), span);
             latency += self.network_time(span) + outcome.latency;
         }
         DfsReadOutcome {
@@ -254,7 +264,7 @@ mod tests {
     #[test]
     fn placement_spreads_load() {
         let dfs = small_dfs();
-        let mut counts = vec![0u32; 4];
+        let mut counts = [0u32; 4];
         for f in 0..200 {
             for &s in &dfs.replicas(FileId(f), 0) {
                 counts[s] += 1;

@@ -12,6 +12,7 @@
 //! - [`provision`](mod@provision) — sizing tiers from zipfian hit-rate targets,
 //!   reproducing Table 1's storage-to-storage ratios.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -23,8 +24,8 @@ pub mod tier;
 pub mod tiered;
 
 pub use cache::{CachePolicy, LfuCache, LruCache, PolicyKind, TwoQCache};
-pub use predictive::PredictiveCache;
 pub use dfs::{Dfs, DfsConfig, FileId};
+pub use predictive::PredictiveCache;
 pub use provision::{provision, PlatformClass, ProvisionSpec, Provisioned, ZipfWorkingSet};
 pub use tier::{TierKind, TierSpec, TierStats};
 pub use tiered::TieredStore;

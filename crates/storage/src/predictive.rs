@@ -53,14 +53,9 @@ impl PredictiveCache {
         *entry = (score, now);
         if self.ghosts.len() > MAX_GHOSTS {
             // Forget the stalest ghost (linear scan is fine at this size).
-            if let Some((&victim, _)) = self
-                .ghosts
-                .iter()
-                .min_by(|a, b| {
-                    Self::decayed(a.1 .0, a.1 .1, now)
-                        .total_cmp(&Self::decayed(b.1 .0, b.1 .1, now))
-                })
-            {
+            if let Some((&victim, _)) = self.ghosts.iter().min_by(|a, b| {
+                Self::decayed(a.1 .0, a.1 .1, now).total_cmp(&Self::decayed(b.1 .0, b.1 .1, now))
+            }) {
                 self.ghosts.remove(&victim);
             }
         }
@@ -114,7 +109,8 @@ impl CachePolicy for PredictiveCache {
             }
         }
         self.ghosts.remove(&key);
-        self.resident.insert(key, (size, candidate_score, self.clock));
+        self.resident
+            .insert(key, (size, candidate_score, self.clock));
         self.used += size;
     }
 

@@ -10,14 +10,12 @@
 //! the resulting byte ratios are then *derived* and compared against
 //! Table 1 in the bench.
 
-use serde::{Deserialize, Serialize};
-
 /// A zipfian working-set model over `items` objects with skew `theta < 1`.
 ///
 /// Uses the continuous approximation of the generalized harmonic number,
 /// `H_k(θ) ≈ (k^(1-θ) - 1) / (1-θ)`, accurate for the large item counts of
 /// fleet datasets.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZipfWorkingSet {
     items: f64,
     theta: f64,
@@ -75,7 +73,7 @@ impl ZipfWorkingSet {
 }
 
 /// Inputs to the tier provisioner for one platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProvisionSpec {
     /// Total logical dataset bytes (becomes the HDD capacity tier).
     pub dataset_bytes: f64,
@@ -88,7 +86,7 @@ pub struct ProvisionSpec {
 }
 
 /// Provisioned tier sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Provisioned {
     /// RAM bytes.
     pub ram: f64,

@@ -1,10 +1,9 @@
 //! Storage tier models: RAM, SSD, HDD device characteristics.
 
 use hsdp_simcore::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The three storage tiers of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TierKind {
     /// DRAM read caches / write buffers.
     Ram,
@@ -41,7 +40,7 @@ impl std::fmt::Display for TierKind {
 }
 
 /// Device characteristics of one tier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TierSpec {
     /// Capacity in bytes.
     pub capacity: u64,
@@ -61,6 +60,7 @@ impl TierSpec {
     #[must_use]
     pub fn access_time(&self, bytes: u64) -> SimDuration {
         assert!(self.bandwidth > 0.0, "tier bandwidth must be positive");
+        // audit: allow(cast, u64 byte count to f64 for bandwidth division is exact below 2^53)
         self.access_latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
     }
 
@@ -100,7 +100,7 @@ impl TierSpec {
 }
 
 /// Per-tier access statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TierStats {
     /// Accesses that hit this tier.
     pub hits: u64,
@@ -157,7 +157,11 @@ mod tests {
 
     #[test]
     fn hit_rate_arithmetic() {
-        let stats = TierStats { hits: 3, misses: 1, ..TierStats::default() };
+        let stats = TierStats {
+            hits: 3,
+            misses: 1,
+            ..TierStats::default()
+        };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(TierStats::default().hit_rate(), 0.0);
     }

@@ -168,12 +168,16 @@ mod tests {
     fn ram_eviction_falls_back_to_ssd() {
         let mut s = store();
         s.read(1, 800); // warm key 1 into RAM+SSD
-        // Push key 1 out of the 1000-byte RAM with other traffic.
+                        // Push key 1 out of the 1000-byte RAM with other traffic.
         for k in 2..5 {
             s.read(k, 800);
         }
         let outcome = s.read(1, 800);
-        assert_eq!(outcome.served_by, TierKind::Ssd, "evicted from RAM, kept in SSD");
+        assert_eq!(
+            outcome.served_by,
+            TierKind::Ssd,
+            "evicted from RAM, kept in SSD"
+        );
     }
 
     #[test]

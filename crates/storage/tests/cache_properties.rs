@@ -1,8 +1,11 @@
-//! Property tests over every cache policy: capacity safety, hit/miss
+//! Randomized tests over every cache policy: capacity safety, hit/miss
 //! consistency, and zipf hit-rate sanity.
+//!
+//! Formerly `proptest` strategies; now driven by the in-repo deterministic
+//! PRNG so the workspace stays dependency-free.
 
+use hsdp_rng::{Rng, StdRng};
 use hsdp_storage::cache::{build_cache, PolicyKind};
-use proptest::prelude::*;
 
 const POLICIES: [PolicyKind; 4] = [
     PolicyKind::Lru,
@@ -18,24 +21,25 @@ enum Op {
     Remove(u64),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..64, 1u64..40).prop_map(|(k, s)| Op::Insert(k, s)),
-            (0u64..64).prop_map(Op::Access),
-            (0u64..64).prop_map(Op::Remove),
-        ],
-        1..200,
-    )
+fn arb_ops(rng: &mut StdRng) -> Vec<Op> {
+    let len = rng.random_range(1..200usize);
+    (0..len)
+        .map(|_| match rng.random_range(0..3u8) {
+            0 => Op::Insert(rng.random_range(0u64..64), rng.random_range(1u64..40)),
+            1 => Op::Access(rng.random_range(0u64..64)),
+            _ => Op::Remove(rng.random_range(0u64..64)),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Capacity is never exceeded and bookkeeping never underflows, for any
-    /// operation sequence, under every policy.
-    #[test]
-    fn capacity_and_bookkeeping_invariants(ops in arb_ops(), capacity in 10u64..200) {
+/// Capacity is never exceeded and bookkeeping never underflows, for any
+/// operation sequence, under every policy.
+#[test]
+fn capacity_and_bookkeeping_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE1);
+    for _ in 0..48 {
+        let ops = arb_ops(&mut rng);
+        let capacity = rng.random_range(10u64..200);
         for policy in POLICIES {
             let mut cache = build_cache(policy, capacity);
             for op in &ops {
@@ -43,25 +47,34 @@ proptest! {
                     Op::Insert(k, s) => cache.insert(k, s),
                     Op::Access(k) => {
                         let hit = cache.access(k);
-                        prop_assert_eq!(hit, cache.contains(k), "{:?}", policy);
+                        assert_eq!(hit, cache.contains(k), "{policy:?}");
                     }
                     Op::Remove(k) => cache.remove(k),
                 }
-                prop_assert!(cache.used_bytes() <= cache.capacity(), "{:?}", policy);
-                prop_assert_eq!(cache.is_empty(), cache.len() == 0, "{:?}", policy);
+                assert!(cache.used_bytes() <= cache.capacity(), "{policy:?}");
+                if cache.is_empty() {
+                    assert_eq!(cache.len(), 0, "{policy:?}");
+                } else {
+                    assert_ne!(cache.len(), 0, "{policy:?}");
+                }
             }
         }
     }
+}
 
-    /// A removed key is gone under every policy.
-    #[test]
-    fn remove_is_definitive(key in 0u64..1000, size in 1u64..50) {
+/// A removed key is gone under every policy.
+#[test]
+fn remove_is_definitive() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE2);
+    for _ in 0..256 {
+        let key = rng.random_range(0u64..1000);
+        let size = rng.random_range(1u64..50);
         for policy in POLICIES {
             let mut cache = build_cache(policy, 1_000);
             cache.insert(key, size);
             cache.remove(key);
-            prop_assert!(!cache.contains(key), "{policy:?}");
-            prop_assert_eq!(cache.used_bytes(), 0, "{:?}", policy);
+            assert!(!cache.contains(key), "{policy:?}");
+            assert_eq!(cache.used_bytes(), 0, "{policy:?}");
         }
     }
 }

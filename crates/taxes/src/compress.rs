@@ -131,11 +131,9 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
         return Err(CompressError::BadHeader);
     }
     let mut pos = 3;
-    let (expected_len, n) =
-        decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+    let (expected_len, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
     pos += n;
-    let expected_len =
-        usize::try_from(expected_len).map_err(|_| CompressError::BadHeader)?;
+    let expected_len = usize::try_from(expected_len).map_err(|_| CompressError::BadHeader)?;
 
     let mut out = Vec::with_capacity(expected_len);
     while pos < input.len() {
@@ -147,13 +145,11 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
             let len = if short_len < 0x7f {
                 short_len + MIN_MATCH
             } else {
-                let (l, n) =
-                    decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+                let (l, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
                 pos += n;
                 usize::try_from(l).map_err(|_| CompressError::Truncated)?
             };
-            let (offset, n) =
-                decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+            let (offset, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
             pos += n;
             let offset = usize::try_from(offset).map_err(|_| CompressError::Truncated)?;
             if offset == 0 || offset > out.len() {
@@ -170,14 +166,11 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
             let len = if short_len < 0x7f {
                 short_len + 1
             } else {
-                let (l, n) =
-                    decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+                let (l, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
                 pos += n;
                 usize::try_from(l).map_err(|_| CompressError::Truncated)?
             };
-            let literals = input
-                .get(pos..pos + len)
-                .ok_or(CompressError::Truncated)?;
+            let literals = input.get(pos..pos + len).ok_or(CompressError::Truncated)?;
             out.extend_from_slice(literals);
             pos += len;
         }
@@ -264,7 +257,12 @@ mod tests {
     fn repetitive_input_shrinks() {
         let data = b"the quick brown fox ".repeat(100);
         let packed = compress(&data);
-        assert!(packed.len() < data.len() / 4, "{} vs {}", packed.len(), data.len());
+        assert!(
+            packed.len() < data.len() / 4,
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
         assert_eq!(decompress(&packed).unwrap(), data);
     }
 
@@ -286,7 +284,11 @@ mod tests {
         // A single-byte run compresses via overlapping back-references.
         let data = vec![7u8; 100_000];
         let packed = compress(&data);
-        assert!(packed.len() < 100, "run should collapse, got {}", packed.len());
+        assert!(
+            packed.len() < 100,
+            "run should collapse, got {}",
+            packed.len()
+        );
         assert_eq!(decompress(&packed).unwrap(), data);
     }
 
@@ -303,7 +305,9 @@ mod tests {
         let mut data = b"needle-needle-needle".to_vec();
         let mut state = 1u64;
         data.extend((0..MAX_OFFSET + 100).map(|_| {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             (state >> 33) as u8
         }));
         data.extend_from_slice(b"needle-needle-needle");
@@ -349,7 +353,10 @@ mod tests {
         packed[3] = 7;
         assert!(matches!(
             decompress(&packed),
-            Err(CompressError::LengthMismatch { expected: 7, actual: 6 })
+            Err(CompressError::LengthMismatch {
+                expected: 7,
+                actual: 6
+            })
         ));
     }
 

@@ -172,14 +172,23 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(WireError::TypeMismatch { field: 3, expected: "string" }
-            .to_string()
-            .contains("field 3"));
-        assert!(CompressError::LengthMismatch { expected: 10, actual: 5 }
-            .to_string()
-            .contains("10"));
-        assert!(FrameError::Oversized { declared: 9, max: 4 }
-            .to_string()
-            .contains('9'));
+        assert!(WireError::TypeMismatch {
+            field: 3,
+            expected: "string"
+        }
+        .to_string()
+        .contains("field 3"));
+        assert!(CompressError::LengthMismatch {
+            expected: 10,
+            actual: 5
+        }
+        .to_string()
+        .contains("10"));
+        assert!(FrameError::Oversized {
+            declared: 9,
+            max: 4
+        }
+        .to_string()
+        .contains('9'));
     }
 }

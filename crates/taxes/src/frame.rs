@@ -29,6 +29,13 @@ pub enum FrameKind {
     Cancel,
 }
 
+/// Converts a header/trailer sub-slice into a fixed-size array. Callers
+/// have already bounds-checked `buf` against `HEADER_LEN`/`total`.
+fn arr<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    // audit: allow(panic, callers have already bounds-checked the slice length)
+    bytes.try_into().expect("length checked by caller")
+}
+
 impl FrameKind {
     fn to_byte(self) -> u8 {
         match self {
@@ -67,13 +74,23 @@ impl Frame {
     /// Creates a request frame.
     #[must_use]
     pub fn request(method: u16, request_id: u64, payload: Vec<u8>) -> Self {
-        Frame { kind: FrameKind::Request, method, request_id, payload }
+        Frame {
+            kind: FrameKind::Request,
+            method,
+            request_id,
+            payload,
+        }
     }
 
     /// Creates a response frame.
     #[must_use]
     pub fn response(method: u16, request_id: u64, payload: Vec<u8>) -> Self {
-        Frame { kind: FrameKind::Response, method, request_id, payload }
+        Frame {
+            kind: FrameKind::Response,
+            method,
+            request_id,
+            payload,
+        }
     }
 
     /// Total encoded length.
@@ -118,31 +135,36 @@ impl Frame {
         if buf[..2] != MAGIC {
             return Err(FrameError::BadMagic);
         }
-        let declared_header_crc =
-            u32::from_le_bytes(buf[HEADER_LEN - 4..HEADER_LEN].try_into().expect("4 bytes"));
+        let declared_header_crc = u32::from_le_bytes(arr(&buf[HEADER_LEN - 4..HEADER_LEN]));
         if crc32c(&buf[..HEADER_LEN - 4]) != declared_header_crc {
             return Err(FrameError::HeaderChecksum);
         }
         let kind = FrameKind::from_byte(buf[2])?;
-        let method = u16::from_le_bytes(buf[3..5].try_into().expect("2 bytes"));
-        let request_id = u64::from_le_bytes(buf[5..13].try_into().expect("8 bytes"));
-        let payload_len = u32::from_le_bytes(buf[13..17].try_into().expect("4 bytes")) as usize;
+        let method = u16::from_le_bytes(arr(&buf[3..5]));
+        let request_id = u64::from_le_bytes(arr(&buf[5..13]));
+        let payload_len = u32::from_le_bytes(arr(&buf[13..17])) as usize;
         if payload_len > max_payload {
-            return Err(FrameError::Oversized { declared: payload_len, max: max_payload });
+            return Err(FrameError::Oversized {
+                declared: payload_len,
+                max: max_payload,
+            });
         }
         let total = HEADER_LEN + payload_len + TRAILER_LEN;
         if buf.len() < total {
             return Err(FrameError::Truncated);
         }
         let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len];
-        let declared_payload_crc = u32::from_le_bytes(
-            buf[HEADER_LEN + payload_len..total].try_into().expect("4 bytes"),
-        );
+        let declared_payload_crc = u32::from_le_bytes(arr(&buf[HEADER_LEN + payload_len..total]));
         if crc32c(payload) != declared_payload_crc {
             return Err(FrameError::PayloadChecksum);
         }
         Ok((
-            Frame { kind, method, request_id, payload: payload.to_vec() },
+            Frame {
+                kind,
+                method,
+                request_id,
+                payload: payload.to_vec(),
+            },
             total,
         ))
     }
@@ -160,7 +182,12 @@ mod tests {
             FrameKind::Error,
             FrameKind::Cancel,
         ] {
-            let frame = Frame { kind, method: 7, request_id: 0xfeed, payload: b"payload".to_vec() };
+            let frame = Frame {
+                kind,
+                method: 7,
+                request_id: 0xfeed,
+                payload: b"payload".to_vec(),
+            };
             let bytes = frame.encode_to_vec();
             assert_eq!(bytes.len(), frame.encoded_len());
             let (decoded, consumed) = Frame::decode(&bytes, 1024).unwrap();
@@ -219,7 +246,10 @@ mod tests {
         let bytes = Frame::request(1, 2, vec![0u8; 100]).encode_to_vec();
         assert!(matches!(
             Frame::decode(&bytes, 10),
-            Err(FrameError::Oversized { declared: 100, max: 10 })
+            Err(FrameError::Oversized {
+                declared: 100,
+                max: 10
+            })
         ));
     }
 }

@@ -19,6 +19,7 @@
 //! [`sha3`] as its pipeline stages, mirroring the paper's ProtoAcc → SHA3
 //! RTL experiment (Section 6.4).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -47,6 +47,7 @@ impl MoveCounter {
     /// Records a movement performed elsewhere.
     pub fn record(&self, bytes: usize) {
         self.operations.fetch_add(1, Ordering::Relaxed);
+        // audit: allow(cast, usize to u64 widening is lossless on all supported targets)
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 

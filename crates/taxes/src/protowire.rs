@@ -190,19 +190,37 @@ impl FieldDescriptor {
     /// An optional singular field.
     #[must_use]
     pub fn optional(number: u32, name: &str, ty: FieldType) -> Self {
-        FieldDescriptor { number, name: name.to_owned(), ty, repeated: false, required: false }
+        FieldDescriptor {
+            number,
+            name: name.to_owned(),
+            ty,
+            repeated: false,
+            required: false,
+        }
     }
 
     /// A required singular field.
     #[must_use]
     pub fn required(number: u32, name: &str, ty: FieldType) -> Self {
-        FieldDescriptor { number, name: name.to_owned(), ty, repeated: false, required: true }
+        FieldDescriptor {
+            number,
+            name: name.to_owned(),
+            ty,
+            repeated: false,
+            required: true,
+        }
     }
 
     /// A repeated field.
     #[must_use]
     pub fn repeated(number: u32, name: &str, ty: FieldType) -> Self {
-        FieldDescriptor { number, name: name.to_owned(), ty, repeated: true, required: false }
+        FieldDescriptor {
+            number,
+            name: name.to_owned(),
+            ty,
+            repeated: true,
+            required: false,
+        }
     }
 }
 
@@ -225,13 +243,21 @@ impl MessageDescriptor {
         let mut by_number = BTreeMap::new();
         for (idx, field) in fields.iter().enumerate() {
             if field.number == 0 || u64::from(field.number) > MAX_FIELD_NUMBER {
-                return Err(WireError::InvalidFieldNumber { field: u64::from(field.number) });
+                return Err(WireError::InvalidFieldNumber {
+                    field: u64::from(field.number),
+                });
             }
             if by_number.insert(field.number, idx).is_some() {
-                return Err(WireError::InvalidFieldNumber { field: u64::from(field.number) });
+                return Err(WireError::InvalidFieldNumber {
+                    field: u64::from(field.number),
+                });
             }
         }
-        Ok(MessageDescriptor { name: name.to_owned(), fields, by_number })
+        Ok(MessageDescriptor {
+            name: name.to_owned(),
+            fields,
+            by_number,
+        })
     }
 
     /// The message name.
@@ -310,7 +336,10 @@ impl Message {
     /// An empty message of the given schema.
     #[must_use]
     pub fn new(descriptor: Arc<MessageDescriptor>) -> Self {
-        Message { descriptor, values: BTreeMap::new() }
+        Message {
+            descriptor,
+            values: BTreeMap::new(),
+        }
     }
 
     /// The message's descriptor.
@@ -347,9 +376,14 @@ impl Message {
         let field = self
             .descriptor
             .field(number)
-            .ok_or(WireError::InvalidFieldNumber { field: u64::from(number) })?;
+            .ok_or(WireError::InvalidFieldNumber {
+                field: u64::from(number),
+            })?;
         if !value.matches(&field.ty) {
-            return Err(WireError::TypeMismatch { field: number, expected: field.ty.name() });
+            return Err(WireError::TypeMismatch {
+                field: number,
+                expected: field.ty.name(),
+            });
         }
         Ok(field)
     }
@@ -446,7 +480,9 @@ impl Message {
         }
         for field in descriptor.fields() {
             if field.required && !message.values.contains_key(&field.number) {
-                return Err(WireError::MissingField { field: field.number });
+                return Err(WireError::MissingField {
+                    field: field.number,
+                });
             }
         }
         Ok(message)
@@ -526,6 +562,13 @@ fn encode_value(number: u32, value: &Value, out: &mut Vec<u8>) {
     }
 }
 
+/// Converts a slice whose length [`take`] has already verified into the
+/// fixed-size array the `from_le_bytes` constructors want.
+fn arr<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    // audit: allow(panic, take() has already verified the slice is exactly N bytes)
+    bytes.try_into().expect("length checked by take()")
+}
+
 fn decode_value(
     ty: &FieldType,
     number: u32,
@@ -551,19 +594,19 @@ fn decode_value(
         }
         FieldType::Fixed64 => {
             let bytes = take(buf, 8, number)?;
-            Ok((Value::Fixed64(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))), 8))
+            Ok((Value::Fixed64(u64::from_le_bytes(arr(bytes))), 8))
         }
         FieldType::Double => {
             let bytes = take(buf, 8, number)?;
-            Ok((Value::Double(f64::from_le_bytes(bytes.try_into().expect("8 bytes"))), 8))
+            Ok((Value::Double(f64::from_le_bytes(arr(bytes))), 8))
         }
         FieldType::Fixed32 => {
             let bytes = take(buf, 4, number)?;
-            Ok((Value::Fixed32(u32::from_le_bytes(bytes.try_into().expect("4 bytes"))), 4))
+            Ok((Value::Fixed32(u32::from_le_bytes(arr(bytes))), 4))
         }
         FieldType::Float => {
             let bytes = take(buf, 4, number)?;
-            Ok((Value::Float(f32::from_le_bytes(bytes.try_into().expect("4 bytes"))), 4))
+            Ok((Value::Float(f32::from_le_bytes(arr(bytes))), 4))
         }
         FieldType::String => {
             let (payload, n) = take_length_delimited(buf, number)?;
@@ -583,7 +626,7 @@ fn decode_value(
     }
 }
 
-fn take<'a>(buf: &'a [u8], len: usize, field: u32) -> Result<&'a [u8], WireError> {
+fn take(buf: &[u8], len: usize, field: u32) -> Result<&[u8], WireError> {
     buf.get(..len).ok_or(WireError::TruncatedField { field })
 }
 
@@ -697,8 +740,16 @@ mod tests {
             MessageDescriptor::new(
                 "Outer",
                 vec![
-                    FieldDescriptor::required(1, "inner", FieldType::Message(Arc::clone(&inner_desc))),
-                    FieldDescriptor::repeated(2, "many", FieldType::Message(Arc::clone(&inner_desc))),
+                    FieldDescriptor::required(
+                        1,
+                        "inner",
+                        FieldType::Message(Arc::clone(&inner_desc)),
+                    ),
+                    FieldDescriptor::repeated(
+                        2,
+                        "many",
+                        FieldType::Message(Arc::clone(&inner_desc)),
+                    ),
                 ],
             )
             .unwrap(),
@@ -706,7 +757,9 @@ mod tests {
         let mut outer = Message::new(Arc::clone(&outer_desc));
         outer.set(1, Value::Message(filled_simple())).unwrap();
         outer.push(2, Value::Message(filled_simple())).unwrap();
-        outer.push(2, Value::Message(Message::new(simple_desc()))).unwrap();
+        outer
+            .push(2, Value::Message(Message::new(simple_desc())))
+            .unwrap();
         let bytes = outer.encode_to_vec();
         let decoded = Message::decode(outer_desc, &bytes).unwrap();
         assert_eq!(outer, decoded);
@@ -810,7 +863,11 @@ mod tests {
             desc = Arc::new(
                 MessageDescriptor::new(
                     "Nest",
-                    vec![FieldDescriptor::optional(1, "inner", FieldType::Message(desc))],
+                    vec![FieldDescriptor::optional(
+                        1,
+                        "inner",
+                        FieldType::Message(desc),
+                    )],
                 )
                 .unwrap(),
             );

@@ -115,7 +115,10 @@ mod tests {
             decode_varint(&[0x80]),
             Err(WireError::TruncatedVarint)
         ));
-        assert!(matches!(decode_varint(&[]), Err(WireError::TruncatedVarint)));
+        assert!(matches!(
+            decode_varint(&[]),
+            Err(WireError::TruncatedVarint)
+        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Values mix compressible, structured content with incompressible payload
 //! so the compression tax does real work.
 
-use rand::{Rng, RngExt};
+use hsdp_rng::Rng;
 
 /// Generates keys from a keyspace with zipfian popularity.
 #[derive(Debug, Clone)]
@@ -32,7 +32,13 @@ impl ZipfRanks {
         let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        ZipfRanks { n, theta, zetan, alpha, eta }
+        ZipfRanks {
+            n,
+            theta,
+            zetan,
+            alpha,
+            eta,
+        }
     }
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
@@ -110,7 +116,10 @@ impl ValueGen {
     #[must_use]
     pub fn new(mean_size: usize) -> Self {
         assert!(mean_size > 0, "mean size must be positive");
-        ValueGen { mean_size, noise_fraction: 0.3 }
+        ValueGen {
+            mean_size,
+            noise_fraction: 0.3,
+        }
     }
 
     /// Draws a value body. Sizes vary uniformly in `[mean/2, 3*mean/2]`.
@@ -137,10 +146,9 @@ impl ValueGen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(7)
+    fn rng() -> hsdp_rng::StdRng {
+        hsdp_rng::StdRng::seed_from_u64(7)
     }
 
     #[test]

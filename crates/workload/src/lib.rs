@@ -11,6 +11,7 @@
 //! - [`proto_corpus`] — HyperProtoBench-style fleet-representative protobuf
 //!   message corpora for the chained-accelerator validation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,10 +1,9 @@
 //! Query mixes: what fraction of traffic each operation type receives.
 
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use hsdp_rng::Rng;
 
 /// Database (Spanner/BigTable-style) operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DbOp {
     /// Point read.
     Read,
@@ -17,7 +16,7 @@ pub enum DbOp {
 }
 
 /// A database operation mix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DbMix {
     /// Fraction of point reads.
     pub read: f64,
@@ -33,19 +32,34 @@ impl DbMix {
     /// A read-heavy OLTP mix (YCSB-B-like: 90/5/2.5/2.5).
     #[must_use]
     pub fn read_heavy() -> Self {
-        DbMix { read: 0.90, write: 0.05, scan: 0.025, rmw: 0.025 }
+        DbMix {
+            read: 0.90,
+            write: 0.05,
+            scan: 0.025,
+            rmw: 0.025,
+        }
     }
 
     /// A balanced mix (50/30/10/10).
     #[must_use]
     pub fn balanced() -> Self {
-        DbMix { read: 0.50, write: 0.30, scan: 0.10, rmw: 0.10 }
+        DbMix {
+            read: 0.50,
+            write: 0.30,
+            scan: 0.10,
+            rmw: 0.10,
+        }
     }
 
     /// A write-heavy ingest mix (20/70/5/5).
     #[must_use]
     pub fn write_heavy() -> Self {
-        DbMix { read: 0.20, write: 0.70, scan: 0.05, rmw: 0.05 }
+        DbMix {
+            read: 0.20,
+            write: 0.70,
+            scan: 0.05,
+            rmw: 0.05,
+        }
     }
 
     /// Validates that fractions sum to ~1.
@@ -75,7 +89,7 @@ impl DbMix {
 }
 
 /// Analytics (BigQuery-style) query types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AnalyticsQuery {
     /// `SELECT ... WHERE pred` scan + filter + project.
     ScanFilter,
@@ -88,7 +102,7 @@ pub enum AnalyticsQuery {
 }
 
 /// An analytics query mix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyticsMix {
     /// Fraction of scan/filter queries.
     pub scan_filter: f64,
@@ -104,7 +118,12 @@ impl AnalyticsMix {
     /// A dashboard-style mix dominated by scans and aggregations.
     #[must_use]
     pub fn dashboard() -> Self {
-        AnalyticsMix { scan_filter: 0.40, aggregate: 0.35, join: 0.15, topk: 0.10 }
+        AnalyticsMix {
+            scan_filter: 0.40,
+            aggregate: 0.35,
+            join: 0.15,
+            topk: 0.10,
+        }
     }
 
     /// Validates that fractions sum to ~1.
@@ -136,7 +155,6 @@ impl AnalyticsMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn presets_are_normalized() {
@@ -149,7 +167,7 @@ mod tests {
     #[test]
     fn sampling_respects_fractions() {
         let mix = DbMix::read_heavy();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = hsdp_rng::StdRng::seed_from_u64(1);
         let mut reads = 0;
         for _ in 0..10_000 {
             if mix.sample(&mut rng) == DbOp::Read {
@@ -162,7 +180,7 @@ mod tests {
     #[test]
     fn analytics_sampling_covers_all_kinds() {
         let mix = AnalyticsMix::dashboard();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = hsdp_rng::StdRng::seed_from_u64(2);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..1000 {
             seen.insert(mix.sample(&mut rng));
@@ -173,8 +191,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn unnormalized_mix_panics() {
-        let mix = DbMix { read: 0.5, write: 0.0, scan: 0.0, rmw: 0.0 };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mix = DbMix {
+            read: 0.5,
+            write: 0.0,
+            scan: 0.0,
+            rmw: 0.0,
+        };
+        let mut rng = hsdp_rng::StdRng::seed_from_u64(3);
         let _ = mix.sample(&mut rng);
     }
 }

@@ -9,8 +9,32 @@
 
 use std::sync::Arc;
 
+use hsdp_rng::Rng;
 use hsdp_taxes::protowire::{FieldDescriptor, FieldType, Message, MessageDescriptor, Value};
-use rand::{Rng, RngExt};
+
+/// Unwraps schema operations that are infallible by construction.
+///
+/// Every descriptor in this module is a compile-time constant and every
+/// `set`/`push` below uses field numbers taken from those same
+/// descriptors, so a schema error is a programming bug — the round-trip
+/// tests exercise all four shapes.
+trait MustSchema<T> {
+    fn must(self) -> T;
+}
+
+impl<T, E: std::fmt::Debug> MustSchema<T> for Result<T, E> {
+    fn must(self) -> T {
+        // audit: allow(panic, static schemas and field ids are compile-time constants exercised by the round-trip tests)
+        self.expect("static proto schema")
+    }
+}
+
+impl<T> MustSchema<T> for Option<T> {
+    fn must(self) -> T {
+        // audit: allow(panic, static schemas and field ids are compile-time constants exercised by the round-trip tests)
+        self.expect("static proto schema")
+    }
+}
 
 /// The message shapes in the corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,7 +75,7 @@ pub fn descriptor(shape: MessageShape) -> Arc<MessageDescriptor> {
                     FieldDescriptor::optional(6, "shard", FieldType::Fixed32),
                 ],
             )
-            .expect("static schema is valid"),
+            .must(),
         ),
         MessageShape::LogEntry => Arc::new(
             MessageDescriptor::new(
@@ -64,7 +88,7 @@ pub fn descriptor(shape: MessageShape) -> Arc<MessageDescriptor> {
                     FieldDescriptor::repeated(5, "labels", FieldType::String),
                 ],
             )
-            .expect("static schema is valid"),
+            .must(),
         ),
         MessageShape::NestedRequest => {
             let header = Arc::new(
@@ -76,7 +100,7 @@ pub fn descriptor(shape: MessageShape) -> Arc<MessageDescriptor> {
                         FieldDescriptor::optional(3, "caller", FieldType::String),
                     ],
                 )
-                .expect("static schema is valid"),
+                .must(),
             );
             Arc::new(
                 MessageDescriptor::new(
@@ -87,7 +111,7 @@ pub fn descriptor(shape: MessageShape) -> Arc<MessageDescriptor> {
                         FieldDescriptor::optional(3, "columns", FieldType::Uint64),
                     ],
                 )
-                .expect("static schema is valid"),
+                .must(),
             )
         }
         MessageShape::RepeatedBatch => {
@@ -100,7 +124,7 @@ pub fn descriptor(shape: MessageShape) -> Arc<MessageDescriptor> {
                         FieldDescriptor::optional(3, "timestamp", FieldType::Fixed64),
                     ],
                 )
-                .expect("static schema is valid"),
+                .must(),
             );
             Arc::new(
                 MessageDescriptor::new(
@@ -110,7 +134,7 @@ pub fn descriptor(shape: MessageShape) -> Arc<MessageDescriptor> {
                         FieldDescriptor::repeated(2, "rows", FieldType::Message(row)),
                     ],
                 )
-                .expect("static schema is valid"),
+                .must(),
             )
         }
     }
@@ -122,57 +146,72 @@ pub fn generate<R: Rng + ?Sized>(shape: MessageShape, rng: &mut R) -> Message {
     let mut msg = Message::new(Arc::clone(&desc));
     match shape {
         MessageShape::FlatScalars => {
-            msg.set(1, Value::Fixed64(rng.random())).expect("schema field");
-            msg.set(2, Value::Double(rng.random::<f64>() * 1e6)).expect("schema field");
-            msg.set(3, Value::Uint64(rng.random_range(0..1_000_000))).expect("schema field");
-            msg.set(4, Value::Sint64(rng.random_range(-1000..1000))).expect("schema field");
-            msg.set(5, Value::Bool(rng.random_bool(0.5))).expect("schema field");
-            msg.set(6, Value::Fixed32(rng.random())).expect("schema field");
+            msg.set(1, Value::Fixed64(rng.random())).must();
+            msg.set(2, Value::Double(rng.random::<f64>() * 1e6)).must();
+            msg.set(3, Value::Uint64(rng.random_range(0..1_000_000)))
+                .must();
+            msg.set(4, Value::Sint64(rng.random_range(-1000..1000)))
+                .must();
+            msg.set(5, Value::Bool(rng.random_bool(0.5))).must();
+            msg.set(6, Value::Fixed32(rng.random())).must();
         }
         MessageShape::LogEntry => {
-            msg.set(1, Value::Uint64(rng.random_range(0..5))).expect("schema field");
+            msg.set(1, Value::Uint64(rng.random_range(0..5))).must();
             let words = rng.random_range(5..30);
-            let body: Vec<String> =
-                (0..words).map(|i| format!("token{}", (i * 7) % 50)).collect();
-            msg.set(2, Value::Str(body.join(" "))).expect("schema field");
-            msg.set(3, Value::Str(format!("src/server/handler{}.cc", rng.random_range(0..20))))
-                .expect("schema field");
-            msg.set(4, Value::Uint64(rng.random_range(1..5000))).expect("schema field");
+            let body: Vec<String> = (0..words)
+                .map(|i| format!("token{}", (i * 7) % 50))
+                .collect();
+            msg.set(2, Value::Str(body.join(" "))).must();
+            msg.set(
+                3,
+                Value::Str(format!("src/server/handler{}.cc", rng.random_range(0..20))),
+            )
+            .must();
+            msg.set(4, Value::Uint64(rng.random_range(1..5000))).must();
             for i in 0..rng.random_range(0..4) {
-                msg.push(5, Value::Str(format!("label-{i}"))).expect("schema field");
+                msg.push(5, Value::Str(format!("label-{i}"))).must();
             }
         }
         MessageShape::NestedRequest => {
-            let header_desc = match &desc.field(1).expect("field 1").ty {
+            let header_desc = match &desc.field(1).must().ty {
                 FieldType::Message(d) => Arc::clone(d),
+                // audit: allow(panic, field 1 is declared Message in the static schema above)
                 _ => unreachable!("field 1 is a message"),
             };
             let mut header = Message::new(header_desc);
-            header.set(1, Value::Fixed64(rng.random())).expect("schema field");
-            header.set(2, Value::Uint64(rng.random_range(1..10_000))).expect("schema field");
-            header.set(3, Value::Str(format!("service-{}", rng.random_range(0..100))))
-                .expect("schema field");
-            msg.set(1, Value::Message(header)).expect("schema field");
+            header.set(1, Value::Fixed64(rng.random())).must();
+            header
+                .set(2, Value::Uint64(rng.random_range(1..10_000)))
+                .must();
+            header
+                .set(
+                    3,
+                    Value::Str(format!("service-{}", rng.random_range(0..100))),
+                )
+                .must();
+            msg.set(1, Value::Message(header)).must();
             let key: Vec<u8> = (0..rng.random_range(8..64)).map(|_| rng.random()).collect();
-            msg.set(2, Value::Bytes(key)).expect("schema field");
-            msg.set(3, Value::Uint64(rng.random_range(1..32))).expect("schema field");
+            msg.set(2, Value::Bytes(key)).must();
+            msg.set(3, Value::Uint64(rng.random_range(1..32))).must();
         }
         MessageShape::RepeatedBatch => {
             msg.set(1, Value::Str(format!("table-{}", rng.random_range(0..10))))
-                .expect("schema field");
-            let row_desc = match &desc.field(2).expect("field 2").ty {
+                .must();
+            let row_desc = match &desc.field(2).must().ty {
                 FieldType::Message(d) => Arc::clone(d),
+                // audit: allow(panic, field 2 is declared Message in the static schema above)
                 _ => unreachable!("field 2 is a message"),
             };
             for _ in 0..rng.random_range(1..16) {
                 let mut row = Message::new(Arc::clone(&row_desc));
                 let key: Vec<u8> = (0..16).map(|_| rng.random()).collect();
-                let value: Vec<u8> =
-                    (0..rng.random_range(16..256)).map(|_| rng.random()).collect();
-                row.set(1, Value::Bytes(key)).expect("schema field");
-                row.set(2, Value::Bytes(value)).expect("schema field");
-                row.set(3, Value::Fixed64(rng.random())).expect("schema field");
-                msg.push(2, Value::Message(row)).expect("schema field");
+                let value: Vec<u8> = (0..rng.random_range(16..256))
+                    .map(|_| rng.random())
+                    .collect();
+                row.set(1, Value::Bytes(key)).must();
+                row.set(2, Value::Bytes(value)).must();
+                row.set(3, Value::Fixed64(rng.random())).must();
+                msg.push(2, Value::Message(row)).must();
             }
         }
     }
@@ -189,10 +228,9 @@ pub fn corpus<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Message> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(99)
+    fn rng() -> hsdp_rng::StdRng {
+        hsdp_rng::StdRng::seed_from_u64(99)
     }
 
     #[test]
@@ -219,11 +257,11 @@ mod tests {
 
     #[test]
     fn corpus_is_seed_deterministic() {
-        let a: Vec<Vec<u8>> = corpus(10, &mut rand::rngs::StdRng::seed_from_u64(5))
+        let a: Vec<Vec<u8>> = corpus(10, &mut hsdp_rng::StdRng::seed_from_u64(5))
             .iter()
             .map(Message::encode_to_vec)
             .collect();
-        let b: Vec<Vec<u8>> = corpus(10, &mut rand::rngs::StdRng::seed_from_u64(5))
+        let b: Vec<Vec<u8>> = corpus(10, &mut hsdp_rng::StdRng::seed_from_u64(5))
             .iter()
             .map(Message::encode_to_vec)
             .collect();

@@ -5,11 +5,10 @@
 //! and spam analysis" — wide fact tables with categorical, numeric, and
 //! string columns, plus a small dimension table for joins.
 
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use hsdp_rng::Rng;
 
 /// One fact-table row: a request-log record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FactRow {
     /// User identifier (zipf-ish popularity via modulo mixing).
     pub user_id: i64,
@@ -26,7 +25,7 @@ pub struct FactRow {
 }
 
 /// One dimension-table row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DimRow {
     /// Region key.
     pub region: u32,
@@ -45,7 +44,10 @@ pub struct FactGen {
 
 impl Default for FactGen {
     fn default() -> Self {
-        FactGen { users: 100_000, regions: 32 }
+        FactGen {
+            users: 100_000,
+            regions: 32,
+        }
     }
 }
 
@@ -63,11 +65,18 @@ impl FactGen {
         let url = format!(
             "/api/v{}/{}/{}",
             rng.random_range(1..4),
-            ["search", "ads", "docs", "maps", "play"][rng.random_range(0..5)],
+            ["search", "ads", "docs", "maps", "play"][rng.random_range(0..5usize)],
             rng.random_range(0..10_000)
         );
         let success = rng.random_bool(0.97);
-        FactRow { user_id, region, latency_ms, bytes, url, success }
+        FactRow {
+            user_id,
+            region,
+            latency_ms,
+            bytes,
+            url,
+            success,
+        }
     }
 
     /// Generates `count` rows.
@@ -79,7 +88,10 @@ impl FactGen {
     #[must_use]
     pub fn dimension(&self) -> Vec<DimRow> {
         (0..self.regions)
-            .map(|region| DimRow { region, name: format!("region-{region:03}") })
+            .map(|region| DimRow {
+                region,
+                name: format!("region-{region:03}"),
+            })
             .collect()
     }
 }
@@ -87,12 +99,11 @@ impl FactGen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn rows_are_in_expected_domains() {
         let gen = FactGen::default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = hsdp_rng::StdRng::seed_from_u64(3);
         for row in gen.rows(1000, &mut rng) {
             assert!((0..gen.users).contains(&row.user_id));
             assert!(row.region < gen.regions);
@@ -104,16 +115,25 @@ mod tests {
 
     #[test]
     fn user_popularity_is_skewed() {
-        let gen = FactGen { users: 1000, regions: 4 };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let gen = FactGen {
+            users: 1000,
+            regions: 4,
+        };
+        let mut rng = hsdp_rng::StdRng::seed_from_u64(5);
         let rows = gen.rows(10_000, &mut rng);
         let low = rows.iter().filter(|r| r.user_id < 250).count();
-        assert!(low > 4000, "bottom quartile of ids gets >40% of rows: {low}");
+        assert!(
+            low > 4000,
+            "bottom quartile of ids gets >40% of rows: {low}"
+        );
     }
 
     #[test]
     fn dimension_covers_all_regions() {
-        let gen = FactGen { users: 10, regions: 8 };
+        let gen = FactGen {
+            users: 10,
+            regions: 8,
+        };
         let dim = gen.dimension();
         assert_eq!(dim.len(), 8);
         assert_eq!(dim[3].name, "region-003");
@@ -122,7 +142,7 @@ mod tests {
     #[test]
     fn success_rate_is_high() {
         let gen = FactGen::default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = hsdp_rng::StdRng::seed_from_u64(11);
         let rows = gen.rows(5000, &mut rng);
         let ok = rows.iter().filter(|r| r.success).count();
         assert!(ok > 4500);

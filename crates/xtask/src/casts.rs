@@ -1,0 +1,263 @@
+//! Rule `cast`: units discipline outside `core/src/units.rs`.
+//!
+//! The model's physical quantities (seconds, bytes, cycles) are supposed to
+//! live behind the `hsdp_core::units` newtypes, where constructors check
+//! ranges and conversions are explicit. This rule flags the two ways raw
+//! numerics leak back in:
+//!
+//! 1. An `as` cast applied to a unit-named binding or unit accessor
+//!    (`total_secs as u32`, `d.as_nanos() as f64`): `as` silently truncates
+//!    and saturates, which is exactly the class of bug the newtypes exist
+//!    to prevent.
+//! 2. `+`/`-` between bindings of *different* unit families
+//!    (`bytes + secs`): dimensionally meaningless arithmetic.
+//!
+//! Whitelist a deliberate site with `// audit: allow(cast, <reason>)`.
+
+use crate::lexer::{self, Line};
+
+/// Unit families recognised by the rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitFamily {
+    Time,
+    Bytes,
+    Cycles,
+}
+
+const TIME_WORDS: &[&str] = &[
+    "sec",
+    "secs",
+    "second",
+    "seconds",
+    "nanos",
+    "nanosecond",
+    "nanoseconds",
+    "micros",
+    "millis",
+];
+const BYTE_WORDS: &[&str] = &["byte", "bytes"];
+const CYCLE_WORDS: &[&str] = &["cycle", "cycles"];
+
+/// Identifiers that *mention* bytes but denote byte-order conversions,
+/// not byte-count quantities.
+const NON_QUANTITY_IDENTS: &[&str] = &[
+    "from_le_bytes",
+    "from_be_bytes",
+    "from_ne_bytes",
+    "to_le_bytes",
+    "to_be_bytes",
+    "to_ne_bytes",
+];
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Classifies a snake_case identifier by its unit-bearing name parts.
+pub fn unit_family(ident: &str) -> Option<UnitFamily> {
+    // Only lower-case identifiers are bindings/methods; type names like
+    // `Seconds` are the sanctioned newtypes themselves.
+    if ident.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return None;
+    }
+    if NON_QUANTITY_IDENTS.contains(&ident) {
+        return None;
+    }
+    for part in ident.split('_') {
+        if TIME_WORDS.contains(&part) {
+            return Some(UnitFamily::Time);
+        }
+        if BYTE_WORDS.contains(&part) {
+            return Some(UnitFamily::Bytes);
+        }
+        if CYCLE_WORDS.contains(&part) {
+            return Some(UnitFamily::Cycles);
+        }
+    }
+    None
+}
+
+/// A raw finding produced by this rule: `(line, message)`.
+pub type CastFinding = (usize, String);
+
+/// Scans one file's lines for units-discipline violations.
+pub fn check(lines: &[Line]) -> Vec<CastFinding> {
+    let mut findings = Vec::new();
+    for line in lines {
+        if line.in_test || line.is_code_blank() {
+            continue;
+        }
+        let toks = lexer::tokens(&line.code);
+        for i in 0..toks.len() {
+            if toks[i] == "as"
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| NUMERIC_TYPES.contains(&t.as_str()))
+            {
+                if let Some(source) = cast_subject(&toks, i) {
+                    if let Some(fam) = unit_family(&source) {
+                        findings.push((
+                            line.number,
+                            format!(
+                                "`{source} as {}` casts a {}-unit quantity through raw `as`; \
+                                 use the units newtypes (core/src/units.rs) or whitelist with \
+                                 `// audit: allow(cast, <reason>)`",
+                                toks[i + 1],
+                                family_name(fam),
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Cross-family `+`/`-` between unit-named bindings.
+            if (toks[i] == "+" || toks[i] == "-") && i > 0 {
+                let lhs = &toks[i - 1];
+                let rhs = match toks.get(i + 1) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                if let (Some(fa), Some(fb)) = (unit_family(lhs), unit_family(rhs)) {
+                    if fa != fb {
+                        findings.push((
+                            line.number,
+                            format!(
+                                "`{lhs} {} {rhs}` mixes {} and {} units in raw arithmetic; \
+                                 convert through the units newtypes first",
+                                toks[i],
+                                family_name(fa),
+                                family_name(fb),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Finds the identifier whose value is being cast: either the identifier
+/// directly before `as`, or — for `expr.method() as T` — the method name
+/// before the call's opening paren.
+fn cast_subject(toks: &[String], as_idx: usize) -> Option<String> {
+    if as_idx == 0 {
+        return None;
+    }
+    let prev = &toks[as_idx - 1];
+    if prev == ")" {
+        // Walk back over the balanced call arguments to the callee.
+        let mut depth = 0usize;
+        let mut j = as_idx - 1;
+        loop {
+            match toks[j].as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            return None;
+        }
+        let callee = &toks[j - 1];
+        if callee
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            return Some(callee.clone());
+        }
+        None
+    } else if prev
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+    {
+        Some(prev.clone())
+    } else {
+        None
+    }
+}
+
+fn family_name(f: UnitFamily) -> &'static str {
+    match f {
+        UnitFamily::Time => "time",
+        UnitFamily::Bytes => "byte",
+        UnitFamily::Cycles => "cycle",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn run(src: &str) -> Vec<CastFinding> {
+        check(&scan(src))
+    }
+
+    #[test]
+    fn flags_unit_binding_cast() {
+        let f = run("let x = total_secs as u32;");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].1.contains("total_secs as u32"));
+    }
+
+    #[test]
+    fn flags_unit_accessor_cast() {
+        let f = run("let x = d.as_nanos() as f64;");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].1.contains("as_nanos"));
+    }
+
+    #[test]
+    fn flags_cross_family_addition() {
+        let f = run("let x = total_bytes + total_secs;");
+        assert_eq!(f.len(), 1);
+        let f = run("let y = cycles - bytes_moved;");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn same_family_arithmetic_is_fine() {
+        assert!(run("let x = read_bytes + written_bytes;").is_empty());
+    }
+
+    #[test]
+    fn non_unit_casts_are_fine() {
+        assert!(run("let x = count as f64; let y = idx as usize;").is_empty());
+        assert!(run("let n = blob.len() as u64;").is_empty());
+    }
+
+    #[test]
+    fn newtype_names_are_exempt() {
+        assert!(run("let s: Seconds = Seconds::new(1.0);").is_empty());
+    }
+
+    #[test]
+    fn byte_order_conversions_are_exempt() {
+        assert!(run("let n = u32::from_le_bytes(b) as usize;").is_empty());
+        assert!(run("let b = x.to_be_bytes() as u64;").is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "#[cfg(test)]\nmod t {\n fn f() { let x = total_secs as u32; }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn chained_call_subject_found() {
+        let f = run("let x = bw.as_bytes_per_sec(width) as u64;");
+        assert_eq!(f.len(), 1);
+    }
+}

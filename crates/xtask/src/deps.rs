@@ -1,0 +1,164 @@
+//! Rule `dep`: manifest hygiene.
+//!
+//! Every dependency a crate declares in `[dependencies]`,
+//! `[dev-dependencies]`, or `[build-dependencies]` must actually be named
+//! somewhere in that crate's sources (as `use dep::…`, `dep::path`, or an
+//! attribute). Phantom dependencies rot: they lengthen builds, widen the
+//! supply-chain surface, and — in this offline workspace — break the
+//! no-external-deps invariant silently.
+//!
+//! Declared-but-unused deps are whitelisted in the manifest itself with a
+//! trailing `# audit: allow(dep, <reason>)` comment on the entry's line.
+//!
+//! The parser is a hand-rolled TOML subset: section headers, `key = value`
+//! entries, and `key.workspace = true` dotted entries — exactly what Cargo
+//! manifests in this workspace use.
+
+/// One declared dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEntry {
+    /// Dependency name as written in the manifest.
+    pub name: String,
+    /// Manifest line number, 1-based.
+    pub line: usize,
+    /// Section it was declared in (for messages).
+    pub section: String,
+    /// Comment text trailing the entry (for pragma lookup).
+    pub comment: String,
+}
+
+/// Parses dependency entries out of a Cargo.toml's text.
+///
+/// Only `[dependencies]`, `[dev-dependencies]`, and `[build-dependencies]`
+/// sections are considered; `[workspace.dependencies]` is the shared
+/// version table, not a usage declaration, and is skipped.
+pub fn declared_deps(manifest: &str) -> Vec<DepEntry> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let (code, comment) = split_toml_comment(raw);
+        let line = code.trim();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_owned();
+            in_dep_section = matches!(
+                section.as_str(),
+                "dependencies" | "dev-dependencies" | "build-dependencies"
+            );
+            continue;
+        }
+        if !in_dep_section || line.is_empty() {
+            continue;
+        }
+        // Entry forms: `name = ...`, `name.workspace = true`,
+        // `name = { path = "...", ... }`.
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        let name = key.split('.').next().unwrap_or(key).trim();
+        if name.is_empty() {
+            continue;
+        }
+        out.push(DepEntry {
+            name: name.to_owned(),
+            line: idx + 1,
+            section: section.clone(),
+            comment: comment.to_owned(),
+        });
+    }
+    out
+}
+
+/// Splits a TOML line at its comment marker, respecting quoted strings.
+fn split_toml_comment(line: &str) -> (&str, &str) {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return (&line[..i], &line[i + 1..]),
+            _ => {}
+        }
+    }
+    (line, "")
+}
+
+/// True when `ident` (underscore form of a dep name) appears as a whole
+/// token in the given code text.
+pub fn ident_used(code: &str, ident: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(ident) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let c = bytes[at - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let end = at + ident.len();
+        let after_ok = end >= bytes.len() || {
+            let c = bytes[end] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + ident.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = "\
+[package]
+name = \"demo\"
+
+[dependencies]
+hsdp-core.workspace = true
+serde = { version = \"1\", features = [\"derive\"] } # audit: allow(dep, kept for downstream)
+
+[dev-dependencies]
+hsdp-rng.workspace = true
+
+[workspace.dependencies]
+phantom = \"1.0\"
+";
+
+    #[test]
+    fn parses_all_dep_sections() {
+        let deps = declared_deps(MANIFEST);
+        let names: Vec<&str> = deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["hsdp-core", "serde", "hsdp-rng"]);
+        assert_eq!(deps[0].section, "dependencies");
+        assert_eq!(deps[2].section, "dev-dependencies");
+    }
+
+    #[test]
+    fn workspace_dependency_table_is_skipped() {
+        let deps = declared_deps(MANIFEST);
+        assert!(deps.iter().all(|d| d.name != "phantom"));
+    }
+
+    #[test]
+    fn trailing_comment_is_captured() {
+        let deps = declared_deps(MANIFEST);
+        let serde = deps.iter().find(|d| d.name == "serde").expect("present");
+        assert!(serde.comment.contains("audit: allow(dep"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let (code, comment) = split_toml_comment("url = \"https://x/#frag\" # real");
+        assert!(code.contains("#frag"));
+        assert_eq!(comment.trim(), "real");
+    }
+
+    #[test]
+    fn ident_matching_respects_boundaries() {
+        assert!(ident_used("use hsdp_core::units;", "hsdp_core"));
+        assert!(ident_used("hsdp_core::model::f()", "hsdp_core"));
+        assert!(!ident_used("use hsdp_core_extra::x;", "hsdp_core"));
+        assert!(!ident_used("myhsdp_core", "hsdp_core"));
+        assert!(!ident_used("", "hsdp_core"));
+    }
+}

@@ -1,0 +1,369 @@
+//! A minimal Rust source scanner: separates code from comments and blanks
+//! string contents, so the lint rules never fire on prose or literals.
+//!
+//! This is intentionally not a full parser. It tracks exactly the lexical
+//! state needed to answer three questions per line:
+//!
+//! 1. What does the line's *code* look like with comments removed and string
+//!    contents blanked (quotes retained)?
+//! 2. What comment text, if any, rides on the line (for `audit:` pragmas)?
+//! 3. Is the line inside `#[cfg(test)]` / `#[test]` territory?
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Source line number, 1-based.
+    pub number: usize,
+    /// The line with comments stripped and string/char contents blanked.
+    pub code: String,
+    /// Regular (non-doc) comment text on the line — the only place
+    /// `audit:` pragmas are recognised, so doc prose can *describe* the
+    /// pragma grammar without invoking it.
+    pub comment: String,
+    /// Doc-comment text (`///`, `//!`) on the line, for citation scanning.
+    pub doc: String,
+    /// True when the line sits inside a `#[cfg(test)]` or `#[test]` item.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// True when the line carries no code tokens at all.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment { doc: bool },
+    BlockComment { depth: usize },
+    Str,
+    RawStr { hashes: usize },
+}
+
+/// Scans a whole file into [`Line`] records.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Normal;
+    // Test-region tracking: brace depth, plus a stack of depths at which a
+    // `#[cfg(test)]`/`#[test]` item's body opened.
+    let mut depth: usize = 0;
+    let mut pending_test_attr = false;
+    let mut test_regions: Vec<usize> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut doc = String::new();
+        // A line is "in test" if a region is already open, or if an opening
+        // attribute was seen and we are still between attribute and body.
+        let mut in_test = !test_regions.is_empty() || pending_test_attr;
+
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                State::Normal => match c {
+                    '/' if next == Some('/') => {
+                        let doc = matches!(bytes.get(i + 2), Some('/' | '!'));
+                        state = State::LineComment { doc };
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment { depth: 1 };
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' if matches!(next, Some('"' | '#')) && !prev_is_ident_char(&code) => {
+                        // Raw string start: r"..." or r#"..."# etc.
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            code.push('"');
+                            state = State::RawStr { hashes };
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a char literal closes with
+                        // a quote after one (possibly escaped) character.
+                        let is_char_lit = match next {
+                            Some('\\') => true,
+                            Some(_) => bytes.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char_lit {
+                            // Blank the contents, keep the quotes.
+                            code.push('\'');
+                            let mut j = i + 1;
+                            if bytes.get(j) == Some(&'\\') {
+                                j += 2; // skip escape head; scan to quote below
+                                while j < bytes.len() && bytes[j] != '\'' {
+                                    j += 1;
+                                }
+                            } else {
+                                j += 1;
+                            }
+                            code.push(' ');
+                            code.push('\'');
+                            i = j + 1;
+                        } else {
+                            code.push('\''); // lifetime marker
+                            i += 1;
+                        }
+                    }
+                    '{' => {
+                        if pending_test_attr {
+                            test_regions.push(depth);
+                            pending_test_attr = false;
+                            in_test = true;
+                        }
+                        depth += 1;
+                        code.push(c);
+                        i += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if test_regions.last() == Some(&depth) {
+                            test_regions.pop();
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                    ';' => {
+                        // An attribute followed by a braceless item (e.g.
+                        // `#[cfg(test)] use x;`) ends at the semicolon.
+                        if pending_test_attr && test_regions.is_empty() {
+                            pending_test_attr = false;
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment { doc: is_doc } => {
+                    if is_doc {
+                        doc.push(c);
+                    } else {
+                        comment.push(c);
+                    }
+                    i += 1;
+                }
+                State::BlockComment { depth: d } => {
+                    if c == '*' && next == Some('/') {
+                        if d == 1 {
+                            state = State::Normal;
+                        } else {
+                            state = State::BlockComment { depth: d - 1 };
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment { depth: d + 1 };
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Normal;
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr { hashes } => {
+                    if c == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0;
+                        while seen < hashes && bytes.get(j) == Some(&'#') {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            code.push('"');
+                            state = State::Normal;
+                            i = j;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // Line comments end with the line.
+        if matches!(state, State::LineComment { .. }) {
+            state = State::Normal;
+        }
+
+        // Detect test attributes on the code part of this line.
+        let trimmed = code.trim();
+        if trimmed.contains("#[cfg(test)]") || trimmed == "#[test]" || trimmed.contains("#[test]") {
+            pending_test_attr = true;
+            in_test = true;
+        }
+
+        out.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+            doc,
+            in_test,
+        });
+    }
+    out
+}
+
+fn prev_is_ident_char(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Splits a code string into identifier-ish tokens and single-char symbols,
+/// preserving order. Identifiers keep their full `snake_case` form.
+pub fn tokens(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in code.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            if !c.is_whitespace() {
+                out.push(c.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let lines =
+            scan("let x = 1; // unwrap() here is prose\nlet y = 2; /* panic! */ let z = 3;");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap"));
+        assert!(!lines[1].code.contains("panic"));
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn doc_comments_are_kept_separate() {
+        let lines = scan("/// Implements Eq. 1. audit: allow(cast, nope)\nfn f() {}\n// audit: allow(cast, yes)\n");
+        assert!(lines[0].doc.contains("Eq. 1"));
+        assert!(
+            lines[0].comment.is_empty(),
+            "doc prose must not reach the pragma scanner"
+        );
+        assert!(lines[2].comment.contains("allow(cast"));
+        assert!(lines[2].doc.is_empty());
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let lines = scan(r#"let s = "call .unwrap() now"; s.len();"#);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("len"));
+    }
+
+    #[test]
+    fn handles_raw_strings() {
+        let lines = scan(r##"let s = r#"panic!("inside")"#; x.unwrap();"##);
+        assert!(lines[0].code.contains("unwrap"));
+        assert_eq!(lines[0].code.matches("panic").count(), 0);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lines[0].code.contains("'a"));
+        let lines = scan(r"let c = '\n'; c.is_ascii();");
+        assert!(lines[0].code.contains("is_ascii"));
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test, "region must close after the mod");
+    }
+
+    #[test]
+    fn marks_test_fn_regions() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n  body();\n}\nfn b() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn multiline_block_comment() {
+        let src = "/* one\n two unwrap()\n*/ let x = 1;";
+        let lines = scan(src);
+        assert!(lines[0].is_code_blank());
+        assert!(lines[1].is_code_blank());
+        assert!(lines[2].code.contains("let x"));
+    }
+
+    #[test]
+    fn tokenizes_snake_idents() {
+        let toks = tokens("total_secs as f64 + x.len()");
+        assert_eq!(
+            toks,
+            vec!["total_secs", "as", "f64", "+", "x", ".", "len", "(", ")"]
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Rule `panic`: panic-free library code.
+//!
+//! Simulation libraries are consumed by sweeps that iterate thousands of
+//! configurations; a stray `unwrap()` turns an out-of-range input into a
+//! process abort instead of a diagnosable error. In library sources
+//! (anything under a crate's `src/` except binary entry points), the
+//! panicking family — `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`,
+//! `todo!`, `unimplemented!` — is forbidden outside `#[cfg(test)]` regions.
+//!
+//! A genuinely unreachable arm or a checked startup invariant can be
+//! whitelisted with `// audit: allow(panic, <reason>)`.
+
+use crate::lexer::{self, Line};
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// A raw finding: `(line, message)`.
+pub type PanicFinding = (usize, String);
+
+/// Scans one library file's lines for panicking constructs.
+pub fn check(lines: &[Line]) -> Vec<PanicFinding> {
+    let mut findings = Vec::new();
+    for line in lines {
+        if line.in_test || line.is_code_blank() {
+            continue;
+        }
+        let toks = lexer::tokens(&line.code);
+        for i in 0..toks.len() {
+            let t = toks[i].as_str();
+            if PANIC_METHODS.contains(&t)
+                && i > 0
+                && toks[i - 1] == "."
+                && toks.get(i + 1).is_some_and(|n| n == "(")
+            {
+                findings.push((
+                    line.number,
+                    format!(
+                        "`.{t}()` can abort the process from library code; return a Result/Option \
+                         or whitelist with `// audit: allow(panic, <reason>)`"
+                    ),
+                ));
+            }
+            if PANIC_MACROS.contains(&t) && toks.get(i + 1).is_some_and(|n| n == "!") {
+                // `debug_assert!`/`assert!` are allowed; they tokenize as
+                // their own identifiers so no exclusion is needed here.
+                findings.push((
+                    line.number,
+                    format!(
+                        "`{t}!` aborts the process from library code; return an error or \
+                         whitelist with `// audit: allow(panic, <reason>)`"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn run(src: &str) -> Vec<PanicFinding> {
+        check(&scan(src))
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect() {
+        assert_eq!(run("let x = opt.unwrap();").len(), 1);
+        let msg = "oops";
+        let _ = msg;
+        assert_eq!(run("let x = res.expect( msg );").len(), 1);
+    }
+
+    #[test]
+    fn flags_panic_macros() {
+        assert_eq!(run("panic!( );").len(), 1);
+        assert_eq!(run("if bad { unreachable!() }").len(), 1);
+        assert_eq!(run("todo!()").len(), 1);
+        assert_eq!(run("unimplemented!()").len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(run("let x = opt.unwrap_or(0);").is_empty());
+        assert!(run("let x = opt.unwrap_or_else(Default::default);").is_empty());
+        assert!(run("let x = opt.unwrap_or_default();").is_empty());
+    }
+
+    #[test]
+    fn asserts_are_fine() {
+        assert!(run("assert!(x > 0); debug_assert!(y.is_finite());").is_empty());
+        assert!(run("debug_assert_eq!(a, b);").is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "#[cfg(test)]\nmod t {\n fn f() { x.unwrap(); panic!( ); }\n}\nfn lib() { }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        assert!(run(r#"let s = "never .unwrap() this"; // or panic!"#).is_empty());
+    }
+
+    #[test]
+    fn bare_field_named_expect_is_fine() {
+        assert!(run("let e = cfg.expect; let u = unwrap;").is_empty());
+    }
+}

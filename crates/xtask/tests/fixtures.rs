@@ -1,0 +1,307 @@
+//! End-to-end fixtures for the auditor: each rule must fire on a seeded
+//! violation, and each rule's pragma must suppress it.
+//!
+//! Every test scaffolds a miniature workspace under the system temp dir
+//! (std-only; no tempfile crate) and runs [`xtask::run_audit`] against it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::pragma::RuleKind;
+use xtask::{run_audit, AuditReport};
+
+/// Creates a unique scratch workspace for one test.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("xtask-fixture-{}-{name}", std::process::id()));
+        // A stale dir from a crashed run would contaminate the scan.
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Self {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("create fixture dirs");
+        }
+        fs::write(path, content).expect("write fixture file");
+        self
+    }
+
+    fn audit(&self) -> AuditReport {
+        run_audit(&self.root, &[]).expect("audit runs")
+    }
+
+    fn audit_rule(&self, rule: RuleKind) -> AuditReport {
+        run_audit(&self.root, &[rule]).expect("audit runs")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn count(report: &AuditReport, rule: RuleKind) -> usize {
+    report.count(rule)
+}
+
+#[test]
+fn cast_rule_fires_and_pragma_suppresses() {
+    let fx = Fixture::new("cast");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(total_secs: u64) -> u32 {\n    total_secs as u32\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Cast);
+    assert_eq!(count(&report, RuleKind::Cast), 1, "{:?}", report.findings);
+    assert!(!report.is_clean());
+
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(total_secs: u64) -> u32 {\n    // audit: allow(cast, display-only truncation)\n    total_secs as u32\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Cast);
+    assert_eq!(count(&report, RuleKind::Cast), 0, "{:?}", report.findings);
+    assert_eq!(report.pragmas_honoured, 1);
+}
+
+#[test]
+fn cast_rule_catches_mixed_unit_arithmetic() {
+    let fx = Fixture::new("cast-mixed");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(total_bytes: f64, total_secs: f64) -> f64 {\n    total_bytes + total_secs\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Cast);
+    assert_eq!(count(&report, RuleKind::Cast), 1, "{:?}", report.findings);
+}
+
+#[test]
+fn cast_rule_exempts_units_layer_and_tests() {
+    let fx = Fixture::new("cast-exempt");
+    let offending = "pub fn f(total_secs: u64) -> u32 { total_secs as u32 }\n";
+    fx.write("crates/core/src/units.rs", offending);
+    fx.write("crates/demo/tests/check.rs", offending);
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "#[cfg(test)]\nmod tests {\n    pub fn f(total_secs: u64) -> u32 { total_secs as u32 }\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Cast);
+    assert_eq!(count(&report, RuleKind::Cast), 0, "{:?}", report.findings);
+}
+
+#[test]
+fn panic_rule_fires_and_pragma_suppresses() {
+    let fx = Fixture::new("panic");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Panic);
+    assert_eq!(count(&report, RuleKind::Panic), 1, "{:?}", report.findings);
+
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    // audit: allow(panic, caller guarantees Some by contract)\n    x.unwrap()\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Panic);
+    assert_eq!(count(&report, RuleKind::Panic), 0, "{:?}", report.findings);
+}
+
+#[test]
+fn panic_rule_skips_binaries_tests_and_macros_in_strings() {
+    let fx = Fixture::new("panic-scope");
+    fx.write(
+        "crates/demo/src/main.rs",
+        "fn main() { None::<u8>.unwrap(); }\n",
+    );
+    fx.write(
+        "crates/demo/src/bin/tool.rs",
+        "fn main() { panic!(\"fail fast\"); }\n",
+    );
+    fx.write(
+        "crates/demo/tests/t.rs",
+        "#[test]\nfn t() { None::<u8>.unwrap(); }\n",
+    );
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f() -> &'static str {\n    \"do not panic!(now) or .unwrap() here\"\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Panic);
+    assert_eq!(count(&report, RuleKind::Panic), 0, "{:?}", report.findings);
+}
+
+#[test]
+fn citation_rule_fires_and_pragma_suppresses() {
+    let fx = Fixture::new("citation");
+    fx.write(
+        "crates/core/src/model.rs",
+        "/// Computes a speedup.\npub fn speedup() -> f64 {\n    2.0\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Citation);
+    assert_eq!(
+        count(&report, RuleKind::Citation),
+        1,
+        "{:?}",
+        report.findings
+    );
+
+    // A citation satisfies the rule...
+    fx.write(
+        "crates/core/src/model.rs",
+        "/// Computes a speedup per Eq. 9.\npub fn speedup() -> f64 {\n    2.0\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Citation);
+    assert_eq!(
+        count(&report, RuleKind::Citation),
+        0,
+        "{:?}",
+        report.findings
+    );
+
+    // ...and so does a pragma with a reason.
+    fx.write(
+        "crates/core/src/model.rs",
+        "/// Plumbing helper.\n// audit: allow(citation, pure plumbing with no paper counterpart)\npub fn speedup() -> f64 {\n    2.0\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Citation);
+    assert_eq!(
+        count(&report, RuleKind::Citation),
+        0,
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn citation_rule_only_covers_model_files_and_public_items() {
+    let fx = Fixture::new("citation-scope");
+    let uncited = "/// No citation here.\npub fn f() -> u8 {\n    0\n}\n";
+    fx.write("crates/core/src/other.rs", uncited);
+    fx.write("crates/demo/src/lib.rs", uncited);
+    fx.write(
+        "crates/core/src/study.rs",
+        "/// Private helper.\nfn helper() {}\n\n/// Crate-internal.\npub(crate) fn plumbing() {}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Citation);
+    assert_eq!(
+        count(&report, RuleKind::Citation),
+        0,
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn dep_rule_fires_and_pragma_suppresses() {
+    let fx = Fixture::new("dep");
+    fx.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"demo\"\n\n[dependencies]\nphantom-dep = \"1\"\n",
+    );
+    fx.write("crates/demo/src/lib.rs", "pub fn f() {}\n");
+    let report = fx.audit_rule(RuleKind::Dep);
+    assert_eq!(count(&report, RuleKind::Dep), 1, "{:?}", report.findings);
+
+    fx.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"demo\"\n\n[dependencies]\nphantom-dep = \"1\" # audit: allow(dep, staged for the next change)\n",
+    );
+    let report = fx.audit_rule(RuleKind::Dep);
+    assert_eq!(count(&report, RuleKind::Dep), 0, "{:?}", report.findings);
+    assert_eq!(report.pragmas_honoured, 1);
+}
+
+#[test]
+fn dep_rule_sees_usage_anywhere_in_the_crate() {
+    let fx = Fixture::new("dep-used");
+    fx.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"demo\"\n\n[dependencies]\nreal-dep = \"1\"\n\n[dev-dependencies]\ntest-dep = \"1\"\n",
+    );
+    fx.write("crates/demo/src/lib.rs", "pub use real_dep::thing;\n");
+    fx.write("crates/demo/tests/t.rs", "use test_dep::helper;\n");
+    let report = fx.audit_rule(RuleKind::Dep);
+    assert_eq!(count(&report, RuleKind::Dep), 0, "{:?}", report.findings);
+}
+
+#[test]
+fn dep_rule_separates_workspace_root_from_members() {
+    let fx = Fixture::new("dep-root");
+    // Root declares a dep only the member uses: must still be flagged at
+    // the root, because member sources don't belong to the root package.
+    fx.write(
+        "Cargo.toml",
+        "[workspace]\nmembers = [\"crates/demo\"]\n\n[dependencies]\nmember-only = \"1\"\n",
+    );
+    fx.write("src/lib.rs", "pub fn root() {}\n");
+    fx.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"demo\"\n\n[dependencies]\nmember-only = \"1\"\n",
+    );
+    fx.write("crates/demo/src/lib.rs", "pub use member_only::x;\n");
+    let report = fx.audit_rule(RuleKind::Dep);
+    assert_eq!(count(&report, RuleKind::Dep), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].file, "Cargo.toml");
+}
+
+#[test]
+fn malformed_pragmas_are_findings() {
+    let fx = Fixture::new("pragma");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    // audit: allow(panic)\n    x.unwrap()\n}\n",
+    );
+    let report = fx.audit();
+    assert_eq!(count(&report, RuleKind::Pragma), 1, "{:?}", report.findings);
+    // The reasonless pragma does NOT waive the panic finding.
+    assert_eq!(count(&report, RuleKind::Panic), 1, "{:?}", report.findings);
+}
+
+#[test]
+fn clean_tree_audits_clean() {
+    let fx = Fixture::new("clean");
+    fx.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"demo\"\n\n[dependencies]\nother = \"1\"\n",
+    );
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub use other::thing;\n\npub fn f(count: u64) -> f64 {\n    count as f64\n}\n",
+    );
+    let report = fx.audit();
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.rust_files, 1);
+    assert_eq!(report.manifests, 1);
+}
+
+#[test]
+fn shipped_tree_audits_clean() {
+    // The acceptance bar for the PR itself: the real workspace, as checked
+    // in, has zero findings. CARGO_MANIFEST_DIR is crates/xtask.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = run_audit(root, &[]).expect("audit runs");
+    assert!(
+        report.is_clean(),
+        "shipped tree has audit findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.rust_files > 50, "workspace scan looks truncated");
+    assert!(report.pragmas_honoured > 10, "pragma accounting broken");
+}

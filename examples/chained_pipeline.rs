@@ -41,17 +41,17 @@ fn main() {
     // Part 2: event-level execution-model cross-check.
     println!("execution-model cross-check (event-level simulation, 1000 items):");
     let stages = [
-        StageSpec { per_item: SimDuration::from_micros(17), setup: SimDuration::from_micros(1489) },
-        StageSpec { per_item: SimDuration::from_micros(22), setup: SimDuration::from_micros(4) },
+        StageSpec {
+            per_item: SimDuration::from_micros(17),
+            setup: SimDuration::from_micros(1489),
+        },
+        StageSpec {
+            per_item: SimDuration::from_micros(22),
+            setup: SimDuration::from_micros(4),
+        },
     ];
-    println!(
-        "  synchronous  {:?}",
-        simulate_synchronous(&stages, 1000)
-    );
-    println!(
-        "  asynchronous {:?}",
-        simulate_asynchronous(&stages, 1000)
-    );
+    println!("  synchronous  {:?}", simulate_synchronous(&stages, 1000));
+    println!("  asynchronous {:?}", simulate_asynchronous(&stages, 1000));
     println!(
         "  chained      {:?} (closed form: {:?})\n",
         simulate_chained(&stages, 1000),
@@ -65,8 +65,14 @@ fn main() {
     println!("  serialize t_sub: {:>10.1}us", v.serialize_us);
     println!("  sha3 t_sub:      {:>10.1}us", v.sha3_us);
     println!("  sequential wall: {:>10.1}us", v.sequential_us);
-    println!("  chained wall:    {:>10.1}us (measured)", v.chained_measured_us);
-    println!("  chained model:   {:>10.1}us (Eq. 10 estimate)", v.chained_modeled_us);
+    println!(
+        "  chained wall:    {:>10.1}us (measured)",
+        v.chained_measured_us
+    );
+    println!(
+        "  chained model:   {:>10.1}us (Eq. 10 estimate)",
+        v.chained_modeled_us
+    );
     println!(
         "  model-vs-measured difference: {:.1}%",
         v.model_vs_measured * 100.0

@@ -27,8 +27,16 @@ fn main() {
     // A transfer touching two groups: debit in group 0, credit in group 2.
     let mut refs: Vec<&mut Spanner> = groups.iter_mut().collect();
     let writes = vec![
-        TxnWrite { group: 0, key: b"user:1:balance".to_vec(), value: b"60".to_vec() },
-        TxnWrite { group: 2, key: b"user:9:balance".to_vec(), value: b"40".to_vec() },
+        TxnWrite {
+            group: 0,
+            key: b"user:1:balance".to_vec(),
+            value: b"60".to_vec(),
+        },
+        TxnWrite {
+            group: 2,
+            key: b"user:9:balance".to_vec(),
+            value: b"40".to_vec(),
+        },
     ];
     let txn = distributed_commit(&mut refs, &writes, 42);
     let td = txn.decomposition();

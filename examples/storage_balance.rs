@@ -70,7 +70,11 @@ fn main() {
         }
         println!(
             "  fleet {tier} hit rate after the warm scan: {:.0}%",
-            if total > 0 { hits as f64 / total as f64 * 100.0 } else { 0.0 }
+            if total > 0 {
+                hits as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            }
         );
     }
 }

@@ -30,10 +30,13 @@
 //! # Ok::<(), hsdp::core::error::ModelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use hsdp_accelsim as accelsim;
 pub use hsdp_core as core;
 pub use hsdp_platforms as platforms;
 pub use hsdp_profiling as profiling;
+pub use hsdp_rng as rng;
 pub use hsdp_rpc as rpc;
 pub use hsdp_simcore as simcore;
 pub use hsdp_storage as storage;
@@ -68,7 +71,11 @@ pub mod fleet {
     fn leaf_work(exec: &QueryExecution) -> Vec<LeafWork> {
         exec.cpu_work
             .iter()
-            .map(|w| LeafWork { category: w.category, leaf: w.leaf, time: w.time })
+            .map(|w| LeafWork {
+                category: w.category,
+                leaf: w.leaf,
+                time: w.time,
+            })
             .collect()
     }
 
@@ -91,8 +98,10 @@ pub mod fleet {
                         profiler.observe(&item);
                     }
                 }
-                let decomposed: Vec<_> =
-                    executions.iter().map(QueryExecution::decomposition).collect();
+                let decomposed: Vec<_> = executions
+                    .iter()
+                    .map(QueryExecution::decomposition)
+                    .collect();
                 let figure2 = figure2(&decomposed);
                 let weight = 1.0 / executions.len().max(1) as f64;
                 let records = executions
@@ -100,6 +109,7 @@ pub mod fleet {
                     .map(|e| e.to_query_record(weight))
                     .collect();
                 let population = QueryPopulation::new(records)
+                    // audit: allow(panic, run_fleet always executes at least one query per platform)
                     .expect("fleet config produced at least one query");
                 PlatformRun {
                     platform,

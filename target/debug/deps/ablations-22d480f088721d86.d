@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-22d480f088721d86.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-22d480f088721d86.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_properties-9240195c05dc6ac9.d: crates/storage/tests/cache_properties.rs
+
+/root/repo/target/debug/deps/cache_properties-9240195c05dc6ac9: crates/storage/tests/cache_properties.rs
+
+crates/storage/tests/cache_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_properties-9271044c77d94585.d: crates/storage/tests/cache_properties.rs
+
+/root/repo/target/debug/deps/libcache_properties-9271044c77d94585.rmeta: crates/storage/tests/cache_properties.rs
+
+crates/storage/tests/cache_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_properties-f7d67ffd72dfa788.d: crates/storage/tests/cache_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_properties-f7d67ffd72dfa788.rmeta: crates/storage/tests/cache_properties.rs Cargo.toml
+
+crates/storage/tests/cache_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

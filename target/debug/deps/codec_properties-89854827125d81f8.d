@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_properties-89854827125d81f8.d: crates/taxes/tests/codec_properties.rs
+
+/root/repo/target/debug/deps/libcodec_properties-89854827125d81f8.rmeta: crates/taxes/tests/codec_properties.rs
+
+crates/taxes/tests/codec_properties.rs:

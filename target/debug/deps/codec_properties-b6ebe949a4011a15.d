@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_properties-b6ebe949a4011a15.d: crates/taxes/tests/codec_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_properties-b6ebe949a4011a15.rmeta: crates/taxes/tests/codec_properties.rs Cargo.toml
+
+crates/taxes/tests/codec_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

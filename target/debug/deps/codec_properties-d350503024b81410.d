@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_properties-d350503024b81410.d: crates/taxes/tests/codec_properties.rs
+
+/root/repo/target/debug/deps/codec_properties-d350503024b81410: crates/taxes/tests/codec_properties.rs
+
+crates/taxes/tests/codec_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2c2358fd902393e8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2c2358fd902393e8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_grouped_bounds-7a536b0452eb0528.d: crates/bench/benches/fig10_grouped_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_grouped_bounds-7a536b0452eb0528.rmeta: crates/bench/benches/fig10_grouped_bounds.rs Cargo.toml
+
+crates/bench/benches/fig10_grouped_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_grouped_bounds-e71e2dcdc7774415.d: crates/bench/benches/fig10_grouped_bounds.rs
+
+/root/repo/target/debug/deps/libfig10_grouped_bounds-e71e2dcdc7774415.rmeta: crates/bench/benches/fig10_grouped_bounds.rs
+
+crates/bench/benches/fig10_grouped_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_accel_features-02c4d4784ea8412d.d: crates/bench/benches/fig13_accel_features.rs
+
+/root/repo/target/debug/deps/libfig13_accel_features-02c4d4784ea8412d.rmeta: crates/bench/benches/fig13_accel_features.rs
+
+crates/bench/benches/fig13_accel_features.rs:

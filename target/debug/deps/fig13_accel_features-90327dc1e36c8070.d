@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_accel_features-90327dc1e36c8070.d: crates/bench/benches/fig13_accel_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_accel_features-90327dc1e36c8070.rmeta: crates/bench/benches/fig13_accel_features.rs Cargo.toml
+
+crates/bench/benches/fig13_accel_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_setup_sweep-71a26c14634e4646.d: crates/bench/benches/fig14_setup_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_setup_sweep-71a26c14634e4646.rmeta: crates/bench/benches/fig14_setup_sweep.rs Cargo.toml
+
+crates/bench/benches/fig14_setup_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

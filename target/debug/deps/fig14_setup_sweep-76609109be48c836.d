@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_setup_sweep-76609109be48c836.d: crates/bench/benches/fig14_setup_sweep.rs
+
+/root/repo/target/debug/deps/libfig14_setup_sweep-76609109be48c836.rmeta: crates/bench/benches/fig14_setup_sweep.rs
+
+crates/bench/benches/fig14_setup_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_prior_accels-702af5d61d888d6f.d: crates/bench/benches/fig15_prior_accels.rs
+
+/root/repo/target/debug/deps/libfig15_prior_accels-702af5d61d888d6f.rmeta: crates/bench/benches/fig15_prior_accels.rs
+
+crates/bench/benches/fig15_prior_accels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_prior_accels-fdc763f849257e6d.d: crates/bench/benches/fig15_prior_accels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_prior_accels-fdc763f849257e6d.rmeta: crates/bench/benches/fig15_prior_accels.rs Cargo.toml
+
+crates/bench/benches/fig15_prior_accels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_e2e_breakdown-80ecf09ffd41ae25.d: crates/bench/benches/fig2_e2e_breakdown.rs
+
+/root/repo/target/debug/deps/libfig2_e2e_breakdown-80ecf09ffd41ae25.rmeta: crates/bench/benches/fig2_e2e_breakdown.rs
+
+crates/bench/benches/fig2_e2e_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_e2e_breakdown-8ccd1205c86cd87d.d: crates/bench/benches/fig2_e2e_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_e2e_breakdown-8ccd1205c86cd87d.rmeta: crates/bench/benches/fig2_e2e_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig2_e2e_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_cycle_breakdown-7c930ef4b3effeeb.d: crates/bench/benches/fig3_cycle_breakdown.rs
+
+/root/repo/target/debug/deps/libfig3_cycle_breakdown-7c930ef4b3effeeb.rmeta: crates/bench/benches/fig3_cycle_breakdown.rs
+
+crates/bench/benches/fig3_cycle_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_cycle_breakdown-bd5091b0d3adbf8d.d: crates/bench/benches/fig3_cycle_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_cycle_breakdown-bd5091b0d3adbf8d.rmeta: crates/bench/benches/fig3_cycle_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig3_cycle_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

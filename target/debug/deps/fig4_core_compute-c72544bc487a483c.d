@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_core_compute-c72544bc487a483c.d: crates/bench/benches/fig4_core_compute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_core_compute-c72544bc487a483c.rmeta: crates/bench/benches/fig4_core_compute.rs Cargo.toml
+
+crates/bench/benches/fig4_core_compute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_core_compute-cd97a27bc4c3e99d.d: crates/bench/benches/fig4_core_compute.rs
+
+/root/repo/target/debug/deps/libfig4_core_compute-cd97a27bc4c3e99d.rmeta: crates/bench/benches/fig4_core_compute.rs
+
+crates/bench/benches/fig4_core_compute.rs:

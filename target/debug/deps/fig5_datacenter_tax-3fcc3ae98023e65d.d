@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_datacenter_tax-3fcc3ae98023e65d.d: crates/bench/benches/fig5_datacenter_tax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_datacenter_tax-3fcc3ae98023e65d.rmeta: crates/bench/benches/fig5_datacenter_tax.rs Cargo.toml
+
+crates/bench/benches/fig5_datacenter_tax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_datacenter_tax-993e6e3d5d27cfac.d: crates/bench/benches/fig5_datacenter_tax.rs
+
+/root/repo/target/debug/deps/libfig5_datacenter_tax-993e6e3d5d27cfac.rmeta: crates/bench/benches/fig5_datacenter_tax.rs
+
+crates/bench/benches/fig5_datacenter_tax.rs:

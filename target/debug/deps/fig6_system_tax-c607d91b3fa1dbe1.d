@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_system_tax-c607d91b3fa1dbe1.d: crates/bench/benches/fig6_system_tax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_system_tax-c607d91b3fa1dbe1.rmeta: crates/bench/benches/fig6_system_tax.rs Cargo.toml
+
+crates/bench/benches/fig6_system_tax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_system_tax-d8afe61a10317272.d: crates/bench/benches/fig6_system_tax.rs
+
+/root/repo/target/debug/deps/libfig6_system_tax-d8afe61a10317272.rmeta: crates/bench/benches/fig6_system_tax.rs
+
+crates/bench/benches/fig6_system_tax.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_sync_onchip_bound-0de02b072c1eb6a9.d: crates/bench/benches/fig9_sync_onchip_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_sync_onchip_bound-0de02b072c1eb6a9.rmeta: crates/bench/benches/fig9_sync_onchip_bound.rs Cargo.toml
+
+crates/bench/benches/fig9_sync_onchip_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_sync_onchip_bound-ac6f0e36a86899f3.d: crates/bench/benches/fig9_sync_onchip_bound.rs
+
+/root/repo/target/debug/deps/libfig9_sync_onchip_bound-ac6f0e36a86899f3.rmeta: crates/bench/benches/fig9_sync_onchip_bound.rs
+
+crates/bench/benches/fig9_sync_onchip_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-0ae410f725506f88.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-0ae410f725506f88.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-0fd71baa3237e133.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-0fd71baa3237e133: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

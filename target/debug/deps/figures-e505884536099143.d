@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-e505884536099143.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-e505884536099143.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

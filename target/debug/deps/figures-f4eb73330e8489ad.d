@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-f4eb73330e8489ad.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-f4eb73330e8489ad: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixtures-2e77ccf1b58e559b.d: crates/xtask/tests/fixtures.rs
+
+/root/repo/target/debug/deps/fixtures-2e77ccf1b58e559b: crates/xtask/tests/fixtures.rs
+
+crates/xtask/tests/fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fixtures-3f6eb62c0bef8361.d: crates/xtask/tests/fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures-3f6eb62c0bef8361.rmeta: crates/xtask/tests/fixtures.rs Cargo.toml
+
+crates/xtask/tests/fixtures.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsdp-523b04d394063ea5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhsdp-523b04d394063ea5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp-8557c53793615170.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp-8557c53793615170.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

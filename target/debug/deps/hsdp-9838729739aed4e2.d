@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp-9838729739aed4e2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp-9838729739aed4e2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsdp-99712d06d33b5975.d: src/lib.rs
+
+/root/repo/target/debug/deps/hsdp-99712d06d33b5975: src/lib.rs
+
+src/lib.rs:

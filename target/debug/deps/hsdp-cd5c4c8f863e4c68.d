@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsdp-cd5c4c8f863e4c68.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhsdp-cd5c4c8f863e4c68.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhsdp-cd5c4c8f863e4c68.rmeta: src/lib.rs
+
+src/lib.rs:

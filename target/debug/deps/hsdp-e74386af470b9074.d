@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsdp-e74386af470b9074.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhsdp-e74386af470b9074.rmeta: src/lib.rs
+
+src/lib.rs:

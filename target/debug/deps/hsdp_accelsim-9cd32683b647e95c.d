@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hsdp_accelsim-9cd32683b647e95c.d: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_accelsim-9cd32683b647e95c.rmeta: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs Cargo.toml
+
+crates/accelsim/src/lib.rs:
+crates/accelsim/src/modeled.rs:
+crates/accelsim/src/pipeline.rs:
+crates/accelsim/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

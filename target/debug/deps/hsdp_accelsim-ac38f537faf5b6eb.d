@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hsdp_accelsim-ac38f537faf5b6eb.d: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+/root/repo/target/debug/deps/libhsdp_accelsim-ac38f537faf5b6eb.rlib: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+/root/repo/target/debug/deps/libhsdp_accelsim-ac38f537faf5b6eb.rmeta: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+crates/accelsim/src/lib.rs:
+crates/accelsim/src/modeled.rs:
+crates/accelsim/src/pipeline.rs:
+crates/accelsim/src/validate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hsdp_accelsim-adc8fd6b1d076f78.d: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+/root/repo/target/debug/deps/libhsdp_accelsim-adc8fd6b1d076f78.rmeta: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+crates/accelsim/src/lib.rs:
+crates/accelsim/src/modeled.rs:
+crates/accelsim/src/pipeline.rs:
+crates/accelsim/src/validate.rs:

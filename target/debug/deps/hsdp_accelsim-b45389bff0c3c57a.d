@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hsdp_accelsim-b45389bff0c3c57a.d: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+/root/repo/target/debug/deps/libhsdp_accelsim-b45389bff0c3c57a.rmeta: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+crates/accelsim/src/lib.rs:
+crates/accelsim/src/modeled.rs:
+crates/accelsim/src/pipeline.rs:
+crates/accelsim/src/validate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hsdp_accelsim-c916fdf3df79a9d3.d: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+/root/repo/target/debug/deps/hsdp_accelsim-c916fdf3df79a9d3: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+crates/accelsim/src/lib.rs:
+crates/accelsim/src/modeled.rs:
+crates/accelsim/src/pipeline.rs:
+crates/accelsim/src/validate.rs:

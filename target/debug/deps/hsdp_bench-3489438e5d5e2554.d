@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsdp_bench-3489438e5d5e2554.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/hsdp_bench-3489438e5d5e2554: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsdp_bench-b8288f1233ed0a29.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libhsdp_bench-b8288f1233ed0a29.rmeta: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsdp_bench-c59755b8d5cd1a6e.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_bench-c59755b8d5cd1a6e.rmeta: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

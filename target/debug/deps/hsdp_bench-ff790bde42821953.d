@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsdp_bench-ff790bde42821953.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libhsdp_bench-ff790bde42821953.rmeta: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:

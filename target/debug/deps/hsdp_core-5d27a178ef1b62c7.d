@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hsdp_core-5d27a178ef1b62c7.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/libhsdp_core-5d27a178ef1b62c7.rlib: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/libhsdp_core-5d27a178ef1b62c7.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/audit.rs:
+crates/core/src/category.rs:
+crates/core/src/chained.rs:
+crates/core/src/component.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/paper.rs:
+crates/core/src/plan.rs:
+crates/core/src/profile.rs:
+crates/core/src/study.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hsdp_core-8963970dcbbf7e8c.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/hsdp_core-8963970dcbbf7e8c: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/audit.rs:
+crates/core/src/category.rs:
+crates/core/src/chained.rs:
+crates/core/src/component.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/paper.rs:
+crates/core/src/plan.rs:
+crates/core/src/profile.rs:
+crates/core/src/study.rs:
+crates/core/src/units.rs:

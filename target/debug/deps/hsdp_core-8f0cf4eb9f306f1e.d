@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hsdp_core-8f0cf4eb9f306f1e.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_core-8f0cf4eb9f306f1e.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/audit.rs:
+crates/core/src/category.rs:
+crates/core/src/chained.rs:
+crates/core/src/component.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/paper.rs:
+crates/core/src/plan.rs:
+crates/core/src/profile.rs:
+crates/core/src/study.rs:
+crates/core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hsdp_core-e66a1ca25865421d.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+/root/repo/target/debug/deps/libhsdp_core-e66a1ca25865421d.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/category.rs:
+crates/core/src/chained.rs:
+crates/core/src/component.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/paper.rs:
+crates/core/src/plan.rs:
+crates/core/src/profile.rs:
+crates/core/src/study.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hsdp_platforms-2922303f2f7b13d3.d: crates/platforms/src/lib.rs crates/platforms/src/bigquery.rs crates/platforms/src/bigtable.rs crates/platforms/src/bloom.rs crates/platforms/src/columnar.rs crates/platforms/src/costs.rs crates/platforms/src/exec.rs crates/platforms/src/meter.rs crates/platforms/src/runner.rs crates/platforms/src/spanner.rs crates/platforms/src/twopc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_platforms-2922303f2f7b13d3.rmeta: crates/platforms/src/lib.rs crates/platforms/src/bigquery.rs crates/platforms/src/bigtable.rs crates/platforms/src/bloom.rs crates/platforms/src/columnar.rs crates/platforms/src/costs.rs crates/platforms/src/exec.rs crates/platforms/src/meter.rs crates/platforms/src/runner.rs crates/platforms/src/spanner.rs crates/platforms/src/twopc.rs Cargo.toml
+
+crates/platforms/src/lib.rs:
+crates/platforms/src/bigquery.rs:
+crates/platforms/src/bigtable.rs:
+crates/platforms/src/bloom.rs:
+crates/platforms/src/columnar.rs:
+crates/platforms/src/costs.rs:
+crates/platforms/src/exec.rs:
+crates/platforms/src/meter.rs:
+crates/platforms/src/runner.rs:
+crates/platforms/src/spanner.rs:
+crates/platforms/src/twopc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hsdp_platforms-5350a425491cb6fc.d: crates/platforms/src/lib.rs crates/platforms/src/bigquery.rs crates/platforms/src/bigtable.rs crates/platforms/src/bloom.rs crates/platforms/src/columnar.rs crates/platforms/src/costs.rs crates/platforms/src/exec.rs crates/platforms/src/meter.rs crates/platforms/src/runner.rs crates/platforms/src/spanner.rs crates/platforms/src/twopc.rs
+
+/root/repo/target/debug/deps/libhsdp_platforms-5350a425491cb6fc.rmeta: crates/platforms/src/lib.rs crates/platforms/src/bigquery.rs crates/platforms/src/bigtable.rs crates/platforms/src/bloom.rs crates/platforms/src/columnar.rs crates/platforms/src/costs.rs crates/platforms/src/exec.rs crates/platforms/src/meter.rs crates/platforms/src/runner.rs crates/platforms/src/spanner.rs crates/platforms/src/twopc.rs
+
+crates/platforms/src/lib.rs:
+crates/platforms/src/bigquery.rs:
+crates/platforms/src/bigtable.rs:
+crates/platforms/src/bloom.rs:
+crates/platforms/src/columnar.rs:
+crates/platforms/src/costs.rs:
+crates/platforms/src/exec.rs:
+crates/platforms/src/meter.rs:
+crates/platforms/src/runner.rs:
+crates/platforms/src/spanner.rs:
+crates/platforms/src/twopc.rs:

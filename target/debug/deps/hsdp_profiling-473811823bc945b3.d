@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_profiling-473811823bc945b3.d: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs
+
+/root/repo/target/debug/deps/libhsdp_profiling-473811823bc945b3.rmeta: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs
+
+crates/profiling/src/lib.rs:
+crates/profiling/src/e2e.rs:
+crates/profiling/src/gwp.rs:
+crates/profiling/src/microarch.rs:
+crates/profiling/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hsdp_profiling-885e7c1056d98f69.d: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_profiling-885e7c1056d98f69.rmeta: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs Cargo.toml
+
+crates/profiling/src/lib.rs:
+crates/profiling/src/e2e.rs:
+crates/profiling/src/gwp.rs:
+crates/profiling/src/microarch.rs:
+crates/profiling/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

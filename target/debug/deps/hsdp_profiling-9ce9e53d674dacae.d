@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsdp_profiling-9ce9e53d674dacae.d: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs
+
+/root/repo/target/debug/deps/libhsdp_profiling-9ce9e53d674dacae.rlib: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs
+
+/root/repo/target/debug/deps/libhsdp_profiling-9ce9e53d674dacae.rmeta: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs
+
+crates/profiling/src/lib.rs:
+crates/profiling/src/e2e.rs:
+crates/profiling/src/gwp.rs:
+crates/profiling/src/microarch.rs:
+crates/profiling/src/report.rs:

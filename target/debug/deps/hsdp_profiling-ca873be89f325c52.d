@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_profiling-ca873be89f325c52.d: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs
+
+/root/repo/target/debug/deps/hsdp_profiling-ca873be89f325c52: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs
+
+crates/profiling/src/lib.rs:
+crates/profiling/src/e2e.rs:
+crates/profiling/src/gwp.rs:
+crates/profiling/src/microarch.rs:
+crates/profiling/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hsdp_profiling-f8a8de83d26d449e.d: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_profiling-f8a8de83d26d449e.rmeta: crates/profiling/src/lib.rs crates/profiling/src/e2e.rs crates/profiling/src/gwp.rs crates/profiling/src/microarch.rs crates/profiling/src/report.rs Cargo.toml
+
+crates/profiling/src/lib.rs:
+crates/profiling/src/e2e.rs:
+crates/profiling/src/gwp.rs:
+crates/profiling/src/microarch.rs:
+crates/profiling/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

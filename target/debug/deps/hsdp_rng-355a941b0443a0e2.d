@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsdp_rng-355a941b0443a0e2.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libhsdp_rng-355a941b0443a0e2.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libhsdp_rng-355a941b0443a0e2.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

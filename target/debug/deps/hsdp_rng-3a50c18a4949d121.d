@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_rng-3a50c18a4949d121.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_rng-3a50c18a4949d121.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

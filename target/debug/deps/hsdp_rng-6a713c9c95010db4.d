@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_rng-6a713c9c95010db4.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_rng-6a713c9c95010db4.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsdp_rng-b6aa38ff98bd4ae2.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libhsdp_rng-b6aa38ff98bd4ae2.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsdp_rng-c545621e0808d2f6.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libhsdp_rng-c545621e0808d2f6.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

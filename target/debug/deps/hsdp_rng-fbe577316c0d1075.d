@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hsdp_rng-fbe577316c0d1075.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/hsdp_rng-fbe577316c0d1075: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hsdp_rpc-29dfe3dac02eb7e3.d: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_rpc-29dfe3dac02eb7e3.rmeta: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs Cargo.toml
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/decompose.rs:
+crates/rpc/src/latency.rs:
+crates/rpc/src/span.rs:
+crates/rpc/src/tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_rpc-37ca2fe66d18029e.d: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+/root/repo/target/debug/deps/libhsdp_rpc-37ca2fe66d18029e.rmeta: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/decompose.rs:
+crates/rpc/src/latency.rs:
+crates/rpc/src/span.rs:
+crates/rpc/src/tracer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_rpc-455c9167b8a3315b.d: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+/root/repo/target/debug/deps/libhsdp_rpc-455c9167b8a3315b.rmeta: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/decompose.rs:
+crates/rpc/src/latency.rs:
+crates/rpc/src/span.rs:
+crates/rpc/src/tracer.rs:

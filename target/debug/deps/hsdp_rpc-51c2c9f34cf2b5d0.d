@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_rpc-51c2c9f34cf2b5d0.d: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+/root/repo/target/debug/deps/hsdp_rpc-51c2c9f34cf2b5d0: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/decompose.rs:
+crates/rpc/src/latency.rs:
+crates/rpc/src/span.rs:
+crates/rpc/src/tracer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsdp_rpc-ea99c952c13f44d8.d: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+/root/repo/target/debug/deps/libhsdp_rpc-ea99c952c13f44d8.rlib: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+/root/repo/target/debug/deps/libhsdp_rpc-ea99c952c13f44d8.rmeta: crates/rpc/src/lib.rs crates/rpc/src/decompose.rs crates/rpc/src/latency.rs crates/rpc/src/span.rs crates/rpc/src/tracer.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/decompose.rs:
+crates/rpc/src/latency.rs:
+crates/rpc/src/span.rs:
+crates/rpc/src/tracer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hsdp_simcore-a9a17024a6fa39e2.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libhsdp_simcore-a9a17024a6fa39e2.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

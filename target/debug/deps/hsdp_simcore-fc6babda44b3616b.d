@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hsdp_simcore-fc6babda44b3616b.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libhsdp_simcore-fc6babda44b3616b.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/resource.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsdp_storage-1d1156da6e7d0ab5.d: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs
+
+/root/repo/target/debug/deps/hsdp_storage-1d1156da6e7d0ab5: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cache.rs:
+crates/storage/src/dfs.rs:
+crates/storage/src/predictive.rs:
+crates/storage/src/provision.rs:
+crates/storage/src/tier.rs:
+crates/storage/src/tiered.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hsdp_storage-6749246eed757247.d: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs
+
+/root/repo/target/debug/deps/libhsdp_storage-6749246eed757247.rlib: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs
+
+/root/repo/target/debug/deps/libhsdp_storage-6749246eed757247.rmeta: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cache.rs:
+crates/storage/src/dfs.rs:
+crates/storage/src/predictive.rs:
+crates/storage/src/provision.rs:
+crates/storage/src/tier.rs:
+crates/storage/src/tiered.rs:

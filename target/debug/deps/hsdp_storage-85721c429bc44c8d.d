@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hsdp_storage-85721c429bc44c8d.d: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_storage-85721c429bc44c8d.rmeta: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/cache.rs:
+crates/storage/src/dfs.rs:
+crates/storage/src/predictive.rs:
+crates/storage/src/provision.rs:
+crates/storage/src/tier.rs:
+crates/storage/src/tiered.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hsdp_taxes-31db7489e3725b69.d: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+/root/repo/target/debug/deps/hsdp_taxes-31db7489e3725b69: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+crates/taxes/src/lib.rs:
+crates/taxes/src/arena.rs:
+crates/taxes/src/compress.rs:
+crates/taxes/src/crc.rs:
+crates/taxes/src/error.rs:
+crates/taxes/src/frame.rs:
+crates/taxes/src/memops.rs:
+crates/taxes/src/protowire.rs:
+crates/taxes/src/sha3.rs:
+crates/taxes/src/varint.rs:

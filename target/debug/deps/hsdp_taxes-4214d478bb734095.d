@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hsdp_taxes-4214d478bb734095.d: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+/root/repo/target/debug/deps/libhsdp_taxes-4214d478bb734095.rmeta: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+crates/taxes/src/lib.rs:
+crates/taxes/src/arena.rs:
+crates/taxes/src/compress.rs:
+crates/taxes/src/crc.rs:
+crates/taxes/src/error.rs:
+crates/taxes/src/frame.rs:
+crates/taxes/src/memops.rs:
+crates/taxes/src/protowire.rs:
+crates/taxes/src/sha3.rs:
+crates/taxes/src/varint.rs:

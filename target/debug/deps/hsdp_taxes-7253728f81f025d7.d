@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hsdp_taxes-7253728f81f025d7.d: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_taxes-7253728f81f025d7.rmeta: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs Cargo.toml
+
+crates/taxes/src/lib.rs:
+crates/taxes/src/arena.rs:
+crates/taxes/src/compress.rs:
+crates/taxes/src/crc.rs:
+crates/taxes/src/error.rs:
+crates/taxes/src/frame.rs:
+crates/taxes/src/memops.rs:
+crates/taxes/src/protowire.rs:
+crates/taxes/src/sha3.rs:
+crates/taxes/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

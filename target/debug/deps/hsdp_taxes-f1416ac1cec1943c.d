@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hsdp_taxes-f1416ac1cec1943c.d: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+/root/repo/target/debug/deps/libhsdp_taxes-f1416ac1cec1943c.rlib: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+/root/repo/target/debug/deps/libhsdp_taxes-f1416ac1cec1943c.rmeta: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+crates/taxes/src/lib.rs:
+crates/taxes/src/arena.rs:
+crates/taxes/src/compress.rs:
+crates/taxes/src/crc.rs:
+crates/taxes/src/error.rs:
+crates/taxes/src/frame.rs:
+crates/taxes/src/memops.rs:
+crates/taxes/src/protowire.rs:
+crates/taxes/src/sha3.rs:
+crates/taxes/src/varint.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hsdp_workload-2e63d3d000860d1a.d: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_workload-2e63d3d000860d1a.rmeta: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/proto_corpus.rs:
+crates/workload/src/rows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hsdp_workload-b7fac081f1e145f4.d: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_workload-b7fac081f1e145f4.rmeta: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/proto_corpus.rs:
+crates/workload/src/rows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

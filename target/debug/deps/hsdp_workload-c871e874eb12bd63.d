@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsdp_workload-c871e874eb12bd63.d: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs
+
+/root/repo/target/debug/deps/libhsdp_workload-c871e874eb12bd63.rlib: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs
+
+/root/repo/target/debug/deps/libhsdp_workload-c871e874eb12bd63.rmeta: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/proto_corpus.rs:
+crates/workload/src/rows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_workload-fac17ce092792c18.d: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs
+
+/root/repo/target/debug/deps/libhsdp_workload-fac17ce092792c18.rmeta: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/proto_corpus.rs:
+crates/workload/src/rows.rs:

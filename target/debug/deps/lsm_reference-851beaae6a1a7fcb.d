@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lsm_reference-851beaae6a1a7fcb.d: crates/platforms/tests/lsm_reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblsm_reference-851beaae6a1a7fcb.rmeta: crates/platforms/tests/lsm_reference.rs Cargo.toml
+
+crates/platforms/tests/lsm_reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

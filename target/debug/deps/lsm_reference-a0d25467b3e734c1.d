@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsm_reference-a0d25467b3e734c1.d: crates/platforms/tests/lsm_reference.rs
+
+/root/repo/target/debug/deps/liblsm_reference-a0d25467b3e734c1.rmeta: crates/platforms/tests/lsm_reference.rs
+
+crates/platforms/tests/lsm_reference.rs:

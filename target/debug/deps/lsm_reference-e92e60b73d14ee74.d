@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lsm_reference-e92e60b73d14ee74.d: crates/platforms/tests/lsm_reference.rs
+
+/root/repo/target/debug/deps/lsm_reference-e92e60b73d14ee74: crates/platforms/tests/lsm_reference.rs
+
+crates/platforms/tests/lsm_reference.rs:

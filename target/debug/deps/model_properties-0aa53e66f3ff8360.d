@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-0aa53e66f3ff8360.d: crates/core/tests/model_properties.rs
+
+/root/repo/target/debug/deps/libmodel_properties-0aa53e66f3ff8360.rmeta: crates/core/tests/model_properties.rs
+
+crates/core/tests/model_properties.rs:

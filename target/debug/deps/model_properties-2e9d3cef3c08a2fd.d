@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-2e9d3cef3c08a2fd.d: crates/core/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-2e9d3cef3c08a2fd: crates/core/tests/model_properties.rs
+
+crates/core/tests/model_properties.rs:

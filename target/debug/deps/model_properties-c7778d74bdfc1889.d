@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-c7778d74bdfc1889.d: crates/core/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-c7778d74bdfc1889.rmeta: crates/core/tests/model_properties.rs Cargo.toml
+
+crates/core/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

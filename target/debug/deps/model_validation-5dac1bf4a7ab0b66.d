@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-5dac1bf4a7ab0b66.d: tests/model_validation.rs
+
+/root/repo/target/debug/deps/libmodel_validation-5dac1bf4a7ab0b66.rmeta: tests/model_validation.rs
+
+tests/model_validation.rs:

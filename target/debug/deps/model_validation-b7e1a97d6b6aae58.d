@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_validation-b7e1a97d6b6aae58.d: tests/model_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_validation-b7e1a97d6b6aae58.rmeta: tests/model_validation.rs Cargo.toml
+
+tests/model_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-eedba2b3f7890ecc.d: tests/model_validation.rs
+
+/root/repo/target/debug/deps/model_validation-eedba2b3f7890ecc: tests/model_validation.rs
+
+tests/model_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_storage_ratios-0ef71be9eb1878e8.d: crates/bench/benches/table1_storage_ratios.rs
+
+/root/repo/target/debug/deps/libtable1_storage_ratios-0ef71be9eb1878e8.rmeta: crates/bench/benches/table1_storage_ratios.rs
+
+crates/bench/benches/table1_storage_ratios.rs:

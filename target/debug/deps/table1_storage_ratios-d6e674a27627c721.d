@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_storage_ratios-d6e674a27627c721.d: crates/bench/benches/table1_storage_ratios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_storage_ratios-d6e674a27627c721.rmeta: crates/bench/benches/table1_storage_ratios.rs Cargo.toml
+
+crates/bench/benches/table1_storage_ratios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

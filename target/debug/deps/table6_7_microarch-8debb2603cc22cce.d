@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_7_microarch-8debb2603cc22cce.d: crates/bench/benches/table6_7_microarch.rs
+
+/root/repo/target/debug/deps/libtable6_7_microarch-8debb2603cc22cce.rmeta: crates/bench/benches/table6_7_microarch.rs
+
+crates/bench/benches/table6_7_microarch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_7_microarch-e063fb12b1ffccfc.d: crates/bench/benches/table6_7_microarch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_7_microarch-e063fb12b1ffccfc.rmeta: crates/bench/benches/table6_7_microarch.rs Cargo.toml
+
+crates/bench/benches/table6_7_microarch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

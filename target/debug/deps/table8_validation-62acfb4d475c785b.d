@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_validation-62acfb4d475c785b.d: crates/bench/benches/table8_validation.rs
+
+/root/repo/target/debug/deps/libtable8_validation-62acfb4d475c785b.rmeta: crates/bench/benches/table8_validation.rs
+
+crates/bench/benches/table8_validation.rs:

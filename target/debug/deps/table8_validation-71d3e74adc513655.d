@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_validation-71d3e74adc513655.d: crates/bench/benches/table8_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_validation-71d3e74adc513655.rmeta: crates/bench/benches/table8_validation.rs Cargo.toml
+
+crates/bench/benches/table8_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tax_primitives-e25ebb16bbcff452.d: crates/bench/benches/tax_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtax_primitives-e25ebb16bbcff452.rmeta: crates/bench/benches/tax_primitives.rs Cargo.toml
+
+crates/bench/benches/tax_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tax_primitives-fe1214f2ed3cf7d4.d: crates/bench/benches/tax_primitives.rs
+
+/root/repo/target/debug/deps/libtax_primitives-fe1214f2ed3cf7d4.rmeta: crates/bench/benches/tax_primitives.rs
+
+crates/bench/benches/tax_primitives.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xtask-77ef6a3f4f13ac97.d: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-77ef6a3f4f13ac97.rmeta: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs Cargo.toml
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/casts.rs:
+crates/xtask/src/citations.rs:
+crates/xtask/src/deps.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/panics.rs:
+crates/xtask/src/pragma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f.d: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs
+
+/root/repo/target/debug/deps/xtask-f8af905e1e49101f: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/casts.rs:
+crates/xtask/src/citations.rs:
+crates/xtask/src/deps.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/panics.rs:
+crates/xtask/src/pragma.rs:

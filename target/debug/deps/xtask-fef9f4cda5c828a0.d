@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtask-fef9f4cda5c828a0.d: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs
+
+/root/repo/target/debug/deps/libxtask-fef9f4cda5c828a0.rlib: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs
+
+/root/repo/target/debug/deps/libxtask-fef9f4cda5c828a0.rmeta: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/casts.rs:
+crates/xtask/src/citations.rs:
+crates/xtask/src/deps.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/panics.rs:
+crates/xtask/src/pragma.rs:

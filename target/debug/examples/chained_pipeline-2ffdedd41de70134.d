@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chained_pipeline-2ffdedd41de70134.d: examples/chained_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchained_pipeline-2ffdedd41de70134.rmeta: examples/chained_pipeline.rs Cargo.toml
+
+examples/chained_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

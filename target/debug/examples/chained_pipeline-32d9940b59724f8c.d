@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chained_pipeline-32d9940b59724f8c.d: examples/chained_pipeline.rs
+
+/root/repo/target/debug/examples/libchained_pipeline-32d9940b59724f8c.rmeta: examples/chained_pipeline.rs
+
+examples/chained_pipeline.rs:

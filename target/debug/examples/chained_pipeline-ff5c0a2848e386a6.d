@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chained_pipeline-ff5c0a2848e386a6.d: examples/chained_pipeline.rs
+
+/root/repo/target/debug/examples/chained_pipeline-ff5c0a2848e386a6: examples/chained_pipeline.rs
+
+examples/chained_pipeline.rs:

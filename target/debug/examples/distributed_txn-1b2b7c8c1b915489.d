@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_txn-1b2b7c8c1b915489.d: examples/distributed_txn.rs
+
+/root/repo/target/debug/examples/libdistributed_txn-1b2b7c8c1b915489.rmeta: examples/distributed_txn.rs
+
+examples/distributed_txn.rs:

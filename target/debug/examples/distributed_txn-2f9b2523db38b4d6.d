@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_txn-2f9b2523db38b4d6.d: examples/distributed_txn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_txn-2f9b2523db38b4d6.rmeta: examples/distributed_txn.rs Cargo.toml
+
+examples/distributed_txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

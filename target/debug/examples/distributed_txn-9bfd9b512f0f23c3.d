@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_txn-9bfd9b512f0f23c3.d: examples/distributed_txn.rs
+
+/root/repo/target/debug/examples/distributed_txn-9bfd9b512f0f23c3: examples/distributed_txn.rs
+
+examples/distributed_txn.rs:

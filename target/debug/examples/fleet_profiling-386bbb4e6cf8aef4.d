@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_profiling-386bbb4e6cf8aef4.d: examples/fleet_profiling.rs
+
+/root/repo/target/debug/examples/fleet_profiling-386bbb4e6cf8aef4: examples/fleet_profiling.rs
+
+examples/fleet_profiling.rs:

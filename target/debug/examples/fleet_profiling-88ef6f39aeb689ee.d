@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_profiling-88ef6f39aeb689ee.d: examples/fleet_profiling.rs
+
+/root/repo/target/debug/examples/libfleet_profiling-88ef6f39aeb689ee.rmeta: examples/fleet_profiling.rs
+
+examples/fleet_profiling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_profiling-cdf08d87af534232.d: examples/fleet_profiling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_profiling-cdf08d87af534232.rmeta: examples/fleet_profiling.rs Cargo.toml
+
+examples/fleet_profiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-191ccbd34983774f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-191ccbd34983774f: examples/quickstart.rs
+
+examples/quickstart.rs:

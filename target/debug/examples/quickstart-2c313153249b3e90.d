@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2c313153249b3e90.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-2c313153249b3e90.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

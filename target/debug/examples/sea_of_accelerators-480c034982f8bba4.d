@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sea_of_accelerators-480c034982f8bba4.d: examples/sea_of_accelerators.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsea_of_accelerators-480c034982f8bba4.rmeta: examples/sea_of_accelerators.rs Cargo.toml
+
+examples/sea_of_accelerators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sea_of_accelerators-531bbf235ee83172.d: examples/sea_of_accelerators.rs
+
+/root/repo/target/debug/examples/sea_of_accelerators-531bbf235ee83172: examples/sea_of_accelerators.rs
+
+examples/sea_of_accelerators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sea_of_accelerators-82846c43d374df98.d: examples/sea_of_accelerators.rs
+
+/root/repo/target/debug/examples/libsea_of_accelerators-82846c43d374df98.rmeta: examples/sea_of_accelerators.rs
+
+examples/sea_of_accelerators.rs:

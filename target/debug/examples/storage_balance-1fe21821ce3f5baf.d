@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/storage_balance-1fe21821ce3f5baf.d: examples/storage_balance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstorage_balance-1fe21821ce3f5baf.rmeta: examples/storage_balance.rs Cargo.toml
+
+examples/storage_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

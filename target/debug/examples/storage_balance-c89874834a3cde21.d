@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_balance-c89874834a3cde21.d: examples/storage_balance.rs
+
+/root/repo/target/debug/examples/storage_balance-c89874834a3cde21: examples/storage_balance.rs
+
+examples/storage_balance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_balance-cbbf972714373511.d: examples/storage_balance.rs
+
+/root/repo/target/debug/examples/libstorage_balance-cbbf972714373511.rmeta: examples/storage_balance.rs
+
+examples/storage_balance.rs:

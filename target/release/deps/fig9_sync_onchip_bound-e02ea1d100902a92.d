@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_sync_onchip_bound-e02ea1d100902a92.d: crates/bench/benches/fig9_sync_onchip_bound.rs
+
+/root/repo/target/release/deps/fig9_sync_onchip_bound-e02ea1d100902a92: crates/bench/benches/fig9_sync_onchip_bound.rs
+
+crates/bench/benches/fig9_sync_onchip_bound.rs:

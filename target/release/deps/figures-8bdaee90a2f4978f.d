@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-8bdaee90a2f4978f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-8bdaee90a2f4978f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

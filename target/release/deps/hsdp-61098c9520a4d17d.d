@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsdp-61098c9520a4d17d.d: src/lib.rs
+
+/root/repo/target/release/deps/libhsdp-61098c9520a4d17d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhsdp-61098c9520a4d17d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hsdp_accelsim-17593c1693aee9a8.d: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+/root/repo/target/release/deps/libhsdp_accelsim-17593c1693aee9a8.rlib: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+/root/repo/target/release/deps/libhsdp_accelsim-17593c1693aee9a8.rmeta: crates/accelsim/src/lib.rs crates/accelsim/src/modeled.rs crates/accelsim/src/pipeline.rs crates/accelsim/src/validate.rs
+
+crates/accelsim/src/lib.rs:
+crates/accelsim/src/modeled.rs:
+crates/accelsim/src/pipeline.rs:
+crates/accelsim/src/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hsdp_bench-007a3a9f7e92c1fe.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libhsdp_bench-007a3a9f7e92c1fe.rlib: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libhsdp_bench-007a3a9f7e92c1fe.rmeta: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:

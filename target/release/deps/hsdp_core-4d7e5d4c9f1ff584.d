@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hsdp_core-4d7e5d4c9f1ff584.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libhsdp_core-4d7e5d4c9f1ff584.rlib: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libhsdp_core-4d7e5d4c9f1ff584.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/audit.rs crates/core/src/category.rs crates/core/src/chained.rs crates/core/src/component.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/paper.rs crates/core/src/plan.rs crates/core/src/profile.rs crates/core/src/study.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/audit.rs:
+crates/core/src/category.rs:
+crates/core/src/chained.rs:
+crates/core/src/component.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/paper.rs:
+crates/core/src/plan.rs:
+crates/core/src/profile.rs:
+crates/core/src/study.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/hsdp_platforms-0ba2901942544374.d: crates/platforms/src/lib.rs crates/platforms/src/bigquery.rs crates/platforms/src/bigtable.rs crates/platforms/src/bloom.rs crates/platforms/src/columnar.rs crates/platforms/src/costs.rs crates/platforms/src/exec.rs crates/platforms/src/meter.rs crates/platforms/src/runner.rs crates/platforms/src/spanner.rs crates/platforms/src/twopc.rs
+
+/root/repo/target/release/deps/libhsdp_platforms-0ba2901942544374.rlib: crates/platforms/src/lib.rs crates/platforms/src/bigquery.rs crates/platforms/src/bigtable.rs crates/platforms/src/bloom.rs crates/platforms/src/columnar.rs crates/platforms/src/costs.rs crates/platforms/src/exec.rs crates/platforms/src/meter.rs crates/platforms/src/runner.rs crates/platforms/src/spanner.rs crates/platforms/src/twopc.rs
+
+/root/repo/target/release/deps/libhsdp_platforms-0ba2901942544374.rmeta: crates/platforms/src/lib.rs crates/platforms/src/bigquery.rs crates/platforms/src/bigtable.rs crates/platforms/src/bloom.rs crates/platforms/src/columnar.rs crates/platforms/src/costs.rs crates/platforms/src/exec.rs crates/platforms/src/meter.rs crates/platforms/src/runner.rs crates/platforms/src/spanner.rs crates/platforms/src/twopc.rs
+
+crates/platforms/src/lib.rs:
+crates/platforms/src/bigquery.rs:
+crates/platforms/src/bigtable.rs:
+crates/platforms/src/bloom.rs:
+crates/platforms/src/columnar.rs:
+crates/platforms/src/costs.rs:
+crates/platforms/src/exec.rs:
+crates/platforms/src/meter.rs:
+crates/platforms/src/runner.rs:
+crates/platforms/src/spanner.rs:
+crates/platforms/src/twopc.rs:

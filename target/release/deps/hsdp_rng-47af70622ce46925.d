@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hsdp_rng-47af70622ce46925.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libhsdp_rng-47af70622ce46925.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libhsdp_rng-47af70622ce46925.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hsdp_storage-a21abaf41e31d5e7.d: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs
+
+/root/repo/target/release/deps/libhsdp_storage-a21abaf41e31d5e7.rlib: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs
+
+/root/repo/target/release/deps/libhsdp_storage-a21abaf41e31d5e7.rmeta: crates/storage/src/lib.rs crates/storage/src/cache.rs crates/storage/src/dfs.rs crates/storage/src/predictive.rs crates/storage/src/provision.rs crates/storage/src/tier.rs crates/storage/src/tiered.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cache.rs:
+crates/storage/src/dfs.rs:
+crates/storage/src/predictive.rs:
+crates/storage/src/provision.rs:
+crates/storage/src/tier.rs:
+crates/storage/src/tiered.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/hsdp_taxes-3260f9877864033f.d: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+/root/repo/target/release/deps/libhsdp_taxes-3260f9877864033f.rlib: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+/root/repo/target/release/deps/libhsdp_taxes-3260f9877864033f.rmeta: crates/taxes/src/lib.rs crates/taxes/src/arena.rs crates/taxes/src/compress.rs crates/taxes/src/crc.rs crates/taxes/src/error.rs crates/taxes/src/frame.rs crates/taxes/src/memops.rs crates/taxes/src/protowire.rs crates/taxes/src/sha3.rs crates/taxes/src/varint.rs
+
+crates/taxes/src/lib.rs:
+crates/taxes/src/arena.rs:
+crates/taxes/src/compress.rs:
+crates/taxes/src/crc.rs:
+crates/taxes/src/error.rs:
+crates/taxes/src/frame.rs:
+crates/taxes/src/memops.rs:
+crates/taxes/src/protowire.rs:
+crates/taxes/src/sha3.rs:
+crates/taxes/src/varint.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hsdp_workload-b53a9785ddf04a5e.d: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs
+
+/root/repo/target/release/deps/libhsdp_workload-b53a9785ddf04a5e.rlib: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs
+
+/root/repo/target/release/deps/libhsdp_workload-b53a9785ddf04a5e.rmeta: crates/workload/src/lib.rs crates/workload/src/keys.rs crates/workload/src/mix.rs crates/workload/src/proto_corpus.rs crates/workload/src/rows.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/mix.rs:
+crates/workload/src/proto_corpus.rs:
+crates/workload/src/rows.rs:

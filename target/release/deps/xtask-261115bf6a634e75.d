@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/xtask-261115bf6a634e75.d: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs
+
+/root/repo/target/release/deps/libxtask-261115bf6a634e75.rlib: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs
+
+/root/repo/target/release/deps/libxtask-261115bf6a634e75.rmeta: crates/xtask/src/lib.rs crates/xtask/src/casts.rs crates/xtask/src/citations.rs crates/xtask/src/deps.rs crates/xtask/src/lexer.rs crates/xtask/src/panics.rs crates/xtask/src/pragma.rs
+
+crates/xtask/src/lib.rs:
+crates/xtask/src/casts.rs:
+crates/xtask/src/citations.rs:
+crates/xtask/src/deps.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/panics.rs:
+crates/xtask/src/pragma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/xtask-46090ed798cfe9c1.d: crates/xtask/src/main.rs
+
+/root/repo/target/release/deps/xtask-46090ed798cfe9c1: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libhsdp_rng.rlib: /root/repo/crates/rng/src/lib.rs

@@ -76,9 +76,7 @@ fn databases_are_cpu_heavy_bigquery_is_not() {
         .figure2
         .groups
         .iter()
-        .filter(|r| {
-            r.group == QueryGroup::IoHeavy || r.group == QueryGroup::RemoteWorkHeavy
-        })
+        .filter(|r| r.group == QueryGroup::IoHeavy || r.group == QueryGroup::RemoteWorkHeavy)
         .map(|r| r.query_fraction)
         .sum();
     assert!(bq_io_remote > 0.6, "BigQuery IO+remote {bq_io_remote}");
@@ -146,7 +144,12 @@ fn trace_decompositions_are_exhaustive() {
             let d = exec.decomposition();
             let covered = d.cpu + d.io + d.remote + d.idle;
             let drift = covered.as_nanos().abs_diff(d.end_to_end.as_nanos());
-            assert!(drift <= 2, "{} {}: drift {drift}ns", run.platform, exec.label);
+            assert!(
+                drift <= 2,
+                "{} {}: drift {drift}ns",
+                run.platform,
+                exec.label
+            );
         }
     }
 }

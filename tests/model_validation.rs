@@ -19,15 +19,33 @@ fn event_simulation_agrees_with_closed_form() {
     // Random-ish stage sets: the pipeline recurrence converges to Eqs 10-12.
     let stage_sets: Vec<Vec<StageSpec>> = vec![
         vec![
-            StageSpec { per_item: SimDuration::from_micros(10), setup: SimDuration::from_micros(100) },
-            StageSpec { per_item: SimDuration::from_micros(30), setup: SimDuration::from_micros(2) },
+            StageSpec {
+                per_item: SimDuration::from_micros(10),
+                setup: SimDuration::from_micros(100),
+            },
+            StageSpec {
+                per_item: SimDuration::from_micros(30),
+                setup: SimDuration::from_micros(2),
+            },
         ],
         vec![
-            StageSpec { per_item: SimDuration::from_micros(5), setup: SimDuration::from_micros(1) },
-            StageSpec { per_item: SimDuration::from_micros(5), setup: SimDuration::from_micros(1) },
-            StageSpec { per_item: SimDuration::from_micros(5), setup: SimDuration::from_micros(1) },
+            StageSpec {
+                per_item: SimDuration::from_micros(5),
+                setup: SimDuration::from_micros(1),
+            },
+            StageSpec {
+                per_item: SimDuration::from_micros(5),
+                setup: SimDuration::from_micros(1),
+            },
+            StageSpec {
+                per_item: SimDuration::from_micros(5),
+                setup: SimDuration::from_micros(1),
+            },
         ],
-        vec![StageSpec { per_item: SimDuration::from_micros(42), setup: SimDuration::ZERO }],
+        vec![StageSpec {
+            per_item: SimDuration::from_micros(42),
+            setup: SimDuration::ZERO,
+        }],
     ];
     for stages in stage_sets {
         let items = 5_000;
