@@ -1,11 +1,33 @@
 //! Prints every regenerated table and figure in one run:
-//! `cargo run --release -p hsdp-bench --bin figures`.
+//! `cargo run --release -p hsdp-bench --bin figures [-- --parallelism N]`.
+//!
+//! `--parallelism N` sets the fleet driver's worker-thread count (default:
+//! the host's available parallelism). Results are identical at every value;
+//! only wall-clock changes.
 
 use hsdp_bench::exhibits;
 
 fn main() {
+    let mut config = exhibits::bench_fleet_config();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--parallelism" => {
+                let value = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .expect("--parallelism requires a positive integer");
+                config.parallelism = value.max(1);
+            }
+            other => {
+                eprintln!("unknown option `{other}` (supported: --parallelism N)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     println!("{}", exhibits::table1());
-    let runs = exhibits::run_profiled_fleet(exhibits::bench_fleet_config());
+    let runs = exhibits::run_profiled_fleet(config);
     println!("{}", exhibits::figure2_exhibit(&runs));
     println!("{}", exhibits::figure3_exhibit(&runs));
     println!("{}", exhibits::figure4_exhibit(&runs));

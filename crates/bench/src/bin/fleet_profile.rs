@@ -1,0 +1,115 @@
+//! Emits a canonical JSON profile of one fleet run, for determinism checks:
+//!
+//! ```sh
+//! cargo run --release -p hsdp-bench --bin fleet_profile -- \
+//!     --parallelism 2 --seed 12648430 --out /tmp/fleet_p2.json
+//! diff /tmp/fleet_p1.json /tmp/fleet_p2.json   # must be empty
+//! ```
+//!
+//! Everything in the output is integer-exact (simulated nanoseconds and a
+//! CRC32C digest over the full merged record stream), so two runs are
+//! byte-identical if and only if their merged `QueryExecution` streams are.
+
+use hsdp_platforms::runner::{run_fleet, FleetConfig};
+use hsdp_platforms::QueryExecution;
+use hsdp_taxes::crc::Crc32c;
+
+fn main() {
+    let mut config = FleetConfig {
+        db_queries: 120,
+        analytics_queries: 16,
+        fact_rows: 1_500,
+        ..FleetConfig::default()
+    };
+    let mut out_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--parallelism" => {
+                config.parallelism = parse::<usize>(&take("--parallelism"), "--parallelism").max(1);
+            }
+            "--shards" => config.shards = parse::<usize>(&take("--shards"), "--shards").max(1),
+            "--seed" => config.seed = parse(&take("--seed"), "--seed"),
+            "--db-queries" => config.db_queries = parse(&take("--db-queries"), "--db-queries"),
+            "--out" => out_path = Some(take("--out")),
+            other => {
+                eprintln!(
+                    "unknown option `{other}` (supported: --parallelism --shards --seed \
+                     --db-queries --out)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fleet = run_fleet(config);
+    let json = render_profile(&config, &fleet);
+    match out_path {
+        Some(path) => std::fs::write(&path, &json).expect("write profile JSON"),
+        None => print!("{json}"),
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag}: invalid value `{value}`"))
+}
+
+/// Folds one execution into the checksum: every label byte, span timing,
+/// and CPU work item, in stream order.
+fn digest_exec(digest: &mut Crc32c, exec: &QueryExecution) {
+    digest.update(exec.label.as_bytes());
+    for span in &exec.spans {
+        digest.update(span.name.as_bytes());
+        digest.update(&span.start.as_nanos().to_le_bytes());
+        digest.update(&span.end.as_nanos().to_le_bytes());
+        digest.update(&[span.kind.priority()]);
+    }
+    for item in &exec.cpu_work {
+        digest.update(item.leaf.as_bytes());
+        digest.update(&item.time.as_nanos().to_le_bytes());
+    }
+}
+
+fn render_profile(
+    config: &FleetConfig,
+    fleet: &[(hsdp_core::category::Platform, Vec<QueryExecution>)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"hsdp-fleet-profile/1\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", config.seed));
+    out.push_str(&format!("  \"shards\": {},\n", config.shards));
+    out.push_str("  \"platforms\": [\n");
+    let mut digest = Crc32c::new();
+    for (i, (platform, execs)) in fleet.iter().enumerate() {
+        let (mut cpu, mut io, mut remote, mut e2e) = (0u64, 0u64, 0u64, 0u64);
+        for exec in execs {
+            let d = exec.decomposition();
+            cpu += d.cpu.as_nanos();
+            io += d.io.as_nanos();
+            remote += d.remote.as_nanos();
+            e2e += d.end_to_end.as_nanos();
+            digest_exec(&mut digest, exec);
+        }
+        let work_items: usize = execs.iter().map(|e| e.cpu_work.len()).sum();
+        out.push_str(&format!(
+            "    {{\"platform\": \"{platform}\", \"queries\": {}, \"cpu_ns\": {cpu}, \
+             \"io_ns\": {io}, \"remote_ns\": {remote}, \"end_to_end_ns\": {e2e}, \
+             \"cpu_work_items\": {work_items}}}{}\n",
+            execs.len(),
+            if i + 1 < fleet.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"record_stream_crc32c\": {}\n}}\n",
+        digest.finalize()
+    ));
+    out
+}

@@ -21,6 +21,7 @@ pub fn bench_fleet_config() -> FleetConfig {
         analytics_queries: 30,
         fact_rows: 4_000,
         seed: 0x15CA23,
+        ..FleetConfig::default()
     }
 }
 
@@ -490,6 +491,7 @@ pub fn ablation_attribution() -> String {
         analytics_queries: 10,
         fact_rows: 2_000,
         seed: 5,
+        ..FleetConfig::default()
     };
     let mut out =
         String::from("Ablation — trace attribution: priority (remote>io>cpu) vs proportional\n");
@@ -533,6 +535,7 @@ mod tests {
             analytics_queries: 8,
             fact_rows: 1_000,
             seed: 1,
+            ..FleetConfig::default()
         });
         assert_eq!(runs.len(), 3);
         for text in [

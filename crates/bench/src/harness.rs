@@ -174,6 +174,137 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results (BENCH_fleet.json).
+// ---------------------------------------------------------------------------
+
+/// One machine-readable benchmark result destined for `BENCH_fleet.json`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark id, e.g. `"crc32c/slicing8/64KiB"`.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Bytes processed per iteration, when throughput is meaningful.
+    pub bytes_per_iter: Option<u64>,
+    /// Worker threads in play (1 for single-threaded kernels).
+    pub parallelism: usize,
+    /// The seed the workload ran with (0 when seedless).
+    pub seed: u64,
+}
+
+impl BenchRecord {
+    /// Derived throughput in MiB/s, when `bytes_per_iter` is known.
+    #[must_use]
+    pub fn mib_per_sec(&self) -> Option<f64> {
+        // audit: allow(cast, reporting-only conversion of a byte count to float)
+        self.bytes_per_iter
+            .map(|b| b as f64 / (1 << 20) as f64 / (self.ns_per_iter / 1e9))
+    }
+}
+
+/// Accumulates [`BenchRecord`]s and serializes them as JSON, so the perf
+/// trajectory of the hot kernels and the fleet driver is recorded
+/// run-over-run instead of scrolling away on stdout.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one result.
+    pub fn push(&mut self, record: BenchRecord) {
+        self.records.push(record);
+    }
+
+    /// The records collected so far.
+    #[must_use]
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Renders the report as a JSON document (hand-rolled: the workspace
+    /// carries no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"hsdp-bench-fleet/1\",\n  \"entries\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"id\": \"{}\"", json_escape(&r.id)));
+            out.push_str(&format!(", \"ns_per_iter\": {}", json_f64(r.ns_per_iter)));
+            if let Some(bytes) = r.bytes_per_iter {
+                out.push_str(&format!(", \"bytes_per_iter\": {bytes}"));
+            }
+            if let Some(mib) = r.mib_per_sec() {
+                out.push_str(&format!(", \"throughput_mib_s\": {}", json_f64(mib)));
+            }
+            out.push_str(&format!(", \"parallelism\": {}", r.parallelism));
+            out.push_str(&format!(", \"seed\": {}", r.seed));
+            out.push('}');
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a finite JSON number (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Times `routine` over `iters` iterations, returning mean ns/iter.
+///
+/// A deliberately simple companion to [`Criterion`] for benches that feed
+/// [`BenchReport`]: one timed block, no sampling schedule, suitable for
+/// kernels whose cost is stable (checksums, codecs, fleet runs).
+pub fn time_ns<O>(iters: u64, mut routine: impl FnMut() -> O) -> f64 {
+    let iters = iters.max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(routine());
+    }
+    // audit: allow(cast, reporting-only conversion of an iteration count)
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
 /// Per-sample iteration driver handed to bench closures.
 #[derive(Debug)]
 pub struct Bencher {
@@ -238,6 +369,48 @@ mod tests {
             })
         });
         assert!(count > 0, "routine never ran");
+    }
+
+    #[test]
+    fn bench_report_renders_valid_shape() {
+        let mut report = BenchReport::new();
+        report.push(BenchRecord {
+            id: "crc32c/slicing8/64KiB".to_owned(),
+            ns_per_iter: 1234.5,
+            bytes_per_iter: Some(65_536),
+            parallelism: 1,
+            seed: 7,
+        });
+        report.push(BenchRecord {
+            id: "fleet/wall_clock \"p=4\"".to_owned(),
+            ns_per_iter: 5e6,
+            bytes_per_iter: None,
+            parallelism: 4,
+            seed: 0xC0FFEE,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"hsdp-bench-fleet/1\""));
+        assert!(json.contains("\"ns_per_iter\": 1234.500"));
+        assert!(json.contains("\"throughput_mib_s\""));
+        assert!(
+            json.contains("\\\"p=4\\\""),
+            "quotes must be escaped: {json}"
+        );
+        assert!(json.contains("\"parallelism\": 4"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn time_ns_reports_positive_cost() {
+        let ns = time_ns(100, || std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(ns > 0.0);
+        assert!(ns.is_finite());
     }
 
     #[test]

@@ -1,9 +1,19 @@
 //! Workload runners: drive each platform with its configured mix and
 //! collect execution records for the profiling pipeline.
+//!
+//! The fleet driver is parallel by default but **deterministic by
+//! construction**: every platform's query stream is decomposed into a fixed
+//! [`ShardPlan`] (a pure function of the workload configuration and base
+//! seed), each shard runs with independently derived RNG seeds, and the
+//! per-shard records are folded back in canonical shard order. The
+//! `parallelism` knob only changes which thread executes which shard, so a
+//! run at any thread count is byte-identical to the sequential run.
 
 use hsdp_core::category::Platform;
+use hsdp_rng::derive_seed;
 use hsdp_rng::Rng;
 use hsdp_rng::StdRng;
+use hsdp_simcore::pool::{self, ShardPlan};
 use hsdp_workload::keys::{KeyGen, ValueGen};
 use hsdp_workload::mix::{AnalyticsMix, AnalyticsQuery, DbMix, DbOp};
 use hsdp_workload::rows::FactGen;
@@ -12,6 +22,23 @@ use crate::bigquery::{BigQuery, BigQueryConfig};
 use crate::bigtable::{BigTable, BigTableConfig};
 use crate::exec::QueryExecution;
 use crate::spanner::{Spanner, SpannerConfig};
+
+/// Shard-level seed streams, one per platform (feeds [`ShardPlan`]).
+const STREAM_SPANNER: u64 = 0x5350_414E;
+const STREAM_BIGTABLE: u64 = 0xB167_AB1E;
+const STREAM_BIGQUERY: u64 = 0x0B16_0B06;
+
+/// Phase sub-streams within one shard: the simulated engine, the preload
+/// phase, and the traffic phase each get their own generator, so reshaping
+/// one phase (e.g. sharding the preload) can never perturb another's draws.
+const PHASE_ENGINE: u64 = 1;
+const PHASE_PRELOAD: u64 = 2;
+const PHASE_TRAFFIC: u64 = 3;
+
+/// Derives the seed for one execution phase of one platform's shard.
+const fn phase_seed(shard_seed: u64, platform: Platform, phase: u64) -> u64 {
+    derive_seed(shard_seed, phase, platform as u64)
+}
 
 /// Configuration for a full three-platform fleet run.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +51,13 @@ pub struct FleetConfig {
     pub fact_rows: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads scheduling shards. Affects wall-clock only — results
+    /// are identical at every value (`<= 1` runs inline on the caller).
+    pub parallelism: usize,
+    /// Shards per platform. Part of the workload definition: each shard is
+    /// an independent platform replica serving a slice of the query stream,
+    /// so (unlike `parallelism`) changing it changes the generated traffic.
+    pub shards: usize,
 }
 
 impl Default for FleetConfig {
@@ -33,15 +67,30 @@ impl Default for FleetConfig {
             analytics_queries: 60,
             fact_rows: 8_000,
             seed: 0xC0FFEE,
+            parallelism: default_parallelism(),
+            shards: 4,
         }
     }
 }
 
-/// Runs the Spanner-class workload (a balanced transactional mix).
+/// The host's available hardware parallelism (1 when unknown).
+#[must_use]
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs one shard of the Spanner-class workload (a balanced transactional
+/// mix). `seed` is the shard seed; the engine, preload, and traffic phases
+/// each derive their own generator from it.
 #[must_use]
 pub fn run_spanner(queries: usize, seed: u64) -> Vec<QueryExecution> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut db = Spanner::new(SpannerConfig::default(), seed);
+    let platform = Platform::Spanner;
+    let mut preload_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_PRELOAD));
+    let mut traffic_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_TRAFFIC));
+    let mut db = Spanner::new(
+        SpannerConfig::default(),
+        phase_seed(seed, platform, PHASE_ENGINE),
+    );
     let keys = KeyGen::new("sp", 5_000, 0.9);
     let values = ValueGen::new(400);
     // Transactional traffic: mostly reads, a healthy scan share, and the
@@ -56,37 +105,43 @@ pub fn run_spanner(queries: usize, seed: u64) -> Vec<QueryExecution> {
     // Preload the hot set so reads hit warm data (production steady state).
     for rank in 0..2_000 {
         let key = keys.key_for_rank(rank);
-        let value = values.sample(&mut rng);
+        let value = values.sample(&mut preload_rng);
         db.commit(key, value);
     }
 
     (0..queries)
-        .map(|_| match mix.sample(&mut rng) {
+        .map(|_| match mix.sample(&mut traffic_rng) {
             DbOp::Read => {
-                let key = keys.sample(&mut rng);
+                let key = keys.sample(&mut traffic_rng);
                 db.read(&key)
             }
-            DbOp::Write => db.commit(keys.sample(&mut rng), values.sample(&mut rng)),
-            DbOp::Scan => db.query(&keys.sample(&mut rng), 60, 100),
-            DbOp::ReadModifyWrite => {
-                db.read_modify_write(keys.sample(&mut rng), values.sample(&mut rng))
-            }
+            DbOp::Write => db.commit(
+                keys.sample(&mut traffic_rng),
+                values.sample(&mut traffic_rng),
+            ),
+            DbOp::Scan => db.query(&keys.sample(&mut traffic_rng), 60, 100),
+            DbOp::ReadModifyWrite => db.read_modify_write(
+                keys.sample(&mut traffic_rng),
+                values.sample(&mut traffic_rng),
+            ),
         })
         .collect()
 }
 
-/// Runs the BigTable-class workload (a read-heavy key-value mix with enough
-/// writes to exercise flushes and compactions).
+/// Runs one shard of the BigTable-class workload (a read-heavy key-value mix
+/// with enough writes to exercise flushes and compactions).
 #[must_use]
 pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xB16_7AB1E);
+    let platform = Platform::BigTable;
+    let mut preload_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_PRELOAD));
+    let mut traffic_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_TRAFFIC));
     let mut bt = BigTable::new(
         BigTableConfig {
             memtable_flush_bytes: 32 * 1024,
             compaction_fanin: 4,
             ..BigTableConfig::default()
         },
-        seed,
+        phase_seed(seed, platform, PHASE_ENGINE),
     );
     let keys = KeyGen::new("bt", 20_000, 0.99);
     let values = ValueGen::new(300);
@@ -99,43 +154,52 @@ pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
 
     // Preload the hot set (zipf 0.99 concentrates mass in the top ranks).
     for rank in 0..6_000 {
-        bt.put(keys.key_for_rank(rank), values.sample(&mut rng));
+        bt.put(keys.key_for_rank(rank), values.sample(&mut preload_rng));
     }
 
     (0..queries)
-        .map(|_| match mix.sample(&mut rng) {
+        .map(|_| match mix.sample(&mut traffic_rng) {
             DbOp::Read => {
-                let key = keys.sample(&mut rng);
+                let key = keys.sample(&mut traffic_rng);
                 bt.get(&key)
             }
-            DbOp::Write => bt.put(keys.sample(&mut rng), values.sample(&mut rng)),
+            DbOp::Write => bt.put(
+                keys.sample(&mut traffic_rng),
+                values.sample(&mut traffic_rng),
+            ),
             DbOp::Scan => {
-                let key = keys.sample(&mut rng);
+                let key = keys.sample(&mut traffic_rng);
                 bt.scan(&key, 25)
             }
             DbOp::ReadModifyWrite => {
-                let key = keys.sample(&mut rng);
+                let key = keys.sample(&mut traffic_rng);
                 let _ = bt.get(&key);
-                bt.put(key, values.sample(&mut rng))
+                bt.put(key, values.sample(&mut traffic_rng))
             }
         })
         .collect()
 }
 
-/// Runs the BigQuery-class workload (the dashboard analytics mix).
+/// Runs one shard of the BigQuery-class workload (the dashboard analytics
+/// mix).
 #[must_use]
 pub fn run_bigquery(queries: usize, fact_rows: usize, seed: u64) -> Vec<QueryExecution> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xB1_6B06);
+    let platform = Platform::BigQuery;
+    let mut preload_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_PRELOAD));
+    let mut traffic_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_TRAFFIC));
     let gen = FactGen::default();
-    let rows = gen.rows(fact_rows, &mut rng);
-    let mut bq = BigQuery::new(BigQueryConfig::default(), seed);
+    let rows = gen.rows(fact_rows, &mut preload_rng);
+    let mut bq = BigQuery::new(
+        BigQueryConfig::default(),
+        phase_seed(seed, platform, PHASE_ENGINE),
+    );
     bq.load(&rows, gen.dimension());
     let mix = AnalyticsMix::dashboard();
 
     (0..queries)
-        .map(|_| match mix.sample(&mut rng) {
+        .map(|_| match mix.sample(&mut traffic_rng) {
             AnalyticsQuery::ScanFilter => {
-                let threshold = 10.0 + rng.random::<f64>() * 60.0;
+                let threshold = 10.0 + traffic_rng.random::<f64>() * 60.0;
                 bq.scan_filter(threshold)
             }
             AnalyticsQuery::GroupAggregate => bq.group_aggregate(),
@@ -145,23 +209,111 @@ pub fn run_bigquery(queries: usize, fact_rows: usize, seed: u64) -> Vec<QueryExe
         .collect()
 }
 
+/// One schedulable unit of fleet work: a single platform shard.
+#[derive(Debug, Clone, Copy)]
+enum ShardJob {
+    Spanner {
+        queries: usize,
+        seed: u64,
+    },
+    BigTable {
+        queries: usize,
+        seed: u64,
+    },
+    BigQuery {
+        queries: usize,
+        fact_rows: usize,
+        seed: u64,
+    },
+}
+
+impl ShardJob {
+    fn platform(self) -> Platform {
+        match self {
+            ShardJob::Spanner { .. } => Platform::Spanner,
+            ShardJob::BigTable { .. } => Platform::BigTable,
+            ShardJob::BigQuery { .. } => Platform::BigQuery,
+        }
+    }
+
+    fn run(self) -> Vec<QueryExecution> {
+        match self {
+            ShardJob::Spanner { queries, seed } => run_spanner(queries, seed),
+            ShardJob::BigTable { queries, seed } => run_bigtable(queries, seed),
+            ShardJob::BigQuery {
+                queries,
+                fact_rows,
+                seed,
+            } => run_bigquery(queries, fact_rows, seed),
+        }
+    }
+}
+
+/// Builds the fleet's full shard schedule in canonical merge order:
+/// Spanner shards, then BigTable shards, then BigQuery shards.
+fn fleet_jobs(config: FleetConfig) -> Vec<ShardJob> {
+    let mut jobs = Vec::with_capacity(3 * config.shards.max(1));
+    let spanner = ShardPlan::new(
+        config.db_queries,
+        config.shards,
+        config.seed,
+        STREAM_SPANNER,
+    );
+    jobs.extend(spanner.shards().iter().map(|s| ShardJob::Spanner {
+        queries: s.items,
+        seed: s.seed,
+    }));
+    let bigtable = ShardPlan::new(
+        config.db_queries,
+        config.shards,
+        config.seed,
+        STREAM_BIGTABLE,
+    );
+    jobs.extend(bigtable.shards().iter().map(|s| ShardJob::BigTable {
+        queries: s.items,
+        seed: s.seed,
+    }));
+    let bigquery = ShardPlan::new(
+        config.analytics_queries,
+        config.shards,
+        config.seed,
+        STREAM_BIGQUERY,
+    );
+    jobs.extend(bigquery.shards().iter().map(|s| ShardJob::BigQuery {
+        queries: s.items,
+        fact_rows: config.fact_rows,
+        seed: s.seed,
+    }));
+    jobs
+}
+
 /// Runs all three platforms and returns `(platform, executions)` triples.
+///
+/// Shards run concurrently on up to `config.parallelism` worker threads —
+/// across platforms as well as within one — and are folded back in
+/// canonical `(platform, shard)` order, so the output is a pure function of
+/// the configuration minus `parallelism`.
 #[must_use]
 pub fn run_fleet(config: FleetConfig) -> Vec<(Platform, Vec<QueryExecution>)> {
-    vec![
-        (
-            Platform::Spanner,
-            run_spanner(config.db_queries, config.seed),
-        ),
-        (
-            Platform::BigTable,
-            run_bigtable(config.db_queries, config.seed),
-        ),
-        (
-            Platform::BigQuery,
-            run_bigquery(config.analytics_queries, config.fact_rows, config.seed),
-        ),
-    ]
+    let jobs = fleet_jobs(config);
+    let platforms: Vec<Platform> = jobs.iter().map(|j| j.platform()).collect();
+    let results = pool::run_jobs(
+        config.parallelism,
+        jobs.into_iter().map(|job| move || job.run()).collect(),
+    );
+
+    // Canonical fold: shard order within each platform is the plan order,
+    // which run_jobs already preserves.
+    let mut merged: Vec<(Platform, Vec<QueryExecution>)> = Platform::ALL
+        .iter()
+        .map(|&platform| (platform, Vec::new()))
+        .collect();
+    for (platform, executions) in platforms.into_iter().zip(results) {
+        if let Some(slot) = merged.iter_mut().find(|(p, _)| *p == platform) {
+            slot.1.extend(executions);
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -199,18 +351,15 @@ mod tests {
 
     #[test]
     fn fleet_run_is_deterministic() {
-        let a = run_fleet(FleetConfig {
+        let config = FleetConfig {
             db_queries: 50,
             analytics_queries: 5,
             fact_rows: 500,
             seed: 3,
-        });
-        let b = run_fleet(FleetConfig {
-            db_queries: 50,
-            analytics_queries: 5,
-            fact_rows: 500,
-            seed: 3,
-        });
+            ..FleetConfig::default()
+        };
+        let a = run_fleet(config);
+        let b = run_fleet(config);
         for ((pa, ea), (pb, eb)) in a.iter().zip(&b) {
             assert_eq!(pa, pb);
             assert_eq!(ea.len(), eb.len());
@@ -219,5 +368,38 @@ mod tests {
                 assert_eq!(x.decomposition().end_to_end, y.decomposition().end_to_end);
             }
         }
+    }
+
+    #[test]
+    fn fleet_covers_all_platforms_and_counts() {
+        let config = FleetConfig {
+            db_queries: 23,
+            analytics_queries: 7,
+            fact_rows: 400,
+            seed: 9,
+            shards: 4,
+            parallelism: 2,
+        };
+        let fleet = run_fleet(config);
+        assert_eq!(fleet.len(), 3);
+        for (platform, execs) in &fleet {
+            let want = match platform {
+                Platform::BigQuery => 7,
+                _ => 23,
+            };
+            assert_eq!(execs.len(), want, "{platform}");
+        }
+    }
+
+    #[test]
+    fn phase_seeds_are_independent() {
+        // Reshaping one phase's stream can't alias another's.
+        let mut seen = std::collections::HashSet::new();
+        for platform in Platform::ALL {
+            for phase in [PHASE_ENGINE, PHASE_PRELOAD, PHASE_TRAFFIC] {
+                assert!(seen.insert(phase_seed(42, platform, phase)));
+            }
+        }
+        assert_eq!(seen.len(), 9);
     }
 }

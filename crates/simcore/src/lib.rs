@@ -9,6 +9,8 @@
 //! - [`dist`] — zipf / exponential / pareto / log-normal sampling, from
 //!   scratch.
 //! - [`stats`] — streaming summaries and percentile collectors.
+//! - [`pool`] — a scoped worker pool plus deterministic shard planning for
+//!   thread-count-invariant parallel runs.
 //!
 //! The platform simulators (`hsdp-platforms`) schedule RPCs, storage
 //! accesses, consensus rounds, compactions and shuffles through this engine,
@@ -20,6 +22,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod pool;
 pub mod resource;
 pub mod stats;
 pub mod time;
@@ -28,6 +31,7 @@ pub use dist::{
     seeded_rng, BoundedPareto, Constant, Exponential, LogNormal, Sample, Uniform, Zipf,
 };
 pub use engine::Simulator;
+pub use pool::{run_jobs, Shard, ShardPlan};
 pub use resource::{FifoResource, Grant};
 pub use stats::{Percentiles, Summary};
 pub use time::{SimDuration, SimTime};

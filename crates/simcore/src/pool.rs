@@ -1,0 +1,264 @@
+//! Deterministic parallel execution: a dependency-free scoped worker pool
+//! and the shard planning that keeps parallel runs byte-identical to
+//! sequential ones.
+//!
+//! The fleet driver decomposes every platform's query stream into a fixed
+//! [`ShardPlan`] — the plan depends only on the workload configuration and
+//! the base seed, never on the thread count. Worker threads merely *schedule*
+//! the shards; results are reassembled in canonical shard order by
+//! [`run_jobs`], so a run at `parallelism = 8` folds to exactly the same
+//! record stream as `parallelism = 1`.
+//!
+//! The pool is hand-rolled on `std::thread::scope` + a mutex-guarded job
+//! queue (the workspace builds with no external dependencies and forbids
+//! unsafe code), and is library code under the `panic` audit rule: it never
+//! panics on its own behalf, and worker panics are propagated — not
+//! swallowed — via [`std::panic::resume_unwind`].
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use hsdp_rng::derive_seed;
+
+/// Locks a mutex, ignoring poisoning: the pool never mutates shared state
+/// while holding the lock, so a poisoned queue is still structurally sound,
+/// and the poisoning panic itself is re-raised at join time.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `jobs` on up to `parallelism` worker threads and returns their
+/// results **in input order**, regardless of which worker finished first.
+///
+/// With `parallelism <= 1` (or at most one job) everything runs inline on
+/// the calling thread — no threads are spawned, making the sequential path
+/// zero-overhead and trivially identical to the parallel one.
+///
+/// If a job panics, the panic is propagated to the caller once all other
+/// workers have drained.
+pub fn run_jobs<T, F>(parallelism: usize, jobs: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let total = jobs.len();
+    if parallelism <= 1 || total <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+
+    let workers = parallelism.min(total);
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(total);
+    let mut panicked = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        // Hold the lock only to pop; the job runs unlocked so
+                        // workers overlap fully.
+                        let next = lock(&queue).next();
+                        match next {
+                            Some((index, job)) => local.push((index, job())),
+                            None => return local,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => indexed.extend(local),
+                Err(payload) => panicked = Some(payload),
+            }
+        }
+    });
+    if let Some(payload) = panicked {
+        std::panic::resume_unwind(payload);
+    }
+
+    // Canonical merge: reassemble by input index. Every job sends exactly one
+    // result (a panicking job resumed above), so each slot fills exactly once.
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    for (index, value) in indexed {
+        slots[index] = Some(value);
+    }
+    let out: Vec<T> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), total, "every job yields exactly one result");
+    out
+}
+
+/// One shard of a sharded workload: a contiguous slice of the query stream
+/// with its own independently derived RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Position in canonical merge order (0-based).
+    pub index: usize,
+    /// Number of workload items (queries) assigned to this shard.
+    pub items: usize,
+    /// Seed for this shard, derived as `derive_seed(base, stream, index)` —
+    /// independent of every other shard's stream.
+    pub seed: u64,
+}
+
+/// A deterministic decomposition of `total` workload items into shards.
+///
+/// The plan is a pure function of `(total, shards, base_seed, stream)`; the
+/// thread count never enters, which is what makes fleet output
+/// thread-count-invariant. Remainder items go to the lowest-indexed shards,
+/// and shards that would receive zero items are dropped from the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Plans `total` items across at most `shards` shards (at least one).
+    #[must_use]
+    pub fn new(total: usize, shards: usize, base_seed: u64, stream: u64) -> Self {
+        let shards = shards.max(1);
+        let base_items = total / shards;
+        let remainder = total % shards;
+        let plan = (0..shards)
+            .map(|index| Shard {
+                index,
+                items: base_items + usize::from(index < remainder),
+                seed: derive_seed(base_seed, stream, index as u64),
+            })
+            .filter(|shard| shard.items > 0)
+            .collect();
+        ShardPlan { shards: plan }
+    }
+
+    /// The shards, in canonical merge order.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Total items across all shards.
+    #[must_use]
+    pub fn total_items(&self) -> usize {
+        self.shards.iter().map(|s| s.items).sum()
+    }
+
+    /// Number of non-empty shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the workload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_path_preserves_order() {
+        let jobs: Vec<_> = (0..10).map(|i| move || i * 2).collect();
+        assert_eq!(
+            run_jobs(1, jobs),
+            (0..10).map(|i| i * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn parallel_results_arrive_in_input_order() {
+        for parallelism in [2, 3, 8, 64] {
+            let jobs: Vec<_> = (0..37u64)
+                .map(|i| {
+                    move || {
+                        // Skew runtimes so completion order differs from
+                        // submission order.
+                        if i % 5 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        i * i
+                    }
+                })
+                .collect();
+            let got = run_jobs(parallelism, jobs);
+            let want: Vec<u64> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, want, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_sets() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(run_jobs(4, none).is_empty());
+        assert_eq!(run_jobs(4, vec![|| 9u8]), vec![9]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job failed")),
+            Box::new(|| 3),
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_jobs(2, jobs)));
+        assert!(result.is_err(), "panic must reach the caller");
+    }
+
+    #[test]
+    fn shard_plan_is_thread_count_free_and_exact() {
+        for (total, shards) in [(0, 4), (1, 4), (7, 3), (300, 4), (300, 7), (5, 9)] {
+            let plan = ShardPlan::new(total, shards, 0xC0FFEE, 1);
+            assert_eq!(plan.total_items(), total, "total {total} shards {shards}");
+            assert!(plan.len() <= shards.max(1));
+            // Remainder goes to the lowest indices: sizes are non-increasing.
+            let sizes: Vec<_> = plan.shards().iter().map(|s| s.items).collect();
+            let mut sorted = sizes.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            assert_eq!(sizes, sorted);
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_per_shard_and_stream() {
+        let a = ShardPlan::new(100, 8, 11, 1);
+        let b = ShardPlan::new(100, 8, 11, 2);
+        let mut seeds = std::collections::HashSet::new();
+        for shard in a.shards().iter().chain(b.shards()) {
+            assert!(seeds.insert(shard.seed), "seed collision at {shard:?}");
+        }
+        // Same inputs, same plan: the decomposition is pure.
+        assert_eq!(a, ShardPlan::new(100, 8, 11, 1));
+    }
+
+    #[test]
+    fn sharded_fold_matches_sequential_fold() {
+        // The canonical end-to-end property: running a shard plan's jobs at
+        // any parallelism and folding in shard order yields the same stream.
+        let plan = ShardPlan::new(64, 8, 99, 3);
+        let make_jobs = || -> Vec<_> {
+            plan.shards()
+                .iter()
+                .map(|&Shard { items, seed, .. }| {
+                    move || {
+                        use hsdp_rng::{Rng, StdRng};
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        (0..items).map(|_| rng.next_u64()).collect::<Vec<u64>>()
+                    }
+                })
+                .collect()
+        };
+        let sequential: Vec<u64> = run_jobs(1, make_jobs()).into_iter().flatten().collect();
+        for parallelism in [2, 4, 8] {
+            let parallel: Vec<u64> = run_jobs(parallelism, make_jobs())
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(parallel, sequential, "parallelism {parallelism}");
+        }
+    }
+}

@@ -425,7 +425,20 @@ impl Message {
     }
 
     /// Serializes the message to the wire format, appending to `out`.
+    ///
+    /// Reserves the exact [`Message::encoded_len`] up front, so the whole
+    /// message — nested submessages included — is written through a single
+    /// pre-sized buffer with no intermediate reallocation.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        self.encode_raw(out);
+    }
+
+    /// The recursive encoding body. Capacity is reserved once at the top
+    /// (by [`Message::encode`] / [`Message::encode_to_vec`]); nested
+    /// messages append directly without re-walking their sizes for a
+    /// redundant reserve.
+    fn encode_raw(&self, out: &mut Vec<u8>) {
         for (&number, values) in &self.values {
             for value in values {
                 encode_value(number, value, out);
@@ -433,11 +446,12 @@ impl Message {
         }
     }
 
-    /// Serializes to a fresh buffer.
+    /// Serializes to a fresh buffer of exactly [`Message::encoded_len`]
+    /// bytes — after encoding, `capacity == len` (no reallocation, no slack).
     #[must_use]
     pub fn encode_to_vec(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
-        self.encode(&mut out);
+        self.encode_raw(&mut out);
         out
     }
 
@@ -557,7 +571,7 @@ fn encode_value(number: u32, value: &Value, out: &mut Vec<u8>) {
         Value::Message(m) => {
             encode_tag(number, WireType::LengthDelimited, out);
             encode_varint(m.encoded_len() as u64, out);
-            m.encode(out);
+            m.encode_raw(out);
         }
     }
 }
@@ -698,6 +712,42 @@ mod tests {
         assert_eq!(bytes.len(), m.encoded_len());
         let decoded = Message::decode(simple_desc(), &bytes).unwrap();
         assert_eq!(m, decoded);
+    }
+
+    #[test]
+    fn encode_to_vec_allocates_exactly_once() {
+        // The buffer must be sized by encoded_len() up front: after encoding,
+        // capacity equals length — proof that no growth reallocation (which
+        // would over-allocate) ever happened, including for nested messages.
+        let inner = filled_simple();
+        let outer_desc = Arc::new(
+            MessageDescriptor::new(
+                "Outer",
+                vec![
+                    FieldDescriptor::optional(1, "a", FieldType::Message(simple_desc())),
+                    FieldDescriptor::repeated(2, "b", FieldType::Message(simple_desc())),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut outer = Message::new(outer_desc);
+        outer.set(1, Value::Message(inner.clone())).unwrap();
+        for _ in 0..5 {
+            outer.push(2, Value::Message(inner.clone())).unwrap();
+        }
+        for msg in [&inner, &outer] {
+            let bytes = msg.encode_to_vec();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(
+                bytes.capacity(),
+                bytes.len(),
+                "encode_to_vec must allocate exactly encoded_len() bytes"
+            );
+        }
+        // The appending form reserves the same exact amount on an empty buffer.
+        let mut buf = Vec::new();
+        outer.encode(&mut buf);
+        assert_eq!(buf.capacity(), outer.encoded_len());
     }
 
     #[test]

@@ -7,7 +7,20 @@ use crate::error::WireError;
 pub const MAX_VARINT_LEN: usize = 10;
 
 /// Appends a varint-encoded `u64` to `out`, returning the encoded length.
+///
+/// The 1- and 2-byte cases are special-cased: in fleet-representative
+/// protobuf traffic (HyperProtoBench shapes) the overwhelming majority of
+/// varints are tags and small scalars that fit in one or two bytes, so the
+/// hot path writes them without entering the generic shift loop.
 pub fn encode_varint(mut value: u64, out: &mut Vec<u8>) -> usize {
+    if value < 0x80 {
+        out.push(value as u8);
+        return 1;
+    }
+    if value < 0x4000 {
+        out.extend_from_slice(&[(value as u8 & 0x7f) | 0x80, (value >> 7) as u8]);
+        return 2;
+    }
     let mut len = 0;
     loop {
         let byte = (value & 0x7f) as u8;
@@ -107,6 +120,46 @@ mod tests {
         buf.clear();
         encode_varint(1, &mut buf);
         assert_eq!(buf, vec![0x01]);
+    }
+
+    #[test]
+    fn fast_paths_match_generic_loop() {
+        // Reference: the unconditional shift loop the fast paths bypass.
+        fn encode_slow(mut value: u64, out: &mut Vec<u8>) {
+            loop {
+                let byte = (value & 0x7f) as u8;
+                value >>= 7;
+                if value == 0 {
+                    out.push(byte);
+                    return;
+                }
+                out.push(byte | 0x80);
+            }
+        }
+        // Every boundary of the 1-/2-byte fast paths, plus a spread beyond.
+        let cases = [
+            0u64,
+            1,
+            0x7e,
+            0x7f,
+            0x80,
+            0x81,
+            0x3ffe,
+            0x3fff,
+            0x4000,
+            0x4001,
+            0x1f_ffff,
+            1 << 35,
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut fast = Vec::new();
+            let len = encode_varint(v, &mut fast);
+            let mut slow = Vec::new();
+            encode_slow(v, &mut slow);
+            assert_eq!(fast, slow, "value {v:#x}");
+            assert_eq!(len, slow.len(), "value {v:#x}");
+        }
     }
 
     #[test]

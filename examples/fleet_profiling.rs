@@ -15,6 +15,9 @@ fn main() {
         analytics_queries: 60,
         fact_rows: 8_000,
         seed: 0xF1EE7,
+        // Shards run concurrently (results are identical at any thread
+        // count; see DESIGN.md "Parallel fleet execution & determinism").
+        ..FleetConfig::default()
     };
     println!("running the simulated fleet: {config:?}\n");
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-1f44e69ac3b5f996.d: crates/platforms/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-1f44e69ac3b5f996: crates/platforms/tests/determinism.rs
+
+crates/platforms/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-30bdd9f24ddf09fe.d: crates/platforms/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-30bdd9f24ddf09fe.rmeta: crates/platforms/tests/determinism.rs Cargo.toml
+
+crates/platforms/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_grouped_bounds-19869df80b472a5a.d: crates/bench/benches/fig10_grouped_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_grouped_bounds-19869df80b472a5a.rmeta: crates/bench/benches/fig10_grouped_bounds.rs Cargo.toml
+
+crates/bench/benches/fig10_grouped_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

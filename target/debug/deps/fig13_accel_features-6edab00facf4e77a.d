@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_accel_features-6edab00facf4e77a.d: crates/bench/benches/fig13_accel_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_accel_features-6edab00facf4e77a.rmeta: crates/bench/benches/fig13_accel_features.rs Cargo.toml
+
+crates/bench/benches/fig13_accel_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

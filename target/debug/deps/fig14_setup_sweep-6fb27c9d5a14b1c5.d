@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_setup_sweep-6fb27c9d5a14b1c5.d: crates/bench/benches/fig14_setup_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_setup_sweep-6fb27c9d5a14b1c5.rmeta: crates/bench/benches/fig14_setup_sweep.rs Cargo.toml
+
+crates/bench/benches/fig14_setup_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_prior_accels-56a7a921639dd85f.d: crates/bench/benches/fig15_prior_accels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_prior_accels-56a7a921639dd85f.rmeta: crates/bench/benches/fig15_prior_accels.rs Cargo.toml
+
+crates/bench/benches/fig15_prior_accels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_e2e_breakdown-8fd88ef85e087bb7.d: crates/bench/benches/fig2_e2e_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_e2e_breakdown-8fd88ef85e087bb7.rmeta: crates/bench/benches/fig2_e2e_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig2_e2e_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

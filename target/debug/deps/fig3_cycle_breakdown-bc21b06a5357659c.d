@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_cycle_breakdown-bc21b06a5357659c.d: crates/bench/benches/fig3_cycle_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_cycle_breakdown-bc21b06a5357659c.rmeta: crates/bench/benches/fig3_cycle_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig3_cycle_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

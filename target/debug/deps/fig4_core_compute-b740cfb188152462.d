@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_core_compute-b740cfb188152462.d: crates/bench/benches/fig4_core_compute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_core_compute-b740cfb188152462.rmeta: crates/bench/benches/fig4_core_compute.rs Cargo.toml
+
+crates/bench/benches/fig4_core_compute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

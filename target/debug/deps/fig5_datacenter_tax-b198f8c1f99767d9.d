@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_datacenter_tax-b198f8c1f99767d9.d: crates/bench/benches/fig5_datacenter_tax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_datacenter_tax-b198f8c1f99767d9.rmeta: crates/bench/benches/fig5_datacenter_tax.rs Cargo.toml
+
+crates/bench/benches/fig5_datacenter_tax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_system_tax-e0082a135d1e5ce7.d: crates/bench/benches/fig6_system_tax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_system_tax-e0082a135d1e5ce7.rmeta: crates/bench/benches/fig6_system_tax.rs Cargo.toml
+
+crates/bench/benches/fig6_system_tax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_sync_onchip_bound-62551552e4ed7725.d: crates/bench/benches/fig9_sync_onchip_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_sync_onchip_bound-62551552e4ed7725.rmeta: crates/bench/benches/fig9_sync_onchip_bound.rs Cargo.toml
+
+crates/bench/benches/fig9_sync_onchip_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

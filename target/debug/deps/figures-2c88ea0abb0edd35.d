@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2c88ea0abb0edd35.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2c88ea0abb0edd35: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

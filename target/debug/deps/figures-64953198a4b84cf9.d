@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-64953198a4b84cf9.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-64953198a4b84cf9: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_bench-3d2f519005f449e1.d: crates/bench/src/bin/fleet_bench.rs
+
+/root/repo/target/debug/deps/fleet_bench-3d2f519005f449e1: crates/bench/src/bin/fleet_bench.rs
+
+crates/bench/src/bin/fleet_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_bench-660c88925bffe782.d: crates/bench/src/bin/fleet_bench.rs
+
+/root/repo/target/debug/deps/fleet_bench-660c88925bffe782: crates/bench/src/bin/fleet_bench.rs
+
+crates/bench/src/bin/fleet_bench.rs:

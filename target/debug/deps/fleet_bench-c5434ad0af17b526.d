@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_bench-c5434ad0af17b526.d: crates/bench/src/bin/fleet_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_bench-c5434ad0af17b526.rmeta: crates/bench/src/bin/fleet_bench.rs Cargo.toml
+
+crates/bench/src/bin/fleet_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_profile-0706417ef1f3fe05.d: crates/bench/src/bin/fleet_profile.rs
+
+/root/repo/target/debug/deps/fleet_profile-0706417ef1f3fe05: crates/bench/src/bin/fleet_profile.rs
+
+crates/bench/src/bin/fleet_profile.rs:

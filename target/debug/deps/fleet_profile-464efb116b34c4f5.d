@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_profile-464efb116b34c4f5.d: crates/bench/src/bin/fleet_profile.rs
+
+/root/repo/target/debug/deps/fleet_profile-464efb116b34c4f5: crates/bench/src/bin/fleet_profile.rs
+
+crates/bench/src/bin/fleet_profile.rs:

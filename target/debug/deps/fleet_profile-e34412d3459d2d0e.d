@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_profile-e34412d3459d2d0e.d: crates/bench/src/bin/fleet_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_profile-e34412d3459d2d0e.rmeta: crates/bench/src/bin/fleet_profile.rs Cargo.toml
+
+crates/bench/src/bin/fleet_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hsdp_bench-0778d4538d52a9a1.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libhsdp_bench-0778d4538d52a9a1.rlib: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libhsdp_bench-0778d4538d52a9a1.rmeta: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hsdp_bench-846af12b52b3d185.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhsdp_bench-846af12b52b3d185.rmeta: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

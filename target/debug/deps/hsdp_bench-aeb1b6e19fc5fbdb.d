@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hsdp_bench-aeb1b6e19fc5fbdb.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/hsdp_bench-aeb1b6e19fc5fbdb: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/hsdp_simcore-103e74a4789d4728.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/hsdp_simcore-103e74a4789d4728.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhsdp_simcore-103e74a4789d4728.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libhsdp_simcore-103e74a4789d4728.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
 
 crates/simcore/src/lib.rs:
 crates/simcore/src/dist.rs:
 crates/simcore/src/engine.rs:
+crates/simcore/src/pool.rs:
 crates/simcore/src/resource.rs:
 crates/simcore/src/stats.rs:
 crates/simcore/src/time.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/hsdp_simcore-d4bd7a0e75a6d097.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+/root/repo/target/debug/deps/hsdp_simcore-d4bd7a0e75a6d097.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
 
-/root/repo/target/debug/deps/libhsdp_simcore-d4bd7a0e75a6d097.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+/root/repo/target/debug/deps/libhsdp_simcore-d4bd7a0e75a6d097.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
 
-/root/repo/target/debug/deps/libhsdp_simcore-d4bd7a0e75a6d097.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+/root/repo/target/debug/deps/libhsdp_simcore-d4bd7a0e75a6d097.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
 
 crates/simcore/src/lib.rs:
 crates/simcore/src/dist.rs:
 crates/simcore/src/engine.rs:
+crates/simcore/src/pool.rs:
 crates/simcore/src/resource.rs:
 crates/simcore/src/stats.rs:
 crates/simcore/src/time.rs:

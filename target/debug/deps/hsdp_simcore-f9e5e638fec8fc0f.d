@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/hsdp_simcore-f9e5e638fec8fc0f.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+/root/repo/target/debug/deps/hsdp_simcore-f9e5e638fec8fc0f.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
 
-/root/repo/target/debug/deps/hsdp_simcore-f9e5e638fec8fc0f: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+/root/repo/target/debug/deps/hsdp_simcore-f9e5e638fec8fc0f: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
 
 crates/simcore/src/lib.rs:
 crates/simcore/src/dist.rs:
 crates/simcore/src/engine.rs:
+crates/simcore/src/pool.rs:
 crates/simcore/src/resource.rs:
 crates/simcore/src/stats.rs:
 crates/simcore/src/time.rs:

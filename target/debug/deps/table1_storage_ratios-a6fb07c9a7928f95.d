@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_storage_ratios-a6fb07c9a7928f95.d: crates/bench/benches/table1_storage_ratios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_storage_ratios-a6fb07c9a7928f95.rmeta: crates/bench/benches/table1_storage_ratios.rs Cargo.toml
+
+crates/bench/benches/table1_storage_ratios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

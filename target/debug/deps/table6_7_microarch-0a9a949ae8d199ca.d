@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_7_microarch-0a9a949ae8d199ca.d: crates/bench/benches/table6_7_microarch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_7_microarch-0a9a949ae8d199ca.rmeta: crates/bench/benches/table6_7_microarch.rs Cargo.toml
+
+crates/bench/benches/table6_7_microarch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

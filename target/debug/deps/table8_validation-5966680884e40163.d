@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_validation-5966680884e40163.d: crates/bench/benches/table8_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_validation-5966680884e40163.rmeta: crates/bench/benches/table8_validation.rs Cargo.toml
+
+crates/bench/benches/table8_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tax_primitives-6755e6b63c8bae65.d: crates/bench/benches/tax_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtax_primitives-6755e6b63c8bae65.rmeta: crates/bench/benches/tax_primitives.rs Cargo.toml
+
+crates/bench/benches/tax_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

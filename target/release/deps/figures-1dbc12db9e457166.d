@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-1dbc12db9e457166.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-1dbc12db9e457166: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_bench-789020167a0020d6.d: crates/bench/src/bin/fleet_bench.rs
+
+/root/repo/target/release/deps/fleet_bench-789020167a0020d6: crates/bench/src/bin/fleet_bench.rs
+
+crates/bench/src/bin/fleet_bench.rs:

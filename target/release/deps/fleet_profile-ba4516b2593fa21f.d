@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_profile-ba4516b2593fa21f.d: crates/bench/src/bin/fleet_profile.rs
+
+/root/repo/target/release/deps/fleet_profile-ba4516b2593fa21f: crates/bench/src/bin/fleet_profile.rs
+
+crates/bench/src/bin/fleet_profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hsdp_bench-f61c69062e2be89b.d: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libhsdp_bench-f61c69062e2be89b.rlib: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libhsdp_bench-f61c69062e2be89b.rmeta: crates/bench/src/lib.rs crates/bench/src/exhibits.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exhibits.rs:
+crates/bench/src/harness.rs:

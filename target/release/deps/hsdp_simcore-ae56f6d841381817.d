@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/hsdp_simcore-ae56f6d841381817.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+/root/repo/target/release/deps/hsdp_simcore-ae56f6d841381817.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
 
-/root/repo/target/release/deps/libhsdp_simcore-ae56f6d841381817.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+/root/repo/target/release/deps/libhsdp_simcore-ae56f6d841381817.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
 
-/root/repo/target/release/deps/libhsdp_simcore-ae56f6d841381817.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+/root/repo/target/release/deps/libhsdp_simcore-ae56f6d841381817.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/engine.rs crates/simcore/src/pool.rs crates/simcore/src/resource.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
 
 crates/simcore/src/lib.rs:
 crates/simcore/src/dist.rs:
 crates/simcore/src/engine.rs:
+crates/simcore/src/pool.rs:
 crates/simcore/src/resource.rs:
 crates/simcore/src/stats.rs:
 crates/simcore/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_profiling-421916d93f822122.d: examples/fleet_profiling.rs
+
+/root/repo/target/release/examples/fleet_profiling-421916d93f822122: examples/fleet_profiling.rs
+
+examples/fleet_profiling.rs:

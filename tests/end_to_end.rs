@@ -16,6 +16,7 @@ fn small_fleet() -> Vec<hsdp::fleet::PlatformRun> {
         analytics_queries: 24,
         fact_rows: 3_000,
         seed: 77,
+        ..FleetConfig::default()
     })
 }
 
