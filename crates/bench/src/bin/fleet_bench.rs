@@ -11,9 +11,13 @@
 //! only the wall-clock differs).
 
 use hsdp_bench::harness::{time_ns, BenchRecord, BenchReport};
+use hsdp_platforms::bloom::{Bloom, ReferenceBloom};
+use hsdp_platforms::merge::{merge_runs_reference, merge_sorted_runs, Entry};
 use hsdp_platforms::runner::{default_parallelism, run_fleet, FleetConfig};
-use hsdp_rng::StdRng;
+use hsdp_rng::{Rng, StdRng};
+use hsdp_taxes::compress::{compress, compress_reference, decompress, decompress_reference};
 use hsdp_taxes::crc::{crc32c_append, crc32c_append_bytewise};
+use hsdp_taxes::sha3::{keccak_f1600, keccak_f1600_reference};
 use hsdp_taxes::varint::encode_varint;
 use hsdp_workload::proto_corpus;
 
@@ -113,6 +117,207 @@ fn main() {
         parallelism: 1,
         seed: 0,
     });
+
+    // --- Compression: byte-at-a-time reference vs word-at-a-time codec. ---
+    // A 64 KiB log-like corpus of hot-key row traffic: a few thousand
+    // distinct timestamps and a couple hundred users, so lines repeat with
+    // small variations — the compressibility regime SSTable blocks live in.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut corpus = Vec::with_capacity(CRC_BUF_LEN + 128);
+    while corpus.len() < CRC_BUF_LEN {
+        let ts = rng.random_range(0u32..2_000);
+        let shard = rng.random_range(0u32..64);
+        let user = rng.random_range(0u64..200);
+        corpus.extend_from_slice(
+            format!("ts=1681{ts:06} shard={shard:02} user={user:06} op=read status=OK\n")
+                .as_bytes(),
+        );
+    }
+    corpus.truncate(CRC_BUF_LEN);
+    // The two encoders may pick different matches; both streams must decode
+    // to the corpus under *both* decoders (one shared format).
+    let packed = compress(&corpus);
+    let packed_ref = compress_reference(&corpus);
+    assert_eq!(decompress(&packed).expect("fast/fast"), corpus);
+    assert_eq!(decompress_reference(&packed).expect("fast/ref"), corpus);
+    assert_eq!(decompress(&packed_ref).expect("ref/fast"), corpus);
+    let ref_compress_ns = best_of(5, || time_ns(50, || compress_reference(&corpus).len()));
+    let fast_compress_ns = best_of(5, || time_ns(50, || compress(&corpus).len()));
+    let ref_decompress_ns = best_of(5, || {
+        time_ns(50, || decompress_reference(&packed).map(|v| v.len()))
+    });
+    let fast_decompress_ns = best_of(5, || time_ns(50, || decompress(&packed).map(|v| v.len())));
+    for (id, ns) in [
+        ("compress/reference/64KiB", ref_compress_ns),
+        ("compress/word-at-a-time/64KiB", fast_compress_ns),
+        ("decompress/reference/64KiB", ref_decompress_ns),
+        ("decompress/chunked-copy/64KiB", fast_decompress_ns),
+    ] {
+        report.push(BenchRecord {
+            id: id.to_owned(),
+            ns_per_iter: ns,
+            bytes_per_iter: Some(CRC_BUF_LEN as u64),
+            parallelism: 1,
+            seed: SEED,
+        });
+    }
+    println!(
+        "compress: reference {ref_compress_ns:.0} ns/iter, word-at-a-time \
+         {fast_compress_ns:.0} ns/iter ({:.2}x); decompress: reference \
+         {ref_decompress_ns:.0} ns/iter, chunked-copy {fast_decompress_ns:.0} ns/iter \
+         ({:.2}x)",
+        ref_compress_ns / fast_compress_ns,
+        ref_decompress_ns / fast_decompress_ns,
+    );
+    assert!(
+        ref_compress_ns / fast_compress_ns >= 2.0,
+        "compress must be >= 2x over the reference on the 64 KiB corpus"
+    );
+
+    // --- Bloom: modulo-probed reference vs cache-line-blocked filter. ------
+    let keys: Vec<Vec<u8>> = (0..10_000u64)
+        .map(|i| format!("row-key-{i:08}").into_bytes())
+        .collect();
+    let mut blocked = Bloom::new(keys.len());
+    let mut reference = ReferenceBloom::new(keys.len());
+    for key in &keys {
+        blocked.insert(key);
+        reference.insert(key);
+    }
+    let ref_bloom_ns = best_of(5, || {
+        time_ns(50, || {
+            keys.iter().filter(|k| reference.may_contain(k)).count()
+        })
+    });
+    let blocked_bloom_ns = best_of(5, || {
+        time_ns(50, || {
+            keys.iter().filter(|k| blocked.may_contain(k)).count()
+        })
+    });
+    assert_eq!(
+        keys.iter().filter(|k| blocked.may_contain(k)).count(),
+        keys.len(),
+        "blocked filter must report every inserted key"
+    );
+    report.push(BenchRecord {
+        id: "bloom/reference-probe/10k-keys".to_owned(),
+        ns_per_iter: ref_bloom_ns,
+        bytes_per_iter: None,
+        parallelism: 1,
+        seed: 0,
+    });
+    report.push(BenchRecord {
+        id: "bloom/blocked-probe/10k-keys".to_owned(),
+        ns_per_iter: blocked_bloom_ns,
+        bytes_per_iter: None,
+        parallelism: 1,
+        seed: 0,
+    });
+    println!(
+        "bloom: reference {ref_bloom_ns:.0} ns/iter, blocked {blocked_bloom_ns:.0} ns/iter \
+         ({:.2}x) over {} probes",
+        ref_bloom_ns / blocked_bloom_ns,
+        keys.len()
+    );
+    assert!(
+        ref_bloom_ns / blocked_bloom_ns >= 2.0,
+        "blocked bloom probes must be >= 2x over the reference"
+    );
+
+    // --- Compaction merge: BTreeMap reference vs loser tree. ---------------
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xFEED);
+    let runs: Vec<Vec<Entry>> = (0..8usize)
+        .map(|r| {
+            let mut run: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+            for _ in 0..2_000 {
+                let key_id = rng.random_range(0u32..6_000);
+                run.insert(
+                    format!("row-{key_id:06}").into_bytes(),
+                    format!("run-{r}-payload-{key_id}").into_bytes(),
+                );
+            }
+            run.into_iter().collect()
+        })
+        .collect();
+    assert_eq!(
+        merge_sorted_runs(runs.clone()),
+        merge_runs_reference(runs.clone()),
+        "loser tree must match the BTreeMap merge"
+    );
+    let merged_len = merge_sorted_runs(runs.clone()).len();
+    let ref_merge_ns = best_of(5, || {
+        time_ns(20, || merge_runs_reference(runs.clone()).len())
+    });
+    let tree_merge_ns = best_of(5, || time_ns(20, || merge_sorted_runs(runs.clone()).len()));
+    report.push(BenchRecord {
+        id: "compaction/merge-btreemap/8x2000".to_owned(),
+        ns_per_iter: ref_merge_ns,
+        bytes_per_iter: None,
+        parallelism: 1,
+        seed: SEED ^ 0xFEED,
+    });
+    report.push(BenchRecord {
+        id: "compaction/merge-loser-tree/8x2000".to_owned(),
+        ns_per_iter: tree_merge_ns,
+        bytes_per_iter: None,
+        parallelism: 1,
+        seed: SEED ^ 0xFEED,
+    });
+    println!(
+        "compaction merge: btreemap {:.1} us/iter, loser tree {:.1} us/iter \
+         ({:.2}x) -> {merged_len} entries",
+        ref_merge_ns / 1e3,
+        tree_merge_ns / 1e3,
+        ref_merge_ns / tree_merge_ns,
+    );
+
+    // --- SHA3: 5x5-array reference vs flat unrolled Keccak-f[1600]. --------
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5A3);
+    let mut state = [0u64; 25];
+    for lane in &mut state {
+        *lane = rng.random();
+    }
+    let mut check_fast = state;
+    let mut check_ref = state;
+    keccak_f1600(&mut check_fast);
+    keccak_f1600_reference(&mut check_ref);
+    assert_eq!(
+        check_fast, check_ref,
+        "flat permutation must match the oracle"
+    );
+    let ref_keccak_ns = best_of(5, || {
+        time_ns(2_000, || {
+            let mut s = state;
+            keccak_f1600_reference(&mut s);
+            s[0]
+        })
+    });
+    let flat_keccak_ns = best_of(5, || {
+        time_ns(2_000, || {
+            let mut s = state;
+            keccak_f1600(&mut s);
+            s[0]
+        })
+    });
+    report.push(BenchRecord {
+        id: "sha3/keccak-f1600-reference".to_owned(),
+        ns_per_iter: ref_keccak_ns,
+        bytes_per_iter: Some(200),
+        parallelism: 1,
+        seed: SEED ^ 0x5A3,
+    });
+    report.push(BenchRecord {
+        id: "sha3/keccak-f1600-flat".to_owned(),
+        ns_per_iter: flat_keccak_ns,
+        bytes_per_iter: Some(200),
+        parallelism: 1,
+        seed: SEED ^ 0x5A3,
+    });
+    println!(
+        "sha3: keccak-f1600 reference {ref_keccak_ns:.0} ns/perm, flat \
+         {flat_keccak_ns:.0} ns/perm ({:.2}x)",
+        ref_keccak_ns / flat_keccak_ns
+    );
 
     // --- Fleet: sequential vs parallel wall clock, identical output. ------
     let fleet_config = FleetConfig {

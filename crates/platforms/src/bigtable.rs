@@ -331,14 +331,12 @@ impl BigTable {
             }
             self.store.invalidate(table.id);
         }
-        // K-way merge, newest run wins on duplicate keys. Runs are pushed
-        // oldest-first, so later inserts overwrite earlier ones.
-        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-        for table in inputs {
-            for (k, v) in table.entries {
-                merged.insert(k, v);
-            }
-        }
+        // K-way loser-tree merge, newest run wins on duplicate keys. Runs
+        // are pushed oldest-first; `merge_sorted_runs` resolves duplicates
+        // toward the highest run index (see `crate::merge`).
+        let runs: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+            inputs.into_iter().map(|table| table.entries).collect();
+        let entries = crate::merge::merge_sorted_runs(runs);
         meter.charge_ops(
             CoreComputeOp::Compaction,
             "merge_runs",
@@ -351,7 +349,6 @@ impl BigTable {
             total_entries as u64,
             costs::STL_NS_PER_ENTRY,
         );
-        let entries: Vec<(Vec<u8>, Vec<u8>)> = merged.into_iter().collect();
         let mut bloom = Bloom::new(entries.len());
         for (k, _) in &entries {
             bloom.insert(k);

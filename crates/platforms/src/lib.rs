@@ -15,7 +15,8 @@
 //!
 //! Shared infrastructure: [`meter`] (labeled CPU work charging),
 //! [`costs`] (the calibrated cost model), [`exec`] (per-query records),
-//! [`columnar`] (the column codec), [`bloom`], and [`runner`] (workload
+//! [`columnar`] (the column codec), [`bloom`] (cache-line-blocked filters),
+//! [`merge`] (the loser-tree compaction merge), and [`runner`] (workload
 //! drivers).
 
 #![forbid(unsafe_code)]
@@ -28,6 +29,7 @@ pub mod bloom;
 pub mod columnar;
 pub mod costs;
 pub mod exec;
+pub mod merge;
 pub mod meter;
 pub mod runner;
 pub mod spanner;

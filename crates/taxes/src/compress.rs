@@ -6,6 +6,17 @@
 //! literal runs and back-reference copies, plus a trivial RLE codec used by
 //! the columnar engine for sorted columns.
 //!
+//! Two implementations share the stream format. [`compress`] /
+//! [`decompress`] are the hot paths: the match finder extends matches a
+//! 64-bit word at a time and skips ahead over incompressible runs
+//! (LZ4-style acceleration), and the decoder batch-copies literal runs and
+//! back-references with overlap-safe chunked copies.
+//! [`compress_reference`] / [`decompress_reference`] are the original
+//! byte-at-a-time implementations, retained as equivalence oracles and
+//! benchmark baselines — the same discipline the CRC32C kernel uses with
+//! its bytewise oracle. Streams from either encoder decode with either
+//! decoder.
+//!
 //! ## Stream layout
 //!
 //! ```text
@@ -42,11 +53,54 @@ const MIN_MATCH: usize = 4;
 const MAX_OFFSET: usize = 1 << 16;
 /// log2 of the match-finder hash table size.
 const HASH_BITS: u32 = 14;
+/// After `2^SKIP_TRIGGER` consecutive match misses, the probe stride grows
+/// by one — incompressible runs are crossed in sub-linear probe counts.
+const SKIP_TRIGGER: u32 = 5;
+/// Cap on the decoder's up-front allocation: the header's declared length
+/// is untrusted, so larger outputs grow amortized instead of being
+/// reserved blindly.
+const MAX_PREALLOC: usize = 1 << 20;
 
 #[inline]
-fn hash4(bytes: &[u8]) -> usize {
-    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+fn hash4(v: u32) -> usize {
     (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Loads a little-endian u32; the caller guarantees `pos + 4 <= data.len()`.
+#[inline]
+fn load_u32(data: &[u8], pos: usize) -> u32 {
+    // audit: allow(panic, caller guarantees pos + 4 <= data.len())
+    u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4-byte load"))
+}
+
+/// Loads a little-endian u64; the caller guarantees `pos + 8 <= data.len()`.
+#[inline]
+fn load_u64(data: &[u8], pos: usize) -> u64 {
+    // audit: allow(panic, caller guarantees pos + 8 <= data.len())
+    u64::from_le_bytes(data[pos..pos + 8].try_into().expect("8-byte load"))
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]` (`a < b`),
+/// bounded by the end of the buffer. Compares eight bytes per step and uses
+/// the XOR's trailing zeros to pinpoint the first differing byte.
+#[inline]
+fn common_prefix_len(data: &[u8], a: usize, b: usize) -> usize {
+    debug_assert!(a < b);
+    let start = b;
+    let (mut a, mut b) = (a, b);
+    while b + 8 <= data.len() {
+        let diff = load_u64(data, a) ^ load_u64(data, b);
+        if diff != 0 {
+            return b - start + (diff.trailing_zeros() / 8) as usize;
+        }
+        a += 8;
+        b += 8;
+    }
+    while b < data.len() && data[a] == data[b] {
+        a += 1;
+        b += 1;
+    }
+    b - start
 }
 
 fn emit_literals(data: &[u8], out: &mut Vec<u8>) {
@@ -74,9 +128,103 @@ fn emit_copy(len: usize, offset: usize, out: &mut Vec<u8>) {
     encode_varint(offset as u64, out);
 }
 
-/// Compresses `data` into a self-describing block.
+/// Compresses `data` into a self-describing block (hot path).
+///
+/// Same greedy hash-table match finder as [`compress_reference`], but match
+/// extension runs a 64-bit word at a time and consecutive misses grow the
+/// probe stride, so incompressible stretches cost sub-linear probe counts.
 #[must_use]
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    // The fast table stores `pos + 1` as u32 (0 = empty) — half the
+    // footprint of a usize table, so it stays cache-resident. Inputs too
+    // large for that encoding take the reference path (same format).
+    if data.len() >= u32::MAX as usize {
+        return compress_reference(data);
+    }
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    encode_varint(data.len() as u64, &mut out);
+
+    // A fixed-size boxed array (not a Vec): `hash4`'s range is provably in
+    // bounds, so every probe indexes without a bounds check.
+    let mut table: Box<[u32; 1 << HASH_BITS]> = Box::new([0u32; 1 << HASH_BITS]);
+    let mut pos = 0;
+    let mut literal_start = 0;
+    let mut misses: u32 = 0;
+
+    let total = data.len();
+    // Main loop runs while a full word is loadable at `pos`; the sub-word
+    // tail falls through to the u32 loop below.
+    while pos + 8 <= total {
+        let here = load_u64(data, pos);
+        let h = hash4(here as u32);
+        let candidate = (table[h] as usize).wrapping_sub(1);
+        table[h] = (pos + 1) as u32;
+
+        // One u64 XOR both verifies the 4-byte seed (low half) and begins
+        // the extension (high half): `candidate + 8 <= pos + 8 <= total`.
+        let diff = if candidate != usize::MAX && pos - candidate <= MAX_OFFSET {
+            load_u64(data, candidate) ^ here
+        } else {
+            1 // low bit set: "seed mismatch"
+        };
+        if diff & 0xFFFF_FFFF != 0 {
+            pos += 1 + (misses >> SKIP_TRIGGER) as usize;
+            misses += 1;
+            continue;
+        }
+        let len = if diff != 0 {
+            (diff.trailing_zeros() / 8) as usize
+        } else {
+            8 + common_prefix_len(data, candidate + 8, pos + 8)
+        };
+        emit_literals(&data[literal_start..pos], &mut out);
+        emit_copy(len, pos - candidate, &mut out);
+        // LZ4-style: one table insert near the match end is enough — the
+        // main loop re-seeds every probed position anyway.
+        let end = pos + len;
+        if end >= 2 && end + 2 <= total {
+            table[hash4(load_u32(data, end - 2))] = (end - 1) as u32;
+        }
+        pos = end;
+        literal_start = pos;
+        misses = 0;
+    }
+    // Tail: fewer than 8 bytes left past `pos`; probe with u32 loads.
+    while pos + MIN_MATCH <= total {
+        let here = load_u32(data, pos);
+        let h = hash4(here);
+        let candidate = (table[h] as usize).wrapping_sub(1);
+        table[h] = (pos + 1) as u32;
+
+        if candidate != usize::MAX
+            && pos - candidate <= MAX_OFFSET
+            && load_u32(data, candidate) == here
+        {
+            let len = MIN_MATCH
+                + data[pos + MIN_MATCH..]
+                    .iter()
+                    .zip(&data[candidate + MIN_MATCH..])
+                    .take_while(|(x, y)| x == y)
+                    .count();
+            emit_literals(&data[literal_start..pos], &mut out);
+            emit_copy(len, pos - candidate, &mut out);
+            pos += len;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    emit_literals(&data[literal_start..], &mut out);
+    out
+}
+
+/// The original byte-at-a-time compressor, retained as the equivalence
+/// oracle and benchmark baseline for [`compress`]. Produces streams in the
+/// identical format (both decoders accept both encoders' output).
+#[must_use]
+pub fn compress_reference(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
@@ -87,7 +235,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut literal_start = 0;
 
     while pos + MIN_MATCH <= data.len() {
-        let h = hash4(&data[pos..]);
+        let h = hash4(load_u32(data, pos));
         let candidate = table[h];
         table[h] = pos;
 
@@ -95,19 +243,17 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             && pos - candidate <= MAX_OFFSET
             && data[candidate..candidate + MIN_MATCH] == data[pos..pos + MIN_MATCH];
         if valid {
-            // Extend the match as far as it goes.
+            // Extend the match as far as it goes, one byte at a time.
             let mut len = MIN_MATCH;
             while pos + len < data.len() && data[candidate + len] == data[pos + len] {
                 len += 1;
             }
             emit_literals(&data[literal_start..pos], &mut out);
             emit_copy(len, pos - candidate, &mut out);
-            // Seed the table sparsely inside the match to keep compression
-            // fast on long runs.
             let end = pos + len;
             let mut seed = pos + 1;
             while seed + MIN_MATCH <= end.min(data.len()) && seed < pos + 16 {
-                table[hash4(&data[seed..])] = seed;
+                table[hash4(load_u32(data, seed))] = seed;
                 seed += 1;
             }
             pos = end;
@@ -120,7 +266,30 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompresses a block produced by [`compress`].
+/// Decodes one op length, shared by both length classes.
+#[inline]
+fn decode_op_len(
+    input: &[u8],
+    pos: &mut usize,
+    short_len: usize,
+    short_bias: usize,
+) -> Result<usize, CompressError> {
+    if short_len < 0x7f {
+        return Ok(short_len + short_bias);
+    }
+    let (l, n) = decode_varint(&input[*pos..]).map_err(|_| CompressError::Truncated)?;
+    *pos += n;
+    usize::try_from(l).map_err(|_| CompressError::Truncated)
+}
+
+/// Decompresses a block produced by [`compress`] or [`compress_reference`]
+/// (hot path).
+///
+/// Literal runs are batch-copied; back-references use overlap-safe chunked
+/// copies that widen geometrically, so RLE-like runs cost O(log n) copy
+/// calls instead of one push per byte. Every op is validated against the
+/// header's declared length *before* producing output, so a corrupt or
+/// malicious stream errors out early instead of over-allocating.
 ///
 /// # Errors
 ///
@@ -135,25 +304,99 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
     pos += n;
     let expected_len = usize::try_from(expected_len).map_err(|_| CompressError::BadHeader)?;
 
-    let mut out = Vec::with_capacity(expected_len);
+    // The declared length is untrusted input: cap the up-front reservation
+    // and let genuine large outputs grow amortized.
+    let mut out = Vec::with_capacity(expected_len.min(MAX_PREALLOC));
     while pos < input.len() {
         let tag = input[pos];
         pos += 1;
-        let is_copy = tag & 1 == 1;
         let short_len = (tag >> 1) as usize;
-        if is_copy {
-            let len = if short_len < 0x7f {
-                short_len + MIN_MATCH
-            } else {
-                let (l, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
-                pos += n;
-                usize::try_from(l).map_err(|_| CompressError::Truncated)?
-            };
+        if tag & 1 == 1 {
+            let len = decode_op_len(input, &mut pos, short_len, MIN_MATCH)?;
             let (offset, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
             pos += n;
             let offset = usize::try_from(offset).map_err(|_| CompressError::Truncated)?;
             if offset == 0 || offset > out.len() {
                 return Err(CompressError::InvalidBackref { at: pos });
+            }
+            if len > expected_len - out.len() {
+                // The copy would overflow the declared length: fail before
+                // producing a byte (decompression-bomb guard).
+                return Err(CompressError::LengthMismatch {
+                    expected: expected_len,
+                    actual: out.len().saturating_add(len),
+                });
+            }
+            let start = out.len() - offset;
+            if offset >= len {
+                // Disjoint source and destination: one batch copy.
+                out.extend_from_within(start..start + len);
+            } else {
+                // Overlapping (RLE-style) reference: the copied region
+                // doubles in size every round.
+                let mut copied = 0;
+                while copied < len {
+                    let chunk = (out.len() - start).min(len - copied);
+                    out.extend_from_within(start..start + chunk);
+                    copied += chunk;
+                }
+            }
+        } else {
+            let len = decode_op_len(input, &mut pos, short_len, 1)?;
+            let literals = input.get(pos..pos + len).ok_or(CompressError::Truncated)?;
+            if len > expected_len - out.len() {
+                return Err(CompressError::LengthMismatch {
+                    expected: expected_len,
+                    actual: out.len().saturating_add(len),
+                });
+            }
+            out.extend_from_slice(literals);
+            pos += len;
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CompressError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// The original byte-at-a-time decoder, retained as the equivalence oracle
+/// and benchmark baseline for [`decompress`].
+///
+/// # Errors
+///
+/// Returns a [`CompressError`] on bad headers, truncated streams, invalid
+/// back-references, or a length mismatch against the header.
+pub fn decompress_reference(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if input.len() < 3 || input[..2] != MAGIC || input[2] != VERSION {
+        return Err(CompressError::BadHeader);
+    }
+    let mut pos = 3;
+    let (expected_len, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+    pos += n;
+    let expected_len = usize::try_from(expected_len).map_err(|_| CompressError::BadHeader)?;
+
+    let mut out = Vec::with_capacity(expected_len.min(MAX_PREALLOC));
+    while pos < input.len() {
+        let tag = input[pos];
+        pos += 1;
+        let short_len = (tag >> 1) as usize;
+        if tag & 1 == 1 {
+            let len = decode_op_len(input, &mut pos, short_len, MIN_MATCH)?;
+            let (offset, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+            pos += n;
+            let offset = usize::try_from(offset).map_err(|_| CompressError::Truncated)?;
+            if offset == 0 || offset > out.len() {
+                return Err(CompressError::InvalidBackref { at: pos });
+            }
+            if len > expected_len - out.len() {
+                return Err(CompressError::LengthMismatch {
+                    expected: expected_len,
+                    actual: out.len().saturating_add(len),
+                });
             }
             // Byte-at-a-time copy: overlapping references (offset < len)
             // repeat recent output, which is how RLE-like runs encode.
@@ -163,14 +406,14 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
                 out.push(byte);
             }
         } else {
-            let len = if short_len < 0x7f {
-                short_len + 1
-            } else {
-                let (l, n) = decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
-                pos += n;
-                usize::try_from(l).map_err(|_| CompressError::Truncated)?
-            };
+            let len = decode_op_len(input, &mut pos, short_len, 1)?;
             let literals = input.get(pos..pos + len).ok_or(CompressError::Truncated)?;
+            if len > expected_len - out.len() {
+                return Err(CompressError::LengthMismatch {
+                    expected: expected_len,
+                    actual: out.len().saturating_add(len),
+                });
+            }
             out.extend_from_slice(literals);
             pos += len;
         }
@@ -238,10 +481,13 @@ pub fn compression_ratio(data: &[u8]) -> f64 {
 mod tests {
     use super::*;
 
+    /// Round-trips through every encoder x decoder combination: both
+    /// encoders emit the same format, so all four pairs must agree.
     fn roundtrip(data: &[u8]) {
-        let packed = compress(data);
-        let unpacked = decompress(&packed).unwrap();
-        assert_eq!(unpacked, data);
+        for packed in [compress(data), compress_reference(data)] {
+            assert_eq!(decompress(&packed).unwrap(), data);
+            assert_eq!(decompress_reference(&packed).unwrap(), data);
+        }
     }
 
     #[test]
@@ -290,6 +536,7 @@ mod tests {
             packed.len()
         );
         assert_eq!(decompress(&packed).unwrap(), data);
+        assert_eq!(decompress_reference(&packed).unwrap(), data);
     }
 
     #[test]
@@ -316,17 +563,22 @@ mod tests {
 
     #[test]
     fn bad_header_rejected() {
-        assert_eq!(decompress(b""), Err(CompressError::BadHeader));
-        assert_eq!(decompress(b"XZ\x01"), Err(CompressError::BadHeader));
-        assert_eq!(decompress(b"HZ\x02\x00"), Err(CompressError::BadHeader));
+        for dec in [decompress, decompress_reference] {
+            assert_eq!(dec(b""), Err(CompressError::BadHeader));
+            assert_eq!(dec(b"XZ\x01"), Err(CompressError::BadHeader));
+            assert_eq!(dec(b"HZ\x02\x00"), Err(CompressError::BadHeader));
+        }
     }
 
     #[test]
     fn truncated_stream_rejected() {
         let packed = compress(b"hello world hello world hello world");
         for cut in 3..packed.len() {
-            let result = decompress(&packed[..cut]);
-            assert!(result.is_err(), "prefix of len {cut} should fail");
+            assert!(decompress(&packed[..cut]).is_err(), "prefix len {cut}");
+            assert!(
+                decompress_reference(&packed[..cut]).is_err(),
+                "prefix len {cut} (reference)"
+            );
         }
     }
 
@@ -342,6 +594,10 @@ mod tests {
         encode_varint(9, &mut bad); // offset 9 > output len 0
         assert!(matches!(
             decompress(&bad),
+            Err(CompressError::InvalidBackref { .. })
+        ));
+        assert!(matches!(
+            decompress_reference(&bad),
             Err(CompressError::InvalidBackref { .. })
         ));
     }
@@ -379,5 +635,27 @@ mod tests {
     fn ratio_reports_sensibly() {
         assert!(compression_ratio(&vec![0u8; 10_000]) > 50.0);
         assert_eq!(compression_ratio(b""), 1.0);
+    }
+
+    #[test]
+    fn skip_acceleration_still_finds_late_matches() {
+        // A long incompressible prefix (stride grows) followed by dense
+        // repetition: the encoder must still compress the tail.
+        let mut state = 77u64;
+        let mut data: Vec<u8> = (0..8_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        data.extend(b"tail-pattern ".repeat(500));
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len(),
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
+        roundtrip(&data);
     }
 }

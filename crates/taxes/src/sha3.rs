@@ -5,6 +5,12 @@
 //! the software baseline for that pipeline. It implements Keccak-f\[1600\] per
 //! FIPS 202 with the SHA3-224/256/384/512 fixed-output variants.
 //!
+//! The permutation hot path ([`keccak_f1600`]) works on a flat 25-lane
+//! array: theta/rho/pi/chi are unrolled with compile-time rotation and
+//! permutation schedules. The original structured 5x5 formulation is
+//! retained as [`keccak_f1600_reference`], the equivalence oracle and
+//! benchmark baseline.
+//!
 //! # Examples
 //!
 //! ```
@@ -54,23 +60,89 @@ const RHO_OFFSETS: [[u32; 5]; 5] = [
     [27, 20, 39, 8, 14],
 ];
 
-/// The Keccak permutation state: 5x5 lanes of 64 bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-struct KeccakState {
-    lanes: [[u64; 5]; 5],
+/// Fused rho+pi schedule over the flat state: `FLAT_RHO_PI[i]` is the
+/// `(destination index, rotation)` of source lane `i`, precomputed at
+/// compile time from [`RHO_OFFSETS`] and the pi permutation
+/// `(x, y) -> (y, 2x + 3y mod 5)`.
+const FLAT_RHO_PI: [(usize, u32); 25] = build_flat_rho_pi();
+
+const fn build_flat_rho_pi() -> [(usize, u32); 25] {
+    let mut table = [(0usize, 0u32); 25];
+    let mut i = 0;
+    while i < 25 {
+        let x = i % 5;
+        let y = i / 5;
+        table[i] = (y + 5 * ((2 * x + 3 * y) % 5), RHO_OFFSETS[x][y]);
+        i += 1;
+    }
+    table
 }
 
-impl KeccakState {
-    /// Applies the full 24-round Keccak-f[1600] permutation.
-    fn permute(&mut self) {
-        for &rc in &ROUND_CONSTANTS {
-            self.round(rc);
+/// Applies the full 24-round Keccak-f[1600] permutation (hot path).
+///
+/// One flat 25-lane pass per round: theta's five column parities and five
+/// d-words are unrolled into scalars, rho+pi fuse into a single table-driven
+/// scatter with precomputed rotations, and chi is unrolled per row — no 2-D
+/// indexing, no `% 5` on the data path.
+pub fn keccak_f1600(a: &mut [u64; 25]) {
+    for &rc in &ROUND_CONSTANTS {
+        // Theta: column parities, fully unrolled.
+        let c0 = a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20];
+        let c1 = a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21];
+        let c2 = a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22];
+        let c3 = a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23];
+        let c4 = a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24];
+        let d0 = c4 ^ c1.rotate_left(1);
+        let d1 = c0 ^ c2.rotate_left(1);
+        let d2 = c1 ^ c3.rotate_left(1);
+        let d3 = c2 ^ c4.rotate_left(1);
+        let d4 = c3 ^ c0.rotate_left(1);
+        let mut row = 0;
+        while row < 25 {
+            a[row] ^= d0;
+            a[row + 1] ^= d1;
+            a[row + 2] ^= d2;
+            a[row + 3] ^= d3;
+            a[row + 4] ^= d4;
+            row += 5;
         }
+
+        // Rho + pi fused: rotate-and-scatter through the const schedule.
+        let mut b = [0u64; 25];
+        let mut i = 0;
+        while i < 25 {
+            let (dest, rot) = FLAT_RHO_PI[i];
+            b[dest] = a[i].rotate_left(rot);
+            i += 1;
+        }
+
+        // Chi, unrolled per row.
+        let mut row = 0;
+        while row < 25 {
+            let (b0, b1, b2, b3, b4) = (b[row], b[row + 1], b[row + 2], b[row + 3], b[row + 4]);
+            a[row] = b0 ^ (!b1 & b2);
+            a[row + 1] = b1 ^ (!b2 & b3);
+            a[row + 2] = b2 ^ (!b3 & b4);
+            a[row + 3] = b3 ^ (!b4 & b0);
+            a[row + 4] = b4 ^ (!b0 & b1);
+            row += 5;
+        }
+
+        // Iota.
+        a[0] ^= rc;
     }
+}
 
-    fn round(&mut self, rc: u64) {
-        let a = &mut self.lanes;
-
+/// The original structured 5x5 Keccak-f[1600], retained as the equivalence
+/// oracle and benchmark baseline for [`keccak_f1600`] — the same discipline
+/// the CRC32C kernel follows with its bytewise oracle. Lane `i` of the flat
+/// state maps to `(x, y) = (i % 5, i / 5)`.
+pub fn keccak_f1600_reference(flat: &mut [u64; 25]) {
+    let mut a = [[0u64; 5]; 5];
+    for (i, &lane) in flat.iter().enumerate() {
+        a[i % 5][i / 5] = lane;
+    }
+    for &rc in &ROUND_CONSTANTS {
         // Theta.
         let mut c = [0u64; 5];
         for (x, cx) in c.iter_mut().enumerate() {
@@ -104,34 +176,38 @@ impl KeccakState {
         // Iota.
         a[0][0] ^= rc;
     }
+    for (i, lane) in flat.iter_mut().enumerate() {
+        *lane = a[i % 5][i / 5];
+    }
+}
 
+/// The Keccak permutation state: 25 lanes of 64 bits, flat in absorb order
+/// (lane `i` is the sponge's byte range `8i..8i+8`; `(x, y) = (i % 5, i / 5)`
+/// in the 5x5 formulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct KeccakState {
+    lanes: [u64; 25],
+}
+
+impl KeccakState {
     /// XORs a full rate block (little-endian lanes) into the state, then
     /// applies the permutation.
     fn absorb_block(&mut self, block: &[u8]) {
         debug_assert_eq!(block.len() % 8, 0);
-        for (i, chunk) in block.chunks_exact(8).enumerate() {
+        for (lane, chunk) in self.lanes.iter_mut().zip(block.chunks_exact(8)) {
             // audit: allow(panic, chunks_exact(8) yields exactly 8-byte chunks)
-            let lane = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
-            let (x, y) = (i % 5, i / 5);
-            self.lanes[x][y] ^= lane;
+            *lane ^= u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
         }
-        self.permute();
+        keccak_f1600(&mut self.lanes);
     }
 
     /// Reads `out.len()` bytes from the start of the state (rate portion).
     fn squeeze_into(&self, out: &mut [u8]) {
-        let mut i = 0;
-        'outer: for y in 0..5 {
-            for x in 0..5 {
-                let lane = self.lanes[x][y].to_le_bytes();
-                for &byte in &lane {
-                    if i == out.len() {
-                        break 'outer;
-                    }
-                    out[i] = byte;
-                    i += 1;
-                }
-            }
+        for (dst, src) in out
+            .chunks_mut(8)
+            .zip(self.lanes.iter().map(|lane| lane.to_le_bytes()))
+        {
+            dst.copy_from_slice(&src[..dst.len()]);
         }
     }
 }
@@ -366,5 +442,33 @@ mod tests {
     fn to_hex_formats() {
         assert_eq!(to_hex(&[0x00, 0xff, 0x0a]), "00ff0a");
         assert_eq!(to_hex(&[]), "");
+    }
+
+    #[test]
+    fn flat_permutation_matches_reference_oracle() {
+        // Random states through both permutations: bit-identical results.
+        let mut state = 0x5A17_C0DEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..64 {
+            let mut flat = [0u64; 25];
+            for lane in &mut flat {
+                *lane = next();
+            }
+            let mut reference = flat;
+            keccak_f1600(&mut flat);
+            keccak_f1600_reference(&mut reference);
+            assert_eq!(flat, reference, "round {round}");
+        }
+        // The all-zero state too (the first absorb's starting point).
+        let mut flat = [0u64; 25];
+        let mut reference = [0u64; 25];
+        keccak_f1600(&mut flat);
+        keccak_f1600_reference(&mut reference);
+        assert_eq!(flat, reference);
     }
 }

@@ -1,0 +1,256 @@
+//! Robustness suite for the block-compression decoder (the hot path
+//! introduced alongside the retained reference codec).
+//!
+//! Two families of properties:
+//!
+//! 1. **Adversarial inputs** — truncated streams, corrupted tags,
+//!    back-references past the start of the output, and length-overflow
+//!    streams must return a `CompressError`, never panic and never
+//!    allocate on the say-so of an untrusted header.
+//! 2. **Round-trip equivalence** — random and pathological buffers must
+//!    round-trip through every encoder x decoder pairing of the fast and
+//!    reference implementations (the streams share one format).
+
+use hsdp_rng::{Rng, StdRng};
+use hsdp_taxes::compress::{compress, compress_reference, decompress, decompress_reference};
+use hsdp_taxes::error::CompressError;
+use hsdp_taxes::varint::encode_varint;
+
+const CASES: usize = 128;
+
+fn random_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.random_range(0..=max_len);
+    (0..len).map(|_| rng.random()).collect()
+}
+
+/// Builds a syntactically valid header declaring `uncompressed_len`.
+fn header(uncompressed_len: u64) -> Vec<u8> {
+    let mut out = b"HZ\x01".to_vec();
+    encode_varint(uncompressed_len, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial inputs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_truncation_of_a_valid_stream_errors() {
+    let mut rng = StdRng::seed_from_u64(0x7121);
+    for _ in 0..16 {
+        // Compressible data so the stream mixes literal and copy ops.
+        let pattern = random_bytes(&mut rng, 24);
+        let mut data: Vec<u8> = pattern
+            .iter()
+            .copied()
+            .cycle()
+            .take(pattern.len().max(1) * 40)
+            .collect();
+        data.extend(random_bytes(&mut rng, 200));
+        let packed = compress(&data);
+        for cut in 0..packed.len() {
+            assert!(
+                decompress(&packed[..cut]).is_err(),
+                "prefix of len {cut} must fail"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_streams_never_panic_and_keep_the_length_contract() {
+    // Flip bytes anywhere in a valid stream: the decoder may legitimately
+    // still succeed (e.g. a mutated literal byte), but it must not panic,
+    // and any Ok output must honor the declared length.
+    let mut rng = StdRng::seed_from_u64(0x7122);
+    let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+        .repeat(20)
+        .to_vec();
+    let packed = compress(&data);
+    for _ in 0..2_000 {
+        let mut bad = packed.clone();
+        let at = rng.random_range(0..bad.len());
+        bad[at] ^= rng.random_range(1u8..=255);
+        if let Ok(out) = decompress(&bad) {
+            assert_eq!(out.len(), data.len(), "corrupt Ok must match the header");
+        }
+        // The reference decoder must be equally robust.
+        if let Ok(out) = decompress_reference(&bad) {
+            assert_eq!(out.len(), data.len());
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x7123);
+    for _ in 0..CASES {
+        let garbage = random_bytes(&mut rng, 512);
+        let _ = decompress(&garbage);
+        let _ = decompress_reference(&garbage);
+        // Garbage behind a valid header, too.
+        let mut framed = header(rng.random_range(0..10_000));
+        framed.extend(random_bytes(&mut rng, 256));
+        let _ = decompress(&framed);
+        let _ = decompress_reference(&framed);
+    }
+}
+
+#[test]
+fn copy_tag_with_offset_past_start_is_rejected() {
+    // First op is a copy: there is no output yet, so any offset is invalid.
+    let mut bad = header(8);
+    bad.push(1); // copy tag, short len = MIN_MATCH
+    encode_varint(3, &mut bad); // offset 3 > output len 0
+    assert!(matches!(
+        decompress(&bad),
+        Err(CompressError::InvalidBackref { .. })
+    ));
+
+    // A copy whose offset outruns the bytes produced so far.
+    let mut bad = header(16);
+    bad.push(3 << 1); // literal run of 4
+    bad.extend_from_slice(b"abcd");
+    bad.push(1); // copy, len 4
+    encode_varint(5, &mut bad); // offset 5 > output len 4
+    assert!(matches!(
+        decompress(&bad),
+        Err(CompressError::InvalidBackref { .. })
+    ));
+
+    // Offset zero is never valid.
+    let mut bad = header(16);
+    bad.push(3 << 1);
+    bad.extend_from_slice(b"abcd");
+    bad.push(1);
+    encode_varint(0, &mut bad);
+    assert!(matches!(
+        decompress(&bad),
+        Err(CompressError::InvalidBackref { .. })
+    ));
+}
+
+#[test]
+fn ops_overflowing_the_declared_length_fail_before_producing() {
+    // A literal run longer than the declared output.
+    let mut bad = header(2);
+    bad.push(3 << 1); // literal run of 4
+    bad.extend_from_slice(b"abcd");
+    assert!(matches!(
+        decompress(&bad),
+        Err(CompressError::LengthMismatch { expected: 2, .. })
+    ));
+
+    // A copy that would overflow the declared output: 4 literals then a
+    // long-form copy of 1000 into a 6-byte budget.
+    let mut bad = header(6);
+    bad.push(3 << 1);
+    bad.extend_from_slice(b"abcd");
+    bad.push((0x7f << 1) | 1); // copy, long-form length
+    encode_varint(1000, &mut bad);
+    encode_varint(2, &mut bad); // valid offset
+    assert!(matches!(
+        decompress(&bad),
+        Err(CompressError::LengthMismatch { expected: 6, .. })
+    ));
+}
+
+#[test]
+fn huge_declared_length_does_not_preallocate() {
+    // The header claims an enormous output; the stream holds 4 bytes. The
+    // decoder must fail with a small, cheap error — a `with_capacity` on
+    // the declared length would abort the process long before the
+    // assertion. (Both decoders share the capped-reservation guard.)
+    for declared in [1u64 << 40, 1 << 50, u64::MAX] {
+        let mut bad = header(declared);
+        bad.push(3 << 1);
+        bad.extend_from_slice(b"abcd");
+        assert!(matches!(
+            decompress(&bad),
+            Err(CompressError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            decompress_reference(&bad),
+            Err(CompressError::LengthMismatch { .. })
+        ));
+    }
+}
+
+#[test]
+fn overlap_copy_bomb_is_bounded_by_the_declared_length() {
+    // Classic decompression bomb: tiny input, overlapping copy with a huge
+    // long-form length. The output budget check must stop it at the
+    // declared length, not at the copy's say-so.
+    let mut bad = header(32);
+    bad.push(0); // literal run of 1
+    bad.push(b'x');
+    bad.push((0x7f << 1) | 1); // copy, long-form length
+    encode_varint(1 << 40, &mut bad); // 1 TiB claimed
+    encode_varint(1, &mut bad); // overlapping offset
+    assert!(matches!(
+        decompress(&bad),
+        Err(CompressError::LengthMismatch { expected: 32, .. })
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip equivalence against the reference codec.
+// ---------------------------------------------------------------------------
+
+/// Round-trips `data` through all four encoder x decoder pairings.
+fn assert_all_pairings(data: &[u8]) {
+    let fast = compress(data);
+    let reference = compress_reference(data);
+    assert_eq!(decompress(&fast).expect("fast/fast"), data);
+    assert_eq!(decompress_reference(&fast).expect("fast/ref"), data);
+    assert_eq!(decompress(&reference).expect("ref/fast"), data);
+    assert_eq!(decompress_reference(&reference).expect("ref/ref"), data);
+}
+
+#[test]
+fn random_buffers_roundtrip_all_pairings() {
+    let mut rng = StdRng::seed_from_u64(0x7124);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 4096);
+        assert_all_pairings(&data);
+    }
+}
+
+#[test]
+fn pathological_buffers_roundtrip_all_pairings() {
+    // All-zero (maximum overlap-copy pressure) at sizes straddling the
+    // short/long op boundary and the decoder's chunked-copy doubling.
+    for len in [0usize, 1, 3, 4, 5, 127, 128, 130, 131, 4096, 100_000] {
+        assert_all_pairings(&vec![0u8; len]);
+    }
+    // Incompressible: no 4-byte match anywhere, including across the skip
+    // acceleration's growing stride.
+    let mut state = 0xBADC_0FFEu64;
+    let incompressible: Vec<u8> = (0..64 * 1024)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 56) as u8
+        })
+        .collect();
+    assert_all_pairings(&incompressible);
+    // Long repeats with a tail shorter than a word, exercising the
+    // word-at-a-time extension's sub-8-byte mop-up.
+    let mut repeats: Vec<u8> = b"0123456789abcdef".repeat(1000);
+    repeats.extend_from_slice(b"xyz");
+    assert_all_pairings(&repeats);
+}
+
+#[test]
+fn structured_overlapping_runs_roundtrip() {
+    // Zipf-ish key-value shaped data, close to what SSTable blocks hold.
+    let mut rng = StdRng::seed_from_u64(0x7125);
+    for _ in 0..32 {
+        let mut data = Vec::new();
+        for _ in 0..rng.random_range(1..400usize) {
+            let key = rng.random_range(0u32..50);
+            data.extend_from_slice(format!("key-{key:06}").as_bytes());
+            data.extend_from_slice(format!("value-{key}-{}", "x".repeat(40)).as_bytes());
+        }
+        assert_all_pairings(&data);
+    }
+}
