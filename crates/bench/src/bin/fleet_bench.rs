@@ -13,7 +13,7 @@
 use hsdp_bench::harness::{time_ns, BenchRecord, BenchReport};
 use hsdp_platforms::bloom::{Bloom, ReferenceBloom};
 use hsdp_platforms::merge::{merge_runs_reference, merge_sorted_runs, Entry};
-use hsdp_platforms::runner::{default_parallelism, run_fleet, FleetConfig};
+use hsdp_platforms::runner::{default_parallelism, run_fleet, run_fleet_telemetry, FleetConfig};
 use hsdp_rng::{Rng, StdRng};
 use hsdp_taxes::compress::{compress, compress_reference, decompress, decompress_reference};
 use hsdp_taxes::crc::{crc32c_append, crc32c_append_bytewise};
@@ -358,6 +358,44 @@ fn main() {
         parallel_ns / 1e6,
         sequential_ns / parallel_ns,
         default_parallelism(),
+    );
+
+    // --- Telemetry overhead: instrumented vs uninstrumented fleet run. -----
+    // Same seed, same parallelism; the only difference is live per-shard
+    // metrics registries and the artifact-ready telemetry plumbing. The
+    // counters ride alongside work the simulator already does, so the
+    // instrumented run must stay within 10% of the baseline.
+    let probe_config = FleetConfig {
+        parallelism: parallel_threads,
+        ..fleet_config
+    };
+    let baseline_ns = best_of(5, || time_ns(1, || run_fleet(probe_config)));
+    let instrumented_ns = best_of(5, || time_ns(1, || run_fleet_telemetry(probe_config)));
+    report.push(BenchRecord {
+        id: "fleet/telemetry/uninstrumented".to_owned(),
+        ns_per_iter: baseline_ns,
+        bytes_per_iter: None,
+        parallelism: parallel_threads,
+        seed: SEED,
+    });
+    report.push(BenchRecord {
+        id: "fleet/telemetry/instrumented".to_owned(),
+        ns_per_iter: instrumented_ns,
+        bytes_per_iter: None,
+        parallelism: parallel_threads,
+        seed: SEED,
+    });
+    println!(
+        "fleet telemetry: uninstrumented {:.1} ms, instrumented {:.1} ms \
+         ({:.1}% overhead)",
+        baseline_ns / 1e6,
+        instrumented_ns / 1e6,
+        (instrumented_ns / baseline_ns - 1.0) * 100.0,
+    );
+    assert!(
+        instrumented_ns <= baseline_ns * 1.10,
+        "telemetry overhead above 10%: instrumented {instrumented_ns:.0} ns vs \
+         uninstrumented {baseline_ns:.0} ns"
     );
 
     report

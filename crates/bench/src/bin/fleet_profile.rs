@@ -10,7 +10,8 @@
 //! CRC32C digest over the full merged record stream), so two runs are
 //! byte-identical if and only if their merged `QueryExecution` streams are.
 
-use hsdp_platforms::runner::{run_fleet, FleetConfig};
+use hsdp_bench::telemetry_out::build_artifacts;
+use hsdp_platforms::runner::{fold_fleet, run_fleet, run_fleet_telemetry, FleetConfig};
 use hsdp_platforms::QueryExecution;
 use hsdp_taxes::crc::Crc32c;
 
@@ -22,6 +23,7 @@ fn main() {
         ..FleetConfig::default()
     };
     let mut out_path: Option<String> = None;
+    let mut telemetry_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,17 +39,31 @@ fn main() {
             "--seed" => config.seed = parse(&take("--seed"), "--seed"),
             "--db-queries" => config.db_queries = parse(&take("--db-queries"), "--db-queries"),
             "--out" => out_path = Some(take("--out")),
+            "--telemetry" => telemetry_dir = Some(take("--telemetry")),
             other => {
                 eprintln!(
                     "unknown option `{other}` (supported: --parallelism --shards --seed \
-                     --db-queries --out)"
+                     --db-queries --out --telemetry)"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let fleet = run_fleet(config);
+    // With `--telemetry <dir>` the fleet runs instrumented and the three
+    // telemetry artifacts land in <dir>; the profile JSON is rendered from
+    // the same records either way.
+    let fleet = match telemetry_dir {
+        Some(dir) => {
+            let runs = run_fleet_telemetry(config);
+            let artifacts = build_artifacts(&runs);
+            artifacts
+                .write_to(std::path::Path::new(&dir))
+                .expect("write telemetry artifacts");
+            fold_fleet(runs)
+        }
+        None => run_fleet(config),
+    };
     let json = render_profile(&config, &fleet);
     match out_path {
         Some(path) => std::fs::write(&path, &json).expect("write profile JSON"),

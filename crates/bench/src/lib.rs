@@ -10,5 +10,6 @@
 
 pub mod exhibits;
 pub mod harness;
+pub mod telemetry_out;
 
 pub use exhibits::*;

@@ -16,6 +16,7 @@ use hsdp_rpc::tracer::Tracer;
 use hsdp_simcore::time::{SimDuration, SimTime};
 use hsdp_storage::cache::PolicyKind;
 use hsdp_storage::tiered::TieredStore;
+use hsdp_telemetry::MetricsRegistry;
 use hsdp_workload::rows::{DimRow, FactRow};
 
 use crate::columnar::{Column, ColumnTable};
@@ -63,6 +64,7 @@ pub struct BigQuery {
     net: LatencyModel,
     shuffle_net: LatencyModel,
     seed: u64,
+    telemetry: MetricsRegistry,
 }
 
 impl BigQuery {
@@ -93,7 +95,26 @@ impl BigQuery {
                 jitter_frac: 0.2,
             },
             seed,
+            telemetry: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Replaces the telemetry registry (pass [`MetricsRegistry::new`] to
+    /// turn recording on; it is off by default).
+    pub fn set_telemetry(&mut self, registry: MetricsRegistry) {
+        self.telemetry = registry;
+    }
+
+    /// Takes the telemetry collected so far, leaving recording disabled.
+    pub fn take_telemetry(&mut self) -> MetricsRegistry {
+        std::mem::replace(&mut self.telemetry, MetricsRegistry::disabled())
+    }
+
+    /// Spans still open in the tracer — zero between queries; asserted at
+    /// end-of-run by the fleet driver.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.tracer.open_count()
     }
 
     /// Loads the fact table (partitioned round-robin across workers) and
@@ -295,6 +316,13 @@ impl BigQuery {
             bytes_per_worker * self.config.workers as u64,
             costs::PROTO_DECODE_NS_PER_BYTE,
         );
+        self.telemetry.counter_add(("bigquery", "shuffles", ""), 1);
+        self.telemetry.counter_add(
+            ("bigquery", "shuffle_bytes", ""),
+            bytes_per_worker * self.config.workers as u64,
+        );
+        self.telemetry
+            .record_duration(("bigquery", "shuffle_wait_ns", ""), slowest);
         slowest
     }
 
@@ -343,6 +371,7 @@ impl BigQuery {
         shuffle_time: SimDuration,
         label: &'static str,
     ) -> QueryExecution {
+        let started = self.clock;
         // Fleet cycles spread across the worker pool: wall-clock CPU is
         // the per-worker stripe. Column decode pipelines with the fetch, so
         // the CPU span starts halfway through the IO span (the overlap the
@@ -384,6 +413,13 @@ impl BigQuery {
             self.tracer.finish(remote, self.clock);
         }
         self.tracer.finish(root, self.clock);
+        self.telemetry
+            .counter_add(("bigquery", "queries", label), 1);
+        self.telemetry.record_duration(
+            ("bigquery", "query_latency_ns", label),
+            self.clock.since(started),
+        );
+        crate::meter::record_cpu_items(&mut self.telemetry, meter.items());
         let spans: Vec<_> = self
             .tracer
             .take_spans()

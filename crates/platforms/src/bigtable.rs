@@ -19,6 +19,7 @@ use hsdp_storage::cache::PolicyKind;
 use hsdp_storage::tiered::TieredStore;
 use hsdp_taxes::crc::crc32c;
 use hsdp_taxes::varint::encode_varint;
+use hsdp_telemetry::MetricsRegistry;
 
 use crate::bloom::Bloom;
 use crate::costs;
@@ -82,6 +83,7 @@ pub struct BigTable {
     compactions: u64,
     rng_seed: u64,
     _rng: StdRng,
+    telemetry: MetricsRegistry,
 }
 
 impl BigTable {
@@ -102,7 +104,26 @@ impl BigTable {
             compactions: 0,
             rng_seed: seed,
             _rng: StdRng::seed_from_u64(seed),
+            telemetry: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Replaces the telemetry registry (pass [`MetricsRegistry::new`] to
+    /// turn recording on; it is off by default).
+    pub fn set_telemetry(&mut self, registry: MetricsRegistry) {
+        self.telemetry = registry;
+    }
+
+    /// Takes the telemetry collected so far, leaving recording disabled.
+    pub fn take_telemetry(&mut self) -> MetricsRegistry {
+        std::mem::replace(&mut self.telemetry, MetricsRegistry::disabled())
+    }
+
+    /// Spans still open in the tracer — zero between queries; asserted at
+    /// end-of-run by the fleet driver.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.tracer.open_count()
     }
 
     /// The simulated clock.
@@ -300,6 +321,14 @@ impl BigTable {
             bloom,
             encoded_bytes: encoded.len() as u64,
         });
+        self.telemetry
+            .counter_add(("bigtable", "memtable_flushes", ""), 1);
+        self.telemetry
+            .record_duration(("bigtable", "flush_io_ns", ""), io);
+        self.telemetry.gauge_max(
+            ("bigtable", "sstables_peak", ""),
+            self.sstables.len() as u64,
+        );
         io
     }
 
@@ -368,6 +397,12 @@ impl BigTable {
             bloom,
             encoded_bytes: encoded.len() as u64,
         });
+        self.telemetry
+            .counter_add(("bigtable", "compactions", ""), 1);
+        self.telemetry
+            .counter_add(("bigtable", "compaction_entries", ""), total_entries as u64);
+        self.telemetry
+            .record_duration(("bigtable", "compaction_io_ns", ""), io);
         io
     }
 
@@ -640,6 +675,7 @@ impl BigTable {
         remote_time: SimDuration,
         _label: &'static str,
     ) -> QueryExecution {
+        let started = self.clock;
         let cpu_time = meter.total();
         let cpu_span = self
             .tracer
@@ -669,6 +705,13 @@ impl BigTable {
             self.tracer.finish(remote_span, self.clock);
         }
         self.tracer.finish(root, self.clock);
+        self.telemetry
+            .counter_add(("bigtable", "queries", _label), 1);
+        self.telemetry.record_duration(
+            ("bigtable", "query_latency_ns", _label),
+            self.clock.since(started),
+        );
+        crate::meter::record_cpu_items(&mut self.telemetry, meter.items());
         let spans: Vec<_> = self
             .tracer
             .take_spans()

@@ -11,6 +11,7 @@ use hsdp_core::category::CpuCategory;
 use hsdp_core::component::CpuBreakdown;
 use hsdp_core::units::Seconds;
 use hsdp_simcore::time::SimDuration;
+use hsdp_telemetry::{category_key, MetricsRegistry};
 
 /// One labeled unit of CPU work.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +112,22 @@ impl WorkMeter {
     }
 }
 
+/// Mirrors charged CPU work into telemetry counters, one nanosecond counter
+/// per `("cpu", category, leaf)` key, so the registry's `"cpu"` subsystem
+/// sum equals the meter total *exactly* — the invariant the telemetry unit
+/// tests pin.
+pub fn record_cpu_items(registry: &mut MetricsRegistry, items: &[CpuWorkItem]) {
+    if !registry.is_enabled() {
+        return;
+    }
+    for item in items {
+        registry.counter_add(
+            ("cpu", category_key(item.category), item.leaf),
+            item.time.as_nanos(),
+        );
+    }
+}
+
 /// Converts a list of work items into a breakdown (for drained items).
 #[must_use]
 pub fn items_breakdown(items: &[CpuWorkItem]) -> CpuBreakdown {
@@ -148,6 +165,39 @@ mod tests {
         meter.charge_bytes(CoreComputeOp::Read, "noop", 0, 5.0);
         assert!(meter.items().is_empty());
         assert_eq!(meter.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn telemetry_cpu_total_equals_meter_total() {
+        let mut meter = WorkMeter::new();
+        meter.charge(
+            CoreComputeOp::Read,
+            "btree_lookup",
+            SimDuration::from_nanos(1_234),
+        );
+        meter.charge_bytes(DatacenterTax::Protobuf, "proto_encode", 777, 1.5);
+        meter.charge_ops(DatacenterTax::MemAllocation, "malloc", 9, 51.0);
+        let mut registry = MetricsRegistry::new();
+        record_cpu_items(&mut registry, meter.items());
+        assert_eq!(
+            registry.counter_subsystem_sum("cpu"),
+            meter.total().as_nanos(),
+            "telemetry cpu counters must mirror the meter exactly"
+        );
+        // Per-leaf counters carry the category key.
+        assert_eq!(
+            registry.counter(("cpu", "core.read", "btree_lookup")),
+            1_234
+        );
+    }
+
+    #[test]
+    fn record_cpu_items_respects_disabled_registry() {
+        let mut meter = WorkMeter::new();
+        meter.charge(CoreComputeOp::Write, "put", SimDuration::from_nanos(10));
+        let mut registry = MetricsRegistry::disabled();
+        record_cpu_items(&mut registry, meter.items());
+        assert_eq!(registry.counter_subsystem_sum("cpu"), 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use hsdp_rng::derive_seed;
 use hsdp_rng::Rng;
 use hsdp_rng::StdRng;
 use hsdp_simcore::pool::{self, ShardPlan};
+use hsdp_telemetry::MetricsRegistry;
 use hsdp_workload::keys::{KeyGen, ValueGen};
 use hsdp_workload::mix::{AnalyticsMix, AnalyticsQuery, DbMix, DbOp};
 use hsdp_workload::rows::FactGen;
@@ -84,6 +85,19 @@ pub fn default_parallelism() -> usize {
 /// each derive their own generator from it.
 #[must_use]
 pub fn run_spanner(queries: usize, seed: u64) -> Vec<QueryExecution> {
+    run_spanner_shard(queries, seed, false).0
+}
+
+/// [`run_spanner`] with an optionally-enabled telemetry registry covering
+/// the traffic phase (the preload is warmup, not workload). Telemetry
+/// records nothing when `telemetry` is false, so the disabled path is the
+/// uninstrumented baseline for overhead probes.
+#[must_use]
+pub fn run_spanner_shard(
+    queries: usize,
+    seed: u64,
+    telemetry: bool,
+) -> (Vec<QueryExecution>, MetricsRegistry) {
     let platform = Platform::Spanner;
     let mut preload_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_PRELOAD));
     let mut traffic_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_TRAFFIC));
@@ -108,8 +122,11 @@ pub fn run_spanner(queries: usize, seed: u64) -> Vec<QueryExecution> {
         let value = values.sample(&mut preload_rng);
         db.commit(key, value);
     }
+    if telemetry {
+        db.set_telemetry(MetricsRegistry::new());
+    }
 
-    (0..queries)
+    let executions: Vec<QueryExecution> = (0..queries)
         .map(|_| match mix.sample(&mut traffic_rng) {
             DbOp::Read => {
                 let key = keys.sample(&mut traffic_rng);
@@ -125,13 +142,26 @@ pub fn run_spanner(queries: usize, seed: u64) -> Vec<QueryExecution> {
                 values.sample(&mut traffic_rng),
             ),
         })
-        .collect()
+        .collect();
+    assert_eq!(db.open_spans(), 0, "spanner left spans open at end-of-run");
+    (executions, db.take_telemetry())
 }
 
 /// Runs one shard of the BigTable-class workload (a read-heavy key-value mix
 /// with enough writes to exercise flushes and compactions).
 #[must_use]
 pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
+    run_bigtable_shard(queries, seed, false).0
+}
+
+/// [`run_bigtable`] with an optionally-enabled telemetry registry covering
+/// the traffic phase.
+#[must_use]
+pub fn run_bigtable_shard(
+    queries: usize,
+    seed: u64,
+    telemetry: bool,
+) -> (Vec<QueryExecution>, MetricsRegistry) {
     let platform = Platform::BigTable;
     let mut preload_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_PRELOAD));
     let mut traffic_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_TRAFFIC));
@@ -156,8 +186,11 @@ pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
     for rank in 0..6_000 {
         bt.put(keys.key_for_rank(rank), values.sample(&mut preload_rng));
     }
+    if telemetry {
+        bt.set_telemetry(MetricsRegistry::new());
+    }
 
-    (0..queries)
+    let executions: Vec<QueryExecution> = (0..queries)
         .map(|_| match mix.sample(&mut traffic_rng) {
             DbOp::Read => {
                 let key = keys.sample(&mut traffic_rng);
@@ -177,13 +210,27 @@ pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
                 bt.put(key, values.sample(&mut traffic_rng))
             }
         })
-        .collect()
+        .collect();
+    assert_eq!(bt.open_spans(), 0, "bigtable left spans open at end-of-run");
+    (executions, bt.take_telemetry())
 }
 
 /// Runs one shard of the BigQuery-class workload (the dashboard analytics
 /// mix).
 #[must_use]
 pub fn run_bigquery(queries: usize, fact_rows: usize, seed: u64) -> Vec<QueryExecution> {
+    run_bigquery_shard(queries, fact_rows, seed, false).0
+}
+
+/// [`run_bigquery`] with an optionally-enabled telemetry registry covering
+/// the traffic phase.
+#[must_use]
+pub fn run_bigquery_shard(
+    queries: usize,
+    fact_rows: usize,
+    seed: u64,
+    telemetry: bool,
+) -> (Vec<QueryExecution>, MetricsRegistry) {
     let platform = Platform::BigQuery;
     let mut preload_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_PRELOAD));
     let mut traffic_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_TRAFFIC));
@@ -194,9 +241,12 @@ pub fn run_bigquery(queries: usize, fact_rows: usize, seed: u64) -> Vec<QueryExe
         phase_seed(seed, platform, PHASE_ENGINE),
     );
     bq.load(&rows, gen.dimension());
+    if telemetry {
+        bq.set_telemetry(MetricsRegistry::new());
+    }
     let mix = AnalyticsMix::dashboard();
 
-    (0..queries)
+    let executions: Vec<QueryExecution> = (0..queries)
         .map(|_| match mix.sample(&mut traffic_rng) {
             AnalyticsQuery::ScanFilter => {
                 let threshold = 10.0 + traffic_rng.random::<f64>() * 60.0;
@@ -206,7 +256,9 @@ pub fn run_bigquery(queries: usize, fact_rows: usize, seed: u64) -> Vec<QueryExe
             AnalyticsQuery::Join => bq.join(),
             AnalyticsQuery::TopK => bq.top_k(50),
         })
-        .collect()
+        .collect();
+    assert_eq!(bq.open_spans(), 0, "bigquery left spans open at end-of-run");
+    (executions, bq.take_telemetry())
 }
 
 /// One schedulable unit of fleet work: a single platform shard.
@@ -228,30 +280,48 @@ enum ShardJob {
 }
 
 impl ShardJob {
-    fn platform(self) -> Platform {
+    fn run(self, telemetry: bool) -> (Vec<QueryExecution>, MetricsRegistry) {
         match self {
-            ShardJob::Spanner { .. } => Platform::Spanner,
-            ShardJob::BigTable { .. } => Platform::BigTable,
-            ShardJob::BigQuery { .. } => Platform::BigQuery,
-        }
-    }
-
-    fn run(self) -> Vec<QueryExecution> {
-        match self {
-            ShardJob::Spanner { queries, seed } => run_spanner(queries, seed),
-            ShardJob::BigTable { queries, seed } => run_bigtable(queries, seed),
+            ShardJob::Spanner { queries, seed } => run_spanner_shard(queries, seed, telemetry),
+            ShardJob::BigTable { queries, seed } => run_bigtable_shard(queries, seed, telemetry),
             ShardJob::BigQuery {
                 queries,
                 fact_rows,
                 seed,
-            } => run_bigquery(queries, fact_rows, seed),
+            } => run_bigquery_shard(queries, fact_rows, seed, telemetry),
         }
     }
 }
 
-/// Builds the fleet's full shard schedule in canonical merge order:
-/// Spanner shards, then BigTable shards, then BigQuery shards.
-fn fleet_jobs(config: FleetConfig) -> Vec<ShardJob> {
+/// The stable lower-case key a platform goes by in telemetry artifacts
+/// (metric labels, trace process names, report sections).
+#[must_use]
+pub fn platform_key(platform: Platform) -> &'static str {
+    match platform {
+        Platform::Spanner => "spanner",
+        Platform::BigTable => "bigtable",
+        Platform::BigQuery => "bigquery",
+    }
+}
+
+/// One shard's fleet output: where it ran, what it executed, and the
+/// telemetry it recorded (a disabled, empty registry for plain runs).
+#[derive(Debug)]
+pub struct ShardRun {
+    /// The platform this shard simulated.
+    pub platform: Platform,
+    /// Shard index within the platform's plan (canonical merge order).
+    pub shard: usize,
+    /// The shard's query stream, in execution order.
+    pub executions: Vec<QueryExecution>,
+    /// The shard's private telemetry registry.
+    pub telemetry: MetricsRegistry,
+}
+
+/// Builds the fleet's full shard schedule in canonical merge order —
+/// Spanner shards, then BigTable shards, then BigQuery shards — each tagged
+/// with its `(platform, shard index)` identity.
+fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize), ShardJob)> {
     let mut jobs = Vec::with_capacity(3 * config.shards.max(1));
     let spanner = ShardPlan::new(
         config.db_queries,
@@ -259,9 +329,14 @@ fn fleet_jobs(config: FleetConfig) -> Vec<ShardJob> {
         config.seed,
         STREAM_SPANNER,
     );
-    jobs.extend(spanner.shards().iter().map(|s| ShardJob::Spanner {
-        queries: s.items,
-        seed: s.seed,
+    jobs.extend(spanner.shards().iter().map(|s| {
+        (
+            (Platform::Spanner, s.index),
+            ShardJob::Spanner {
+                queries: s.items,
+                seed: s.seed,
+            },
+        )
     }));
     let bigtable = ShardPlan::new(
         config.db_queries,
@@ -269,9 +344,14 @@ fn fleet_jobs(config: FleetConfig) -> Vec<ShardJob> {
         config.seed,
         STREAM_BIGTABLE,
     );
-    jobs.extend(bigtable.shards().iter().map(|s| ShardJob::BigTable {
-        queries: s.items,
-        seed: s.seed,
+    jobs.extend(bigtable.shards().iter().map(|s| {
+        (
+            (Platform::BigTable, s.index),
+            ShardJob::BigTable {
+                queries: s.items,
+                seed: s.seed,
+            },
+        )
     }));
     let bigquery = ShardPlan::new(
         config.analytics_queries,
@@ -279,12 +359,36 @@ fn fleet_jobs(config: FleetConfig) -> Vec<ShardJob> {
         config.seed,
         STREAM_BIGQUERY,
     );
-    jobs.extend(bigquery.shards().iter().map(|s| ShardJob::BigQuery {
-        queries: s.items,
-        fact_rows: config.fact_rows,
-        seed: s.seed,
+    jobs.extend(bigquery.shards().iter().map(|s| {
+        (
+            (Platform::BigQuery, s.index),
+            ShardJob::BigQuery {
+                queries: s.items,
+                fact_rows: config.fact_rows,
+                seed: s.seed,
+            },
+        )
     }));
     jobs
+}
+
+/// Runs the whole fleet, one [`ShardRun`] per shard in canonical
+/// `(platform, shard)` order, with per-shard telemetry registries enabled
+/// when `telemetry` is true.
+fn run_fleet_shards(config: FleetConfig, telemetry: bool) -> Vec<ShardRun> {
+    let jobs: Vec<_> = fleet_jobs(config)
+        .into_iter()
+        .map(|(tag, job)| (tag, move || job.run(telemetry)))
+        .collect();
+    pool::run_tagged_jobs(config.parallelism, jobs)
+        .into_iter()
+        .map(|((platform, shard), (executions, registry))| ShardRun {
+            platform,
+            shard,
+            executions,
+            telemetry: registry,
+        })
+        .collect()
 }
 
 /// Runs all three platforms and returns `(platform, executions)` triples.
@@ -295,23 +399,43 @@ fn fleet_jobs(config: FleetConfig) -> Vec<ShardJob> {
 /// the configuration minus `parallelism`.
 #[must_use]
 pub fn run_fleet(config: FleetConfig) -> Vec<(Platform, Vec<QueryExecution>)> {
-    let jobs = fleet_jobs(config);
-    let platforms: Vec<Platform> = jobs.iter().map(|j| j.platform()).collect();
-    let results = pool::run_jobs(
-        config.parallelism,
-        jobs.into_iter().map(|job| move || job.run()).collect(),
-    );
+    fold_fleet(run_fleet_shards(config, false))
+}
 
-    // Canonical fold: shard order within each platform is the plan order,
-    // which run_jobs already preserves.
+/// The instrumented fleet run: like [`run_fleet`] but each shard records
+/// into its own [`MetricsRegistry`], returned per shard so callers can
+/// export per-shard trace lanes and merge metrics in any order (the merge
+/// is order-independent by construction).
+#[must_use]
+pub fn run_fleet_telemetry(config: FleetConfig) -> Vec<ShardRun> {
+    run_fleet_shards(config, true)
+}
+
+/// Folds per-shard runs into per-platform execution streams in canonical
+/// `(platform, shard)` order (shard order within each platform is the plan
+/// order, which the pool already preserves).
+#[must_use]
+pub fn fold_fleet(runs: Vec<ShardRun>) -> Vec<(Platform, Vec<QueryExecution>)> {
     let mut merged: Vec<(Platform, Vec<QueryExecution>)> = Platform::ALL
         .iter()
         .map(|&platform| (platform, Vec::new()))
         .collect();
-    for (platform, executions) in platforms.into_iter().zip(results) {
-        if let Some(slot) = merged.iter_mut().find(|(p, _)| *p == platform) {
-            slot.1.extend(executions);
+    for run in runs {
+        if let Some(slot) = merged.iter_mut().find(|(p, _)| *p == run.platform) {
+            slot.1.extend(run.executions);
         }
+    }
+    merged
+}
+
+/// Merges every shard's registry into one fleet-wide registry. The fold is
+/// commutative and associative, so any merge order serializes identically;
+/// this one walks the canonical shard order.
+#[must_use]
+pub fn merge_fleet_metrics(runs: &[ShardRun]) -> MetricsRegistry {
+    let mut merged = MetricsRegistry::new();
+    for run in runs {
+        merged.merge(&run.telemetry);
     }
     merged
 }

@@ -20,6 +20,7 @@ use hsdp_storage::cache::PolicyKind;
 use hsdp_storage::tiered::TieredStore;
 use hsdp_taxes::crc::crc32c;
 use hsdp_taxes::protowire::{FieldDescriptor, FieldType, Message, MessageDescriptor, Value};
+use hsdp_telemetry::MetricsRegistry;
 
 use crate::costs;
 use crate::exec::QueryExecution;
@@ -69,6 +70,7 @@ pub struct Spanner {
     net_region: LatencyModel,
     txn_desc: Arc<MessageDescriptor>,
     seed: u64,
+    telemetry: MetricsRegistry,
 }
 
 impl Spanner {
@@ -111,7 +113,26 @@ impl Spanner {
             },
             txn_desc,
             seed,
+            telemetry: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Replaces the telemetry registry (pass [`MetricsRegistry::new`] to
+    /// turn recording on; it is off by default).
+    pub fn set_telemetry(&mut self, registry: MetricsRegistry) {
+        self.telemetry = registry;
+    }
+
+    /// Takes the telemetry collected so far, leaving recording disabled.
+    pub fn take_telemetry(&mut self) -> MetricsRegistry {
+        std::mem::replace(&mut self.telemetry, MetricsRegistry::disabled())
+    }
+
+    /// Spans still open in the tracer — zero between queries; asserted at
+    /// end-of-run by the fleet driver.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.tracer.open_count()
     }
 
     /// The committed log length.
@@ -270,11 +291,20 @@ impl Spanner {
             followers as u64 * 2,
             costs::SYSCALL_NS,
         );
-        if needed_acks == 0 {
+        let wait = if needed_acks == 0 {
             SimDuration::ZERO
         } else {
             round_trips[needed_acks - 1]
-        }
+        };
+        self.telemetry
+            .counter_add(("spanner", "consensus_rounds", ""), 1);
+        self.telemetry.counter_add(
+            ("spanner", "consensus_replicated_bytes", ""),
+            bytes * followers as u64,
+        );
+        self.telemetry
+            .record_duration(("spanner", "consensus_quorum_wait_ns", ""), wait);
+        wait
     }
 
     /// Replicates one record through the group's consensus and applies it,
@@ -608,6 +638,7 @@ impl Spanner {
         remote_time: SimDuration,
         label: &'static str,
     ) -> QueryExecution {
+        let started = self.clock;
         let cpu_span = self
             .tracer
             .start(trace, Some(root.id()), "cpu", SpanKind::Cpu, self.clock);
@@ -636,6 +667,14 @@ impl Spanner {
             self.tracer.finish(io_span, self.clock);
         }
         self.tracer.finish(root, self.clock);
+        self.telemetry.counter_add(("spanner", "queries", label), 1);
+        self.telemetry.record_duration(
+            ("spanner", "query_latency_ns", label),
+            self.clock.since(started),
+        );
+        self.telemetry
+            .gauge_max(("spanner", "log_len_peak", ""), self.log.len() as u64);
+        crate::meter::record_cpu_items(&mut self.telemetry, meter.items());
         let spans: Vec<_> = self
             .tracer
             .take_spans()

@@ -9,16 +9,21 @@
 //! - [`microarch`] — a CPI-stack model fitted to the paper's Tables 6–7,
 //!   predicting IPC from MPKI statistics.
 //! - [`report`] — text-table rendering for the regeneration benches.
+//! - [`crosscheck`] — agreement checks between the GWP cycle view, the
+//!   Section 4.1 interval decomposition, and the telemetry crate's
+//!   critical-path walk.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod crosscheck;
 pub mod e2e;
 pub mod gwp;
 pub mod microarch;
 pub mod report;
 
+pub use crosscheck::{agree, PathAgreement};
 pub use e2e::{classify, figure2, Figure2, Figure2Row};
 pub use gwp::{CycleProfile, GwpConfig, GwpProfiler, LeafWork};
 pub use microarch::{fit_cpi_model, regenerate_tables, CalibrationRow, CpiModel};

@@ -145,7 +145,19 @@ impl Tracer {
     }
 
     /// Drains all finished spans, leaving the tracer empty for reuse.
+    ///
+    /// Draining while spans are still open would orphan them: the open
+    /// span finishes into a *later* batch, severed from the children just
+    /// taken, and every downstream consumer (decomposition, export,
+    /// critical path) would see a broken tree. Debug builds assert there
+    /// are no open spans; callers must finish every span first and should
+    /// check [`Tracer::open_count`] is zero at end-of-run.
     pub fn take_spans(&mut self) -> Vec<Span> {
+        debug_assert!(
+            self.open.is_empty(),
+            "take_spans with {} span(s) still open would orphan them from their children",
+            self.open.len()
+        );
         std::mem::take(&mut self.finished)
     }
 }
@@ -204,6 +216,20 @@ mod tests {
         let span = tracer.start(trace, None, "x", SpanKind::Cpu, t(0));
         tracer.finish(span, t(1));
         tracer.finish(span, t(2));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "still open"))]
+    fn take_spans_with_open_span_is_a_bug() {
+        let mut tracer = Tracer::new();
+        let trace = tracer.new_trace();
+        let open = tracer.start(trace, None, "orphan", SpanKind::Container, t(0));
+        tracer.record(trace, Some(open.id()), "child", SpanKind::Cpu, t(1), t(2));
+        // Draining now would sever `child` from its still-open parent.
+        let taken = tracer.take_spans();
+        // Release builds skip the assertion; the drain still happens.
+        assert_eq!(taken.len(), 1);
+        tracer.finish(open, t(3));
     }
 
     #[test]

@@ -90,6 +90,22 @@ where
     out
 }
 
+/// Runs tagged jobs on the pool and returns `(tag, result)` pairs in input
+/// order. The tag travels *around* the pool, not through it — workers never
+/// see it — so callers can attribute each result to its origin (e.g.
+/// `(platform, shard)` for per-shard telemetry registries) without
+/// threading identity into every job closure.
+pub fn run_tagged_jobs<K, T, F>(parallelism: usize, jobs: Vec<(K, F)>) -> Vec<(K, T)>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let (tags, thunks): (Vec<K>, Vec<F>) = jobs.into_iter().unzip();
+    tags.into_iter()
+        .zip(run_jobs(parallelism, thunks))
+        .collect()
+}
+
 /// One shard of a sharded workload: a contiguous slice of the query stream
 /// with its own independently derived RNG seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,6 +223,16 @@ mod tests {
         ];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_jobs(2, jobs)));
         assert!(result.is_err(), "panic must reach the caller");
+    }
+
+    #[test]
+    fn tagged_jobs_keep_tags_aligned() {
+        type TaggedJob = (&'static str, fn() -> u32);
+        for parallelism in [1, 4] {
+            let jobs: Vec<TaggedJob> = vec![("a", || 1), ("b", || 2), ("c", || 3)];
+            let got = run_tagged_jobs(parallelism, jobs);
+            assert_eq!(got, vec![("a", 1), ("b", 2), ("c", 3)]);
+        }
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Critical-path analysis: the Dapper tree-walk of the paper's Section 3.
+//!
+//! A trace's wall-clock is attributed by walking its span tree *backwards*
+//! from the end: at every instant the path charges the child chain that
+//! finishes latest (the slowest chain — the one the request actually waited
+//! on), recursing into that child, and falls back to the span's own kind
+//! for uncovered self time. The result is a per-category breakdown whose
+//! nanoseconds partition the trace's end-to-end window exactly, so category
+//! fractions sum to 1.0 up to float rounding — the complement to the
+//! GWP-style CPU fractions, which weigh *cycles* rather than *waiting*.
+
+use std::collections::BTreeMap;
+
+use hsdp_rpc::span::{Span, SpanId, SpanKind};
+
+/// Ancestor-chain cap: traces here are a few levels deep; anything deeper
+/// is a malformed parent link and is attributed leaf-style instead of
+/// recursed into.
+const MAX_DEPTH: usize = 64;
+
+/// What a critical-path nanosecond was spent waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PathCategory {
+    /// Local CPU computation on the path.
+    Cpu,
+    /// Distributed-storage IO on the path.
+    Io,
+    /// Remote work (consensus, compaction, shuffle) on the path.
+    Remote,
+    /// Container-span self time: orchestration gaps between children.
+    Orchestration,
+    /// Time outside every span tree (gaps between a trace's roots).
+    Idle,
+}
+
+impl PathCategory {
+    /// All categories in presentation order.
+    pub const ALL: [PathCategory; 5] = [
+        PathCategory::Cpu,
+        PathCategory::Io,
+        PathCategory::Remote,
+        PathCategory::Orchestration,
+        PathCategory::Idle,
+    ];
+
+    /// Stable lower-case name for serialization.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PathCategory::Cpu => "cpu",
+            PathCategory::Io => "io",
+            PathCategory::Remote => "remote",
+            PathCategory::Orchestration => "orchestration",
+            PathCategory::Idle => "idle",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            PathCategory::Cpu => 0,
+            PathCategory::Io => 1,
+            PathCategory::Remote => 2,
+            PathCategory::Orchestration => 3,
+            PathCategory::Idle => 4,
+        }
+    }
+
+    /// The category a span's *self time* on the path is charged to.
+    fn of_kind(kind: SpanKind) -> PathCategory {
+        match kind {
+            SpanKind::Cpu => PathCategory::Cpu,
+            SpanKind::Io => PathCategory::Io,
+            SpanKind::RemoteWork => PathCategory::Remote,
+            SpanKind::Container => PathCategory::Orchestration,
+        }
+    }
+}
+
+/// Integer-exact critical-path attribution of one or more traces.
+///
+/// The per-category nanoseconds of a single trace partition its end-to-end
+/// window exactly; merged breakdowns partition the summed windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CriticalPathBreakdown {
+    ns: [u64; 5],
+}
+
+impl CriticalPathBreakdown {
+    /// An empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Nanoseconds attributed to `category`.
+    #[must_use]
+    pub fn ns(&self, category: PathCategory) -> u64 {
+        self.ns[category.index()]
+    }
+
+    /// Total attributed nanoseconds (equals summed end-to-end windows).
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// The fraction of the critical path in `category` (0.0 when empty).
+    /// Fractions across [`PathCategory::ALL`] sum to 1.0 ± 1e-9.
+    #[must_use]
+    pub fn fraction(&self, category: PathCategory) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            // audit: allow(cast, nanosecond counts to f64 for a dimensionless ratio; exact below 2^53 ns)
+            self.ns(category) as f64 / total as f64
+        }
+    }
+
+    /// All `(category, ns, fraction)` rows in presentation order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(PathCategory, u64, f64)> {
+        PathCategory::ALL
+            .iter()
+            .map(|&c| (c, self.ns(c), self.fraction(c)))
+            .collect()
+    }
+
+    /// Folds another breakdown into this one (commutative, associative).
+    pub fn merge(&mut self, other: &CriticalPathBreakdown) {
+        for (slot, add) in self.ns.iter_mut().zip(other.ns) {
+            *slot += add;
+        }
+    }
+
+    fn charge(&mut self, category: PathCategory, lo: u64, hi: u64) {
+        if hi > lo {
+            self.ns[category.index()] += hi - lo;
+        }
+    }
+}
+
+/// Walks the span tree(s) in `spans` and attributes the trace's wall-clock
+/// window to the slowest child chain.
+///
+/// `spans` is one trace's span set (multiple roots are allowed — composed
+/// operations like read-modify-write concatenate two trees; gaps between
+/// trees are charged to [`PathCategory::Idle`]). An empty slice yields an
+/// empty breakdown.
+#[must_use]
+pub fn critical_path(spans: &[Span]) -> CriticalPathBreakdown {
+    let mut out = CriticalPathBreakdown::new();
+    if spans.is_empty() {
+        return out;
+    }
+
+    // Child index: parent id -> children. A span whose parent is missing
+    // from the set (or self-referential) is treated as a root.
+    let ids: BTreeMap<SpanId, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut children: BTreeMap<SpanId, Vec<&Span>> = BTreeMap::new();
+    let mut roots: Vec<&Span> = Vec::new();
+    for span in spans {
+        match span.parent {
+            Some(parent) if parent != span.id && ids.contains_key(&parent) => {
+                children.entry(parent).or_default().push(span);
+            }
+            _ => roots.push(span),
+        }
+    }
+
+    // The trace window: first start to last end across all spans.
+    let window_lo = spans.iter().map(|s| s.start.as_nanos()).min().unwrap_or(0);
+    let window_hi = spans.iter().map(|s| s.end.as_nanos()).max().unwrap_or(0);
+
+    // Treat the roots as children of a virtual Idle-kind container over the
+    // whole window.
+    walk_children(
+        &roots,
+        PathCategory::Idle,
+        window_lo,
+        window_hi,
+        &children,
+        0,
+        &mut out,
+    );
+    out
+}
+
+/// Attributes `[lo, hi]` of `span`'s timeline: slowest-finishing children
+/// claim their segments (recursively); the remainder is span self time.
+fn walk_span(
+    span: &Span,
+    lo: u64,
+    hi: u64,
+    children: &BTreeMap<SpanId, Vec<&Span>>,
+    depth: usize,
+    out: &mut CriticalPathBreakdown,
+) {
+    let own = PathCategory::of_kind(span.kind);
+    match children.get(&span.id) {
+        Some(kids) if depth < MAX_DEPTH => {
+            walk_children(kids, own, lo, hi, children, depth, out);
+        }
+        _ => out.charge(own, lo, hi),
+    }
+}
+
+/// The backward walk shared by real containers and the virtual root: pick,
+/// at each cursor, the unconsumed child active before the cursor whose
+/// (clamped) end is latest; charge the gap above it to `self_category` and
+/// recurse into the child below it.
+fn walk_children(
+    kids: &[&Span],
+    self_category: PathCategory,
+    lo: u64,
+    hi: u64,
+    children: &BTreeMap<SpanId, Vec<&Span>>,
+    depth: usize,
+    out: &mut CriticalPathBreakdown,
+) {
+    let mut consumed = vec![false; kids.len()];
+    let mut cursor = hi;
+    while cursor > lo {
+        // The candidate maximizing min(end, cursor), tie-broken by (end,
+        // id) so the walk is deterministic for identical timestamps.
+        let mut best: Option<(u64, u64, u64, usize)> = None;
+        for (i, kid) in kids.iter().enumerate() {
+            if consumed[i] || kid.start.as_nanos() >= cursor {
+                continue;
+            }
+            let clamped = kid.end.as_nanos().min(cursor);
+            let rank = (clamped, kid.end.as_nanos(), kid.id.0, i);
+            if best.is_none_or(|b| (b.0, b.1, b.2) < (rank.0, rank.1, rank.2)) {
+                best = Some(rank);
+            }
+        }
+        let Some((clamped_end, _, _, index)) = best else {
+            break;
+        };
+        consumed[index] = true;
+        let kid = kids[index];
+        // Gap between the chain's latest child end and the cursor is the
+        // parent's own waiting.
+        out.charge(self_category, clamped_end, cursor);
+        let kid_lo = kid.start.as_nanos().max(lo);
+        walk_span(kid, kid_lo, clamped_end, children, depth + 1, out);
+        cursor = kid_lo;
+    }
+    out.charge(self_category, lo, cursor);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsdp_rpc::span::{SpanKind, TraceId};
+    use hsdp_simcore::time::SimTime;
+
+    fn span(id: u64, parent: Option<u64>, kind: SpanKind, start: u64, end: u64) -> Span {
+        Span {
+            trace: TraceId(1),
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            name: format!("s{id}"),
+            kind,
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        }
+    }
+
+    #[test]
+    fn sequential_children_partition_exactly() {
+        let spans = vec![
+            span(1, None, SpanKind::Container, 0, 100),
+            span(2, Some(1), SpanKind::Cpu, 0, 40),
+            span(3, Some(1), SpanKind::RemoteWork, 40, 70),
+            span(4, Some(1), SpanKind::Io, 70, 90),
+        ];
+        let cp = critical_path(&spans);
+        assert_eq!(cp.ns(PathCategory::Cpu), 40);
+        assert_eq!(cp.ns(PathCategory::Remote), 30);
+        assert_eq!(cp.ns(PathCategory::Io), 20);
+        // 90..100 is the container's own tail.
+        assert_eq!(cp.ns(PathCategory::Orchestration), 10);
+        assert_eq!(cp.total_ns(), 100);
+        let total: f64 = PathCategory::ALL.iter().map(|&c| cp.fraction(c)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_children_charge_slowest_chain() {
+        // IO runs [0,100]; CPU pipelines on top of it [50,120]. The path is
+        // CPU back to 50, then IO covers the rest.
+        let spans = vec![
+            span(1, None, SpanKind::Container, 0, 120),
+            span(2, Some(1), SpanKind::Io, 0, 100),
+            span(3, Some(1), SpanKind::Cpu, 50, 120),
+        ];
+        let cp = critical_path(&spans);
+        assert_eq!(cp.ns(PathCategory::Cpu), 70);
+        assert_eq!(cp.ns(PathCategory::Io), 50);
+        assert_eq!(cp.total_ns(), 120);
+    }
+
+    #[test]
+    fn nested_grandchildren_are_walked() {
+        let spans = vec![
+            span(1, None, SpanKind::Container, 0, 100),
+            span(2, Some(1), SpanKind::RemoteWork, 10, 90),
+            span(3, Some(2), SpanKind::Cpu, 20, 50),
+        ];
+        let cp = critical_path(&spans);
+        // Remote self time: [10,20] and [50,90]; CPU child claims [20,50];
+        // container claims [0,10] and [90,100].
+        assert_eq!(cp.ns(PathCategory::Remote), 50);
+        assert_eq!(cp.ns(PathCategory::Cpu), 30);
+        assert_eq!(cp.ns(PathCategory::Orchestration), 20);
+        assert_eq!(cp.total_ns(), 100);
+    }
+
+    #[test]
+    fn multi_root_gaps_are_idle() {
+        let spans = vec![
+            span(1, None, SpanKind::Cpu, 0, 30),
+            span(2, None, SpanKind::Io, 50, 80),
+        ];
+        let cp = critical_path(&spans);
+        assert_eq!(cp.ns(PathCategory::Cpu), 30);
+        assert_eq!(cp.ns(PathCategory::Io), 30);
+        assert_eq!(cp.ns(PathCategory::Idle), 20);
+        assert_eq!(cp.total_ns(), 80);
+    }
+
+    #[test]
+    fn empty_and_degenerate_traces() {
+        assert_eq!(critical_path(&[]).total_ns(), 0);
+        let zero = vec![span(1, None, SpanKind::Cpu, 5, 5)];
+        assert_eq!(critical_path(&zero).total_ns(), 0);
+        // Self-referential parent is treated as a root, not recursed.
+        let cyclic = vec![span(7, Some(7), SpanKind::Cpu, 0, 10)];
+        assert_eq!(critical_path(&cyclic).ns(PathCategory::Cpu), 10);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = critical_path(&[span(1, None, SpanKind::Cpu, 0, 10)]);
+        let b = critical_path(&[span(1, None, SpanKind::Io, 0, 5)]);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.ns(PathCategory::Cpu), 10);
+        assert_eq!(merged.ns(PathCategory::Io), 5);
+        assert_eq!(merged.total_ns(), 15);
+    }
+}

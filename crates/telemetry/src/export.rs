@@ -1,0 +1,222 @@
+//! Chrome trace-event export.
+//!
+//! Serializes `hsdp_rpc` spans into the Chrome trace-event JSON format
+//! (the "JSON Array Format" with an `traceEvents` wrapper object), which
+//! Perfetto and `chrome://tracing` load directly. Each platform becomes a
+//! "process" and each shard a "thread", so the fleet's per-shard span
+//! streams land in separate, labeled swimlanes.
+//!
+//! Timestamps: trace-event `ts`/`dur` are microseconds; simulator spans are
+//! integer nanoseconds. Values are emitted as fixed-point decimal micros
+//! (`"{}.{:03}"`) so no float formatting is involved and the output is
+//! byte-deterministic.
+
+use hsdp_rpc::span::{Span, SpanKind};
+
+/// One swimlane's worth of spans plus its process/thread labels.
+#[derive(Debug, Clone)]
+pub struct TraceGroup {
+    /// Process name shown by the viewer (platform, e.g. `"spanner"`).
+    pub process_name: String,
+    /// Process id; group spans from the same platform under one pid.
+    pub pid: u32,
+    /// Thread id within the process (shard index).
+    pub tid: u32,
+    /// Thread name shown by the viewer (e.g. `"shard 3"`).
+    pub thread_name: String,
+    /// The spans to emit on this lane.
+    pub spans: Vec<Span>,
+}
+
+/// The trace-event `cat` field for a span kind.
+#[must_use]
+fn kind_category(kind: SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Cpu => "cpu",
+        SpanKind::Io => "io",
+        SpanKind::RemoteWork => "remote",
+        SpanKind::Container => "container",
+    }
+}
+
+/// Formats integer nanoseconds as fixed-point decimal microseconds.
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_metadata(out: &mut String, name: &str, pid: u32, tid: u32, arg_key: &str, arg_val: &str) {
+    out.push_str(&format!(
+        "    {{\"name\": \"{name}\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"{arg_key}\": \""
+    ));
+    escape(arg_val, out);
+    out.push_str("\"}}");
+}
+
+/// Serializes `groups` into one Chrome trace-event JSON document.
+///
+/// Emits `process_name` / `thread_name` metadata events followed by one
+/// `"X"` (complete) event per span, annotated with the span's trace id,
+/// span id, parent id, and kind in `args`. Output is byte-deterministic
+/// for a given input.
+#[must_use]
+pub fn chrome_trace_json(groups: &[TraceGroup]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+
+    // Metadata first: one process_name per distinct pid (first label wins),
+    // one thread_name per lane.
+    let mut named_pids: Vec<u32> = Vec::new();
+    for group in groups {
+        if !named_pids.contains(&group.pid) {
+            named_pids.push(group.pid);
+            sep(&mut out, &mut first);
+            push_metadata(
+                &mut out,
+                "process_name",
+                group.pid,
+                0,
+                "name",
+                &group.process_name,
+            );
+        }
+        sep(&mut out, &mut first);
+        push_metadata(
+            &mut out,
+            "thread_name",
+            group.pid,
+            group.tid,
+            "name",
+            &group.thread_name,
+        );
+    }
+
+    for group in groups {
+        for span in &group.spans {
+            sep(&mut out, &mut first);
+            let start = span.start.as_nanos();
+            let dur = span.end.as_nanos().saturating_sub(start);
+            out.push_str("    {\"name\": \"");
+            escape(&span.name, &mut out);
+            out.push_str(&format!(
+                "\", \"cat\": \"{cat}\", \"ph\": \"X\", \"ts\": {ts}, \"dur\": {dur}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"trace\": {trace}, \"span\": {span_id}, \"parent\": {parent}}}}}",
+                cat = kind_category(span.kind),
+                ts = micros(start),
+                dur = micros(dur),
+                pid = group.pid,
+                tid = group.tid,
+                trace = span.trace.0,
+                span_id = span.id.0,
+                parent = span
+                    .parent
+                    .map_or_else(|| "null".to_string(), |p| p.0.to_string()),
+            ));
+        }
+    }
+
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsdp_rpc::span::{SpanId, TraceId};
+    use hsdp_simcore::time::SimTime;
+
+    fn sample_group() -> TraceGroup {
+        TraceGroup {
+            process_name: "spanner".to_string(),
+            pid: 1,
+            tid: 3,
+            thread_name: "shard 3".to_string(),
+            spans: vec![
+                Span {
+                    trace: TraceId(9),
+                    id: SpanId(1),
+                    parent: None,
+                    name: "spanner.query".to_string(),
+                    kind: SpanKind::Container,
+                    start: SimTime::from_nanos(1_500),
+                    end: SimTime::from_nanos(42_750),
+                },
+                Span {
+                    trace: TraceId(9),
+                    id: SpanId(2),
+                    parent: Some(SpanId(1)),
+                    name: "consensus \"r1\"".to_string(),
+                    kind: SpanKind::RemoteWork,
+                    start: SimTime::from_nanos(2_000),
+                    end: SimTime::from_nanos(30_000),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn emits_valid_json_with_metadata_and_events() {
+        let doc = chrome_trace_json(&[sample_group()]);
+        crate::json::validate(&doc).expect("exporter output must be valid JSON");
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"process_name\""));
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("\"ph\": \"X\""));
+        // 1500 ns -> 1.500 us fixed-point.
+        assert!(doc.contains("\"ts\": 1.500"));
+        assert!(doc.contains("\"dur\": 41.250"));
+        // Span name quotes are escaped.
+        assert!(doc.contains("consensus \\\"r1\\\""));
+        assert!(doc.contains("\"parent\": 1"));
+        assert!(doc.contains("\"parent\": null"));
+    }
+
+    #[test]
+    fn process_metadata_deduplicates_by_pid() {
+        let mut lane_a = sample_group();
+        lane_a.tid = 0;
+        let mut lane_b = sample_group();
+        lane_b.tid = 1;
+        lane_b.spans.clear();
+        let doc = chrome_trace_json(&[lane_a, lane_b]);
+        crate::json::validate(&doc).expect("valid JSON");
+        assert_eq!(doc.matches("\"process_name\"").count(), 1);
+        assert_eq!(doc.matches("\"thread_name\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_still_valid() {
+        let doc = chrome_trace_json(&[]);
+        crate::json::validate(&doc).expect("valid JSON");
+        assert!(doc.contains("\"traceEvents\": [\n\n  ]"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let a = chrome_trace_json(&[sample_group()]);
+        let b = chrome_trace_json(&[sample_group()]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Merge-order invariance of the metrics registry: folding N per-shard
+//! registries in *any* order must serialize byte-identically, because the
+//! fleet driver's determinism guarantee ("`parallelism` changes nothing but
+//! wall-clock") extends to the telemetry artifacts.
+
+use hsdp_simcore::time::SimDuration;
+use hsdp_telemetry::MetricsRegistry;
+
+/// Builds a synthetic per-shard registry whose contents vary by shard.
+fn shard_registry(shard: u64) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    registry.counter_add(("rpc", "requests", "read"), 10 + shard);
+    registry.counter_add(("rpc", "requests", "write"), 3 * shard);
+    registry.gauge_max(("storage", "log_len_peak", ""), 100 * (shard + 1) % 7);
+    // Latencies spread across histogram buckets, shard-dependent.
+    for i in 0..50 {
+        let nanos = (shard + 1) * 1_000 + i * i * 37;
+        registry.record_duration(
+            ("rpc", "latency_ns", "read"),
+            SimDuration::from_nanos(nanos),
+        );
+    }
+    if shard.is_multiple_of(2) {
+        // Keys present in only some shards must still merge canonically.
+        registry.counter_add(("compaction", "runs", ""), shard + 1);
+    }
+    registry
+}
+
+/// Merges the given shards into a fresh registry, in the order given.
+fn merge_in_order(order: &[u64]) -> String {
+    let mut merged = MetricsRegistry::new();
+    for &shard in order {
+        merged.merge(&shard_registry(shard));
+    }
+    merged.to_json()
+}
+
+/// All permutations of `items` (small N — test helper only).
+fn permutations(items: &[u64]) -> Vec<Vec<u64>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[test]
+fn merge_is_order_invariant_over_all_permutations() {
+    let shards: Vec<u64> = (0..4).collect();
+    let canonical = merge_in_order(&shards);
+    assert!(canonical.contains("rpc/requests/read"), "merge lost keys");
+    for order in permutations(&shards) {
+        assert_eq!(
+            merge_in_order(&order),
+            canonical,
+            "merge order {order:?} produced different bytes"
+        );
+    }
+}
+
+#[test]
+fn merge_is_associative_under_grouping() {
+    // ((a + b) + (c + d)) == (a + (b + (c + d))) — tree-shaped folds (what a
+    // hierarchical reduction would do) match the flat left fold.
+    let flat = merge_in_order(&[0, 1, 2, 3]);
+
+    let mut left = MetricsRegistry::new();
+    left.merge(&shard_registry(0));
+    left.merge(&shard_registry(1));
+    let mut right = MetricsRegistry::new();
+    right.merge(&shard_registry(2));
+    right.merge(&shard_registry(3));
+    let mut tree = MetricsRegistry::new();
+    tree.merge(&left);
+    tree.merge(&right);
+
+    assert_eq!(tree.to_json(), flat);
+}
+
+#[test]
+fn merging_empty_registry_is_identity() {
+    let base = shard_registry(1);
+    let mut merged = MetricsRegistry::new();
+    merged.merge(&base);
+    merged.merge(&MetricsRegistry::new());
+    merged.merge(&MetricsRegistry::disabled());
+    assert_eq!(merged.to_json(), base.to_json());
+}
