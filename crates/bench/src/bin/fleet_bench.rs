@@ -11,9 +11,13 @@
 //! only the wall-clock differs).
 
 use hsdp_bench::harness::{time_ns, BenchRecord, BenchReport};
+use hsdp_core::category::Platform;
 use hsdp_platforms::bloom::{Bloom, ReferenceBloom};
 use hsdp_platforms::merge::{merge_runs_reference, merge_sorted_runs, Entry};
-use hsdp_platforms::runner::{default_parallelism, run_fleet, run_fleet_telemetry, FleetConfig};
+use hsdp_platforms::runner::{
+    default_parallelism, platform_key, platform_plan, run_bigquery, run_bigtable, run_fleet,
+    run_fleet_telemetry, run_spanner, FleetConfig,
+};
 use hsdp_rng::{Rng, StdRng};
 use hsdp_taxes::compress::{compress, compress_reference, decompress, decompress_reference};
 use hsdp_taxes::crc::{crc32c_append, crc32c_append_bytewise};
@@ -359,6 +363,69 @@ fn main() {
         sequential_ns / parallel_ns,
         default_parallelism(),
     );
+
+    // --- Fleet: parallelism matched to the hardware. -----------------------
+    // The forced-x4 entry above is kept comparable across machines; this one
+    // runs at the host's actual thread count, so the two together expose
+    // oversubscription (on a 1-thread host, x4 pays pure scheduling overhead
+    // over this entry).
+    let hw_threads = default_parallelism();
+    let parallel_hw_ns = time_ns(1, || {
+        run_fleet(FleetConfig {
+            parallelism: hw_threads,
+            ..fleet_config
+        })
+    });
+    report.push(BenchRecord {
+        id: "fleet/wall_clock/parallel_hw".to_owned(),
+        ns_per_iter: parallel_hw_ns,
+        bytes_per_iter: None,
+        parallelism: hw_threads,
+        seed: SEED,
+    });
+    println!(
+        "fleet: parallel(hw x{hw_threads}) {:.1} ms ({:.2}x vs sequential)",
+        parallel_hw_ns / 1e6,
+        sequential_ns / parallel_hw_ns,
+    );
+
+    // --- Fleet: per-platform shard wall-clocks (scheduling-skew probe). ----
+    // Times every shard of each platform's plan in isolation. The per-shard
+    // max/total ratio shows how lumpy the schedule is: a platform whose
+    // single heaviest shard dominates the fleet total bounds any parallel
+    // speedup (and is why the dispatcher queues heavy platforms first).
+    for &platform in &Platform::ALL {
+        let plan = platform_plan(&fleet_config, platform);
+        let mut total_ns = 0.0f64;
+        let mut max_shard_ns = 0.0f64;
+        for shard in plan.shards() {
+            let shard_ns = time_ns(1, || match platform {
+                Platform::Spanner => run_spanner(shard.items, shard.seed).len(),
+                Platform::BigTable => run_bigtable(shard.items, shard.seed).len(),
+                Platform::BigQuery => {
+                    run_bigquery(shard.items, fleet_config.fact_rows, shard.seed).len()
+                }
+            });
+            total_ns += shard_ns;
+            max_shard_ns = max_shard_ns.max(shard_ns);
+        }
+        report.push(BenchRecord {
+            id: format!("fleet/shard_wall_clock/{}", platform_key(platform)),
+            ns_per_iter: total_ns,
+            bytes_per_iter: None,
+            parallelism: 1,
+            seed: SEED,
+        });
+        println!(
+            "fleet shards: {} total {:.1} ms over {} shard(s), heaviest {:.1} ms \
+             ({:.0}% of platform total)",
+            platform_key(platform),
+            total_ns / 1e6,
+            plan.shards().len(),
+            max_shard_ns / 1e6,
+            100.0 * max_shard_ns / total_ns.max(1.0),
+        );
+    }
 
     // --- Telemetry overhead: instrumented vs uninstrumented fleet run. -----
     // Same seed, same parallelism; the only difference is live per-shard

@@ -9,11 +9,27 @@
 //! Everything in the output is integer-exact (simulated nanoseconds and a
 //! CRC32C digest over the full merged record stream), so two runs are
 //! byte-identical if and only if their merged `QueryExecution` streams are.
+//!
+//! `--folded PATH` additionally writes a Brendan Gregg collapsed-stack
+//! profile (load with `flamegraph.pl` or speedscope), and `--pprof PATH`
+//! writes the same stack tree as a raw `profile.proto` (load with
+//! `pprof -http=: PATH`). Both are rendered from one deterministic GWP
+//! pass over the canonical record stream, so they are byte-identical at
+//! any `--parallelism`.
 
+use hsdp_bench::exhibits::fleet_stack_profile;
 use hsdp_bench::telemetry_out::build_artifacts;
 use hsdp_platforms::runner::{fold_fleet, run_fleet, run_fleet_telemetry, FleetConfig};
 use hsdp_platforms::QueryExecution;
+use hsdp_simcore::time::SimDuration;
 use hsdp_taxes::crc::Crc32c;
+use hsdp_taxes::pprof::Profile;
+
+/// GWP sample period for the stack-profile exports (matches the period
+/// baked into [`fleet_stack_profile`]).
+fn stack_sample_period() -> SimDuration {
+    SimDuration::from_micros(2)
+}
 
 fn main() {
     let mut config = FleetConfig {
@@ -24,6 +40,8 @@ fn main() {
     };
     let mut out_path: Option<String> = None;
     let mut telemetry_dir: Option<String> = None;
+    let mut folded_path: Option<String> = None;
+    let mut pprof_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,10 +58,12 @@ fn main() {
             "--db-queries" => config.db_queries = parse(&take("--db-queries"), "--db-queries"),
             "--out" => out_path = Some(take("--out")),
             "--telemetry" => telemetry_dir = Some(take("--telemetry")),
+            "--folded" => folded_path = Some(take("--folded")),
+            "--pprof" => pprof_path = Some(take("--pprof")),
             other => {
                 eprintln!(
                     "unknown option `{other}` (supported: --parallelism --shards --seed \
-                     --db-queries --out --telemetry)"
+                     --db-queries --out --telemetry --folded --pprof)"
                 );
                 std::process::exit(2);
             }
@@ -64,6 +84,27 @@ fn main() {
         }
         None => run_fleet(config),
     };
+    // Stack-profile exports: both render from one deterministic GWP pass
+    // over the canonical fleet record stream, so any two runs with the same
+    // workload config produce byte-identical artifacts regardless of
+    // `--parallelism`.
+    if folded_path.is_some() || pprof_path.is_some() {
+        let stacks = fleet_stack_profile(&fleet, config.seed);
+        if let Some(path) = folded_path {
+            std::fs::write(&path, stacks.folded()).expect("write folded stacks");
+        }
+        if let Some(path) = pprof_path {
+            let profile = stacks.to_pprof(stack_sample_period());
+            profile.validate().expect("pprof export is consistent");
+            let bytes = profile.encode();
+            // Round-trip self-check: the bytes we ship must decode back to
+            // the exact message we built.
+            let decoded = Profile::decode(&bytes).expect("pprof round-trip decode");
+            assert_eq!(decoded, profile, "pprof round-trip must be lossless");
+            std::fs::write(&path, &bytes).expect("write pprof profile");
+        }
+    }
+
     let json = render_profile(&config, &fleet);
     match out_path {
         Some(path) => std::fs::write(&path, &json).expect("write profile JSON"),

@@ -1,0 +1,127 @@
+//! Compares two pprof profiles and gates on share drift:
+//!
+//! ```sh
+//! cargo run --release -p hsdp-bench --bin profile_diff -- \
+//!     baseline.pb candidate.pb --threshold 0.01
+//! ```
+//!
+//! Both inputs are raw `profile.proto` files (as written by
+//! `fleet_profile --pprof`). The tool decodes and validates each, recovers
+//! per-category and per-stack CPU shares from the decoded bytes — so the
+//! gate exercises the full encode → decode → compare loop — prints the
+//! largest movements, and exits nonzero when any *category* share moved by
+//! more than `--threshold` (absolute share, default 0.01 = one percentage
+//! point). Stack-level deltas are reported for diagnosis but only gate when
+//! `--stack-threshold` is given.
+
+use hsdp_profiling::stacks::{
+    max_abs_delta, pprof_category_shares, pprof_stack_shares, share_deltas, ShareDelta,
+};
+use hsdp_taxes::pprof::Profile;
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 0.01f64;
+    let mut stack_threshold: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = take("--threshold")
+                    .parse()
+                    .expect("--threshold: invalid number");
+            }
+            "--stack-threshold" => {
+                stack_threshold = Some(
+                    take("--stack-threshold")
+                        .parse()
+                        .expect("--stack-threshold: invalid number"),
+                );
+            }
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "unknown option `{other}` (supported: BASELINE CANDIDATE \
+                     --threshold --stack-threshold)"
+                );
+                std::process::exit(2);
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: profile_diff BASELINE.pb CANDIDATE.pb [--threshold 0.01]");
+        std::process::exit(2);
+    }
+
+    let baseline = load(&paths[0]);
+    let candidate = load(&paths[1]);
+
+    let category_deltas = share_deltas(
+        &pprof_category_shares(&baseline),
+        &pprof_category_shares(&candidate),
+    );
+    let stack_deltas = share_deltas(
+        &pprof_stack_shares(&baseline),
+        &pprof_stack_shares(&candidate),
+    );
+
+    println!("category share drift (baseline -> candidate):");
+    print_deltas(&category_deltas, 10);
+    println!("stack share drift (top movements):");
+    print_deltas(&stack_deltas, 10);
+
+    let category_drift = max_abs_delta(&category_deltas);
+    let stack_drift = max_abs_delta(&stack_deltas);
+    println!(
+        "max drift: category {:.4} (threshold {threshold}), stack {:.4}{}",
+        category_drift,
+        stack_drift,
+        stack_threshold.map_or(String::new(), |t| format!(" (threshold {t})")),
+    );
+
+    let mut failed = false;
+    if category_drift > threshold {
+        eprintln!("FAIL: category share drift {category_drift:.4} exceeds threshold {threshold}");
+        failed = true;
+    }
+    if let Some(t) = stack_threshold {
+        if stack_drift > t {
+            eprintln!("FAIL: stack share drift {stack_drift:.4} exceeds threshold {t}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: drift within thresholds");
+}
+
+fn load(path: &str) -> Profile {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let profile =
+        Profile::decode(&bytes).unwrap_or_else(|e| panic!("{path}: pprof decode failed: {e}"));
+    profile
+        .validate()
+        .unwrap_or_else(|e| panic!("{path}: pprof validation failed: {e}"));
+    profile
+}
+
+fn print_deltas(deltas: &[ShareDelta], limit: usize) {
+    for d in deltas.iter().take(limit) {
+        if d.delta() == 0.0 {
+            continue;
+        }
+        println!(
+            "  {:+.4}  {:>7.4} -> {:>7.4}  {}",
+            d.delta(),
+            d.before,
+            d.after,
+            d.name
+        );
+    }
+}

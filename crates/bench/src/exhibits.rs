@@ -10,6 +10,7 @@ use hsdp_profiling::e2e::figure2;
 use hsdp_profiling::gwp::{CycleProfile, GwpConfig, GwpProfiler, LeafWork};
 use hsdp_profiling::microarch::regenerate_tables;
 use hsdp_profiling::report;
+use hsdp_profiling::stacks::StackProfile;
 use hsdp_storage::provision::{paper_spec, provision, PlatformClass};
 
 /// The fleet configuration the exhibit benches run (kept modest so a full
@@ -53,6 +54,7 @@ pub fn run_profiled_fleet(config: FleetConfig) -> Vec<PlatformRun> {
                         category: w.category,
                         leaf: w.leaf,
                         time: w.time,
+                        stack: w.stack.clone(),
                     });
                 }
             }
@@ -67,6 +69,37 @@ pub fn run_profiled_fleet(config: FleetConfig) -> Vec<PlatformRun> {
             }
         })
         .collect()
+}
+
+/// Builds the fleet-wide stack-tree profile from already-run fleet records.
+///
+/// One GWP profiler consumes every platform's work stream in canonical
+/// fleet order, so the result — and therefore the folded text and the
+/// pprof bytes rendered from it — is a pure function of the fleet records
+/// and `seed`. Frame roots already carry the platform name
+/// (`spanner.commit`, `bigtable.put`, …), so no extra prefixing is needed.
+#[must_use]
+pub fn fleet_stack_profile(
+    fleet: &[(Platform, Vec<hsdp_platforms::QueryExecution>)],
+    seed: u64,
+) -> StackProfile {
+    let mut profiler = GwpProfiler::new(GwpConfig {
+        sample_period: hsdp_simcore::time::SimDuration::from_micros(2),
+        seed: seed ^ 0x57AC,
+    });
+    for (_, executions) in fleet {
+        for exec in executions {
+            for w in &exec.cpu_work {
+                profiler.observe(&LeafWork {
+                    category: w.category,
+                    leaf: w.leaf,
+                    time: w.time,
+                    stack: w.stack.clone(),
+                });
+            }
+        }
+    }
+    profiler.into_parts().1
 }
 
 // ---------------------------------------------------------------------------

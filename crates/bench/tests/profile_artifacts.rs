@@ -1,0 +1,157 @@
+//! End-to-end checks on the stack-profile artifacts: folded-stack format,
+//! pprof round-trip, parallelism-independence, and the `profile_diff`
+//! regression gate (including its nonzero exit on an injected share shift).
+
+use std::process::Command;
+
+use hsdp_bench::exhibits::fleet_stack_profile;
+use hsdp_core::category::CpuCategory;
+use hsdp_core::category::SystemTax;
+use hsdp_platforms::runner::{run_fleet, FleetConfig};
+use hsdp_profiling::stacks::{max_abs_delta, pprof_category_shares, share_deltas, StackProfile};
+use hsdp_simcore::time::SimDuration;
+use hsdp_taxes::pprof::Profile;
+
+fn small_config(parallelism: usize) -> FleetConfig {
+    FleetConfig {
+        db_queries: 40,
+        analytics_queries: 6,
+        fact_rows: 600,
+        seed: 0xFACE,
+        parallelism,
+        shards: 2,
+    }
+}
+
+fn small_stack_profile(parallelism: usize) -> StackProfile {
+    let config = small_config(parallelism);
+    let fleet = run_fleet(config);
+    fleet_stack_profile(&fleet, config.seed)
+}
+
+#[test]
+fn folded_output_is_flamegraph_ready() {
+    let folded = small_stack_profile(1).folded();
+    assert!(!folded.is_empty());
+    let mut roots = std::collections::BTreeSet::new();
+    for line in folded.lines() {
+        // Every line: `frame;frame;leaf <count>` with a positive integer
+        // weight and at least one semicolon (root frame + leaf).
+        let (path, weight) = line.rsplit_once(' ').expect("weight separator");
+        assert!(
+            path.contains(';'),
+            "stacked path has a root frame and a leaf: {line}"
+        );
+        assert!(!path.contains(' '), "no spaces inside the path: {line}");
+        let w: u64 = weight.parse().expect("integer weight");
+        assert!(w > 0, "zero-weight lines are dropped: {line}");
+        roots.insert(path.split(';').next().expect("root").to_owned());
+    }
+    // All three platforms contribute roots.
+    for prefix in ["spanner.", "bigtable.", "bigquery."] {
+        assert!(
+            roots.iter().any(|r| r.starts_with(prefix)),
+            "missing {prefix} root in {roots:?}"
+        );
+    }
+    // 2PC nests consensus under prepare/commit: deep stacks exist.
+    assert!(
+        folded.lines().any(|l| l.split(';').count() >= 4),
+        "expected at least one >=4-deep stack"
+    );
+}
+
+#[test]
+fn artifacts_are_parallelism_invariant() {
+    let p1 = small_stack_profile(1);
+    let p4 = small_stack_profile(4);
+    assert_eq!(p1, p4, "stack profile is a pure function of the workload");
+    assert_eq!(p1.folded(), p4.folded());
+    let period = SimDuration::from_micros(2);
+    assert_eq!(
+        p1.to_pprof(period).encode(),
+        p4.to_pprof(period).encode(),
+        "pprof bytes byte-identical across parallelism"
+    );
+}
+
+#[test]
+fn pprof_artifact_round_trips() {
+    let stacks = small_stack_profile(1);
+    let profile = stacks.to_pprof(SimDuration::from_micros(2));
+    profile.validate().expect("valid export");
+    let bytes = profile.encode();
+    let decoded = Profile::decode(&bytes).expect("decodes");
+    assert_eq!(decoded, profile, "lossless round-trip");
+    // The decoded view reconstructs the same total CPU nanoseconds.
+    let cpu_idx = decoded
+        .sample_types
+        .iter()
+        .position(|vt| decoded.string(vt.kind) == "cpu")
+        .expect("cpu dimension");
+    let total_ns: i64 = decoded.samples.iter().map(|s| s.values[cpu_idx]).sum();
+    assert_eq!(
+        u64::try_from(total_ns).expect("non-negative"),
+        stacks.total_exact().as_nanos()
+    );
+}
+
+#[test]
+fn profile_diff_gate_passes_identical_and_fails_shifted() {
+    let stacks = small_stack_profile(1);
+    let period = SimDuration::from_micros(2);
+    let baseline = stacks.to_pprof(period).encode();
+
+    // Inject a ~6%-of-total share shift into a copy: a new stack under a
+    // category that dominates nothing else in the profile.
+    let mut shifted = stacks.clone();
+    let total = stacks.total_exact().as_nanos();
+    shifted.record(
+        &["injected.root"],
+        "injected_leaf",
+        CpuCategory::System(SystemTax::MiscSystem),
+        SimDuration::from_nanos(total / 15),
+        0,
+    );
+    let candidate = shifted.to_pprof(period).encode();
+
+    // Library-level check first: the injected drift clears 5%.
+    let deltas = share_deltas(
+        &pprof_category_shares(&Profile::decode(&baseline).expect("baseline decodes")),
+        &pprof_category_shares(&Profile::decode(&candidate).expect("candidate decodes")),
+    );
+    assert!(
+        max_abs_delta(&deltas) > 0.05,
+        "injected shift is above 5%: {}",
+        max_abs_delta(&deltas)
+    );
+
+    // Bin-level: identical profiles pass, shifted profiles fail.
+    let dir = std::env::temp_dir().join(format!("hsdp-profile-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let base_path = dir.join("baseline.pb");
+    let cand_path = dir.join("candidate.pb");
+    std::fs::write(&base_path, &baseline).expect("write baseline");
+    std::fs::write(&cand_path, &candidate).expect("write candidate");
+
+    let ok = Command::new(env!("CARGO_BIN_EXE_profile_diff"))
+        .args([&base_path, &base_path])
+        .arg("--threshold")
+        .arg("0.01")
+        .status()
+        .expect("run profile_diff");
+    assert!(ok.success(), "identical profiles must pass the gate");
+
+    let fail = Command::new(env!("CARGO_BIN_EXE_profile_diff"))
+        .args([&base_path, &cand_path])
+        .arg("--threshold")
+        .arg("0.01")
+        .status()
+        .expect("run profile_diff");
+    assert!(
+        !fail.success(),
+        "a >5% category shift must trip the 1% gate"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

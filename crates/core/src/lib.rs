@@ -20,6 +20,7 @@
 //!   composition (Equations 3–6, 9).
 //! - [`chained`] — the chained-execution extension (Equations 10–12).
 //! - [`profile`] — query populations, Figure 2 groups, platform profiles.
+//! - [`stack`] — call-frame paths for stack-aware GWP profiling.
 //! - [`study`] — the limit studies behind Figures 9, 10, 13, 14, 15.
 //! - [`paper`] — every published constant, plus calibrated synthetic query
 //!   populations.
@@ -66,6 +67,7 @@ pub mod model;
 pub mod paper;
 pub mod plan;
 pub mod profile;
+pub mod stack;
 pub mod study;
 pub mod units;
 

@@ -169,6 +169,7 @@ impl BigQuery {
         columns: &[usize],
         meter: &mut WorkMeter,
     ) -> SimDuration {
+        let mut meter = meter.scope("column_scan");
         let mut io = SimDuration::ZERO;
         let rows = self.partitions[worker].table.rows() as u64;
         for &c in columns {
@@ -246,6 +247,7 @@ impl BigQuery {
     /// Charges serialization taxes and returns the remote-work wait (the
     /// slowest worker's transfer).
     fn shuffle(&mut self, meter: &mut WorkMeter, bytes_per_worker: u64, salt: u64) -> SimDuration {
+        let mut meter = meter.scope("shuffle");
         let mut slowest = SimDuration::ZERO;
         for w in 0..self.config.workers {
             meter.charge_bytes(
@@ -329,6 +331,7 @@ impl BigQuery {
     /// Returns small result sets to the coordinator over the ordinary
     /// cluster fabric (unlike the heavyweight shuffle).
     fn collect_results(&mut self, meter: &mut WorkMeter, bytes: u64, salt: u64) -> SimDuration {
+        let mut meter = meter.scope("result_collect");
         meter.charge_bytes(
             DatacenterTax::Protobuf,
             "result_serialize",
@@ -439,52 +442,57 @@ impl BigQuery {
         let mut meter = WorkMeter::new();
         let (trace, root) = self.start_query("bigquery.scan_filter");
 
-        let mut io = SimDuration::ZERO;
-        let mut matched = 0u64;
-        let mut result_bytes = 0u64;
-        for w in 0..self.config.workers {
-            io += self.scan_columns(w, &[2, 4, 5], &mut meter);
-            let part = &self.partitions[w].table;
-            let (Column::Float64(latency), Column::Str(urls), Column::Bool(success)) =
-                (part.column(2), part.column(4), part.column(5))
-            else {
-                // audit: allow(panic, the fact-table column layout is fixed at construction)
-                unreachable!("fact schema is fixed")
-            };
-            let rows = part.rows() as u64;
-            meter.charge_ops(
-                CoreComputeOp::Filter,
-                "predicate_eval",
-                rows * 2,
-                costs::FILTER_NS_PER_ROW,
-            );
-            for i in 0..part.rows() {
-                if latency[i] > latency_threshold && success[i] {
-                    matched += 1;
-                    result_bytes += urls[i].len() as u64 + 12;
+        let (io_wall, collect) = {
+            let mut op = meter.scope("bigquery.scan_filter");
+            let mut io = SimDuration::ZERO;
+            let mut matched = 0u64;
+            let mut result_bytes = 0u64;
+            for w in 0..self.config.workers {
+                io += self.scan_columns(w, &[2, 4, 5], &mut op);
+                let part = &self.partitions[w].table;
+                let (Column::Float64(latency), Column::Str(urls), Column::Bool(success)) =
+                    (part.column(2), part.column(4), part.column(5))
+                else {
+                    // audit: allow(panic, the fact-table column layout is fixed at construction)
+                    unreachable!("fact schema is fixed")
+                };
+                let rows = part.rows() as u64;
+                let mut filter = op.scope("filter");
+                filter.charge_ops(
+                    CoreComputeOp::Filter,
+                    "predicate_eval",
+                    rows * 2,
+                    costs::FILTER_NS_PER_ROW,
+                );
+                for i in 0..part.rows() {
+                    if latency[i] > latency_threshold && success[i] {
+                        matched += 1;
+                        result_bytes += urls[i].len() as u64 + 12;
+                    }
                 }
+                filter.charge_ops(
+                    CoreComputeOp::Materialize,
+                    "result_rows",
+                    matched,
+                    costs::MATERIALIZE_NS_PER_ROW,
+                );
             }
-            meter.charge_ops(
-                CoreComputeOp::Materialize,
-                "result_rows",
-                matched,
-                costs::MATERIALIZE_NS_PER_ROW,
+            // Workers run in parallel: wall IO is the average stripe, modeled
+            // as total/workers.
+            let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+            let collect = self.collect_results(
+                &mut op,
+                result_bytes / self.config.workers as u64 + 64,
+                trace.0,
             );
-        }
-        // Workers run in parallel: wall IO is the average stripe, modeled as
-        // total/workers.
-        let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
-        let collect = self.collect_results(
-            &mut meter,
-            result_bytes / self.config.workers as u64 + 64,
-            trace.0,
-        );
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
+            );
+            (io_wall, collect)
+        };
         self.finish_query(trace, root, meter, io_wall, collect, "scan-filter")
     }
 
@@ -493,66 +501,75 @@ impl BigQuery {
         let mut meter = WorkMeter::new();
         let (trace, root) = self.start_query("bigquery.group_aggregate");
 
-        let mut io = SimDuration::ZERO;
-        // Group by (user, region): the high-cardinality keys that make
-        // analytics shuffles heavy. Only the narrow, cache-friendly integer
-        // columns are scanned.
-        let mut partials: HashMap<u64, (i64, u64)> = HashMap::new();
-        for w in 0..self.config.workers {
-            io += self.scan_columns(w, &[0, 1, 3], &mut meter);
-            let part = &self.partitions[w].table;
-            let (Column::Int64(users), Column::U32(regions), Column::Int64(bytes)) =
-                (part.column(0), part.column(1), part.column(3))
-            else {
-                // audit: allow(panic, the fact-table column layout is fixed at construction)
-                unreachable!("fact schema is fixed")
-            };
-            meter.charge_ops(
-                CoreComputeOp::Aggregate,
-                "hash_aggregate",
-                part.rows() as u64,
-                costs::AGG_NS_PER_ROW,
-            );
-            for i in 0..part.rows() {
-                let key = (users[i].unsigned_abs() << 8) | (u64::from(regions[i]) % 256);
-                let entry = partials.entry(key).or_insert((0, 0));
-                entry.0 += bytes[i];
-                entry.1 += 1;
+        let (io_wall, shuffle) = {
+            let mut op = meter.scope("bigquery.group_aggregate");
+            let mut io = SimDuration::ZERO;
+            // Group by (user, region): the high-cardinality keys that make
+            // analytics shuffles heavy. Only the narrow, cache-friendly
+            // integer columns are scanned.
+            let mut partials: HashMap<u64, (i64, u64)> = HashMap::new();
+            for w in 0..self.config.workers {
+                io += self.scan_columns(w, &[0, 1, 3], &mut op);
+                let part = &self.partitions[w].table;
+                let (Column::Int64(users), Column::U32(regions), Column::Int64(bytes)) =
+                    (part.column(0), part.column(1), part.column(3))
+                else {
+                    // audit: allow(panic, the fact-table column layout is fixed at construction)
+                    unreachable!("fact schema is fixed")
+                };
+                op.scope("aggregate").charge_ops(
+                    CoreComputeOp::Aggregate,
+                    "hash_aggregate",
+                    part.rows() as u64,
+                    costs::AGG_NS_PER_ROW,
+                );
+                for i in 0..part.rows() {
+                    let key = (users[i].unsigned_abs() << 8) | (u64::from(regions[i]) % 256);
+                    let entry = partials.entry(key).or_insert((0, 0));
+                    entry.0 += bytes[i];
+                    entry.1 += 1;
+                }
             }
-        }
-        let groups = partials.len() as u64;
-        // Shuffle the partial aggregates (hash-partitioned by group). With
-        // high-cardinality keys the partial tables spill in streaming
-        // fashion, so the shuffled volume tracks the input rows.
-        let total_rows = self.row_count() as u64;
-        let shuffle_bytes = (total_rows * 24).max(groups * 24) / self.config.workers as u64 + 64;
-        let shuffle = self.shuffle(&mut meter, shuffle_bytes, trace.0);
-        // Final merge + post-aggregation compute (averages).
-        meter.charge_ops(
-            CoreComputeOp::Aggregate,
-            "merge_partials",
-            groups,
-            costs::AGG_NS_PER_ROW,
-        );
-        meter.charge_ops(
-            CoreComputeOp::Compute,
-            "column_divide",
-            groups,
-            costs::COMPUTE_NS_PER_GROUP,
-        );
-        meter.charge_ops(
-            CoreComputeOp::Materialize,
-            "result_table",
-            groups,
-            costs::MATERIALIZE_NS_PER_ROW,
-        );
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
-        let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+            let groups = partials.len() as u64;
+            // Shuffle the partial aggregates (hash-partitioned by group).
+            // With high-cardinality keys the partial tables spill in
+            // streaming fashion, so the shuffled volume tracks the input
+            // rows.
+            let total_rows = self.row_count() as u64;
+            let shuffle_bytes =
+                (total_rows * 24).max(groups * 24) / self.config.workers as u64 + 64;
+            let shuffle = self.shuffle(&mut op, shuffle_bytes, trace.0);
+            // Final merge + post-aggregation compute (averages).
+            {
+                let mut agg = op.scope("aggregate");
+                agg.charge_ops(
+                    CoreComputeOp::Aggregate,
+                    "merge_partials",
+                    groups,
+                    costs::AGG_NS_PER_ROW,
+                );
+                agg.charge_ops(
+                    CoreComputeOp::Compute,
+                    "column_divide",
+                    groups,
+                    costs::COMPUTE_NS_PER_GROUP,
+                );
+                agg.charge_ops(
+                    CoreComputeOp::Materialize,
+                    "result_table",
+                    groups,
+                    costs::MATERIALIZE_NS_PER_ROW,
+                );
+            }
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
+            );
+            let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+            (io_wall, shuffle)
+        };
         self.finish_query(trace, root, meter, io_wall, shuffle, "group-aggregate")
     }
 
@@ -561,65 +578,69 @@ impl BigQuery {
         let mut meter = WorkMeter::new();
         let (trace, root) = self.start_query("bigquery.join");
 
-        // Broadcast the small dimension table to every worker over the
-        // ordinary cluster fabric.
-        let dim_bytes: u64 = self.dim.iter().map(|d| d.name.len() as u64 + 8).sum();
-        let broadcast = self.collect_results(&mut meter, dim_bytes, trace.0 ^ 0xd1);
-        // Build the hash table once per worker.
-        meter.charge_ops(
-            CoreComputeOp::Join,
-            "hash_build",
-            self.dim.len() as u64 * self.config.workers as u64,
-            costs::JOIN_NS_PER_ROW,
-        );
-        let dim_names: HashMap<u32, String> = self
-            .dim
-            .iter()
-            .map(|d| (d.region, d.name.clone()))
-            .collect();
-
-        let mut io = SimDuration::ZERO;
-        let mut joined: HashMap<String, i64> = HashMap::new();
-        for w in 0..self.config.workers {
-            io += self.scan_columns(w, &[1, 3], &mut meter);
-            let part = &self.partitions[w].table;
-            let (Column::U32(regions), Column::Int64(bytes)) = (part.column(1), part.column(3))
-            else {
-                // audit: allow(panic, the fact-table column layout is fixed at construction)
-                unreachable!("fact schema is fixed")
-            };
-            meter.charge_ops(
+        let (io_wall, broadcast) = {
+            let mut op = meter.scope("bigquery.join");
+            // Broadcast the small dimension table to every worker over the
+            // ordinary cluster fabric.
+            let dim_bytes: u64 = self.dim.iter().map(|d| d.name.len() as u64 + 8).sum();
+            let broadcast = self.collect_results(&mut op, dim_bytes, trace.0 ^ 0xd1);
+            // Build the hash table once per worker.
+            op.scope("hash_join").charge_ops(
                 CoreComputeOp::Join,
-                "hash_probe",
-                part.rows() as u64,
+                "hash_build",
+                self.dim.len() as u64 * self.config.workers as u64,
                 costs::JOIN_NS_PER_ROW,
             );
-            for i in 0..part.rows() {
-                if let Some(name) = dim_names.get(&regions[i]) {
-                    *joined.entry(name.clone()).or_insert(0) += bytes[i];
+            let dim_names: HashMap<u32, String> = self
+                .dim
+                .iter()
+                .map(|d| (d.region, d.name.clone()))
+                .collect();
+
+            let mut io = SimDuration::ZERO;
+            let mut joined: HashMap<String, i64> = HashMap::new();
+            for w in 0..self.config.workers {
+                io += self.scan_columns(w, &[1, 3], &mut op);
+                let part = &self.partitions[w].table;
+                let (Column::U32(regions), Column::Int64(bytes)) = (part.column(1), part.column(3))
+                else {
+                    // audit: allow(panic, the fact-table column layout is fixed at construction)
+                    unreachable!("fact schema is fixed")
+                };
+                op.scope("hash_join").charge_ops(
+                    CoreComputeOp::Join,
+                    "hash_probe",
+                    part.rows() as u64,
+                    costs::JOIN_NS_PER_ROW,
+                );
+                for i in 0..part.rows() {
+                    if let Some(name) = dim_names.get(&regions[i]) {
+                        *joined.entry(name.clone()).or_insert(0) += bytes[i];
+                    }
                 }
             }
-        }
-        let groups = joined.len() as u64;
-        meter.charge_ops(
-            CoreComputeOp::Aggregate,
-            "post_join_agg",
-            groups,
-            costs::AGG_NS_PER_ROW,
-        );
-        meter.charge_ops(
-            CoreComputeOp::Materialize,
-            "result_table",
-            groups,
-            costs::MATERIALIZE_NS_PER_ROW,
-        );
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
-        let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+            let groups = joined.len() as u64;
+            op.charge_ops(
+                CoreComputeOp::Aggregate,
+                "post_join_agg",
+                groups,
+                costs::AGG_NS_PER_ROW,
+            );
+            op.charge_ops(
+                CoreComputeOp::Materialize,
+                "result_table",
+                groups,
+                costs::MATERIALIZE_NS_PER_ROW,
+            );
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
+            );
+            let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+            (io_wall, broadcast)
+        };
         self.finish_query(trace, root, meter, io_wall, broadcast, "join")
     }
 
@@ -628,55 +649,62 @@ impl BigQuery {
         let mut meter = WorkMeter::new();
         let (trace, root) = self.start_query("bigquery.top_k");
 
-        let mut io = SimDuration::ZERO;
-        let mut candidates: Vec<(i64, u64)> = Vec::new();
-        for w in 0..self.config.workers {
-            io += self.scan_columns(w, &[0, 3], &mut meter);
-            let part = &self.partitions[w].table;
-            let (Column::Int64(users), Column::Int64(bytes)) = (part.column(0), part.column(3))
-            else {
-                // audit: allow(panic, the fact-table column layout is fixed at construction)
-                unreachable!("fact schema is fixed")
-            };
-            let rows = part.rows();
-            // Local sort: n log n.
-            let log_n = (rows.max(2) as f64).log2();
-            meter.charge_ops(
-                CoreComputeOp::Sort,
-                "local_sort",
-                (rows as f64 * log_n) as u64,
-                costs::SORT_NS_PER_ROW_LOG,
+        let (io_wall, shuffle) = {
+            let mut op = meter.scope("bigquery.top_k");
+            let mut io = SimDuration::ZERO;
+            let mut candidates: Vec<(i64, u64)> = Vec::new();
+            for w in 0..self.config.workers {
+                io += self.scan_columns(w, &[0, 3], &mut op);
+                let part = &self.partitions[w].table;
+                let (Column::Int64(users), Column::Int64(bytes)) = (part.column(0), part.column(3))
+                else {
+                    // audit: allow(panic, the fact-table column layout is fixed at construction)
+                    unreachable!("fact schema is fixed")
+                };
+                let rows = part.rows();
+                // Local sort: n log n.
+                let log_n = (rows.max(2) as f64).log2();
+                op.scope("sort").charge_ops(
+                    CoreComputeOp::Sort,
+                    "local_sort",
+                    (rows as f64 * log_n) as u64,
+                    costs::SORT_NS_PER_ROW_LOG,
+                );
+                let mut local: Vec<(i64, u64)> = (0..rows)
+                    .map(|i| (bytes[i], users[i].unsigned_abs()))
+                    .collect();
+                local.sort_by_key(|e| std::cmp::Reverse(e.0));
+                candidates.extend(local.into_iter().take(k));
+            }
+            let shuffle = self.collect_results(&mut op, (k * 16) as u64, trace.0);
+            // Final merge of the worker top-k lists.
+            let merge_n = candidates.len();
+            candidates.sort_by_key(|e| std::cmp::Reverse(e.0));
+            candidates.truncate(k);
+            {
+                let mut sort = op.scope("sort");
+                sort.charge_ops(
+                    CoreComputeOp::Sort,
+                    "final_merge",
+                    (merge_n.max(2) as f64 * (merge_n.max(2) as f64).log2()) as u64,
+                    costs::SORT_NS_PER_ROW_LOG,
+                );
+                sort.charge_ops(
+                    CoreComputeOp::Materialize,
+                    "result_rows",
+                    k as u64,
+                    costs::MATERIALIZE_NS_PER_ROW,
+                );
+            }
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
             );
-            let mut local: Vec<(i64, u64)> = (0..rows)
-                .map(|i| (bytes[i], users[i].unsigned_abs()))
-                .collect();
-            local.sort_by_key(|e| std::cmp::Reverse(e.0));
-            candidates.extend(local.into_iter().take(k));
-        }
-        let shuffle = self.collect_results(&mut meter, (k * 16) as u64, trace.0);
-        // Final merge of the worker top-k lists.
-        let merge_n = candidates.len();
-        candidates.sort_by_key(|e| std::cmp::Reverse(e.0));
-        candidates.truncate(k);
-        meter.charge_ops(
-            CoreComputeOp::Sort,
-            "final_merge",
-            (merge_n.max(2) as f64 * (merge_n.max(2) as f64).log2()) as u64,
-            costs::SORT_NS_PER_ROW_LOG,
-        );
-        meter.charge_ops(
-            CoreComputeOp::Materialize,
-            "result_rows",
-            k as u64,
-            costs::MATERIALIZE_NS_PER_ROW,
-        );
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
-        let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+            let io_wall = SimDuration::from_nanos(io.as_nanos() / self.config.workers as u64);
+            (io_wall, shuffle)
+        };
         self.finish_query(trace, root, meter, io_wall, shuffle, "top-k")
     }
 }

@@ -163,6 +163,7 @@ impl BigTable {
 
     /// Charges the RPC ingress taxes for a request of `bytes`.
     fn charge_rpc(&self, meter: &mut WorkMeter, bytes: u64, leaf: &'static str) {
+        let mut meter = meter.scope("rpc");
         meter.charge_ops(DatacenterTax::Rpc, leaf, 1, costs::RPC_FIXED_NS);
         meter.charge_bytes(DatacenterTax::Rpc, leaf, bytes, costs::RPC_NS_PER_BYTE);
         meter.charge_ops(
@@ -205,6 +206,7 @@ impl BigTable {
 
     /// Charges the protobuf taxes for handling a message of `bytes`.
     fn charge_proto(&self, meter: &mut WorkMeter, bytes: u64, decode: bool) {
+        let mut meter = meter.scope("proto");
         let (leaf, per_byte) = if decode {
             ("proto_decode", costs::PROTO_DECODE_NS_PER_BYTE)
         } else {
@@ -234,6 +236,7 @@ impl BigTable {
     /// Encodes SSTable entries: varint-length-prefixed pairs, compressed,
     /// checksummed. Returns (encoded bytes, raw bytes) and charges the work.
     fn encode_sstable(meter: &mut WorkMeter, entries: &[(Vec<u8>, Vec<u8>)]) -> (Vec<u8>, u64) {
+        let mut meter = meter.scope("sstable_encode");
         let mut raw = Vec::new();
         for (k, v) in entries {
             encode_varint(k.len() as u64, &mut raw);
@@ -267,6 +270,8 @@ impl BigTable {
 
     /// Flushes the memtable into a new SSTable; returns the IO time.
     fn flush_memtable(&mut self, meter: &mut WorkMeter) -> SimDuration {
+        let mut meter = meter.scope("flush");
+        let meter = &mut meter;
         let entries: Vec<(Vec<u8>, Vec<u8>)> =
             std::mem::take(&mut self.memtable).into_iter().collect();
         self.memtable_bytes = 0;
@@ -335,6 +340,8 @@ impl BigTable {
     /// Merges all SSTables into one (size-tiered compaction); returns the
     /// remote-work time the triggering query observes.
     fn compact(&mut self, meter: &mut WorkMeter) -> SimDuration {
+        let mut meter = meter.scope("compaction");
+        let meter = &mut meter;
         self.compactions += 1;
         let inputs: Vec<SsTable> = std::mem::take(&mut self.sstables);
         let total_entries: usize = inputs.iter().map(|s| s.entries.len()).sum();
@@ -415,69 +422,73 @@ impl BigTable {
             .tracer
             .start(trace, None, "bigtable.put", SpanKind::Container, start);
 
-        // The trace starts at server receipt, as Dapper server spans do.
-        let request_bytes = (key.len() + value.len() + 40) as u64;
+        let (io_time, remote_time) = {
+            let mut op = meter.scope("bigtable.put");
+            // The trace starts at server receipt, as Dapper server spans do.
+            let request_bytes = (key.len() + value.len() + 40) as u64;
 
-        // Decode + apply.
-        self.charge_rpc(&mut meter, request_bytes, "rpc_ingress");
-        self.charge_proto(&mut meter, request_bytes, true);
-        meter.charge_ops(
-            CoreComputeOp::Write,
-            "memtable_insert",
-            1,
-            costs::BTREE_OP_NS,
-        );
-        meter.charge_ops(
-            SystemTax::Stl,
-            "btreemap_insert",
-            1,
-            costs::STL_NS_PER_ENTRY,
-        );
-        self.memtable_bytes += key.len() + value.len();
-        self.memtable.insert(key, value);
+            // Decode + apply.
+            self.charge_rpc(&mut op, request_bytes, "rpc_ingress");
+            self.charge_proto(&mut op, request_bytes, true);
+            op.charge_ops(
+                CoreComputeOp::Write,
+                "memtable_insert",
+                1,
+                costs::BTREE_OP_NS,
+            );
+            op.charge_ops(
+                SystemTax::Stl,
+                "btreemap_insert",
+                1,
+                costs::STL_NS_PER_ENTRY,
+            );
+            self.memtable_bytes += key.len() + value.len();
+            self.memtable.insert(key, value);
 
-        // Flush / compaction if thresholds crossed.
-        let mut io_time = SimDuration::ZERO;
-        // Durability: the commit-log append replicates through the
-        // distributed file system before the put acknowledges. Group commit
-        // amortizes the wait: the put that lands first in a batch waits a
-        // full round, later arrivals piggyback almost for free.
-        let batch_position = {
-            let mut z = (self.rng_seed ^ trace.0).wrapping_add(0x9e37_79b9_7f4a_7c15);
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            (z >> 11) as f64 / (1u64 << 53) as f64
-        };
-        let mut remote_time = self
-            .net
-            .one_way(request_bytes, self.rng_seed ^ trace.0 ^ 0x106)
-            .scaled(0.05 + 0.75 * batch_position);
-        if self.memtable_bytes > self.config.memtable_flush_bytes {
-            io_time += self.flush_memtable(&mut meter);
-            if self.sstables.len() >= self.config.compaction_fanin {
-                // The blocked query waits for the remote storage workers'
-                // full compaction (their compute + IO); the compute cycles
-                // still profile as Compaction core compute.
-                let cpu_before = meter.total();
-                let compaction_io = self.compact(&mut meter);
-                remote_time += compaction_io + (meter.total() - cpu_before);
+            // Flush / compaction if thresholds crossed.
+            let mut io_time = SimDuration::ZERO;
+            // Durability: the commit-log append replicates through the
+            // distributed file system before the put acknowledges. Group
+            // commit amortizes the wait: the put that lands first in a batch
+            // waits a full round, later arrivals piggyback almost for free.
+            let batch_position = {
+                let mut z = (self.rng_seed ^ trace.0).wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                (z >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut remote_time = self
+                .net
+                .one_way(request_bytes, self.rng_seed ^ trace.0 ^ 0x106)
+                .scaled(0.05 + 0.75 * batch_position);
+            if self.memtable_bytes > self.config.memtable_flush_bytes {
+                io_time += self.flush_memtable(&mut op);
+                if self.sstables.len() >= self.config.compaction_fanin {
+                    // The blocked query waits for the remote storage workers'
+                    // full compaction (their compute + IO); the compute
+                    // cycles still profile as Compaction core compute.
+                    let cpu_before = op.total();
+                    let compaction_io = self.compact(&mut op);
+                    remote_time += compaction_io + (op.total() - cpu_before);
+                }
             }
-        }
 
-        // Respond.
-        meter.charge_ops(
-            DatacenterTax::MemAllocation,
-            "malloc",
-            1,
-            costs::MALLOC_NS_PER_OP,
-        );
-        self.charge_proto(&mut meter, 32, false);
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
+            // Respond.
+            op.charge_ops(
+                DatacenterTax::MemAllocation,
+                "malloc",
+                1,
+                costs::MALLOC_NS_PER_OP,
+            );
+            self.charge_proto(&mut op, 32, false);
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
+            );
+            (io_time, remote_time)
+        };
 
         self.finish_query(trace, root, meter, io_time, remote_time, "put")
     }
@@ -490,89 +501,94 @@ impl BigTable {
             .tracer
             .start(trace, None, "bigtable.get", SpanKind::Container, self.clock);
 
-        let request_bytes = (key.len() + 32) as u64;
-        self.charge_rpc(&mut meter, request_bytes, "rpc_ingress");
-        self.charge_proto(&mut meter, request_bytes, true);
+        let io_time = {
+            let mut op = meter.scope("bigtable.get");
+            let request_bytes = (key.len() + 32) as u64;
+            self.charge_rpc(&mut op, request_bytes, "rpc_ingress");
+            self.charge_proto(&mut op, request_bytes, true);
 
-        // Memtable first.
-        meter.charge_ops(
-            CoreComputeOp::Read,
-            "memtable_lookup",
-            1,
-            costs::BTREE_OP_NS,
-        );
-        let mut io_time = SimDuration::ZERO;
-        let mut found = self.memtable.get(key).map(|v| v.len());
+            // Memtable first.
+            op.charge_ops(
+                CoreComputeOp::Read,
+                "memtable_lookup",
+                1,
+                costs::BTREE_OP_NS,
+            );
+            let mut io_time = SimDuration::ZERO;
+            let mut found = self.memtable.get(key).map(|v| v.len());
 
-        if found.is_none() {
-            // Newest SSTable first, bloom-gated.
-            for idx in (0..self.sstables.len()).rev() {
-                meter.charge_ops(CoreComputeOp::Read, "bloom_probe", 1, 60.0);
-                if !self.sstables[idx].bloom.may_contain(key) {
-                    continue;
-                }
-                let (id, encoded_bytes, value_len, blocks) = {
-                    let table = &self.sstables[idx];
-                    (
-                        table.id,
-                        table.encoded_bytes,
-                        table.get(key).map(<[u8]>::len),
-                        (table.entries.len() / 16).max(1) as u64,
-                    )
-                };
-                // Touch storage for the specific block holding the key:
-                // caching is block-granular, so rare keys stay cold.
-                let block_bytes = (encoded_bytes / blocks).clamp(512, 64 * 1024);
-                let block_idx = key
-                    .iter()
-                    .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)))
-                    % blocks;
-                io_time += self.store.read(id << 20 | block_idx, block_bytes).latency;
-                meter.charge_ops(
-                    SystemTax::FileSystems,
-                    "dfs_read",
-                    1,
-                    costs::FS_CLIENT_NS_PER_OP,
-                );
-                meter.charge_ops(
-                    SystemTax::OperatingSystems,
-                    "sys_read",
-                    1,
-                    costs::SYSCALL_NS,
-                );
-                meter.charge_bytes(
-                    DatacenterTax::Compression,
-                    "block_decompress",
-                    block_bytes,
-                    costs::DECOMPRESS_NS_PER_BYTE,
-                );
-                meter.charge_ops(
-                    CoreComputeOp::Read,
-                    "sstable_search",
-                    (self.sstables[idx].entries.len().max(2) as f64).log2() as u64 + 1,
-                    costs::BTREE_OP_NS,
-                );
-                meter.charge_ops(
-                    CoreComputeOp::Read,
-                    "block_parse",
-                    (self.sstables[idx].entries.len() as u64 / 16).max(4),
-                    costs::MERGE_NS_PER_ENTRY,
-                );
-                if value_len.is_some() {
-                    found = value_len;
-                    break;
+            if found.is_none() {
+                let mut lsm = op.scope("lsm_read");
+                // Newest SSTable first, bloom-gated.
+                for idx in (0..self.sstables.len()).rev() {
+                    lsm.charge_ops(CoreComputeOp::Read, "bloom_probe", 1, 60.0);
+                    if !self.sstables[idx].bloom.may_contain(key) {
+                        continue;
+                    }
+                    let (id, encoded_bytes, value_len, blocks) = {
+                        let table = &self.sstables[idx];
+                        (
+                            table.id,
+                            table.encoded_bytes,
+                            table.get(key).map(<[u8]>::len),
+                            (table.entries.len() / 16).max(1) as u64,
+                        )
+                    };
+                    // Touch storage for the specific block holding the key:
+                    // caching is block-granular, so rare keys stay cold.
+                    let block_bytes = (encoded_bytes / blocks).clamp(512, 64 * 1024);
+                    let block_idx = key
+                        .iter()
+                        .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)))
+                        % blocks;
+                    io_time += self.store.read(id << 20 | block_idx, block_bytes).latency;
+                    lsm.charge_ops(
+                        SystemTax::FileSystems,
+                        "dfs_read",
+                        1,
+                        costs::FS_CLIENT_NS_PER_OP,
+                    );
+                    lsm.charge_ops(
+                        SystemTax::OperatingSystems,
+                        "sys_read",
+                        1,
+                        costs::SYSCALL_NS,
+                    );
+                    lsm.charge_bytes(
+                        DatacenterTax::Compression,
+                        "block_decompress",
+                        block_bytes,
+                        costs::DECOMPRESS_NS_PER_BYTE,
+                    );
+                    lsm.charge_ops(
+                        CoreComputeOp::Read,
+                        "sstable_search",
+                        (self.sstables[idx].entries.len().max(2) as f64).log2() as u64 + 1,
+                        costs::BTREE_OP_NS,
+                    );
+                    lsm.charge_ops(
+                        CoreComputeOp::Read,
+                        "block_parse",
+                        (self.sstables[idx].entries.len() as u64 / 16).max(4),
+                        costs::MERGE_NS_PER_ENTRY,
+                    );
+                    if value_len.is_some() {
+                        found = value_len;
+                        break;
+                    }
                 }
             }
-        }
 
-        let response_bytes = found.unwrap_or(0) as u64 + 32;
-        self.charge_proto(&mut meter, response_bytes, false);
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
+            let response_bytes = found.unwrap_or(0) as u64 + 32;
+            self.charge_proto(&mut op, response_bytes, false);
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
+            );
+            io_time
+        };
 
         self.finish_query(trace, root, meter, io_time, SimDuration::ZERO, "get")
     }
@@ -589,77 +605,84 @@ impl BigTable {
             self.clock,
         );
 
-        self.charge_rpc(&mut meter, 64, "rpc_ingress");
-        self.charge_proto(&mut meter, 64, true);
+        let io_time = {
+            let mut op = meter.scope("bigtable.scan");
+            self.charge_rpc(&mut op, 64, "rpc_ingress");
+            self.charge_proto(&mut op, 64, true);
 
-        // Merge memtable + all sstables over the range.
-        let mut rows: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
-        for table in &self.sstables {
-            for (k, v) in &table.entries {
-                if k.as_slice() >= start_key && rows.len() < limit * 2 {
-                    rows.insert(k.clone(), v.len());
+            // Merge memtable + all sstables over the range.
+            let mut rows: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+            for table in &self.sstables {
+                for (k, v) in &table.entries {
+                    if k.as_slice() >= start_key && rows.len() < limit * 2 {
+                        rows.insert(k.clone(), v.len());
+                    }
                 }
             }
-        }
-        for (k, v) in self.memtable.range(start_key.to_vec()..) {
-            if rows.len() >= limit * 2 {
-                break;
+            for (k, v) in self.memtable.range(start_key.to_vec()..) {
+                if rows.len() >= limit * 2 {
+                    break;
+                }
+                rows.insert(k.clone(), v.len());
             }
-            rows.insert(k.clone(), v.len());
-        }
-        let returned: Vec<usize> = rows.values().copied().take(limit).collect();
-        let scanned = rows.len() as u64;
+            let returned: Vec<usize> = rows.values().copied().take(limit).collect();
+            let scanned = rows.len() as u64;
 
-        let mut io_time = SimDuration::ZERO;
-        for table in &self.sstables {
-            let blocks = (table.entries.len() / 16).max(1) as u64;
-            let block = (table.encoded_bytes / blocks).clamp(512, 64 * 1024);
-            // A short scan touches a few consecutive blocks.
-            let first = start_key
-                .iter()
-                .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)))
-                % blocks;
-            for i in 0..4u64.min(blocks) {
-                io_time += self
-                    .store
-                    .read((table.id << 20) | ((first + i) % blocks), block)
-                    .latency;
+            let mut io_time = SimDuration::ZERO;
+            {
+                let mut merge = op.scope("run_merge");
+                for table in &self.sstables {
+                    let blocks = (table.entries.len() / 16).max(1) as u64;
+                    let block = (table.encoded_bytes / blocks).clamp(512, 64 * 1024);
+                    // A short scan touches a few consecutive blocks.
+                    let first = start_key
+                        .iter()
+                        .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(u64::from(b)))
+                        % blocks;
+                    for i in 0..4u64.min(blocks) {
+                        io_time += self
+                            .store
+                            .read((table.id << 20) | ((first + i) % blocks), block)
+                            .latency;
+                    }
+                    merge.charge_bytes(
+                        DatacenterTax::Compression,
+                        "block_decompress",
+                        block,
+                        costs::DECOMPRESS_NS_PER_BYTE,
+                    );
+                    merge.charge_ops(
+                        SystemTax::FileSystems,
+                        "dfs_read",
+                        1,
+                        costs::FS_CLIENT_NS_PER_OP,
+                    );
+                }
+                merge.charge_ops(
+                    CoreComputeOp::Read,
+                    "scan_merge",
+                    scanned,
+                    costs::MERGE_NS_PER_ENTRY,
+                );
+                merge.charge_ops(
+                    SystemTax::Stl,
+                    "range_iter",
+                    scanned,
+                    costs::STL_NS_PER_ENTRY,
+                );
             }
-            meter.charge_bytes(
-                DatacenterTax::Compression,
-                "block_decompress",
-                block,
-                costs::DECOMPRESS_NS_PER_BYTE,
-            );
-            meter.charge_ops(
-                SystemTax::FileSystems,
-                "dfs_read",
+
+            let response_bytes: u64 = returned.iter().map(|&l| l as u64 + 16).sum::<u64>() + 32;
+            self.charge_proto(&mut op, response_bytes, false);
+            self.charge_rpc(&mut op, response_bytes, "rpc_egress");
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
                 1,
-                costs::FS_CLIENT_NS_PER_OP,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
             );
-        }
-        meter.charge_ops(
-            CoreComputeOp::Read,
-            "scan_merge",
-            scanned,
-            costs::MERGE_NS_PER_ENTRY,
-        );
-        meter.charge_ops(
-            SystemTax::Stl,
-            "range_iter",
-            scanned,
-            costs::STL_NS_PER_ENTRY,
-        );
-
-        let response_bytes: u64 = returned.iter().map(|&l| l as u64 + 16).sum::<u64>() + 32;
-        self.charge_proto(&mut meter, response_bytes, false);
-        self.charge_rpc(&mut meter, response_bytes, "rpc_egress");
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
+            io_time
+        };
 
         self.finish_query(trace, root, meter, io_time, SimDuration::ZERO, "scan")
     }

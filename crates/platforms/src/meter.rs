@@ -9,6 +9,7 @@
 
 use hsdp_core::category::CpuCategory;
 use hsdp_core::component::CpuBreakdown;
+use hsdp_core::stack::{empty_path, FramePath};
 use hsdp_core::units::Seconds;
 use hsdp_simcore::time::SimDuration;
 use hsdp_telemetry::{category_key, MetricsRegistry};
@@ -20,14 +21,27 @@ pub struct CpuWorkItem {
     pub category: CpuCategory,
     /// Leaf function name, as a GWP sample would report it.
     pub leaf: &'static str,
+    /// Enclosing call-frame path (outermost first), excluding the leaf.
+    pub stack: FramePath,
     /// Simulated CPU time charged.
     pub time: SimDuration,
 }
 
 /// Accumulates labeled CPU work during query execution.
+///
+/// Besides the flat item list, the meter maintains a *frame stack*: scopes
+/// pushed via [`WorkMeter::scope`] (or [`WorkMeter::push_frame`]) tag every
+/// subsequent charge with the enclosing frame path, so each
+/// [`CpuWorkItem`] carries the full stack a GWP interrupt would see. Each
+/// push snapshots the path into an `Arc` once; charges then clone the
+/// `Arc`, keeping the per-charge cost constant regardless of depth.
 #[derive(Debug, Default)]
 pub struct WorkMeter {
     items: Vec<CpuWorkItem>,
+    frames: Vec<&'static str>,
+    /// `paths[d]` is the shared snapshot of `frames[..=d]`, so popping is a
+    /// truncation and the current path is always `paths.last()`.
+    paths: Vec<FramePath>,
 }
 
 impl WorkMeter {
@@ -35,6 +49,50 @@ impl WorkMeter {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The call-frame path charges are currently attributed to.
+    #[must_use]
+    pub fn current_path(&self) -> FramePath {
+        self.paths.last().cloned().unwrap_or_else(empty_path)
+    }
+
+    /// The current frame stack, outermost first.
+    #[must_use]
+    pub fn frames(&self) -> &[&'static str] {
+        &self.frames
+    }
+
+    /// Pushes a call frame; prefer the RAII [`WorkMeter::scope`] guard.
+    pub fn push_frame(&mut self, name: &'static str) {
+        self.frames.push(name);
+        self.paths.push(FramePath::from(self.frames.as_slice()));
+    }
+
+    /// Pops the innermost call frame (no-op when the stack is empty).
+    pub fn pop_frame(&mut self) {
+        self.frames.pop();
+        self.paths.pop();
+    }
+
+    /// Enters a named call frame for the guard's lifetime. The guard derefs
+    /// to the meter, so charging through it attributes work to the frame:
+    ///
+    /// ```
+    /// # use hsdp_platforms::meter::WorkMeter;
+    /// # use hsdp_core::category::CoreComputeOp;
+    /// # use hsdp_simcore::time::SimDuration;
+    /// let mut meter = WorkMeter::new();
+    /// {
+    ///     let mut m = meter.scope("consensus");
+    ///     m.charge(CoreComputeOp::Write, "paxos_propose", SimDuration::from_nanos(5));
+    /// }
+    /// assert_eq!(&*meter.items()[0].stack, &["consensus"]);
+    /// assert!(meter.frames().is_empty());
+    /// ```
+    pub fn scope(&mut self, name: &'static str) -> FrameScope<'_> {
+        self.push_frame(name);
+        FrameScope { meter: self }
     }
 
     /// Charges `time` of CPU work.
@@ -50,6 +108,7 @@ impl WorkMeter {
         self.items.push(CpuWorkItem {
             category: category.into(),
             leaf,
+            stack: self.current_path(),
             time,
         });
     }
@@ -109,6 +168,35 @@ impl WorkMeter {
             .iter()
             .map(|i| (i.category, Seconds::new(i.time.as_secs_f64())))
             .collect()
+    }
+}
+
+/// RAII guard for a meter call frame: created by [`WorkMeter::scope`],
+/// pops the frame on drop. Derefs (mutably) to the underlying meter, so
+/// scopes nest naturally — calling `.scope(..)` on a guard pushes a child
+/// frame onto the same meter.
+#[derive(Debug)]
+pub struct FrameScope<'a> {
+    meter: &'a mut WorkMeter,
+}
+
+impl std::ops::Deref for FrameScope<'_> {
+    type Target = WorkMeter;
+
+    fn deref(&self) -> &WorkMeter {
+        self.meter
+    }
+}
+
+impl std::ops::DerefMut for FrameScope<'_> {
+    fn deref_mut(&mut self) -> &mut WorkMeter {
+        self.meter
+    }
+}
+
+impl Drop for FrameScope<'_> {
+    fn drop(&mut self) {
+        self.meter.pop_frame();
     }
 }
 
@@ -198,6 +286,69 @@ mod tests {
         let mut registry = MetricsRegistry::disabled();
         record_cpu_items(&mut registry, meter.items());
         assert_eq!(registry.counter_subsystem_sum("cpu"), 0);
+    }
+
+    #[test]
+    fn scopes_tag_charges_with_frame_paths() {
+        let mut meter = WorkMeter::new();
+        meter.charge(CoreComputeOp::Read, "outside", SimDuration::from_nanos(1));
+        {
+            let mut op = meter.scope("spanner.commit");
+            op.charge(
+                CoreComputeOp::Write,
+                "apply_write",
+                SimDuration::from_nanos(2),
+            );
+            {
+                let mut consensus = op.scope("consensus");
+                consensus.charge(
+                    DatacenterTax::Rpc,
+                    "paxos_propose",
+                    SimDuration::from_nanos(3),
+                );
+            }
+            op.charge(
+                CoreComputeOp::Write,
+                "log_append",
+                SimDuration::from_nanos(4),
+            );
+        }
+        let stacks: Vec<Vec<&str>> = meter.items().iter().map(|i| i.stack.to_vec()).collect();
+        assert_eq!(
+            stacks,
+            vec![
+                vec![],
+                vec!["spanner.commit"],
+                vec!["spanner.commit", "consensus"],
+                vec!["spanner.commit"],
+            ]
+        );
+        assert!(meter.frames().is_empty(), "all scopes popped on drop");
+    }
+
+    #[test]
+    fn sibling_scopes_share_parent_path_storage() {
+        let mut meter = WorkMeter::new();
+        let mut op = meter.scope("op");
+        op.charge(CoreComputeOp::Read, "a", SimDuration::from_nanos(1));
+        {
+            let mut inner = op.scope("stage");
+            inner.charge(CoreComputeOp::Read, "b", SimDuration::from_nanos(1));
+        }
+        op.charge(CoreComputeOp::Read, "c", SimDuration::from_nanos(1));
+        drop(op);
+        // Charges at the same depth reuse the same Arc snapshot.
+        let items = meter.items();
+        assert!(std::sync::Arc::ptr_eq(&items[0].stack, &items[2].stack));
+        assert_eq!(&*items[1].stack, &["op", "stage"]);
+    }
+
+    #[test]
+    fn pop_on_empty_stack_is_safe() {
+        let mut meter = WorkMeter::new();
+        meter.pop_frame();
+        meter.charge(CoreComputeOp::Read, "x", SimDuration::from_nanos(1));
+        assert!(meter.items()[0].stack.is_empty());
     }
 
     #[test]

@@ -318,57 +318,51 @@ pub struct ShardRun {
     pub telemetry: MetricsRegistry,
 }
 
+/// The shard plan one platform runs under `config` — a pure function of the
+/// workload definition, shared by the fleet driver and the benches (so a
+/// bench timing individual shards times exactly what the fleet schedules).
+#[must_use]
+pub fn platform_plan(config: &FleetConfig, platform: Platform) -> ShardPlan {
+    let (items, stream) = match platform {
+        Platform::Spanner => (config.db_queries, STREAM_SPANNER),
+        Platform::BigTable => (config.db_queries, STREAM_BIGTABLE),
+        Platform::BigQuery => (config.analytics_queries, STREAM_BIGQUERY),
+    };
+    ShardPlan::new(items, config.shards, config.seed, stream)
+}
+
+/// Builds one platform shard's job under `config`.
+fn shard_job(config: &FleetConfig, platform: Platform, shard: &pool::Shard) -> ShardJob {
+    match platform {
+        Platform::Spanner => ShardJob::Spanner {
+            queries: shard.items,
+            seed: shard.seed,
+        },
+        Platform::BigTable => ShardJob::BigTable {
+            queries: shard.items,
+            seed: shard.seed,
+        },
+        Platform::BigQuery => ShardJob::BigQuery {
+            queries: shard.items,
+            fact_rows: config.fact_rows,
+            seed: shard.seed,
+        },
+    }
+}
+
 /// Builds the fleet's full shard schedule in canonical merge order —
 /// Spanner shards, then BigTable shards, then BigQuery shards — each tagged
 /// with its `(platform, shard index)` identity.
 fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize), ShardJob)> {
     let mut jobs = Vec::with_capacity(3 * config.shards.max(1));
-    let spanner = ShardPlan::new(
-        config.db_queries,
-        config.shards,
-        config.seed,
-        STREAM_SPANNER,
-    );
-    jobs.extend(spanner.shards().iter().map(|s| {
-        (
-            (Platform::Spanner, s.index),
-            ShardJob::Spanner {
-                queries: s.items,
-                seed: s.seed,
-            },
-        )
-    }));
-    let bigtable = ShardPlan::new(
-        config.db_queries,
-        config.shards,
-        config.seed,
-        STREAM_BIGTABLE,
-    );
-    jobs.extend(bigtable.shards().iter().map(|s| {
-        (
-            (Platform::BigTable, s.index),
-            ShardJob::BigTable {
-                queries: s.items,
-                seed: s.seed,
-            },
-        )
-    }));
-    let bigquery = ShardPlan::new(
-        config.analytics_queries,
-        config.shards,
-        config.seed,
-        STREAM_BIGQUERY,
-    );
-    jobs.extend(bigquery.shards().iter().map(|s| {
-        (
-            (Platform::BigQuery, s.index),
-            ShardJob::BigQuery {
-                queries: s.items,
-                fact_rows: config.fact_rows,
-                seed: s.seed,
-            },
-        )
-    }));
+    for &platform in &Platform::ALL {
+        let plan = platform_plan(&config, platform);
+        jobs.extend(
+            plan.shards()
+                .iter()
+                .map(|s| ((platform, s.index), shard_job(&config, platform, s))),
+        );
+    }
     jobs
 }
 
@@ -376,11 +370,20 @@ fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize), ShardJob)> {
 /// `(platform, shard)` order, with per-shard telemetry registries enabled
 /// when `telemetry` is true.
 fn run_fleet_shards(config: FleetConfig, telemetry: bool) -> Vec<ShardRun> {
-    let jobs: Vec<_> = fleet_jobs(config)
+    let mut schedule = fleet_jobs(config);
+    // Longest-processing-time-first dispatch: BigQuery shards dwarf the
+    // database shards (each carries a full fact-table load plus the
+    // analytics queries), so enqueueing them last — canonical order — left
+    // the tail of every parallel run single-threaded on one straggler.
+    // Dispatch heaviest platform first instead; the tags carry the
+    // canonical identity, so results are re-sorted below and the output is
+    // unchanged.
+    schedule.sort_by_key(|((platform, shard), _)| (std::cmp::Reverse(*platform as usize), *shard));
+    let jobs: Vec<_> = schedule
         .into_iter()
         .map(|(tag, job)| (tag, move || job.run(telemetry)))
         .collect();
-    pool::run_tagged_jobs(config.parallelism, jobs)
+    let mut runs: Vec<ShardRun> = pool::run_tagged_jobs(config.parallelism, jobs)
         .into_iter()
         .map(|((platform, shard), (executions, registry))| ShardRun {
             platform,
@@ -388,7 +391,9 @@ fn run_fleet_shards(config: FleetConfig, telemetry: bool) -> Vec<ShardRun> {
             executions,
             telemetry: registry,
         })
-        .collect()
+        .collect();
+    runs.sort_by_key(|run| (run.platform as usize, run.shard));
+    runs
 }
 
 /// Runs all three platforms and returns `(platform, executions)` triples.

@@ -154,6 +154,7 @@ impl Spanner {
     }
 
     fn charge_rpc(&self, meter: &mut WorkMeter, bytes: u64) {
+        let mut meter = meter.scope("rpc");
         meter.charge_ops(DatacenterTax::Rpc, "rpc_dispatch", 1, costs::RPC_FIXED_NS);
         meter.charge_bytes(
             DatacenterTax::Rpc,
@@ -206,6 +207,7 @@ impl Spanner {
     }
 
     fn encode_txn(&self, meter: &mut WorkMeter, key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
+        let mut meter = meter.scope("txn_encode");
         let mut msg = Message::new(Arc::clone(&self.txn_desc));
         msg.set(1, Value::Bytes(key.to_vec()))
             // audit: allow(panic, field ids match the static schema defined in new())
@@ -248,6 +250,7 @@ impl Spanner {
     /// The consensus round: replicate `bytes` to followers, wait for a
     /// quorum of acks. Returns the remote-work wait.
     fn consensus_round(&mut self, meter: &mut WorkMeter, bytes: u64, salt: u64) -> SimDuration {
+        let mut meter = meter.scope("consensus");
         let followers = self.config.replicas - 1;
         let needed_acks = self.config.quorum - 1; // leader votes for itself
         let mut round_trips: Vec<SimDuration> = (0..followers)
@@ -320,7 +323,8 @@ impl Spanner {
         value: Option<&[u8]>,
         salt: u64,
     ) -> SimDuration {
-        let encoded = self.encode_txn(meter, key, value);
+        let mut meter = meter.scope("replicate");
+        let encoded = self.encode_txn(&mut meter, key, value);
         let crc = crc32c(&encoded);
         meter.charge_bytes(
             SystemTax::Edac,
@@ -328,7 +332,7 @@ impl Spanner {
             encoded.len() as u64,
             costs::CRC_NS_PER_BYTE,
         );
-        let wait = self.consensus_round(meter, encoded.len() as u64, salt);
+        let wait = self.consensus_round(&mut meter, encoded.len() as u64, salt);
         self.log.push(LogEntry {
             index: self.log.len() as u64 + 1,
             key: key.to_vec(),
@@ -371,70 +375,81 @@ impl Spanner {
             self.clock,
         );
 
-        let request_bytes = (key.len() + value.len() + 64) as u64;
-        self.charge_rpc(&mut meter, request_bytes);
-        let encoded = self.encode_txn(&mut meter, &key, Some(&value));
-        let crc = crc32c(&encoded);
-        meter.charge_bytes(
-            SystemTax::Edac,
-            "crc32c",
-            encoded.len() as u64,
-            costs::CRC_NS_PER_BYTE,
-        );
-        let _digest = hsdp_taxes::sha3::Sha3_256::digest(&encoded);
-        meter.charge_bytes(
-            DatacenterTax::Cryptography,
-            "txn_digest",
-            encoded.len() as u64,
-            costs::SHA3_NS_PER_BYTE,
-        );
+        let (io, remote) = {
+            let mut op = meter.scope("spanner.commit");
+            let request_bytes = (key.len() + value.len() + 64) as u64;
+            self.charge_rpc(&mut op, request_bytes);
+            let encoded = self.encode_txn(&mut op, &key, Some(&value));
+            let crc = crc32c(&encoded);
+            {
+                let mut integrity = op.scope("integrity");
+                integrity.charge_bytes(
+                    SystemTax::Edac,
+                    "crc32c",
+                    encoded.len() as u64,
+                    costs::CRC_NS_PER_BYTE,
+                );
+                let _digest = hsdp_taxes::sha3::Sha3_256::digest(&encoded);
+                integrity.charge_bytes(
+                    DatacenterTax::Cryptography,
+                    "txn_digest",
+                    encoded.len() as u64,
+                    costs::SHA3_NS_PER_BYTE,
+                );
+            }
 
-        // Replicate through consensus.
-        let remote = self.consensus_round(&mut meter, encoded.len() as u64, trace.0);
+            // Replicate through consensus.
+            let remote = self.consensus_round(&mut op, encoded.len() as u64, trace.0);
 
-        // Apply to the state machine and persist.
-        self.log.push(LogEntry {
-            index: self.log.len() as u64 + 1,
-            key: key.clone(),
-            value_crc: crc,
-        });
-        meter.charge_ops(
-            CoreComputeOp::Write,
-            "apply_write",
-            1,
-            costs::BTREE_OP_NS * 2.0,
-        );
-        meter.charge_ops(
-            SystemTax::Stl,
-            "btreemap_insert",
-            1,
-            costs::STL_NS_PER_ENTRY,
-        );
-        let storage_key = Self::key_hash(&key);
-        let io = self
-            .store
-            .write_fast(storage_key, (key.len() + value.len()) as u64);
-        meter.charge_ops(
-            SystemTax::FileSystems,
-            "log_append",
-            1,
-            costs::FS_CLIENT_NS_PER_OP,
-        );
-        meter.charge_ops(
-            SystemTax::OperatingSystems,
-            "sys_write",
-            1,
-            costs::SYSCALL_NS,
-        );
-        self.state.insert(key, value);
+            // Apply to the state machine and persist.
+            self.log.push(LogEntry {
+                index: self.log.len() as u64 + 1,
+                key: key.clone(),
+                value_crc: crc,
+            });
+            let io = {
+                let mut apply = op.scope("apply");
+                apply.charge_ops(
+                    CoreComputeOp::Write,
+                    "apply_write",
+                    1,
+                    costs::BTREE_OP_NS * 2.0,
+                );
+                apply.charge_ops(
+                    SystemTax::Stl,
+                    "btreemap_insert",
+                    1,
+                    costs::STL_NS_PER_ENTRY,
+                );
+                let storage_key = Self::key_hash(&key);
+                let io = self
+                    .store
+                    .write_fast(storage_key, (key.len() + value.len()) as u64);
+                apply.charge_ops(
+                    SystemTax::FileSystems,
+                    "log_append",
+                    1,
+                    costs::FS_CLIENT_NS_PER_OP,
+                );
+                apply.charge_ops(
+                    SystemTax::OperatingSystems,
+                    "sys_write",
+                    1,
+                    costs::SYSCALL_NS,
+                );
+                io
+            };
+            self.state.insert(key, value);
 
-        self.charge_rpc(&mut meter, 64);
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
+            self.charge_rpc(&mut op, 64);
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
+            );
+            (io, remote)
+        };
 
         self.finish_query(trace, root, meter, io, remote, "commit")
     }
@@ -447,78 +462,90 @@ impl Spanner {
             .tracer
             .start(trace, None, "spanner.read", SpanKind::Container, self.clock);
 
-        let request_bytes = (key.len() + 48) as u64;
-        self.charge_rpc(&mut meter, request_bytes);
-        meter.charge_bytes(
-            DatacenterTax::Protobuf,
-            "proto_decode",
-            request_bytes,
-            costs::PROTO_DECODE_NS_PER_BYTE,
-        );
-        // Lease validation: cheap consensus bookkeeping, no round trip.
-        meter.charge_ops(
-            CoreComputeOp::Consensus,
-            "lease_check",
-            1,
-            costs::CONSENSUS_NS_PER_MSG / 4.0,
-        );
+        let io = {
+            let mut op = meter.scope("spanner.read");
+            let request_bytes = (key.len() + 48) as u64;
+            self.charge_rpc(&mut op, request_bytes);
+            op.charge_bytes(
+                DatacenterTax::Protobuf,
+                "proto_decode",
+                request_bytes,
+                costs::PROTO_DECODE_NS_PER_BYTE,
+            );
+            // Lease validation: cheap consensus bookkeeping, no round trip.
+            op.charge_ops(
+                CoreComputeOp::Consensus,
+                "lease_check",
+                1,
+                costs::CONSENSUS_NS_PER_MSG / 4.0,
+            );
 
-        // Session management, SQL binding, and row assembly: the read path
-        // is far more than one tree lookup in a SQL database.
-        meter.charge_ops(CoreComputeOp::Query, "session_and_bind", 1, 20_000.0);
-        meter.charge_ops(CoreComputeOp::Read, "row_deserialize", 1, 8_000.0);
-        meter.charge_ops(
-            CoreComputeOp::Read,
-            "btree_lookup",
-            1,
-            costs::BTREE_OP_NS * 2.0,
-        );
-        meter.charge_ops(SystemTax::Stl, "btreemap_get", 1, costs::STL_NS_PER_ENTRY);
-        let value_len = self.state.get(key).map_or(0, Vec::len) as u64;
-        // Touch storage (cache-hit most of the time for hot keys).
-        let io = self
-            .store
-            .read(Self::key_hash(key), value_len.max(64))
-            .latency;
-        meter.charge_ops(
-            SystemTax::FileSystems,
-            "dfs_read",
-            1,
-            costs::FS_CLIENT_NS_PER_OP,
-        );
-        meter.charge_ops(
-            SystemTax::OperatingSystems,
-            "sys_read",
-            1,
-            costs::SYSCALL_NS,
-        );
+            // Session management, SQL binding, and row assembly: the read
+            // path is far more than one tree lookup in a SQL database.
+            let io = {
+                let mut read_path = op.scope("read_path");
+                read_path.charge_ops(CoreComputeOp::Query, "session_and_bind", 1, 20_000.0);
+                read_path.charge_ops(CoreComputeOp::Read, "row_deserialize", 1, 8_000.0);
+                read_path.charge_ops(
+                    CoreComputeOp::Read,
+                    "btree_lookup",
+                    1,
+                    costs::BTREE_OP_NS * 2.0,
+                );
+                read_path.charge_ops(SystemTax::Stl, "btreemap_get", 1, costs::STL_NS_PER_ENTRY);
+                let value_len = self.state.get(key).map_or(0, Vec::len) as u64;
+                // Touch storage (cache-hit most of the time for hot keys).
+                let io = self
+                    .store
+                    .read(Self::key_hash(key), value_len.max(64))
+                    .latency;
+                read_path.charge_ops(
+                    SystemTax::FileSystems,
+                    "dfs_read",
+                    1,
+                    costs::FS_CLIENT_NS_PER_OP,
+                );
+                read_path.charge_ops(
+                    SystemTax::OperatingSystems,
+                    "sys_read",
+                    1,
+                    costs::SYSCALL_NS,
+                );
+                io
+            };
 
-        let response_bytes = value_len + 48;
-        meter.charge_bytes(
-            DatacenterTax::Protobuf,
-            "proto_encode",
-            response_bytes,
-            costs::PROTO_ENCODE_NS_PER_BYTE,
-        );
-        meter.charge_ops(
-            DatacenterTax::MemAllocation,
-            "malloc",
-            2,
-            costs::MALLOC_NS_PER_OP,
-        );
-        meter.charge_bytes(
-            DatacenterTax::DataMovement,
-            "memcpy",
-            response_bytes,
-            costs::MEMCPY_NS_PER_BYTE,
-        );
-        self.charge_rpc(&mut meter, response_bytes);
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
+            let value_len = self.state.get(key).map_or(0, Vec::len) as u64;
+            let response_bytes = value_len + 48;
+            {
+                let mut response = op.scope("response_encode");
+                response.charge_bytes(
+                    DatacenterTax::Protobuf,
+                    "proto_encode",
+                    response_bytes,
+                    costs::PROTO_ENCODE_NS_PER_BYTE,
+                );
+                response.charge_ops(
+                    DatacenterTax::MemAllocation,
+                    "malloc",
+                    2,
+                    costs::MALLOC_NS_PER_OP,
+                );
+                response.charge_bytes(
+                    DatacenterTax::DataMovement,
+                    "memcpy",
+                    response_bytes,
+                    costs::MEMCPY_NS_PER_BYTE,
+                );
+            }
+            self.charge_rpc(&mut op, response_bytes);
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
+            );
+            io
+        };
 
         self.finish_query(trace, root, meter, io, SimDuration::ZERO, "read")
     }
@@ -536,72 +563,82 @@ impl Spanner {
             self.clock,
         );
 
-        self.charge_rpc(&mut meter, 128);
+        let io = {
+            let mut op = meter.scope("spanner.query");
+            self.charge_rpc(&mut op, 128);
 
-        let mut scanned = 0u64;
-        let mut matched: u64 = 0;
-        let mut response_bytes = 64u64;
-        for (k, v) in self.state.range(start_key.to_vec()..) {
-            scanned += 1;
-            if v.len() >= min_len {
-                matched += 1;
-                response_bytes += (k.len() + v.len()) as u64;
+            let mut scanned = 0u64;
+            let mut matched: u64 = 0;
+            let mut response_bytes = 64u64;
+            for (k, v) in self.state.range(start_key.to_vec()..) {
+                scanned += 1;
+                if v.len() >= min_len {
+                    matched += 1;
+                    response_bytes += (k.len() + v.len()) as u64;
+                }
+                if matched as usize >= limit || scanned >= (limit as u64) * 20 {
+                    break;
+                }
             }
-            if matched as usize >= limit || scanned >= (limit as u64) * 20 {
-                break;
+            {
+                let mut scan = op.scope("sql_scan");
+                scan.charge_ops(
+                    CoreComputeOp::Query,
+                    "sql_predicate_eval",
+                    scanned,
+                    costs::QUERY_EVAL_NS_PER_ROW,
+                );
+                scan.charge_ops(
+                    CoreComputeOp::Read,
+                    "row_fetch",
+                    matched,
+                    costs::BTREE_OP_NS,
+                );
+                scan.charge_ops(
+                    SystemTax::Stl,
+                    "range_iter",
+                    scanned,
+                    costs::STL_NS_PER_ENTRY,
+                );
+                scan.charge_ops(CoreComputeOp::MiscCore, "plan_and_bind", 1, 8_000.0);
             }
-        }
-        meter.charge_ops(
-            CoreComputeOp::Query,
-            "sql_predicate_eval",
-            scanned,
-            costs::QUERY_EVAL_NS_PER_ROW,
-        );
-        meter.charge_ops(
-            CoreComputeOp::Read,
-            "row_fetch",
-            matched,
-            costs::BTREE_OP_NS,
-        );
-        meter.charge_ops(
-            SystemTax::Stl,
-            "range_iter",
-            scanned,
-            costs::STL_NS_PER_ENTRY,
-        );
-        meter.charge_ops(CoreComputeOp::MiscCore, "plan_and_bind", 1, 8_000.0);
 
-        // Matched rows may hit storage for cold values.
-        let io = self
-            .store
-            .read(Self::key_hash(start_key) ^ 0x51ca, response_bytes.max(256))
-            .latency;
-        meter.charge_ops(
-            SystemTax::FileSystems,
-            "dfs_read",
-            1,
-            costs::FS_CLIENT_NS_PER_OP,
-        );
+            // Matched rows may hit storage for cold values.
+            let io = self
+                .store
+                .read(Self::key_hash(start_key) ^ 0x51ca, response_bytes.max(256))
+                .latency;
+            op.charge_ops(
+                SystemTax::FileSystems,
+                "dfs_read",
+                1,
+                costs::FS_CLIENT_NS_PER_OP,
+            );
 
-        meter.charge_bytes(
-            DatacenterTax::Protobuf,
-            "proto_encode",
-            response_bytes,
-            costs::PROTO_ENCODE_NS_PER_BYTE,
-        );
-        meter.charge_bytes(
-            DatacenterTax::Compression,
-            "response_compress",
-            response_bytes,
-            costs::COMPRESS_NS_PER_BYTE,
-        );
-        self.charge_rpc(&mut meter, response_bytes);
-        meter.charge_ops(
-            SystemTax::MiscSystem,
-            "misc",
-            1,
-            costs::MISC_SYSTEM_NS_PER_QUERY,
-        );
+            {
+                let mut response = op.scope("response_encode");
+                response.charge_bytes(
+                    DatacenterTax::Protobuf,
+                    "proto_encode",
+                    response_bytes,
+                    costs::PROTO_ENCODE_NS_PER_BYTE,
+                );
+                response.charge_bytes(
+                    DatacenterTax::Compression,
+                    "response_compress",
+                    response_bytes,
+                    costs::COMPRESS_NS_PER_BYTE,
+                );
+            }
+            self.charge_rpc(&mut op, response_bytes);
+            op.charge_ops(
+                SystemTax::MiscSystem,
+                "misc",
+                1,
+                costs::MISC_SYSTEM_NS_PER_QUERY,
+            );
+            io
+        };
 
         self.finish_query(trace, root, meter, io, SimDuration::ZERO, "query")
     }

@@ -52,64 +52,78 @@ pub fn distributed_commit(
     );
 
     let mut meter = WorkMeter::new();
-    // Coordinator bookkeeping: transaction record, participant tracking.
-    meter.charge_ops(
-        CoreComputeOp::Consensus,
-        "txn_coordinator",
-        participants.len() as u64,
-        costs::CONSENSUS_NS_PER_MSG,
-    );
-    meter.charge_ops(
-        DatacenterTax::Rpc,
-        "rpc_dispatch",
-        participants.len() as u64 * 2,
-        costs::RPC_FIXED_NS,
-    );
-    meter.charge_ops(
-        SystemTax::OperatingSystems,
-        "sys_sendmsg",
-        participants.len() as u64 * 2,
-        costs::SYSCALL_NS,
-    );
-    meter.charge_ops(
-        SystemTax::Multithreading,
-        "fanout_tasks",
-        participants.len() as u64,
-        costs::THREAD_HANDOFF_NS,
-    );
+    let (prepare_wait, commit_wait, start) = {
+        let mut op = meter.scope("spanner.2pc");
+        {
+            let mut coord = op.scope("coordinator");
+            // Coordinator bookkeeping: transaction record, participant
+            // tracking.
+            coord.charge_ops(
+                CoreComputeOp::Consensus,
+                "txn_coordinator",
+                participants.len() as u64,
+                costs::CONSENSUS_NS_PER_MSG,
+            );
+            coord.charge_ops(
+                DatacenterTax::Rpc,
+                "rpc_dispatch",
+                participants.len() as u64 * 2,
+                costs::RPC_FIXED_NS,
+            );
+            coord.charge_ops(
+                SystemTax::OperatingSystems,
+                "sys_sendmsg",
+                participants.len() as u64 * 2,
+                costs::SYSCALL_NS,
+            );
+            coord.charge_ops(
+                SystemTax::Multithreading,
+                "fanout_tasks",
+                participants.len() as u64,
+                costs::THREAD_HANDOFF_NS,
+            );
+        }
 
-    // Keep participant clocks coherent with the coordinator's view.
-    let start = groups
-        .iter()
-        .map(|g| g.now())
-        .fold(SimTime::ZERO, SimTime::max);
-    for group in groups.iter_mut() {
-        group.advance_clock_to(start);
-    }
+        // Keep participant clocks coherent with the coordinator's view.
+        let start = groups
+            .iter()
+            .map(|g| g.now())
+            .fold(SimTime::ZERO, SimTime::max);
+        for group in groups.iter_mut() {
+            group.advance_clock_to(start);
+        }
 
-    // Phase 1: prepare everywhere; wait for the slowest group.
-    let mut prepare_wait = SimDuration::ZERO;
-    for &g in &participants {
-        let wait = groups[g].replicate_record(
-            &mut meter,
-            format!("txn:{txn_id}:prepare").as_bytes(),
-            None,
-            txn_id ^ (g as u64) << 8,
-        );
-        prepare_wait = prepare_wait.max(wait);
-    }
+        // Phase 1: prepare everywhere; wait for the slowest group.
+        let mut prepare_wait = SimDuration::ZERO;
+        {
+            let mut prepare = op.scope("prepare");
+            for &g in &participants {
+                let wait = groups[g].replicate_record(
+                    &mut prepare,
+                    format!("txn:{txn_id}:prepare").as_bytes(),
+                    None,
+                    txn_id ^ (g as u64) << 8,
+                );
+                prepare_wait = prepare_wait.max(wait);
+            }
+        }
 
-    // Phase 2: commit records carry the actual writes.
-    let mut commit_wait = SimDuration::ZERO;
-    for write in writes {
-        let wait = groups[write.group].replicate_record(
-            &mut meter,
-            &write.key,
-            Some(&write.value),
-            txn_id ^ 0xC0 ^ (write.group as u64) << 8,
-        );
-        commit_wait = commit_wait.max(wait);
-    }
+        // Phase 2: commit records carry the actual writes.
+        let mut commit_wait = SimDuration::ZERO;
+        {
+            let mut commit = op.scope("commit");
+            for write in writes {
+                let wait = groups[write.group].replicate_record(
+                    &mut commit,
+                    &write.key,
+                    Some(&write.value),
+                    txn_id ^ 0xC0 ^ (write.group as u64) << 8,
+                );
+                commit_wait = commit_wait.max(wait);
+            }
+        }
+        (prepare_wait, commit_wait, start)
+    };
 
     // Assemble the coordinator's trace.
     let trace = TraceId(u64::MAX ^ txn_id);

@@ -12,10 +12,13 @@ use std::collections::BTreeMap;
 
 use hsdp_core::category::{BroadCategory, CoreComputeOp, CpuCategory, DatacenterTax, SystemTax};
 use hsdp_core::component::CpuBreakdown;
+use hsdp_core::stack::{empty_path, FramePath};
 use hsdp_core::units::Seconds;
 use hsdp_rng::Rng;
 use hsdp_rng::StdRng;
 use hsdp_simcore::time::SimDuration;
+
+use crate::stacks::StackProfile;
 
 /// One labeled unit of CPU work offered to the profiler.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +29,26 @@ pub struct LeafWork {
     pub leaf: &'static str,
     /// CPU time spent.
     pub time: SimDuration,
+    /// Call-frame path active when the work was charged (outermost first,
+    /// leaf not included).
+    pub stack: FramePath,
+}
+
+impl LeafWork {
+    /// A work item with an empty call-frame path (no scopes active).
+    #[must_use]
+    pub fn unstacked(
+        category: impl Into<CpuCategory>,
+        leaf: &'static str,
+        time: SimDuration,
+    ) -> Self {
+        LeafWork {
+            category: category.into(),
+            leaf,
+            time,
+            stack: empty_path(),
+        }
+    }
 }
 
 /// The profiler configuration.
@@ -170,6 +193,7 @@ pub struct GwpProfiler {
     config: GwpConfig,
     rng: StdRng,
     profile: CycleProfile,
+    stacks: StackProfile,
     /// Time carried over until the next sample fires.
     residual: SimDuration,
 }
@@ -183,26 +207,36 @@ impl GwpProfiler {
             config,
             rng,
             profile: CycleProfile::default(),
+            stacks: StackProfile::new(),
             residual: SimDuration::ZERO,
         }
     }
 
     /// Offers one work item: samples fire every ~`sample_period` of
-    /// cumulative CPU time, each attributed to the active leaf.
+    /// cumulative CPU time, each attributed to the active leaf. The item's
+    /// full frame path is folded into the stack profile regardless of
+    /// whether a sample fires, so the stack tree carries both exact
+    /// nanoseconds and sampled counts.
     pub fn observe(&mut self, work: &LeafWork) {
         let period = self.config.sample_period.as_nanos().max(1);
         let mut budget = self.residual.as_nanos() + work.time.as_nanos();
+        let mut fired = 0u64;
         while budget >= period {
             budget -= period;
             // Jitter the sample instant so periodic work cannot alias.
             let _: f64 = self.rng.random();
+            fired += 1;
+        }
+        if fired > 0 {
             *self
                 .profile
                 .samples
                 .entry((work.category, work.leaf))
-                .or_insert(0) += 1;
-            self.profile.total += 1;
+                .or_insert(0) += fired;
+            self.profile.total += fired;
         }
+        self.stacks
+            .record(&work.stack, work.leaf, work.category, work.time, fired);
         self.residual = SimDuration::from_nanos(budget);
     }
 
@@ -222,10 +256,23 @@ impl GwpProfiler {
         &self.profile
     }
 
+    /// The aggregated stack-tree profile (exact + sampled weights).
+    #[must_use]
+    pub fn stack_profile(&self) -> &StackProfile {
+        &self.stacks
+    }
+
     /// Consumes the profiler, returning the profile.
     #[must_use]
     pub fn into_profile(self) -> CycleProfile {
         self.profile
+    }
+
+    /// Consumes the profiler, returning both the leaf-level cycle profile
+    /// and the stack-tree profile.
+    #[must_use]
+    pub fn into_parts(self) -> (CycleProfile, StackProfile) {
+        (self.profile, self.stacks)
     }
 
     /// The sample period in use.
@@ -241,11 +288,7 @@ mod tests {
     use hsdp_core::category::Platform;
 
     fn work(category: impl Into<CpuCategory>, leaf: &'static str, micros: u64) -> LeafWork {
-        LeafWork {
-            category: category.into(),
-            leaf,
-            time: SimDuration::from_micros(micros),
-        }
+        LeafWork::unstacked(category, leaf, SimDuration::from_micros(micros))
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! - [`report`] — text-table rendering for the regeneration benches.
 //! - [`crosscheck`] — agreement checks between the GWP cycle view, the
 //!   Section 4.1 interval decomposition, and the telemetry crate's
-//!   critical-path walk.
+//!   critical-path walk, plus sampling-error bounds for the estimator.
+//! - [`stacks`] — deterministic stack-tree profiles with collapsed-stack
+//!   (flamegraph) and pprof export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +24,13 @@ pub mod e2e;
 pub mod gwp;
 pub mod microarch;
 pub mod report;
+pub mod stacks;
 
-pub use crosscheck::{agree, PathAgreement};
+pub use crosscheck::{
+    agree, category_estimates, ci_coverage, mean_abs_share_error, wilson_interval, PathAgreement,
+    ShareEstimate,
+};
 pub use e2e::{classify, figure2, Figure2, Figure2Row};
 pub use gwp::{CycleProfile, GwpConfig, GwpProfiler, LeafWork};
 pub use microarch::{fit_cpi_model, regenerate_tables, CalibrationRow, CpiModel};
+pub use stacks::{ShareDelta, StackProfile, StackWeight};

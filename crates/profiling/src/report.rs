@@ -89,16 +89,16 @@ mod tests {
             sample_period: SimDuration::from_micros(1),
             seed: 1,
         });
-        profiler.observe(&LeafWork {
-            category: CoreComputeOp::Read.into(),
-            leaf: "a",
-            time: SimDuration::from_micros(50),
-        });
-        profiler.observe(&LeafWork {
-            category: DatacenterTax::Rpc.into(),
-            leaf: "b",
-            time: SimDuration::from_micros(50),
-        });
+        profiler.observe(&LeafWork::unstacked(
+            CoreComputeOp::Read,
+            "a",
+            SimDuration::from_micros(50),
+        ));
+        profiler.observe(&LeafWork::unstacked(
+            DatacenterTax::Rpc,
+            "b",
+            SimDuration::from_micros(50),
+        ));
         let text = render_figure3(Platform::BigTable, profiler.profile());
         assert!(text.contains("core compute"));
         assert!(text.contains("BigTable"));

@@ -13,6 +13,9 @@
 //! | Data movement | [`memops`] |
 //! | EDAC / checksums (system tax) | [`crc`] |
 //!
+//! [`pprof`] dogfoods [`protowire`] to serialize profiler output in the
+//! standard `profile.proto` format.
+//!
 //! The platform simulators in `hsdp-platforms` execute these primitives on
 //! their hot paths, so the profiling pipeline observes genuine tax work; the
 //! chained-accelerator validation in `hsdp-accelsim` uses [`protowire`] and
@@ -29,6 +32,7 @@ pub mod crc;
 pub mod error;
 pub mod frame;
 pub mod memops;
+pub mod pprof;
 pub mod protowire;
 pub mod sha3;
 pub mod varint;

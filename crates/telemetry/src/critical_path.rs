@@ -341,6 +341,79 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_children_do_not_distort_the_partition() {
+        // A zero-duration marker span sits between two real children; it
+        // must not claim any path time, and the window still partitions.
+        let spans = vec![
+            span(1, None, SpanKind::Container, 0, 100),
+            span(2, Some(1), SpanKind::Cpu, 0, 40),
+            span(3, Some(1), SpanKind::Io, 40, 40),
+            span(4, Some(1), SpanKind::RemoteWork, 40, 100),
+        ];
+        let cp = critical_path(&spans);
+        assert_eq!(
+            cp.ns(PathCategory::Io),
+            0,
+            "zero-duration span charges nothing"
+        );
+        assert_eq!(cp.ns(PathCategory::Cpu), 40);
+        assert_eq!(cp.ns(PathCategory::Remote), 60);
+        assert_eq!(cp.total_ns(), 100, "partition stays exact");
+    }
+
+    #[test]
+    fn zero_duration_span_in_a_gap_terminates_and_charges_parent() {
+        // The marker lands inside the container's own time: the walk must
+        // consume it once (no infinite loop) and charge the surrounding gap
+        // to orchestration.
+        let spans = vec![
+            span(1, None, SpanKind::Container, 0, 100),
+            span(2, Some(1), SpanKind::Cpu, 0, 40),
+            span(3, Some(1), SpanKind::Io, 70, 70),
+        ];
+        let cp = critical_path(&spans);
+        assert_eq!(cp.ns(PathCategory::Cpu), 40);
+        assert_eq!(cp.ns(PathCategory::Io), 0);
+        assert_eq!(cp.ns(PathCategory::Orchestration), 60);
+        assert_eq!(cp.total_ns(), 100);
+    }
+
+    #[test]
+    fn zero_duration_siblings_at_one_instant() {
+        // A burst of markers at the same timestamp, plus one real span. The
+        // deterministic (end, id) tie-break keeps the walk finite and the
+        // real span gets the whole window.
+        let mut spans = vec![span(1, None, SpanKind::Container, 0, 50)];
+        for id in 2..10 {
+            spans.push(span(id, Some(1), SpanKind::RemoteWork, 25, 25));
+        }
+        spans.push(span(10, Some(1), SpanKind::Cpu, 0, 50));
+        let cp = critical_path(&spans);
+        assert_eq!(cp.ns(PathCategory::Cpu), 50);
+        assert_eq!(cp.ns(PathCategory::Remote), 0);
+        assert_eq!(cp.total_ns(), 50);
+    }
+
+    #[test]
+    fn zero_duration_root_between_real_roots() {
+        let spans = vec![
+            span(1, None, SpanKind::Cpu, 0, 30),
+            span(2, None, SpanKind::RemoteWork, 40, 40),
+            span(3, None, SpanKind::Io, 50, 80),
+        ];
+        let cp = critical_path(&spans);
+        assert_eq!(cp.ns(PathCategory::Cpu), 30);
+        assert_eq!(cp.ns(PathCategory::Remote), 0);
+        assert_eq!(cp.ns(PathCategory::Io), 30);
+        assert_eq!(
+            cp.ns(PathCategory::Idle),
+            20,
+            "gaps unaffected by the marker"
+        );
+        assert_eq!(cp.total_ns(), 80);
+    }
+
+    #[test]
     fn merge_accumulates() {
         let a = critical_path(&[span(1, None, SpanKind::Cpu, 0, 10)]);
         let b = critical_path(&[span(1, None, SpanKind::Io, 0, 5)]);

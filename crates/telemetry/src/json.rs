@@ -79,9 +79,6 @@ impl Parser<'_> {
     }
 
     fn value(&mut self, depth: usize) -> Result<(), JsonError> {
-        if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
-        }
         match self.peek() {
             Some(b'{') => self.object(depth),
             Some(b'[') => self.array(depth),
@@ -104,6 +101,9 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
         self.consume(b'{', "expected '{'")?;
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -130,6 +130,9 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
         self.consume(b'[', "expected '['")?;
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -273,5 +276,60 @@ mod tests {
         let err = validate("[1, x]").unwrap_err();
         assert_eq!(err.offset, 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn depth_guard_boundary_is_exact() {
+        // MAX_DEPTH nested containers pass; one more trips the guard.
+        let at_limit = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(validate(&at_limit).is_ok(), "exactly MAX_DEPTH is legal");
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(validate(&over).is_err(), "MAX_DEPTH + 1 must trip");
+        // Mixed object/array nesting counts the same.
+        let mixed = "{\"k\":".repeat(MAX_DEPTH / 2) + "0" + &"}".repeat(MAX_DEPTH / 2);
+        assert!(validate(&mixed).is_ok());
+    }
+
+    #[test]
+    fn string_escape_edge_cases() {
+        // Escaped surrogate pairs and lone escaped surrogates are both
+        // syntactically legal JSON escapes (the validator checks syntax,
+        // not unicode pairing).
+        for doc in [
+            r#""\ud83d\ude00""#, // escaped surrogate pair
+            r#""\ud800""#,       // lone high surrogate, still 4 hex digits
+            r#""\u0000""#,       // escaped NUL
+            r#""\\\" \/ \b \f \n \r \t""#,
+        ] {
+            assert!(validate(doc).is_ok(), "should accept: {doc}");
+        }
+        for doc in [
+            r#""\u12""#,   // truncated hex
+            r#""\u12g4""#, // non-hex digit
+            "\"a\u{0}b\"", // raw control byte must be escaped
+            r#""\q""#,     // unknown escape
+        ] {
+            assert!(validate(doc).is_err(), "should reject: {doc}");
+        }
+    }
+
+    #[test]
+    fn number_extremes() {
+        for doc in [
+            "0",
+            "-0",
+            "1e999", // syntactically fine; magnitude is not checked
+            "-1E-999",
+            "0.00000000000000000000001",
+            "123456789012345678901234567890", // digits beyond u64/i64
+            "2e+10",
+        ] {
+            assert!(validate(doc).is_ok(), "should accept: {doc}");
+        }
+        for doc in [
+            "-", "+1", "1e", "1e+", ".5", "0x10", "1_000", "NaN", "Infinity",
+        ] {
+            assert!(validate(doc).is_err(), "should reject: {doc}");
+        }
     }
 }

@@ -75,6 +75,7 @@ pub mod fleet {
                 category: w.category,
                 leaf: w.leaf,
                 time: w.time,
+                stack: w.stack.clone(),
             })
             .collect()
     }
