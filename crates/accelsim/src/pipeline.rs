@@ -60,6 +60,7 @@ pub struct PipelineRun {
 /// unchained, core-coordinated baseline.
 pub fn run_sequential(stages: Vec<Box<dyn PipelineStage>>, inputs: Vec<Vec<u8>>) -> PipelineRun {
     let mut stages = stages;
+    // audit: allow(determinism, hardware-validation experiment: measures real host wall time by design; never feeds simulated fleet artifacts)
     let start = Instant::now();
     let outputs = inputs
         .into_iter()
@@ -82,6 +83,7 @@ pub fn run_sequential(stages: Vec<Box<dyn PipelineStage>>, inputs: Vec<Vec<u8>>)
 pub fn run_chained(stages: Vec<Box<dyn PipelineStage>>, inputs: Vec<Vec<u8>>) -> PipelineRun {
     assert!(!stages.is_empty(), "pipeline needs at least one stage");
     let n = inputs.len();
+    // audit: allow(determinism, hardware-validation experiment: measures real host wall time by design; never feeds simulated fleet artifacts)
     let start = Instant::now();
 
     let (first_tx, mut prev_rx) = mpsc::sync_channel::<Vec<u8>>(64);

@@ -122,9 +122,11 @@ pub fn software_validation(messages: usize, seed: u64) -> SoftwareValidation {
 
     // Per-stage t_sub measurement (the paper's non-accelerated synchronous
     // benchmark).
+    // audit: allow(determinism, software-validation benchmark: times real host execution of the stages by design; reported as measurements, not simulated artifacts)
     let start = Instant::now();
     let encoded: Vec<Vec<u8>> = corpus.iter().map(|m| m.encode_to_vec()).collect();
     let serialize_us = start.elapsed().as_secs_f64() * 1e6;
+    // audit: allow(determinism, software-validation benchmark: times real host execution of the stages by design; reported as measurements, not simulated artifacts)
     let start = Instant::now();
     for bytes in &encoded {
         let _ = Sha3_256::digest(bytes);
@@ -148,6 +150,7 @@ pub fn software_validation(messages: usize, seed: u64) -> SoftwareValidation {
     // On a single-core host the stages time-slice instead of overlapping,
     // so the model degenerates to the serial sum — the equivalent of a
     // chained accelerator complex with only one execution unit.
+    // audit: allow(determinism, Eq. 10 model selection needs the real core count of the measurement host; it qualifies the measurement, not a simulated artifact)
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let chained_modeled_us = if cores >= 2 {
         let slowest = serialize_us.max(sha3_us);

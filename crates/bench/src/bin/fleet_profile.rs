@@ -21,6 +21,7 @@ use hsdp_bench::exhibits::fleet_stack_profile;
 use hsdp_bench::telemetry_out::build_artifacts;
 use hsdp_platforms::runner::{fold_fleet, run_fleet, run_fleet_telemetry, FleetConfig};
 use hsdp_platforms::QueryExecution;
+use hsdp_simcore::pool::Perturbation;
 use hsdp_simcore::time::SimDuration;
 use hsdp_taxes::crc::Crc32c;
 use hsdp_taxes::pprof::Profile;
@@ -55,6 +56,11 @@ fn main() {
             }
             "--shards" => config.shards = parse::<usize>(&take("--shards"), "--shards").max(1),
             "--seed" => config.seed = parse(&take("--seed"), "--seed"),
+            // Schedule-perturbation knob: permutes shard dispatch/consumption
+            // order under the given seed. Must never change any artifact.
+            "--perturb" => {
+                config.perturb = Some(Perturbation::new(parse(&take("--perturb"), "--perturb")));
+            }
             "--db-queries" => config.db_queries = parse(&take("--db-queries"), "--db-queries"),
             "--out" => out_path = Some(take("--out")),
             "--telemetry" => telemetry_dir = Some(take("--telemetry")),
@@ -63,7 +69,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown option `{other}` (supported: --parallelism --shards --seed \
-                     --db-queries --out --telemetry --folded --pprof)"
+                     --perturb --db-queries --out --telemetry --folded --pprof)"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,84 @@
+//! The schedule-perturbation checker: the dynamic counterpart of the
+//! `determinism` audit rule.
+//!
+//! One fleet workload runs unperturbed at parallelism 1 to produce baseline
+//! artifacts, then re-runs at parallelism 4 under eight different
+//! perturbation seeds — each permuting shard dispatch order, injecting
+//! derived start jitter, and permuting completion-consumption order. Every
+//! artifact the fleet pipeline ships (telemetry metrics/trace/critical-path
+//! JSON, collapsed stacks, pprof protobuf) must come back byte-identical:
+//! the byte-equality here is what lets profile diffs across runs and
+//! commits be read as real regressions rather than schedule noise.
+
+use hsdp_bench::exhibits::fleet_stack_profile;
+use hsdp_bench::telemetry_out::build_artifacts;
+use hsdp_platforms::runner::{fold_fleet, run_fleet_telemetry, FleetConfig};
+use hsdp_simcore::pool::Perturbation;
+use hsdp_simcore::time::SimDuration;
+
+/// Perturbed schedules swept by the checker (≥ 8 by design).
+const PERTURBATION_SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 0xD15_0ACE];
+
+/// Every byte-exact artifact of one fleet run.
+struct Artifacts {
+    metrics_json: String,
+    trace_json: String,
+    critical_path_json: String,
+    folded: String,
+    pprof: Vec<u8>,
+}
+
+fn run_artifacts(parallelism: usize, perturb: Option<Perturbation>) -> Artifacts {
+    let config = FleetConfig {
+        db_queries: 24,
+        analytics_queries: 4,
+        fact_rows: 300,
+        seed: 0x5EED_CAFE,
+        parallelism,
+        shards: 4,
+        perturb,
+    };
+    let runs = run_fleet_telemetry(config);
+    let telemetry = build_artifacts(&runs);
+    let fleet = fold_fleet(runs);
+    let stacks = fleet_stack_profile(&fleet, config.seed);
+    Artifacts {
+        metrics_json: telemetry.metrics_json,
+        trace_json: telemetry.trace_json,
+        critical_path_json: telemetry.critical_path_json,
+        folded: stacks.folded(),
+        pprof: stacks.to_pprof(SimDuration::from_micros(2)).encode(),
+    }
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_perturbed_schedules() {
+    let baseline = run_artifacts(1, None);
+    assert!(!baseline.metrics_json.is_empty());
+    assert!(!baseline.folded.is_empty());
+    assert!(!baseline.pprof.is_empty());
+
+    for seed in PERTURBATION_SEEDS {
+        let perturbed = run_artifacts(4, Some(Perturbation::new(seed)));
+        assert_eq!(
+            perturbed.metrics_json, baseline.metrics_json,
+            "metrics.json moved under perturbation seed {seed}"
+        );
+        assert_eq!(
+            perturbed.trace_json, baseline.trace_json,
+            "trace.json moved under perturbation seed {seed}"
+        );
+        assert_eq!(
+            perturbed.critical_path_json, baseline.critical_path_json,
+            "critical_path.json moved under perturbation seed {seed}"
+        );
+        assert_eq!(
+            perturbed.folded, baseline.folded,
+            "collapsed stacks moved under perturbation seed {seed}"
+        );
+        assert_eq!(
+            perturbed.pprof, baseline.pprof,
+            "pprof bytes moved under perturbation seed {seed}"
+        );
+    }
+}

@@ -59,6 +59,11 @@ pub struct FleetConfig {
     /// an independent platform replica serving a slice of the query stream,
     /// so (unlike `parallelism`) changing it changes the generated traffic.
     pub shards: usize,
+    /// Optional schedule perturbation (see [`pool::Perturbation`]): permutes
+    /// shard dispatch and completion-consumption order and injects derived
+    /// start jitter. Like `parallelism`, it must never change fleet output —
+    /// the determinism tests sweep this knob to prove it.
+    pub perturb: Option<pool::Perturbation>,
 }
 
 impl Default for FleetConfig {
@@ -70,6 +75,7 @@ impl Default for FleetConfig {
             seed: 0xC0FFEE,
             parallelism: default_parallelism(),
             shards: 4,
+            perturb: None,
         }
     }
 }
@@ -77,6 +83,7 @@ impl Default for FleetConfig {
 /// The host's available hardware parallelism (1 when unknown).
 #[must_use]
 pub fn default_parallelism() -> usize {
+    // audit: allow(determinism, parallelism is a scheduling knob only: fleet output is byte-identical at any worker count, which the perturbation tests prove)
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
@@ -383,15 +390,16 @@ fn run_fleet_shards(config: FleetConfig, telemetry: bool) -> Vec<ShardRun> {
         .into_iter()
         .map(|(tag, job)| (tag, move || job.run(telemetry)))
         .collect();
-    let mut runs: Vec<ShardRun> = pool::run_tagged_jobs(config.parallelism, jobs)
-        .into_iter()
-        .map(|((platform, shard), (executions, registry))| ShardRun {
-            platform,
-            shard,
-            executions,
-            telemetry: registry,
-        })
-        .collect();
+    let mut runs: Vec<ShardRun> =
+        pool::run_tagged_jobs_perturbed(config.parallelism, jobs, config.perturb)
+            .into_iter()
+            .map(|((platform, shard), (executions, registry))| ShardRun {
+                platform,
+                shard,
+                executions,
+                telemetry: registry,
+            })
+            .collect();
     runs.sort_by_key(|run| (run.platform as usize, run.shard));
     runs
 }
@@ -508,6 +516,7 @@ mod tests {
             seed: 9,
             shards: 4,
             parallelism: 2,
+            perturb: None,
         };
         let fleet = run_fleet(config);
         assert_eq!(fleet.len(), 3);

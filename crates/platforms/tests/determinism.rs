@@ -14,6 +14,7 @@ fn small_config(parallelism: usize) -> FleetConfig {
         seed: 0x00DE_7EC7,
         parallelism,
         shards: 4,
+        perturb: None,
     }
 }
 
@@ -51,6 +52,26 @@ fn fleet_output_is_parallelism_invariant() {
                 items_breakdown(&items_b),
                 "{pa}: profiling breakdown at parallelism {parallelism}"
             );
+        }
+    }
+}
+
+#[test]
+fn fleet_output_is_schedule_perturbation_invariant() {
+    use hsdp_simcore::pool::Perturbation;
+    let baseline = run_fleet(small_config(1));
+    for seed in 0..4u64 {
+        let perturbed = run_fleet(FleetConfig {
+            perturb: Some(Perturbation::new(seed)),
+            ..small_config(4)
+        });
+        assert_eq!(baseline.len(), perturbed.len());
+        for ((pa, ea), (pb, eb)) in baseline.iter().zip(&perturbed) {
+            assert_eq!(pa, pb, "platform order must be canonical");
+            assert_eq!(ea.len(), eb.len(), "{pa}: record count at perturb {seed}");
+            for (i, (x, y)) in ea.iter().zip(eb).enumerate() {
+                assert_exec_eq(x, y, &format!("{pa} exec {i} at perturb {seed}"));
+            }
         }
     }
 }

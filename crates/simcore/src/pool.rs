@@ -17,7 +17,62 @@
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use hsdp_rng::derive_seed;
+use hsdp_rng::{derive_seed, Rng, StdRng};
+
+/// Sub-stream for the dispatch-order permutation of a [`Perturbation`].
+const STREAM_DISPATCH: u64 = 0xD15_0ACE;
+/// Sub-stream for the completion-consumption permutation.
+const STREAM_CONSUME: u64 = 0xC0_25FE;
+/// Sub-stream for per-job start jitter.
+const STREAM_JITTER: u64 = 0x7177E6;
+/// Upper bound (exclusive) on injected per-job start jitter, microseconds.
+const JITTER_SPAN_US: u64 = 180;
+
+/// A seeded schedule-perturbation knob — the dynamic counterpart of the
+/// `determinism` audit rule.
+///
+/// Under a perturbation the pool permutes job *dispatch* order, injects a
+/// small derived start jitter per job, and permutes the order in which
+/// completed results are *consumed* before the canonical reassembly. None
+/// of that may change fleet output: the byte-identical invariant says
+/// results depend only on the shard plan, never on the schedule. Tests (and
+/// the CI smoke step) run the same workload under many perturbation seeds
+/// and assert the artifacts do not move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Perturbation {
+    seed: u64,
+}
+
+impl Perturbation {
+    /// A perturbation with the given schedule seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Perturbation { seed }
+    }
+
+    /// The schedule seed.
+    #[must_use]
+    pub fn seed(self) -> u64 {
+        self.seed
+    }
+
+    /// Fisher–Yates-shuffles `items` with a generator derived from the
+    /// perturbation seed, the sub-stream, and the slice length.
+    fn shuffle<T>(self, stream: u64, items: &mut [T]) {
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, stream, items.len() as u64));
+        for i in (1..items.len()).rev() {
+            let j = rng.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Derived start delay for job `index` — skews worker interleavings so
+    /// completion order genuinely differs between perturbation seeds.
+    fn jitter(self, index: usize) -> std::time::Duration {
+        let us = derive_seed(self.seed, STREAM_JITTER, index as u64) % JITTER_SPAN_US;
+        std::time::Duration::from_micros(us)
+    }
+}
 
 /// Locks a mutex, ignoring poisoning: the pool never mutates shared state
 /// while holding the lock, so a poisoned queue is still structurally sound,
@@ -40,42 +95,84 @@ where
     F: FnOnce() -> T + Send,
     T: Send,
 {
+    run_jobs_perturbed(parallelism, jobs, None)
+}
+
+/// [`run_jobs`] under an optional schedule perturbation.
+///
+/// With `Some(perturbation)` the dispatch order is a seeded permutation of
+/// the input order, each job's start is delayed by a small derived jitter,
+/// and completed results are consumed in a second seeded permutation before
+/// the canonical index-ordered reassembly. The returned vector must be
+/// identical to the unperturbed run — that is the property the determinism
+/// tests drive through this knob.
+pub fn run_jobs_perturbed<T, F>(
+    parallelism: usize,
+    jobs: Vec<F>,
+    perturbation: Option<Perturbation>,
+) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
     let total = jobs.len();
-    if parallelism <= 1 || total <= 1 {
+    if perturbation.is_none() && (parallelism <= 1 || total <= 1) {
+        // The common sequential path stays allocation- and shuffle-free.
         return jobs.into_iter().map(|job| job()).collect();
     }
 
-    let workers = parallelism.min(total);
-    let queue = Mutex::new(jobs.into_iter().enumerate());
-    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(total);
-    let mut panicked = None;
+    let mut indexed_jobs: Vec<(usize, F)> = jobs.into_iter().enumerate().collect();
+    if let Some(p) = perturbation {
+        p.shuffle(STREAM_DISPATCH, &mut indexed_jobs);
+    }
 
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        // Hold the lock only to pop; the job runs unlocked so
-                        // workers overlap fully.
-                        let next = lock(&queue).next();
-                        match next {
-                            Some((index, job)) => local.push((index, job())),
-                            None => return local,
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(total);
+    if parallelism <= 1 || total <= 1 {
+        // Sequential but perturbed: execute in the permuted dispatch order.
+        indexed.extend(indexed_jobs.into_iter().map(|(index, job)| (index, job())));
+    } else {
+        let workers = parallelism.min(total);
+        let queue = Mutex::new(indexed_jobs.into_iter());
+        let mut panicked = None;
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            // Hold the lock only to pop; the job runs unlocked
+                            // so workers overlap fully.
+                            let next = lock(&queue).next();
+                            match next {
+                                Some((index, job)) => {
+                                    if let Some(p) = perturbation {
+                                        std::thread::sleep(p.jitter(index));
+                                    }
+                                    local.push((index, job()));
+                                }
+                                None => return local,
+                            }
                         }
-                    }
+                    })
                 })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(local) => indexed.extend(local),
-                Err(payload) => panicked = Some(payload),
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => indexed.extend(local),
+                    Err(payload) => panicked = Some(payload),
+                }
             }
+        });
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
         }
-    });
-    if let Some(payload) = panicked {
-        std::panic::resume_unwind(payload);
+    }
+
+    if let Some(p) = perturbation {
+        // Consumption-order perturbation: the reassembly below must not care
+        // which order completed results are visited in.
+        p.shuffle(STREAM_CONSUME, &mut indexed);
     }
 
     // Canonical merge: reassemble by input index. Every job sends exactly one
@@ -100,9 +197,23 @@ where
     F: FnOnce() -> T + Send,
     T: Send,
 {
+    run_tagged_jobs_perturbed(parallelism, jobs, None)
+}
+
+/// [`run_tagged_jobs`] under an optional schedule perturbation — see
+/// [`run_jobs_perturbed`].
+pub fn run_tagged_jobs_perturbed<K, T, F>(
+    parallelism: usize,
+    jobs: Vec<(K, F)>,
+    perturbation: Option<Perturbation>,
+) -> Vec<(K, T)>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
     let (tags, thunks): (Vec<K>, Vec<F>) = jobs.into_iter().unzip();
     tags.into_iter()
-        .zip(run_jobs(parallelism, thunks))
+        .zip(run_jobs_perturbed(parallelism, thunks, perturbation))
         .collect()
 }
 
@@ -233,6 +344,71 @@ mod tests {
             let got = run_tagged_jobs(parallelism, jobs);
             assert_eq!(got, vec![("a", 1), ("b", 2), ("c", 3)]);
         }
+    }
+
+    #[test]
+    fn perturbed_schedules_return_identical_results() {
+        let make_jobs = || -> Vec<_> {
+            (0..23u64)
+                .map(|i| {
+                    move || {
+                        if i % 4 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(150));
+                        }
+                        i.wrapping_mul(0x9E37_79B9).rotate_left(13)
+                    }
+                })
+                .collect()
+        };
+        let baseline = run_jobs(1, make_jobs());
+        for parallelism in [1, 4] {
+            for seed in 0..6u64 {
+                let got =
+                    run_jobs_perturbed(parallelism, make_jobs(), Some(Perturbation::new(seed)));
+                assert_eq!(got, baseline, "parallelism {parallelism} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_actually_changes_dispatch_order() {
+        // Guard against the knob silently becoming a no-op: record the order
+        // jobs *start* in under a perturbed sequential run.
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..16usize)
+            .map(|i| {
+                let order = &order;
+                move || lock(order).push(i)
+            })
+            .collect();
+        run_jobs_perturbed(1, jobs, Some(Perturbation::new(7)));
+        let started = lock(&order).clone();
+        let canonical: Vec<usize> = (0..16).collect();
+        assert_eq!(started.len(), 16);
+        assert_ne!(started, canonical, "dispatch order must be permuted");
+    }
+
+    #[test]
+    fn perturbed_tagged_jobs_keep_tags_aligned() {
+        type TaggedJob = (&'static str, fn() -> u32);
+        let jobs: Vec<TaggedJob> = vec![("a", || 1), ("b", || 2), ("c", || 3), ("d", || 4)];
+        let got = run_tagged_jobs_perturbed(4, jobs, Some(Perturbation::new(3)));
+        assert_eq!(got, vec![("a", 1), ("b", 2), ("c", 3), ("d", 4)]);
+    }
+
+    #[test]
+    fn perturbation_is_a_pure_function_of_its_seed() {
+        let p = Perturbation::new(42);
+        assert_eq!(p, Perturbation::new(42));
+        assert_eq!(p.seed(), 42);
+        let mut a: Vec<usize> = (0..32).collect();
+        let mut b: Vec<usize> = (0..32).collect();
+        p.shuffle(STREAM_DISPATCH, &mut a);
+        Perturbation::new(42).shuffle(STREAM_DISPATCH, &mut b);
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut c: Vec<usize> = (0..32).collect();
+        Perturbation::new(43).shuffle(STREAM_DISPATCH, &mut c);
+        assert_ne!(a, c, "different seeds diverge");
     }
 
     #[test]

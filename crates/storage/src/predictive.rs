@@ -8,7 +8,7 @@
 //! displaces a resident entry whose learned score is lower. One-shot scans
 //! never build enough score to evict the hot set.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cache::CachePolicy;
 
@@ -25,8 +25,11 @@ pub struct PredictiveCache {
     capacity: u64,
     used: u64,
     clock: u64,
-    resident: HashMap<u64, (u64, f64, u64)>, // key -> (size, score, last_tick)
-    ghosts: HashMap<u64, (f64, u64)>,        // key -> (score, last_tick)
+    // BTreeMap, not HashMap: eviction scans break float-score ties by
+    // iteration order, and only a sorted map makes that order (lowest key
+    // wins) deterministic across runs and schedules.
+    resident: BTreeMap<u64, (u64, f64, u64)>, // key -> (size, score, last_tick)
+    ghosts: BTreeMap<u64, (f64, u64)>,        // key -> (score, last_tick)
 }
 
 impl PredictiveCache {
@@ -37,8 +40,8 @@ impl PredictiveCache {
             capacity,
             used: 0,
             clock: 0,
-            resident: HashMap::new(),
-            ghosts: HashMap::new(),
+            resident: BTreeMap::new(),
+            ghosts: BTreeMap::new(),
         }
     }
 

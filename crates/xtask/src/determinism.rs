@@ -1,0 +1,425 @@
+//! Rule `determinism`: the race/nondeterminism lint family.
+//!
+//! The reproduction's load-bearing invariant is that fleet output is
+//! byte-identical at any parallelism. Four sub-rules guard the ways that
+//! invariant silently erodes, using the [`crate::flow`] pass for scope
+//! and type context:
+//!
+//! - **hash-iter** — iteration over std hash containers (`HashMap` /
+//!   `HashSet` `iter`/`keys`/`values`/`drain`/`into_iter` or a `for … in`
+//!   loop) is order-nondeterministic; use `BTreeMap`/`BTreeSet` or a
+//!   sorted collect.
+//! - **entropy** — wall-clock (`SystemTime::now`, `Instant::now`),
+//!   thread-identity, host-parallelism, and pointer-to-`usize` reads, and
+//!   RNG seeds that do not trace back through `derive_seed`/a shard seed.
+//! - **float-accum** — `f32`/`f64` `+=` or `.sum()` inside functions
+//!   whose names (or same-file callers) mark them as merge/fold/reduce
+//!   paths, where accumulation order is schedule-dependent.
+//! - **unstable-sort** — `sort_unstable_by`/`sort_unstable_by_key`, where
+//!   tied keys can land in either order. Plain `sort_unstable()` on the
+//!   full value is total-order and stays allowed.
+//!
+//! A deliberate exception carries `// audit: allow(determinism, <reason>)`.
+
+use crate::flow::FlowPass;
+use crate::lexer::{self, Line};
+
+/// Hash-container methods whose visit order follows the hasher.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Function-name fragments that mark a merge/fold/reduce path.
+const MERGE_MARKERS: &[&str] = &["merge", "fold", "reduce", "accumulate", "combine"];
+
+/// `A::B` paths that read schedule- or host-dependent state.
+const CLOCK_PATHS: &[(&str, &str, &str)] = &[
+    ("SystemTime", "now", "reads the wall clock"),
+    ("Instant", "now", "reads host monotonic time"),
+    ("thread", "current", "reads thread identity"),
+];
+
+/// Constructors that seed from ambient entropy rather than a plan.
+const ENTROPY_FNS: &[&str] = &["unseeded", "from_entropy", "from_wall_clock_entropy"];
+
+/// A raw finding: `(line, message)`.
+pub type DeterminismFinding = (usize, String);
+
+/// Scans one library file's lines for schedule-dependent constructs.
+pub fn check(lines: &[Line]) -> Vec<DeterminismFinding> {
+    let flow = FlowPass::build(lines);
+    let marked = flow.marked_functions(MERGE_MARKERS);
+    let mut findings = Vec::new();
+    for line in lines {
+        if line.in_test || line.is_code_blank() {
+            continue;
+        }
+        let toks = lexer::tokens(&line.code);
+        let scope = flow.function_at(line.number);
+        check_hash_iteration(line, &toks, scope, &flow, &mut findings);
+        check_clock_and_entropy(line, &toks, &mut findings);
+        if scope.is_some_and(|s| marked.contains(&s)) {
+            check_float_accumulation(line, &toks, scope, &flow, &mut findings);
+        }
+        check_unstable_sort(line, &toks, &mut findings);
+    }
+    findings
+}
+
+/// Sub-rule (a): iteration over std hash containers.
+fn check_hash_iteration(
+    line: &Line,
+    toks: &[String],
+    scope: Option<usize>,
+    flow: &FlowPass,
+    findings: &mut Vec<DeterminismFinding>,
+) {
+    for i in 0..toks.len() {
+        // `recv.iter(` / `self.field.keys(` …
+        if toks[i] == "."
+            && i > 0
+            && toks
+                .get(i + 1)
+                .is_some_and(|m| HASH_ITER_METHODS.contains(&m.as_str()))
+            && toks.get(i + 2).is_some_and(|p| p == "(")
+        {
+            let recv = toks[i - 1].as_str();
+            if flow.is_hash(scope, recv) {
+                findings.push((
+                    line.number,
+                    format!(
+                        "iteration over a std hash container (`{recv}.{}`) follows the hasher, \
+                         not a stable order; use BTreeMap/BTreeSet or a sorted collect, or \
+                         whitelist with `// audit: allow(determinism, <reason>)`",
+                        toks[i + 1]
+                    ),
+                ));
+            }
+        }
+        // `for k in &map` / `for (k, v) in map` — the implicit IntoIterator.
+        if toks[i] == "for" {
+            let Some(j) = (i + 1..toks.len()).find(|&j| toks[j] == "in") else {
+                continue;
+            };
+            let mut k = j + 1;
+            while toks.get(k).is_some_and(|t| t == "&" || t == "mut") {
+                k += 1;
+            }
+            if let Some(recv) = toks.get(k) {
+                let terminated = toks
+                    .get(k + 1)
+                    .is_none_or(|n| n == "{" || n == "." && toks.get(k + 2).is_none());
+                if terminated && flow.is_hash(scope, recv) {
+                    findings.push((
+                        line.number,
+                        format!(
+                            "`for … in {recv}` iterates a std hash container in hasher order; \
+                             use BTreeMap/BTreeSet or a sorted collect, or whitelist with \
+                             `// audit: allow(determinism, <reason>)`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Sub-rule (b): wall-clock, thread-identity, pointer, and unplanned-seed reads.
+fn check_clock_and_entropy(line: &Line, toks: &[String], findings: &mut Vec<DeterminismFinding>) {
+    let mut ptr_flagged = false;
+    for i in 0..toks.len() {
+        let t = toks[i].as_str();
+        // `SystemTime::now` / `Instant::now` / `thread::current`.
+        for &(head, tail, what) in CLOCK_PATHS {
+            if t == head
+                && toks.get(i + 1).is_some_and(|a| a == ":")
+                && toks.get(i + 2).is_some_and(|b| b == ":")
+                && toks.get(i + 3).is_some_and(|c| c == tail)
+            {
+                findings.push((
+                    line.number,
+                    format!(
+                        "`{head}::{tail}` {what} — schedule- and host-dependent; derive values \
+                         from the configured seed/plan or whitelist with \
+                         `// audit: allow(determinism, <reason>)`"
+                    ),
+                ));
+            }
+        }
+        if t == "available_parallelism" {
+            findings.push((
+                line.number,
+                "`available_parallelism` reads host CPU topology, which varies across machines; \
+                 take parallelism from configuration or whitelist with \
+                 `// audit: allow(determinism, <reason>)`"
+                    .to_owned(),
+            ));
+        }
+        // Pointer-to-usize: address-space layout leaking into values.
+        if !ptr_flagged
+            && (t == "as_ptr" || t == "as_mut_ptr")
+            && (0..toks.len().saturating_sub(1)).any(|j| toks[j] == "as" && toks[j + 1] == "usize")
+        {
+            ptr_flagged = true;
+            findings.push((
+                line.number,
+                "casting a pointer to `usize` leaks address-space layout (ASLR makes it vary \
+                 per run); key on stable identifiers instead or whitelist with \
+                 `// audit: allow(determinism, <reason>)`"
+                    .to_owned(),
+            ));
+        }
+        // Ambient-entropy constructors (definition sites are exempt).
+        if ENTROPY_FNS.contains(&t)
+            && toks.get(i + 1).is_some_and(|p| p == "(")
+            && (i == 0 || toks[i - 1] != "fn")
+        {
+            findings.push((
+                line.number,
+                format!(
+                    "`{t}()` seeds from ambient entropy, bypassing the seed-derivation chain; \
+                     thread a seed from `ShardPlan`/`derive_seed` or whitelist with \
+                     `// audit: allow(determinism, <reason>)`"
+                ),
+            ));
+        }
+        // Seeds that do not trace back to a derived seed.
+        if t == "seed_from_u64"
+            && toks.get(i + 1).is_some_and(|p| p == "(")
+            && (i == 0 || toks[i - 1] != "fn")
+        {
+            let arg_derived = toks[i + 2..].iter().any(|a| {
+                let lower = a.to_lowercase();
+                lower.contains("seed") || lower.contains("derive")
+            });
+            if !arg_derived {
+                findings.push((
+                    line.number,
+                    "RNG seed does not trace back to a derived seed (no `seed`/`derive` in the \
+                     argument); route it through `derive_seed`/a `ShardPlan` shard seed or \
+                     whitelist with `// audit: allow(determinism, <reason>)`"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+/// Sub-rule (c): float accumulation inside merge/fold/reduce paths.
+fn check_float_accumulation(
+    line: &Line,
+    toks: &[String],
+    scope: Option<usize>,
+    flow: &FlowPass,
+    findings: &mut Vec<DeterminismFinding>,
+) {
+    for i in 0..toks.len() {
+        // `x += …` where `x` is a known float carrier.
+        if toks[i] == "+"
+            && toks.get(i + 1).is_some_and(|e| e == "=")
+            && i > 0
+            && flow.is_float(scope, &toks[i - 1])
+        {
+            findings.push((
+                line.number,
+                format!(
+                    "float accumulation (`{} +=`) in a merge/fold path depends on evaluation \
+                     order under reassociation; accumulate integers or fix the fold order, or \
+                     whitelist with `// audit: allow(determinism, <reason>)`",
+                    toks[i - 1]
+                ),
+            ));
+        }
+        // `.sum::<f64>()` / `.sum()` with float evidence on the line.
+        if toks[i] == "." && toks.get(i + 1).is_some_and(|m| m == "sum") {
+            let turbofish_float = toks
+                .get(i + 2..)
+                .unwrap_or(&[])
+                .iter()
+                .take(6)
+                .any(|a| a == "f64" || a == "f32");
+            let line_float_evidence = toks
+                .iter()
+                .any(|a| a == "f64" || a == "f32" || flow.is_float(scope, a));
+            if turbofish_float || line_float_evidence {
+                findings.push((
+                    line.number,
+                    "float `.sum()` in a merge/fold path depends on accumulation order; sum \
+                     integers or fix the fold order, or whitelist with \
+                     `// audit: allow(determinism, <reason>)`"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+/// Sub-rule (d): unstable sorts with caller-supplied (tie-prone) keys.
+fn check_unstable_sort(line: &Line, toks: &[String], findings: &mut Vec<DeterminismFinding>) {
+    for i in 0..toks.len() {
+        let t = toks[i].as_str();
+        if (t == "sort_unstable_by" || t == "sort_unstable_by_key")
+            && toks.get(i + 1).is_some_and(|p| p == "(")
+            && (i == 0 || toks[i - 1] != "fn")
+        {
+            findings.push((
+                line.number,
+                format!(
+                    "`{t}` can permute elements whose keys tie, so output order follows the \
+                     schedule; use the stable `sort_by`/`sort_by_key`, sort the full value with \
+                     `sort_unstable()`, or whitelist with \
+                     `// audit: allow(determinism, <reason>)`"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn run(src: &str) -> Vec<DeterminismFinding> {
+        check(&scan(src))
+    }
+
+    #[test]
+    fn flags_hash_map_method_iteration() {
+        let src = "fn f() {\n    let mut m = HashMap::new();\n    for v in m.values() { use_it(v); }\n}\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].1.contains("m.values"));
+    }
+
+    #[test]
+    fn flags_hash_field_iteration_via_self() {
+        let src = "struct S { index: HashMap<u64, u64> }\nimpl S {\n    fn scan(&self) -> usize {\n        self.index.iter().count()\n    }\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn flags_for_loop_over_hash_set() {
+        let src =
+            "fn f(seen: HashSet<u64>) {\n    for s in &seen {\n        use_it(s);\n    }\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn btree_iteration_is_fine() {
+        let src =
+            "fn f() {\n    let m = BTreeMap::new();\n    for v in m.values() { use_it(v); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn hash_lookup_without_iteration_is_fine() {
+        let src = "fn f(m: HashMap<u64, u64>) -> bool {\n    m.contains_key(&1) && m.get(&2).is_some()\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn flags_clock_thread_and_parallelism_reads() {
+        assert_eq!(run("fn f() { let t = SystemTime::now(); }").len(), 1);
+        assert_eq!(run("fn f() { let t = Instant::now(); }").len(), 1);
+        assert_eq!(run("fn f() { let id = thread::current().id(); }").len(), 1);
+        assert_eq!(
+            run("fn f() { let n = std::thread::available_parallelism(); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn flags_pointer_to_usize() {
+        assert_eq!(
+            run("fn f(v: &[u8]) { let a = v.as_ptr() as usize; }").len(),
+            1
+        );
+        assert!(run("fn f(v: &[u8]) { let p = v.as_ptr(); }").is_empty());
+    }
+
+    #[test]
+    fn flags_entropy_constructors_but_not_their_definitions() {
+        assert_eq!(
+            run("fn f() { let rng = StdRng::from_wall_clock_entropy(); }").len(),
+            1
+        );
+        // The definition site itself is exempt; its body is flagged separately.
+        assert!(run("pub fn from_wall_clock_entropy() -> Self { body() }").is_empty());
+    }
+
+    #[test]
+    fn flags_literal_seed_but_not_derived_seed() {
+        assert_eq!(
+            run("fn f() { let r = StdRng::seed_from_u64(42); }").len(),
+            1
+        );
+        assert!(run("fn f() { let r = StdRng::seed_from_u64(shard.seed); }").is_empty());
+        assert!(run("fn f() { let r = StdRng::seed_from_u64(derive_seed(b, s, i)); }").is_empty());
+    }
+
+    #[test]
+    fn flags_float_accumulation_only_in_merge_paths() {
+        let merge = "fn merge_totals(xs: &[f64]) -> f64 {\n    let mut total: f64 = 0.0;\n    for x in xs { total += x; }\n    total\n}\n";
+        let found = run(merge);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].1.contains("total +="));
+        let plain = "fn scale(xs: &[f64]) -> f64 {\n    let mut total: f64 = 0.0;\n    for x in xs { total += x; }\n    total\n}\n";
+        assert!(run(plain).is_empty(), "unmarked functions are exempt");
+    }
+
+    #[test]
+    fn float_accumulation_propagates_to_callees_of_merge_paths() {
+        let src = "fn merge_all(xs: &[f64]) -> f64 {\n    helper(xs)\n}\nfn helper(xs: &[f64]) -> f64 {\n    let mut acc = 0.0;\n    for x in xs { acc += x; }\n    acc\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn flags_float_sum_in_merge_paths() {
+        let src = "fn fold_rates(xs: &[f64]) -> f64 {\n    xs.iter().sum::<f64>()\n}\n";
+        assert_eq!(run(src).len(), 1);
+        let int = "fn fold_counts(xs: &[u64]) -> u64 {\n    xs.iter().sum()\n}\n";
+        assert!(run(int).is_empty(), "integer sums are order-free");
+    }
+
+    #[test]
+    fn integer_accumulation_in_merge_paths_is_fine() {
+        let src = "fn merge_counts(xs: &[u64]) -> u64 {\n    let mut total: u64 = 0;\n    for x in xs { total += x; }\n    total\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn flags_keyed_unstable_sorts_but_not_total_order() {
+        assert_eq!(
+            run("fn f(v: &mut Vec<u64>) { v.sort_unstable_by_key(|x| x % 3); }").len(),
+            1
+        );
+        assert_eq!(
+            run("fn f(v: &mut Vec<u64>) { v.sort_unstable_by(|a, b| a.cmp(b)); }").len(),
+            1
+        );
+        assert!(run("fn f(v: &mut Vec<u64>) { v.sort_unstable(); }").is_empty());
+        assert!(run("fn f(v: &mut Vec<u64>) { v.sort_by_key(|x| x % 3); }").is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src =
+            "#[cfg(test)]\nmod t {\n    fn f() { let t = SystemTime::now(); }\n}\nfn lib() { }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        assert!(run(r#"fn f() { let s = "SystemTime::now"; } // Instant::now"#).is_empty());
+    }
+}

@@ -1,0 +1,377 @@
+//! A lightweight intra-file symbol/flow pass over the lexer output.
+//!
+//! The determinism rules need more context than a single line can give:
+//! whether an identifier names a std hash container, whether a function is
+//! (or is called from) a merge/fold path, and which locals carry floats.
+//! This pass recovers exactly that much structure — function extents, an
+//! intra-file call graph, and per-scope typed-identifier sets — from the
+//! token stream, without building a full AST. It is deliberately
+//! heuristic: it only has to be right about the patterns this codebase
+//! (and the fixture corpus) actually writes, and anything it misses is
+//! caught dynamically by the schedule-perturbation checker.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{self, Line};
+
+/// Keywords that would otherwise look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "mut", "pub", "use", "impl",
+    "struct", "enum", "trait", "mod", "move", "as", "in", "where", "ref", "else", "break",
+    "continue", "type", "const", "static", "crate", "super", "dyn",
+];
+
+/// One function found in the file.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// First line of the item (the `fn` keyword), 1-based.
+    pub start: usize,
+    /// Last line of the body (the closing brace).
+    pub end: usize,
+    /// Names this function calls (same-file resolution happens later).
+    pub calls: BTreeSet<String>,
+    /// Identifiers known to carry `f32`/`f64` in this scope (params, lets).
+    pub float_idents: BTreeSet<String>,
+    /// Identifiers known to be std hash containers in this scope.
+    pub hash_idents: BTreeSet<String>,
+    /// True when the function lives in a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// The file-level result of the pass.
+#[derive(Debug, Default)]
+pub struct FlowPass {
+    /// Every function in the file, in source order.
+    pub functions: Vec<FnInfo>,
+    /// Struct/const fields declared `f32`/`f64` outside any function body.
+    pub float_fields: BTreeSet<String>,
+    /// Struct fields declared `HashMap`/`HashSet` outside any function body.
+    pub hash_fields: BTreeSet<String>,
+}
+
+impl FlowPass {
+    /// Builds the pass from scanned lines.
+    #[must_use]
+    pub fn build(lines: &[Line]) -> Self {
+        let mut pass = FlowPass::default();
+        let mut depth: usize = 0;
+        // Innermost-function stack: (index into `functions`, depth at `{`).
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        // A `fn` signature seen but its body `{` not yet opened.
+        let mut pending: Option<usize> = None;
+
+        for line in lines {
+            let toks = lexer::tokens(&line.code);
+            let mut i = 0;
+            while i < toks.len() {
+                let t = toks[i].as_str();
+                let scope = pending.or_else(|| stack.last().map(|&(idx, _)| idx));
+                match t {
+                    "fn" => {
+                        if let Some(name) = toks.get(i + 1).filter(|n| is_ident(n)) {
+                            pass.functions.push(FnInfo {
+                                name: name.clone(),
+                                start: line.number,
+                                end: line.number,
+                                calls: BTreeSet::new(),
+                                float_idents: BTreeSet::new(),
+                                hash_idents: BTreeSet::new(),
+                                in_test: line.in_test,
+                            });
+                            pending = Some(pass.functions.len() - 1);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    "{" => {
+                        if let Some(idx) = pending.take() {
+                            stack.push((idx, depth));
+                        }
+                        depth += 1;
+                    }
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if stack.last().is_some_and(|&(_, d)| d == depth) {
+                            if let Some((idx, _)) = stack.pop() {
+                                pass.functions[idx].end = line.number;
+                            }
+                        }
+                    }
+                    ";" if pending.is_some() => {
+                        // A braceless signature (trait method) ends here.
+                        pending = None;
+                    }
+                    "let" => {
+                        scan_let(&toks, i, scope, &mut pass);
+                    }
+                    _ => {
+                        scan_typed_ident(&toks, i, scope, &mut pass);
+                        scan_call(&toks, i, scope, &mut pass);
+                    }
+                }
+                i += 1;
+            }
+        }
+        pass
+    }
+
+    /// Indices of functions whose name contains any marker, plus
+    /// (transitively) every same-file function a marked one calls. Test
+    /// functions neither mark nor propagate: what a test calls says
+    /// nothing about a production merge path.
+    #[must_use]
+    pub fn marked_functions(&self, markers: &[&str]) -> BTreeSet<usize> {
+        let mut marked: Vec<bool> = self
+            .functions
+            .iter()
+            .map(|f| {
+                let lower = f.name.to_lowercase();
+                !f.in_test && markers.iter().any(|m| lower.contains(m))
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..self.functions.len() {
+                if !marked[i] {
+                    continue;
+                }
+                for (j, callee) in self.functions.iter().enumerate() {
+                    if !marked[j]
+                        && !callee.in_test
+                        && self.functions[i].calls.contains(&callee.name)
+                    {
+                        marked[j] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        marked
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i))
+            .collect()
+    }
+
+    /// The innermost function containing `line`, if any.
+    #[must_use]
+    pub fn function_at(&self, line: usize) -> Option<usize> {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.start <= line && line <= f.end)
+            .max_by_key(|(_, f)| f.start)
+            .map(|(i, _)| i)
+    }
+
+    /// True when `ident` is a known float carrier in function `scope`
+    /// (or a file-level float field when `scope` is `None`).
+    #[must_use]
+    pub fn is_float(&self, scope: Option<usize>, ident: &str) -> bool {
+        self.float_fields.contains(ident)
+            || scope.is_some_and(|s| self.functions[s].float_idents.contains(ident))
+    }
+
+    /// True when `ident` is a known std hash container in function `scope`
+    /// (or a file-level hash field when `scope` is `None`).
+    #[must_use]
+    pub fn is_hash(&self, scope: Option<usize>, ident: &str) -> bool {
+        self.hash_fields.contains(ident)
+            || scope.is_some_and(|s| self.functions[s].hash_idents.contains(ident))
+    }
+
+    fn record_float(&mut self, scope: Option<usize>, ident: &str) {
+        match scope {
+            Some(s) => {
+                self.functions[s].float_idents.insert(ident.to_owned());
+            }
+            None => {
+                self.float_fields.insert(ident.to_owned());
+            }
+        }
+    }
+
+    fn record_hash(&mut self, scope: Option<usize>, ident: &str) {
+        match scope {
+            Some(s) => {
+                self.functions[s].hash_idents.insert(ident.to_owned());
+            }
+            None => {
+                self.hash_fields.insert(ident.to_owned());
+            }
+        }
+    }
+}
+
+/// True for identifier-ish tokens (the tokenizer already groups them).
+fn is_ident(tok: &str) -> bool {
+    tok.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && !KEYWORDS.contains(&tok)
+}
+
+/// True when the token run starting at `i` spells a float literal
+/// (`digits . digits`).
+fn is_float_literal(toks: &[String], i: usize) -> bool {
+    let digits = |t: &str| !t.is_empty() && t.chars().all(|c| c.is_ascii_digit() || c == '_');
+    toks.get(i).is_some_and(|t| digits(t))
+        && toks.get(i + 1).is_some_and(|t| t == ".")
+        && toks.get(i + 2).is_some_and(|t| digits(t))
+}
+
+/// True for suffixed float literals (`0f64`, `1_5f32`).
+fn is_suffixed_float(tok: &str) -> bool {
+    (tok.ends_with("f64") || tok.ends_with("f32"))
+        && tok.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Scans `ident : Type` annotations (params, struct fields, typed lets).
+fn scan_typed_ident(toks: &[String], i: usize, scope: Option<usize>, pass: &mut FlowPass) {
+    if !is_ident(&toks[i]) {
+        return;
+    }
+    // `ident :` but not `ident ::` and not `:: ident :`.
+    if toks.get(i + 1).is_none_or(|t| t != ":")
+        || toks.get(i + 2).is_some_and(|t| t == ":")
+        || (i > 0 && toks[i - 1] == ":")
+    {
+        return;
+    }
+    // Walk the type head: skip `&`, `mut`, and path segments.
+    let mut j = i + 2;
+    let mut hops = 0;
+    while j < toks.len() && hops < 10 {
+        match toks[j].as_str() {
+            "&" | "mut" | ":" => j += 1,
+            "f64" | "f32" => {
+                pass.record_float(scope, &toks[i]);
+                return;
+            }
+            "HashMap" | "HashSet" => {
+                pass.record_hash(scope, &toks[i]);
+                return;
+            }
+            // A path segment (`std`, `collections`, …) continues only
+            // through `::`; any other ident ends the type head.
+            t if is_ident(t) && toks.get(j + 1).is_some_and(|n| n == ":") => j += 1,
+            _ => return,
+        }
+        hops += 1;
+    }
+}
+
+/// Scans `let [mut] ident = …` initializers for float/hash evidence.
+fn scan_let(toks: &[String], i: usize, scope: Option<usize>, pass: &mut FlowPass) {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t == "mut") {
+        j += 1;
+    }
+    let Some(name) = toks.get(j).filter(|t| is_ident(t)) else {
+        return;
+    };
+    // A typed let (`let x: f64 = …`) is handled by `scan_typed_ident`;
+    // here we classify by the initializer expression up to `;`/line end.
+    let mut k = j + 1;
+    while k < toks.len() && toks[k] != ";" {
+        let t = toks[k].as_str();
+        if t == "f64" || t == "f32" || is_suffixed_float(t) || is_float_literal(toks, k) {
+            pass.record_float(scope, name);
+            return;
+        }
+        if t == "HashMap" || t == "HashSet" {
+            pass.record_hash(scope, name);
+            return;
+        }
+        k += 1;
+    }
+}
+
+/// Records `ident (` call sites into the enclosing function.
+fn scan_call(toks: &[String], i: usize, scope: Option<usize>, pass: &mut FlowPass) {
+    let Some(s) = scope else { return };
+    if is_ident(&toks[i])
+        && toks.get(i + 1).is_some_and(|t| t == "(")
+        && (i == 0 || toks[i - 1] != "fn")
+    {
+        pass.functions[s].calls.insert(toks[i].clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn build(src: &str) -> FlowPass {
+        FlowPass::build(&scan(src))
+    }
+
+    #[test]
+    fn tracks_function_extents_and_nesting() {
+        let src = "fn outer() {\n    fn inner() {\n        body();\n    }\n    tail();\n}\nfn second() {}\n";
+        let pass = build(src);
+        assert_eq!(pass.functions.len(), 3);
+        let outer = &pass.functions[0];
+        assert_eq!((outer.start, outer.end), (1, 6));
+        let inner = &pass.functions[1];
+        assert_eq!((inner.start, inner.end), (2, 4));
+        assert_eq!(pass.function_at(3), Some(1), "innermost wins");
+        assert_eq!(pass.function_at(5), Some(0));
+        assert_eq!(pass.function_at(7), Some(2));
+        assert!(outer.calls.contains("tail"));
+        assert!(inner.calls.contains("body"));
+    }
+
+    #[test]
+    fn typed_idents_cover_params_lets_and_fields() {
+        let src = "struct S {\n    total: f64,\n    index: HashMap<u64, u64>,\n}\nfn f(rate: f32, n: u64) {\n    let mut acc: f64 = 0.0;\n    let seen = HashSet::new();\n    let count = 0;\n}\n";
+        let pass = build(src);
+        assert!(pass.float_fields.contains("total"));
+        assert!(pass.hash_fields.contains("index"));
+        let f = &pass.functions[0];
+        assert!(f.float_idents.contains("rate"));
+        assert!(f.float_idents.contains("acc"));
+        assert!(f.hash_idents.contains("seen"));
+        assert!(!f.float_idents.contains("n"));
+        assert!(!f.float_idents.contains("count"));
+    }
+
+    #[test]
+    fn let_initializers_classify_floats_and_hashes() {
+        let src = "fn f() {\n    let x = 1.5;\n    let y = 0f64;\n    let m = std::collections::HashMap::with_capacity(4);\n    let r = 0..10;\n    let t = pair.0;\n}\n";
+        let pass = build(src);
+        let f = &pass.functions[0];
+        assert!(f.float_idents.contains("x"));
+        assert!(f.float_idents.contains("y"));
+        assert!(f.hash_idents.contains("m"));
+        assert!(!f.float_idents.contains("r"), "ranges are not floats");
+        assert!(!f.float_idents.contains("t"), "tuple access is not a float");
+    }
+
+    #[test]
+    fn marked_functions_propagate_through_calls() {
+        let src = "fn merge_all() {\n    helper();\n}\nfn helper() {\n    leaf();\n}\nfn leaf() {}\nfn unrelated() {}\n";
+        let pass = build(src);
+        let marked = pass.marked_functions(&["merge"]);
+        let names: Vec<&str> = marked
+            .iter()
+            .map(|&i| pass.functions[i].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["merge_all", "helper", "leaf"]);
+    }
+
+    #[test]
+    fn trait_signatures_do_not_swallow_the_file() {
+        let src = "trait T {\n    fn sig(&self) -> u8;\n    fn with_default(&self) -> u8 {\n        1\n    }\n}\nfn after() {}\n";
+        let pass = build(src);
+        assert_eq!(pass.functions.len(), 3);
+        assert_eq!(pass.function_at(7), Some(2));
+        assert_eq!(pass.functions[2].name, "after");
+    }
+}

@@ -12,6 +12,9 @@
 //! | `citation` | paper traceability: public items in `core/src/{model,study,    |
 //! |            | paper}.rs` cite the equation/figure they implement             |
 //! | `dep`      | manifest hygiene: declared dependencies are actually imported  |
+//! | `determinism` | schedule-independence: no hash-order iteration, ambient     |
+//! |            | entropy/clock reads, float accumulation in merge paths, or     |
+//! |            | tie-prone unstable sorts in model/platform code                |
 //!
 //! Every rule shares one escape hatch, the inline pragma
 //! `// audit: allow(<rule>, <reason>)` (or `# audit: allow(dep, <reason>)`
@@ -23,6 +26,8 @@
 pub mod casts;
 pub mod citations;
 pub mod deps;
+pub mod determinism;
+pub mod flow;
 pub mod lexer;
 pub mod panics;
 pub mod pragma;
@@ -76,6 +81,54 @@ impl AuditReport {
     pub fn count(&self, rule: RuleKind) -> usize {
         self.findings.iter().filter(|f| f.rule == rule).count()
     }
+
+    /// Renders the report as a machine-readable JSON document (for CI
+    /// artifacts). Findings keep their sorted order, so the output is
+    /// byte-stable for a given tree.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"rust_files\": {},\n", self.rust_files));
+        out.push_str(&format!("  \"manifests\": {},\n", self.manifests));
+        out.push_str(&format!(
+            "  \"pragmas_honoured\": {},\n",
+            self.pragmas_honoured
+        ));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                f.rule,
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Directories never descended into.
@@ -144,6 +197,21 @@ pub fn run_audit(root: &Path, filter: &[RuleKind]) -> io::Result<AuditReport> {
                 }
                 report.findings.push(Finding {
                     rule: RuleKind::Panic,
+                    file: rel_str.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+
+        if enabled(RuleKind::Determinism) && in_determinism_scope(&rel_str) {
+            for (line, message) in determinism::check(&lines) {
+                if index.allows(line, RuleKind::Determinism) {
+                    report.pragmas_honoured += 1;
+                    continue;
+                }
+                report.findings.push(Finding {
+                    rule: RuleKind::Determinism,
                     file: rel_str.clone(),
                     line,
                     message,
@@ -298,6 +366,16 @@ fn in_panic_scope(rel: &str) -> bool {
         && !rel.contains("/src/bin/")
 }
 
+/// True when the `determinism` rule applies: model/platform library and
+/// binary sources. The bench harness measures real host time by design and
+/// xtask is the auditor itself, so both crates sit outside the fleet's
+/// byte-identical output path.
+fn in_determinism_scope(rel: &str) -> bool {
+    (rel.starts_with("src/") || rel.contains("/src/"))
+        && !rel.starts_with("crates/bench/")
+        && !rel.starts_with("crates/xtask/")
+}
+
 /// Walks the tree rooted at `root`, returning workspace-relative paths of
 /// Rust sources and Cargo manifests, sorted for deterministic reports.
 pub fn collect_files(root: &Path) -> io::Result<(Vec<PathBuf>, Vec<PathBuf>)> {
@@ -363,6 +441,42 @@ mod tests {
         assert!(!in_panic_scope("crates/xtask/src/main.rs"));
         assert!(!in_panic_scope("crates/bench/src/bin/fig9.rs"));
         assert!(!in_panic_scope("crates/core/tests/model_properties.rs"));
+    }
+
+    #[test]
+    fn determinism_scope_excludes_bench_xtask_and_tests() {
+        assert!(in_determinism_scope("crates/simcore/src/pool.rs"));
+        assert!(in_determinism_scope("crates/platforms/src/runner.rs"));
+        assert!(in_determinism_scope("src/lib.rs"));
+        assert!(!in_determinism_scope(
+            "crates/bench/src/bin/fleet_profile.rs"
+        ));
+        assert!(!in_determinism_scope("crates/xtask/src/lexer.rs"));
+        assert!(!in_determinism_scope(
+            "crates/platforms/tests/determinism.rs"
+        ));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = AuditReport {
+            findings: vec![Finding {
+                rule: RuleKind::Determinism,
+                file: "crates/x/src/lib.rs".to_owned(),
+                line: 7,
+                message: "uses \"quotes\" and `ticks`".to_owned(),
+            }],
+            rust_files: 3,
+            manifests: 1,
+            pragmas_honoured: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"line\": 7"));
+        let empty = AuditReport::default().to_json();
+        assert!(empty.contains("\"findings\": []"));
+        assert!(empty.contains("\"clean\": true"));
     }
 
     #[test]

@@ -11,17 +11,20 @@ use std::process::ExitCode;
 use xtask::pragma::RuleKind;
 
 const USAGE: &str = "\
-usage: cargo run -p xtask -- audit [--root PATH] [--rule RULE]...
+usage: cargo run -p xtask -- audit [--root PATH] [--rule RULE]... [--json]
 
 Static-analysis audit of the workspace. Rules:
-  cast      units discipline (raw `as` casts / mixed-unit arithmetic)
-  panic     panic-free library code
-  citation  paper traceability of public model items
-  dep       manifest hygiene (declared deps must be imported)
+  cast         units discipline (raw `as` casts / mixed-unit arithmetic)
+  panic        panic-free library code
+  citation     paper traceability of public model items
+  dep          manifest hygiene (declared deps must be imported)
+  determinism  schedule-independence (hash-order iteration, clock/entropy
+               reads, float accumulation in merge paths, unstable sorts)
 
 Options:
   --root PATH   workspace root to audit (default: current directory)
   --rule RULE   run only the named rule (repeatable)
+  --json        emit a machine-readable JSON report on stdout
 ";
 
 fn main() -> ExitCode {
@@ -39,8 +42,10 @@ fn main() -> ExitCode {
 
     let mut root = PathBuf::from(".");
     let mut rules: Vec<RuleKind> = Vec::new();
+    let mut json = false;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--json" => json = true,
             "--root" => match iter.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => {
@@ -78,16 +83,20 @@ fn main() -> ExitCode {
         }
     };
 
-    for finding in &report.findings {
-        println!("{finding}");
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "audit: {} file(s), {} manifest(s), {} pragma(s) honoured — {} finding(s)",
+            report.rust_files,
+            report.manifests,
+            report.pragmas_honoured,
+            report.findings.len(),
+        );
     }
-    println!(
-        "audit: {} file(s), {} manifest(s), {} pragma(s) honoured — {} finding(s)",
-        report.rust_files,
-        report.manifests,
-        report.pragmas_honoured,
-        report.findings.len(),
-    );
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {

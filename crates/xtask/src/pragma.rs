@@ -6,7 +6,8 @@
 //! audit: allow(<rule>, <reason>)
 //! ```
 //!
-//! `<rule>` is one of `cast`, `panic`, `citation`, `dep`; `<reason>` is a
+//! `<rule>` is one of `cast`, `panic`, `citation`, `dep`, `determinism`;
+//! `<reason>` is a
 //! free-form, non-empty justification. A pragma suppresses findings of that
 //! rule on its own line, or — when it sits on a comment-only line — on the
 //! next line that carries code. A pragma with a missing or empty reason is
@@ -25,6 +26,10 @@ pub enum RuleKind {
     Citation,
     /// Declared manifest dependencies never imported by the crate.
     Dep,
+    /// Schedule-dependent constructs: hash-order iteration, ambient
+    /// entropy/clock reads, float accumulation in merge paths, tied
+    /// unstable sorts.
+    Determinism,
     /// A malformed `audit: allow` pragma (bad rule name or empty reason).
     Pragma,
 }
@@ -37,6 +42,7 @@ impl RuleKind {
             RuleKind::Panic => "panic",
             RuleKind::Citation => "citation",
             RuleKind::Dep => "dep",
+            RuleKind::Determinism => "determinism",
             RuleKind::Pragma => "pragma",
         }
     }
@@ -48,6 +54,7 @@ impl RuleKind {
             "panic" => Some(RuleKind::Panic),
             "citation" => Some(RuleKind::Citation),
             "dep" => Some(RuleKind::Dep),
+            "determinism" => Some(RuleKind::Determinism),
             "pragma" => Some(RuleKind::Pragma),
             _ => None,
         }
@@ -107,7 +114,8 @@ pub fn scan_comment(comment: &str) -> PragmaScan {
         match RuleKind::parse(rule_str) {
             Some(RuleKind::Pragma) | None => {
                 out.malformed.push(format!(
-                    "unknown audit rule `{rule_str}` (expected cast, panic, citation, or dep)"
+                    "unknown audit rule `{rule_str}` (expected cast, panic, citation, dep, or \
+                     determinism)"
                 ));
             }
             Some(rule) => {

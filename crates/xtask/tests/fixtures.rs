@@ -254,6 +254,170 @@ fn dep_rule_separates_workspace_root_from_members() {
 }
 
 #[test]
+fn determinism_rule_flags_hash_iteration_and_pragma_suppresses() {
+    let fx = Fixture::new("det-hash");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "use std::collections::HashMap;\npub fn f(m: HashMap<u64, u64>) -> u64 {\n    m.values().sum()\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        1,
+        "{:?}",
+        report.findings
+    );
+
+    // Sorted containers pass...
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "use std::collections::BTreeMap;\npub fn f(m: BTreeMap<u64, u64>) -> u64 {\n    m.values().sum()\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        0,
+        "{:?}",
+        report.findings
+    );
+
+    // ...and so does a reasoned pragma.
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "use std::collections::HashMap;\npub fn f(m: HashMap<u64, u64>) -> u64 {\n    // audit: allow(determinism, the sum is commutative so order cannot reach output)\n    m.values().sum()\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        0,
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.pragmas_honoured, 1);
+}
+
+#[test]
+fn determinism_rule_flags_clock_and_underived_seeds() {
+    let fx = Fixture::new("det-clock");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn stamp() -> u64 {\n    let t = std::time::SystemTime::now();\n    let i = std::time::Instant::now();\n    let rng = StdRng::seed_from_u64(12345);\n    0\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        3,
+        "{:?}",
+        report.findings
+    );
+
+    // Seeds threaded through the derivation chain are fine.
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn planned(shard_seed: u64) -> StdRng {\n    StdRng::seed_from_u64(derive_seed(shard_seed, 1, 0))\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        0,
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn determinism_rule_flags_float_accumulation_only_in_merge_paths() {
+    let fx = Fixture::new("det-float");
+    // A fold path accumulating floats fires...
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn merge_latency(xs: &[f64]) -> f64 {\n    let mut total: f64 = 0.0;\n    for x in xs {\n        total += x;\n    }\n    total\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        1,
+        "{:?}",
+        report.findings
+    );
+
+    // ...the same body under a non-merge name does not...
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn scaled_latency(xs: &[f64]) -> f64 {\n    let mut total: f64 = 0.0;\n    for x in xs {\n        total += x;\n    }\n    total\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        0,
+        "{:?}",
+        report.findings
+    );
+
+    // ...and integer accumulation in a merge path is order-free.
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn merge_counts(xs: &[u64]) -> u64 {\n    let mut total: u64 = 0;\n    for x in xs {\n        total += x;\n    }\n    total\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        0,
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn determinism_rule_flags_keyed_unstable_sorts() {
+    let fx = Fixture::new("det-sort");
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn order(v: &mut Vec<(u64, u64)>) {\n    v.sort_unstable_by_key(|e| e.1);\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        1,
+        "{:?}",
+        report.findings
+    );
+
+    // Sorting the full value is a total order: allowed.
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn order(v: &mut Vec<(u64, u64)>) {\n    v.sort_unstable();\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        0,
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn determinism_rule_exempts_bench_xtask_and_tests() {
+    let fx = Fixture::new("det-scope");
+    let offending = "pub fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    fx.write("crates/bench/src/lib.rs", offending);
+    fx.write("crates/xtask/src/lib.rs", offending);
+    fx.write("crates/demo/tests/t.rs", offending);
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "#[cfg(test)]\nmod tests {\n    pub fn f() { let t = std::time::Instant::now(); }\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Determinism);
+    assert_eq!(
+        count(&report, RuleKind::Determinism),
+        0,
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
 fn malformed_pragmas_are_findings() {
     let fx = Fixture::new("pragma");
     fx.write(
