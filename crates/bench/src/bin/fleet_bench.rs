@@ -15,7 +15,7 @@ use hsdp_core::category::Platform;
 use hsdp_platforms::bloom::{Bloom, ReferenceBloom};
 use hsdp_platforms::merge::{merge_runs_reference, merge_sorted_runs, Entry};
 use hsdp_platforms::runner::{
-    default_parallelism, platform_key, platform_plan, run_bigquery, run_bigtable, run_fleet,
+    default_parallelism, platform_key, platform_plan, run_bigquery, run_bigtable_tablet, run_fleet,
     run_fleet_telemetry, run_spanner, FleetConfig,
 };
 use hsdp_rng::{Rng, StdRng};
@@ -389,25 +389,84 @@ fn main() {
         sequential_ns / parallel_hw_ns,
     );
 
-    // --- Fleet: per-platform shard wall-clocks (scheduling-skew probe). ----
-    // Times every shard of each platform's plan in isolation. The per-shard
-    // max/total ratio shows how lumpy the schedule is: a platform whose
-    // single heaviest shard dominates the fleet total bounds any parallel
-    // speedup (and is why the dispatcher queues heavy platforms first).
+    // Parallel-speedup gate, laddered to the host. A 1-thread runner cannot
+    // overlap shard jobs at all, so the gate skips with a note — the
+    // `host_parallelism` field stamped on every BENCH_fleet.json entry
+    // records that this run could not measure speedup. Small 2-3 thread
+    // runners must show modest overlap; 4+ threads must reach the 2x target
+    // now that the BigTable straggler is split into per-tablet jobs.
+    let hw_speedup = sequential_ns / parallel_hw_ns;
+    if hw_threads == 1 {
+        println!(
+            "fleet speedup gate: SKIPPED (1 hardware thread; shard jobs \
+             cannot overlap, see host_parallelism in the report)"
+        );
+    } else {
+        let floor = if hw_threads >= 4 { 2.0 } else { 1.2 };
+        assert!(
+            hw_speedup >= floor,
+            "parallel fleet speedup {hw_speedup:.2}x is below the {floor:.1}x \
+             floor on {hw_threads} hardware threads"
+        );
+        println!(
+            "fleet speedup gate: {hw_speedup:.2}x >= {floor:.1}x on \
+             {hw_threads} hardware threads"
+        );
+    }
+
+    // --- Fleet: per-unit shard wall-clocks (straggler gate). ---------------
+    // Times every *schedulable unit* of the fleet in isolation — Spanner and
+    // BigQuery shards run whole, BigTable shards run as one job per tablet,
+    // exactly the granularity the dispatcher queues. The heaviest unit over
+    // the summed unit time bounds parallel speedup (N workers can never beat
+    // 1/max_fraction), so the bench fails when any single unit exceeds 40%
+    // of the total: that is the straggler regression this PR removes.
+    const STRAGGLER_CEILING: f64 = 0.40;
+    let mut units: Vec<(String, f64)> = Vec::new();
     for &platform in &Platform::ALL {
         let plan = platform_plan(&fleet_config, platform);
         let mut total_ns = 0.0f64;
-        let mut max_shard_ns = 0.0f64;
-        for shard in plan.shards() {
-            let shard_ns = time_ns(1, || match platform {
-                Platform::Spanner => run_spanner(shard.items, shard.seed).len(),
-                Platform::BigTable => run_bigtable(shard.items, shard.seed).len(),
-                Platform::BigQuery => {
-                    run_bigquery(shard.items, fleet_config.fact_rows, shard.seed).len()
+        for (shard_idx, shard) in plan.shards().iter().enumerate() {
+            match platform {
+                Platform::Spanner => {
+                    let unit_ns = time_ns(1, || run_spanner(shard.items, shard.seed).len());
+                    total_ns += unit_ns;
+                    units.push((format!("spanner/s{shard_idx}"), unit_ns));
                 }
-            });
-            total_ns += shard_ns;
-            max_shard_ns = max_shard_ns.max(shard_ns);
+                Platform::BigTable => {
+                    let tablets = fleet_config.tablets.max(1);
+                    for tablet in 0..tablets {
+                        let unit_ns = time_ns(1, || {
+                            run_bigtable_tablet(
+                                shard.items,
+                                shard.seed,
+                                tablet,
+                                tablets,
+                                false,
+                                None,
+                            )
+                        });
+                        total_ns += unit_ns;
+                        report.push(BenchRecord {
+                            id: format!(
+                                "fleet/shard_wall_clock/bigtable_tablet/s{shard_idx}_t{tablet}"
+                            ),
+                            ns_per_iter: unit_ns,
+                            bytes_per_iter: None,
+                            parallelism: 1,
+                            seed: SEED,
+                        });
+                        units.push((format!("bigtable/s{shard_idx}_t{tablet}"), unit_ns));
+                    }
+                }
+                Platform::BigQuery => {
+                    let unit_ns = time_ns(1, || {
+                        run_bigquery(shard.items, fleet_config.fact_rows, shard.seed).len()
+                    });
+                    total_ns += unit_ns;
+                    units.push((format!("bigquery/s{shard_idx}"), unit_ns));
+                }
+            }
         }
         report.push(BenchRecord {
             id: format!("fleet/shard_wall_clock/{}", platform_key(platform)),
@@ -417,15 +476,37 @@ fn main() {
             seed: SEED,
         });
         println!(
-            "fleet shards: {} total {:.1} ms over {} shard(s), heaviest {:.1} ms \
-             ({:.0}% of platform total)",
+            "fleet shards: {} total {:.1} ms over {} shard(s)",
             platform_key(platform),
             total_ns / 1e6,
             plan.shards().len(),
-            max_shard_ns / 1e6,
-            100.0 * max_shard_ns / total_ns.max(1.0),
         );
     }
+    let units_total_ns: f64 = units.iter().map(|(_, ns)| ns).sum();
+    let (worst_unit, worst_ns) = units.iter().fold(("", 0.0f64), |acc, (id, ns)| {
+        if *ns > acc.1 {
+            (id.as_str(), *ns)
+        } else {
+            acc
+        }
+    });
+    let straggler_fraction = worst_ns / units_total_ns.max(1.0);
+    println!(
+        "fleet straggler gate: heaviest unit {worst_unit} {:.1} ms = {:.0}% of \
+         {:.1} ms total over {} units (ceiling {:.0}%)",
+        worst_ns / 1e6,
+        100.0 * straggler_fraction,
+        units_total_ns / 1e6,
+        units.len(),
+        100.0 * STRAGGLER_CEILING,
+    );
+    assert!(
+        straggler_fraction <= STRAGGLER_CEILING,
+        "straggler unit {worst_unit} holds {:.0}% of fleet shard time \
+         (ceiling {:.0}%): the schedule cannot parallelize past it",
+        100.0 * straggler_fraction,
+        100.0 * STRAGGLER_CEILING,
+    );
 
     // --- Telemetry overhead: instrumented vs uninstrumented fleet run. -----
     // Same seed, same parallelism; the only difference is live per-shard

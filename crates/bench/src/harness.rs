@@ -206,16 +206,37 @@ impl BenchRecord {
 /// Accumulates [`BenchRecord`]s and serializes them as JSON, so the perf
 /// trajectory of the hot kernels and the fleet driver is recorded
 /// run-over-run instead of scrolling away on stdout.
-#[derive(Debug, Clone, Default)]
+///
+/// Every entry is stamped with the *host's* hardware parallelism, so a
+/// reader of `BENCH_fleet.json` can tell a genuine parallel-speedup
+/// regression from a run that simply landed on a smaller machine (a 1-CPU
+/// runner cannot show fleet speedup at all — the speedup gate skips there).
+#[derive(Debug, Clone)]
 pub struct BenchReport {
     records: Vec<BenchRecord>,
+    host_parallelism: usize,
+}
+
+impl Default for BenchReport {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl BenchReport {
-    /// An empty report.
+    /// An empty report stamped with this host's hardware parallelism.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        BenchReport {
+            records: Vec::new(),
+            host_parallelism: hsdp_platforms::runner::default_parallelism(),
+        }
+    }
+
+    /// The host hardware parallelism stamped on every entry.
+    #[must_use]
+    pub fn host_parallelism(&self) -> usize {
+        self.host_parallelism
     }
 
     /// Appends one result.
@@ -245,6 +266,10 @@ impl BenchReport {
                 out.push_str(&format!(", \"throughput_mib_s\": {}", json_f64(mib)));
             }
             out.push_str(&format!(", \"parallelism\": {}", r.parallelism));
+            out.push_str(&format!(
+                ", \"host_parallelism\": {}",
+                self.host_parallelism
+            ));
             out.push_str(&format!(", \"seed\": {}", r.seed));
             out.push('}');
             if i + 1 < self.records.len() {
@@ -397,6 +422,14 @@ mod tests {
             "quotes must be escaped: {json}"
         );
         assert!(json.contains("\"parallelism\": 4"));
+        assert!(
+            json.contains(&format!(
+                "\"host_parallelism\": {}",
+                report.host_parallelism()
+            )),
+            "entries must carry the host's hardware parallelism: {json}"
+        );
+        assert!(report.host_parallelism() >= 1);
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(
             json.matches('{').count(),

@@ -3,12 +3,17 @@
 //!
 //! One fleet workload runs unperturbed at parallelism 1 to produce baseline
 //! artifacts, then re-runs at parallelism 4 under eight different
-//! perturbation seeds — each permuting shard dispatch order, injecting
-//! derived start jitter, and permuting completion-consumption order. Every
-//! artifact the fleet pipeline ships (telemetry metrics/trace/critical-path
-//! JSON, collapsed stacks, pprof protobuf) must come back byte-identical:
-//! the byte-equality here is what lets profile diffs across runs and
-//! commits be read as real regressions rather than schedule noise.
+//! perturbation seeds — each permuting job dispatch order, injecting
+//! derived start jitter, and permuting completion-consumption order. The
+//! fleet schedule includes the sub-shard jobs: every BigTable shard runs as
+//! `tablets` independent tablet jobs (assembled after the pool drains), and
+//! the perturbation seed also flows into each tablet's in-flight LSM
+//! batches, so per-tablet flush and level-merge jobs are being reshuffled
+//! while the artifacts are produced. Every artifact the fleet pipeline
+//! ships (telemetry metrics/trace/critical-path JSON, collapsed stacks,
+//! pprof protobuf) must come back byte-identical: the byte-equality here is
+//! what lets profile diffs across runs and commits be read as real
+//! regressions rather than schedule noise.
 
 use hsdp_bench::exhibits::fleet_stack_profile;
 use hsdp_bench::telemetry_out::build_artifacts;
@@ -36,6 +41,7 @@ fn run_artifacts(parallelism: usize, perturb: Option<Perturbation>) -> Artifacts
         seed: 0x5EED_CAFE,
         parallelism,
         shards: 4,
+        tablets: 3,
         perturb,
     };
     let runs = run_fleet_telemetry(config);

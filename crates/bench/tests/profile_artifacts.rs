@@ -20,6 +20,7 @@ fn small_config(parallelism: usize) -> FleetConfig {
         seed: 0xFACE,
         parallelism,
         shards: 2,
+        tablets: 3,
         perturb: None,
     }
 }

@@ -18,6 +18,7 @@ fn instrumented_runs() -> Vec<ShardRun> {
         seed: 0x00DE_7EC7,
         parallelism: 2,
         shards: 4,
+        tablets: 2,
         perturb: None,
     })
 }

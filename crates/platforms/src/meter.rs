@@ -161,6 +161,12 @@ impl WorkMeter {
         std::mem::take(&mut self.items)
     }
 
+    /// Appends pre-metered items (from a pool job's private meter) as-is,
+    /// keeping the stacks they were charged under.
+    pub fn extend(&mut self, items: Vec<CpuWorkItem>) {
+        self.items.extend(items);
+    }
+
     /// Rolls the charged work up into a model-ready [`CpuBreakdown`].
     #[must_use]
     pub fn breakdown(&self) -> CpuBreakdown {

@@ -20,7 +20,7 @@ use hsdp_workload::mix::{AnalyticsMix, AnalyticsQuery, DbMix, DbOp};
 use hsdp_workload::rows::FactGen;
 
 use crate::bigquery::{BigQuery, BigQueryConfig};
-use crate::bigtable::{BigTable, BigTableConfig};
+use crate::bigtable::{route_key, tablet_seed, BigTableConfig, ScanAssembler, ScanPartial, Tablet};
 use crate::exec::QueryExecution;
 use crate::spanner::{Spanner, SpannerConfig};
 
@@ -41,6 +41,24 @@ const fn phase_seed(shard_seed: u64, platform: Platform, phase: u64) -> u64 {
     derive_seed(shard_seed, phase, platform as u64)
 }
 
+/// Tablets each BigTable shard is partitioned into by the fleet driver.
+/// Each tablet is an independently schedulable pool job, so the fleet's
+/// finest-grained unit of BigTable work is `1 / (shards * tablets)` of the
+/// platform's query stream — small enough that no single job dominates
+/// fleet wall-clock (the straggler gate in CI pins this).
+pub const DEFAULT_BIGTABLE_TABLETS: usize = 4;
+
+/// Rows preloaded into each BigTable shard before traffic (zipf hot set).
+const BT_PRELOAD_ROWS: usize = 6_000;
+
+/// Row limit for BigTable traffic scans.
+const BT_SCAN_LIMIT: usize = 25;
+
+/// Worker threads for one tablet's in-flight LSM batch (flush + due level
+/// merges). Kept modest: tablet jobs already run in parallel, so this only
+/// needs to overlap a flush with the occasional cascading merge.
+const BT_COMPACTION_WORKERS: usize = 2;
+
 /// Configuration for a full three-platform fleet run.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
@@ -59,6 +77,11 @@ pub struct FleetConfig {
     /// an independent platform replica serving a slice of the query stream,
     /// so (unlike `parallelism`) changing it changes the generated traffic.
     pub shards: usize,
+    /// Tablets per BigTable shard. Also part of the workload definition
+    /// (tablet routing changes which LSM instance serves each key), and the
+    /// fleet's finest BigTable scheduling grain: every tablet runs as its
+    /// own pool job.
+    pub tablets: usize,
     /// Optional schedule perturbation (see [`pool::Perturbation`]): permutes
     /// shard dispatch and completion-consumption order and injects derived
     /// start jitter. Like `parallelism`, it must never change fleet output —
@@ -75,6 +98,7 @@ impl Default for FleetConfig {
             seed: 0xC0FFEE,
             parallelism: default_parallelism(),
             shards: 4,
+            tablets: DEFAULT_BIGTABLE_TABLETS,
             perturb: None,
         }
     }
@@ -162,24 +186,41 @@ pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
 }
 
 /// [`run_bigtable`] with an optionally-enabled telemetry registry covering
-/// the traffic phase.
+/// the traffic phase. Runs the shard's [`DEFAULT_BIGTABLE_TABLETS`] tablets
+/// inline (sequentially) and assembles them — the same decomposition the
+/// fleet driver schedules in parallel, so fleet and standalone runs agree
+/// record-for-record.
 #[must_use]
 pub fn run_bigtable_shard(
     queries: usize,
     seed: u64,
     telemetry: bool,
 ) -> (Vec<QueryExecution>, MetricsRegistry) {
+    let tablets = DEFAULT_BIGTABLE_TABLETS;
+    let runs = (0..tablets)
+        .map(|tablet| run_bigtable_tablet(queries, seed, tablet, tablets, telemetry, None))
+        .collect();
+    assemble_bigtable_shard(runs)
+}
+
+/// One operation in a BigTable shard's deterministic op stream.
+enum BtOp {
+    Put { key: Vec<u8>, value: Vec<u8> },
+    Get { key: Vec<u8> },
+    Scan { start: Vec<u8> },
+    Rmw { key: Vec<u8>, value: Vec<u8> },
+}
+
+/// Materializes a BigTable shard's full op stream — preload puts followed
+/// by the traffic mix — as a pure function of `(queries, seed)`. Returns
+/// the ops and the preload length. Every tablet job replays this stream and
+/// executes its routed subsequence, which is what makes the per-tablet
+/// decomposition equal the inline run: each tablet sees exactly the ops it
+/// would have seen behind the router.
+fn bigtable_ops(queries: usize, seed: u64) -> (Vec<BtOp>, usize) {
     let platform = Platform::BigTable;
     let mut preload_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_PRELOAD));
     let mut traffic_rng = StdRng::seed_from_u64(phase_seed(seed, platform, PHASE_TRAFFIC));
-    let mut bt = BigTable::new(
-        BigTableConfig {
-            memtable_flush_bytes: 32 * 1024,
-            compaction_fanin: 4,
-            ..BigTableConfig::default()
-        },
-        phase_seed(seed, platform, PHASE_ENGINE),
-    );
     let keys = KeyGen::new("bt", 20_000, 0.99);
     let values = ValueGen::new(300);
     let mix = DbMix {
@@ -188,38 +229,194 @@ pub fn run_bigtable_shard(
         scan: 0.05,
         rmw: 0.05,
     };
-
+    let mut ops = Vec::with_capacity(BT_PRELOAD_ROWS + queries);
     // Preload the hot set (zipf 0.99 concentrates mass in the top ranks).
-    for rank in 0..6_000 {
-        bt.put(keys.key_for_rank(rank), values.sample(&mut preload_rng));
+    for rank in 0..BT_PRELOAD_ROWS as u64 {
+        ops.push(BtOp::Put {
+            key: keys.key_for_rank(rank),
+            value: values.sample(&mut preload_rng),
+        });
     }
-    if telemetry {
-        bt.set_telemetry(MetricsRegistry::new());
-    }
-
-    let executions: Vec<QueryExecution> = (0..queries)
-        .map(|_| match mix.sample(&mut traffic_rng) {
-            DbOp::Read => {
-                let key = keys.sample(&mut traffic_rng);
-                bt.get(&key)
-            }
-            DbOp::Write => bt.put(
-                keys.sample(&mut traffic_rng),
-                values.sample(&mut traffic_rng),
-            ),
-            DbOp::Scan => {
-                let key = keys.sample(&mut traffic_rng);
-                bt.scan(&key, 25)
-            }
+    for _ in 0..queries {
+        ops.push(match mix.sample(&mut traffic_rng) {
+            DbOp::Read => BtOp::Get {
+                key: keys.sample(&mut traffic_rng),
+            },
+            DbOp::Write => BtOp::Put {
+                key: keys.sample(&mut traffic_rng),
+                value: values.sample(&mut traffic_rng),
+            },
+            DbOp::Scan => BtOp::Scan {
+                start: keys.sample(&mut traffic_rng),
+            },
             DbOp::ReadModifyWrite => {
                 let key = keys.sample(&mut traffic_rng);
-                let _ = bt.get(&key);
-                bt.put(key, values.sample(&mut traffic_rng))
+                BtOp::Rmw {
+                    key,
+                    value: values.sample(&mut traffic_rng),
+                }
             }
-        })
-        .collect();
-    assert_eq!(bt.open_spans(), 0, "bigtable left spans open at end-of-run");
-    (executions, bt.take_telemetry())
+        });
+    }
+    (ops, BT_PRELOAD_ROWS)
+}
+
+/// One tablet's slice of a BigTable shard run: the traffic executions it
+/// owned and the scan partials it contributed, each tagged with the global
+/// op index so [`assemble_bigtable_shard`] can reassemble the shard's
+/// record stream in canonical order.
+#[derive(Debug)]
+pub struct BigTableTabletRun {
+    /// Tablet index within the shard's tablet set.
+    pub tablet: usize,
+    /// Traffic executions this tablet owned, by global op index.
+    pub executions: Vec<(usize, QueryExecution)>,
+    /// Scan partials this tablet contributed, by global op index.
+    pub scans: Vec<(usize, ScanPartial)>,
+    /// The tablet's telemetry registry (disabled for plain runs).
+    pub telemetry: MetricsRegistry,
+    /// Traffic queries in the shard's op stream.
+    pub queries: usize,
+    /// Preload ops preceding traffic in the op stream.
+    pub preload: usize,
+}
+
+/// Runs one tablet of a BigTable shard: replays the shard's op stream,
+/// executes the ops routed to `tablet` (scans contribute a partial from
+/// every tablet), and returns the tablet's tagged output. `perturb`
+/// perturbs the tablet's in-flight LSM job batches — never its results.
+#[must_use]
+pub fn run_bigtable_tablet(
+    queries: usize,
+    seed: u64,
+    tablet: usize,
+    tablets: usize,
+    telemetry: bool,
+    perturb: Option<pool::Perturbation>,
+) -> BigTableTabletRun {
+    let platform = Platform::BigTable;
+    let (ops, preload) = bigtable_ops(queries, seed);
+    let config = BigTableConfig {
+        memtable_flush_bytes: 32 * 1024,
+        compaction_fanin: 4,
+        tablets,
+        compaction_parallelism: BT_COMPACTION_WORKERS,
+        perturb,
+        ..BigTableConfig::default()
+    };
+    let engine_seed = phase_seed(seed, platform, PHASE_ENGINE);
+    let mut tb = Tablet::new(&config, tablet, tablet_seed(engine_seed, tablet));
+    let mut executions = Vec::new();
+    let mut scans = Vec::new();
+    for (idx, op) in ops.into_iter().enumerate() {
+        if telemetry && idx == preload {
+            tb.set_telemetry(MetricsRegistry::new());
+        }
+        let exec = match op {
+            BtOp::Put { key, value } => {
+                if route_key(&key, tablets) != tablet {
+                    continue;
+                }
+                tb.put(key, value)
+            }
+            BtOp::Get { key } => {
+                if route_key(&key, tablets) != tablet {
+                    continue;
+                }
+                tb.get(&key)
+            }
+            BtOp::Rmw { key, value } => {
+                if route_key(&key, tablets) != tablet {
+                    continue;
+                }
+                let _ = tb.get(&key);
+                tb.put(key, value)
+            }
+            BtOp::Scan { start } => {
+                scans.push((idx, tb.scan_partial(&start, BT_SCAN_LIMIT)));
+                continue;
+            }
+        };
+        if idx >= preload {
+            executions.push((idx, exec));
+        }
+    }
+    assert_eq!(tb.open_spans(), 0, "bigtable tablet left spans open");
+    BigTableTabletRun {
+        tablet,
+        executions,
+        scans,
+        telemetry: tb.take_telemetry(),
+        queries,
+        preload,
+    }
+}
+
+/// Folds a shard's tablet runs back into the shard's canonical record
+/// stream: point executions land in their op-index slot, scan partials are
+/// grouped per op (tablet order within a group) and assembled on a fresh
+/// scan coordinator, and the telemetry registries merge in tablet order.
+/// A pure fold — callers may produce the tablet runs in any schedule.
+#[must_use]
+pub fn assemble_bigtable_shard(
+    mut tablet_runs: Vec<BigTableTabletRun>,
+) -> (Vec<QueryExecution>, MetricsRegistry) {
+    tablet_runs.sort_by_key(|run| run.tablet);
+    let queries = tablet_runs.first().map_or(0, |run| run.queries);
+    let preload = tablet_runs.first().map_or(0, |run| run.preload);
+    let telemetry_on = tablet_runs.iter().any(|run| run.telemetry.is_enabled());
+
+    let mut slots: Vec<Option<QueryExecution>> = Vec::with_capacity(queries);
+    slots.resize_with(queries, || None);
+    let mut scan_parts: Vec<(usize, ScanPartial)> = Vec::new();
+    let mut registries: Vec<MetricsRegistry> = Vec::new();
+    for run in tablet_runs {
+        for (idx, exec) in run.executions {
+            if let Some(slot) = idx.checked_sub(preload).and_then(|i| slots.get_mut(i)) {
+                *slot = Some(exec);
+            }
+        }
+        scan_parts.extend(run.scans);
+        registries.push(run.telemetry);
+    }
+    // Stable by op index: within one scan, partials keep tablet order.
+    scan_parts.sort_by_key(|(idx, _)| *idx);
+
+    let mut scans = ScanAssembler::new();
+    if telemetry_on {
+        scans.set_telemetry(MetricsRegistry::new());
+    }
+    let mut parts = scan_parts.into_iter().peekable();
+    while let Some((idx, first)) = parts.next() {
+        let mut group = vec![first];
+        while parts.peek().is_some_and(|(next, _)| *next == idx) {
+            if let Some((_, part)) = parts.next() {
+                group.push(part);
+            }
+        }
+        let exec = scans.assemble(group);
+        if let Some(slot) = idx.checked_sub(preload).and_then(|i| slots.get_mut(i)) {
+            *slot = Some(exec);
+        }
+    }
+    registries.push(scans.take_telemetry());
+
+    let executions: Vec<QueryExecution> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(
+        executions.len(),
+        queries,
+        "every traffic op yields exactly one execution"
+    );
+    let merged = if telemetry_on {
+        let mut merged = MetricsRegistry::new();
+        for part in &registries {
+            merged.merge(part);
+        }
+        merged
+    } else {
+        MetricsRegistry::disabled()
+    };
+    (executions, merged)
 }
 
 /// Runs one shard of the BigQuery-class workload (the dashboard analytics
@@ -268,16 +465,21 @@ pub fn run_bigquery_shard(
     (executions, bq.take_telemetry())
 }
 
-/// One schedulable unit of fleet work: a single platform shard.
+/// One schedulable unit of fleet work: a platform shard, or — for BigTable,
+/// whose monolithic shard used to straggle the whole fleet — a single
+/// tablet of one.
 #[derive(Debug, Clone, Copy)]
 enum ShardJob {
     Spanner {
         queries: usize,
         seed: u64,
     },
-    BigTable {
+    BigTableTablet {
         queries: usize,
         seed: u64,
+        tablet: usize,
+        tablets: usize,
+        perturb: Option<pool::Perturbation>,
     },
     BigQuery {
         queries: usize,
@@ -286,17 +488,58 @@ enum ShardJob {
     },
 }
 
+/// What one fleet job produced: a whole shard's record stream, or one
+/// tablet's slice of a BigTable shard (assembled after the pool drains).
+enum JobOutput {
+    Shard(Vec<QueryExecution>, MetricsRegistry),
+    Tablet(BigTableTabletRun),
+}
+
 impl ShardJob {
-    fn run(self, telemetry: bool) -> (Vec<QueryExecution>, MetricsRegistry) {
+    fn run(self, telemetry: bool) -> JobOutput {
         match self {
-            ShardJob::Spanner { queries, seed } => run_spanner_shard(queries, seed, telemetry),
-            ShardJob::BigTable { queries, seed } => run_bigtable_shard(queries, seed, telemetry),
+            ShardJob::Spanner { queries, seed } => {
+                let (executions, registry) = run_spanner_shard(queries, seed, telemetry);
+                JobOutput::Shard(executions, registry)
+            }
+            ShardJob::BigTableTablet {
+                queries,
+                seed,
+                tablet,
+                tablets,
+                perturb,
+            } => JobOutput::Tablet(run_bigtable_tablet(
+                queries, seed, tablet, tablets, telemetry, perturb,
+            )),
             ShardJob::BigQuery {
                 queries,
                 fact_rows,
                 seed,
-            } => run_bigquery_shard(queries, fact_rows, seed, telemetry),
+            } => {
+                let (executions, registry) =
+                    run_bigquery_shard(queries, fact_rows, seed, telemetry);
+                JobOutput::Shard(executions, registry)
+            }
         }
+    }
+}
+
+/// Estimated wall-clock cost of one fleet job in nanoseconds, for
+/// longest-processing-time-first dispatch. The constants are calibrated
+/// against the measured `fleet/shard_wall_clock/*` entries in
+/// `BENCH_fleet.json` (fixed preload/load cost plus a per-query or per-row
+/// slope), so dispatch order tracks what the jobs actually cost rather
+/// than a hardcoded platform ranking. At the default fleet shape the fits
+/// land on the measurements: a Spanner shard (75 queries) ≈ 14.4 ms, a
+/// BigTable tablet job (75 shard queries replayed, ~1/4 executed) ≈ 15 ms,
+/// a BigQuery shard (15 queries over 8k fact rows) ≈ 8.1 ms.
+fn job_weight(job: &ShardJob) -> u64 {
+    match *job {
+        ShardJob::Spanner { queries, .. } => 7_000_000 + 100_000 * queries as u64,
+        ShardJob::BigTableTablet { queries, .. } => 10_000_000 + 65_000 * queries as u64,
+        ShardJob::BigQuery {
+            queries, fact_rows, ..
+        } => 700 * fact_rows as u64 + 170_000 * queries as u64,
     }
 }
 
@@ -338,39 +581,68 @@ pub fn platform_plan(config: &FleetConfig, platform: Platform) -> ShardPlan {
     ShardPlan::new(items, config.shards, config.seed, stream)
 }
 
-/// Builds one platform shard's job under `config`.
-fn shard_job(config: &FleetConfig, platform: Platform, shard: &pool::Shard) -> ShardJob {
-    match platform {
-        Platform::Spanner => ShardJob::Spanner {
-            queries: shard.items,
-            seed: shard.seed,
-        },
-        Platform::BigTable => ShardJob::BigTable {
-            queries: shard.items,
-            seed: shard.seed,
-        },
-        Platform::BigQuery => ShardJob::BigQuery {
-            queries: shard.items,
-            fact_rows: config.fact_rows,
-            seed: shard.seed,
-        },
-    }
-}
-
-/// Builds the fleet's full shard schedule in canonical merge order —
-/// Spanner shards, then BigTable shards, then BigQuery shards — each tagged
-/// with its `(platform, shard index)` identity.
-fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize), ShardJob)> {
-    let mut jobs = Vec::with_capacity(3 * config.shards.max(1));
+/// Builds the fleet's full job schedule in canonical merge order — Spanner
+/// shards, then BigTable shards (one job per tablet), then BigQuery shards
+/// — each tagged with its `(platform, shard, part)` identity (`part` is the
+/// tablet index; whole-shard jobs use part 0).
+fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize, usize), ShardJob)> {
+    let tablets = config.tablets.max(1);
+    let mut jobs = Vec::with_capacity((2 + tablets) * config.shards.max(1));
     for &platform in &Platform::ALL {
         let plan = platform_plan(&config, platform);
-        jobs.extend(
-            plan.shards()
-                .iter()
-                .map(|s| ((platform, s.index), shard_job(&config, platform, s))),
-        );
+        for shard in plan.shards() {
+            match platform {
+                Platform::Spanner => jobs.push((
+                    (platform, shard.index, 0),
+                    ShardJob::Spanner {
+                        queries: shard.items,
+                        seed: shard.seed,
+                    },
+                )),
+                Platform::BigTable => {
+                    for tablet in 0..tablets {
+                        jobs.push((
+                            (platform, shard.index, tablet),
+                            ShardJob::BigTableTablet {
+                                queries: shard.items,
+                                seed: shard.seed,
+                                tablet,
+                                tablets,
+                                perturb: config.perturb,
+                            },
+                        ));
+                    }
+                }
+                Platform::BigQuery => jobs.push((
+                    (platform, shard.index, 0),
+                    ShardJob::BigQuery {
+                        queries: shard.items,
+                        fact_rows: config.fact_rows,
+                        seed: shard.seed,
+                    },
+                )),
+            }
+        }
     }
     jobs
+}
+
+/// Flushes a pending group of tablet runs (one BigTable shard) into the run
+/// list, assembling them into the shard's canonical record stream.
+fn flush_tablet_group(
+    runs: &mut Vec<ShardRun>,
+    pending: &mut Vec<BigTableTabletRun>,
+    key: &mut Option<(Platform, usize)>,
+) {
+    if let Some((platform, shard)) = key.take() {
+        let (executions, telemetry) = assemble_bigtable_shard(std::mem::take(pending));
+        runs.push(ShardRun {
+            platform,
+            shard,
+            executions,
+            telemetry,
+        });
+    }
 }
 
 /// Runs the whole fleet, one [`ShardRun`] per shard in canonical
@@ -378,28 +650,43 @@ fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize), ShardJob)> {
 /// when `telemetry` is true.
 fn run_fleet_shards(config: FleetConfig, telemetry: bool) -> Vec<ShardRun> {
     let mut schedule = fleet_jobs(config);
-    // Longest-processing-time-first dispatch: BigQuery shards dwarf the
-    // database shards (each carries a full fact-table load plus the
-    // analytics queries), so enqueueing them last — canonical order — left
-    // the tail of every parallel run single-threaded on one straggler.
-    // Dispatch heaviest platform first instead; the tags carry the
-    // canonical identity, so results are re-sorted below and the output is
-    // unchanged.
-    schedule.sort_by_key(|((platform, shard), _)| (std::cmp::Reverse(*platform as usize), *shard));
+    // Longest-processing-time-first dispatch, weighted by each job's
+    // estimated cost (calibrated against the measured per-shard wall-clock
+    // entries in BENCH_fleet.json — see `job_weight`). Enqueueing in
+    // canonical order left the tail of every parallel run single-threaded
+    // on whichever job happened to be heaviest; dispatching heaviest-first
+    // keeps the tail short. The sort is stable, the tags carry canonical
+    // identity, and results are re-sorted below, so fleet output is
+    // unchanged by dispatch order.
+    schedule.sort_by_key(|(_, job)| std::cmp::Reverse(job_weight(job)));
     let jobs: Vec<_> = schedule
         .into_iter()
         .map(|(tag, job)| (tag, move || job.run(telemetry)))
         .collect();
-    let mut runs: Vec<ShardRun> =
-        pool::run_tagged_jobs_perturbed(config.parallelism, jobs, config.perturb)
-            .into_iter()
-            .map(|((platform, shard), (executions, registry))| ShardRun {
+    let mut outputs = pool::run_tagged_jobs_perturbed(config.parallelism, jobs, config.perturb);
+    outputs.sort_by_key(|((platform, shard, part), _)| (*platform as usize, *shard, *part));
+
+    let mut runs: Vec<ShardRun> = Vec::new();
+    let mut pending: Vec<BigTableTabletRun> = Vec::new();
+    let mut pending_key: Option<(Platform, usize)> = None;
+    for ((platform, shard, _part), output) in outputs {
+        if pending_key.is_some() && pending_key != Some((platform, shard)) {
+            flush_tablet_group(&mut runs, &mut pending, &mut pending_key);
+        }
+        match output {
+            JobOutput::Shard(executions, registry) => runs.push(ShardRun {
                 platform,
                 shard,
                 executions,
                 telemetry: registry,
-            })
-            .collect();
+            }),
+            JobOutput::Tablet(run) => {
+                pending_key = Some((platform, shard));
+                pending.push(run);
+            }
+        }
+    }
+    flush_tablet_group(&mut runs, &mut pending, &mut pending_key);
     runs.sort_by_key(|run| (run.platform as usize, run.shard));
     runs
 }
@@ -515,6 +802,7 @@ mod tests {
             fact_rows: 400,
             seed: 9,
             shards: 4,
+            tablets: 3,
             parallelism: 2,
             perturb: None,
         };
@@ -527,6 +815,68 @@ mod tests {
             };
             assert_eq!(execs.len(), want, "{platform}");
         }
+    }
+
+    #[test]
+    fn tablet_jobs_assemble_to_inline_shard_run() {
+        // The per-tablet decomposition the fleet schedules must equal the
+        // inline shard run record-for-record — even with tablets produced
+        // out of order and with the in-tablet LSM batches perturbed.
+        let (queries, seed) = (150, 77);
+        let (inline_run, _) = run_bigtable_shard(queries, seed, false);
+        let tablets = DEFAULT_BIGTABLE_TABLETS;
+        let runs: Vec<BigTableTabletRun> = (0..tablets)
+            .rev()
+            .map(|tablet| {
+                run_bigtable_tablet(
+                    queries,
+                    seed,
+                    tablet,
+                    tablets,
+                    false,
+                    Some(pool::Perturbation::new(9)),
+                )
+            })
+            .collect();
+        let (assembled, _) = assemble_bigtable_shard(runs);
+        assert_eq!(inline_run.len(), assembled.len());
+        for (a, b) in inline_run.iter().zip(&assembled) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.spans, b.spans);
+            assert_eq!(a.cpu_work, b.cpu_work);
+        }
+    }
+
+    #[test]
+    fn lpt_weights_rank_measured_cost_not_platform_order() {
+        // Satellite fix: dispatch order must follow the measured job cost
+        // model. A BigTable tablet job with the fleet's default per-shard
+        // query load outweighs a BigQuery shard with a small fact table —
+        // the old hardcoded platform ranking said the opposite.
+        let config = FleetConfig::default();
+        let bt_queries = config.db_queries / config.shards;
+        let tablet = ShardJob::BigTableTablet {
+            queries: bt_queries,
+            seed: 1,
+            tablet: 0,
+            tablets: config.tablets,
+            perturb: None,
+        };
+        let bigquery = ShardJob::BigQuery {
+            queries: config.analytics_queries / config.shards,
+            fact_rows: 2_000,
+            seed: 1,
+        };
+        assert!(job_weight(&tablet) > job_weight(&bigquery));
+        // And weights grow with load: more queries, heavier job.
+        let heavier = ShardJob::BigTableTablet {
+            queries: bt_queries * 4,
+            seed: 1,
+            tablet: 0,
+            tablets: config.tablets,
+            perturb: None,
+        };
+        assert!(job_weight(&heavier) > job_weight(&tablet));
     }
 
     #[test]

@@ -14,6 +14,7 @@ fn small_config(parallelism: usize) -> FleetConfig {
         seed: 0x00DE_7EC7,
         parallelism,
         shards: 4,
+        tablets: 2,
         perturb: None,
     }
 }
