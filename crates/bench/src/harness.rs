@@ -211,10 +211,15 @@ impl BenchRecord {
 /// reader of `BENCH_fleet.json` can tell a genuine parallel-speedup
 /// regression from a run that simply landed on a smaller machine (a 1-CPU
 /// runner cannot show fleet speedup at all — the speedup gate skips there).
+/// Since kernel round 3 each entry also carries the dispatched CPU feature
+/// summary (e.g. `"sse4.2+pclmul+avx2"` or `"scalar(forced)"`), so a
+/// SIMD-vs-scalar ratio recorded on one host is never compared against a
+/// run where the fast paths silently failed to dispatch.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     records: Vec<BenchRecord>,
     host_parallelism: usize,
+    cpu_features: String,
 }
 
 impl Default for BenchReport {
@@ -230,6 +235,7 @@ impl BenchReport {
         BenchReport {
             records: Vec::new(),
             host_parallelism: hsdp_platforms::runner::default_parallelism(),
+            cpu_features: hsdp_taxes::dispatch::CpuFeatures::get().summary(),
         }
     }
 
@@ -237,6 +243,12 @@ impl BenchReport {
     #[must_use]
     pub fn host_parallelism(&self) -> usize {
         self.host_parallelism
+    }
+
+    /// The dispatched CPU feature summary stamped on every entry.
+    #[must_use]
+    pub fn cpu_features(&self) -> &str {
+        &self.cpu_features
     }
 
     /// Appends one result.
@@ -269,6 +281,10 @@ impl BenchReport {
             out.push_str(&format!(
                 ", \"host_parallelism\": {}",
                 self.host_parallelism
+            ));
+            out.push_str(&format!(
+                ", \"cpu_features\": \"{}\"",
+                json_escape(&self.cpu_features)
             ));
             out.push_str(&format!(", \"seed\": {}", r.seed));
             out.push('}');
@@ -430,6 +446,11 @@ mod tests {
             "entries must carry the host's hardware parallelism: {json}"
         );
         assert!(report.host_parallelism() >= 1);
+        assert!(
+            json.contains(&format!("\"cpu_features\": \"{}\"", report.cpu_features())),
+            "entries must carry the dispatched feature summary: {json}"
+        );
+        assert!(!report.cpu_features().is_empty());
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(
             json.matches('{').count(),

@@ -8,7 +8,7 @@ const POLY: u32 = 0x82f6_3b78;
 /// oracle: the slicing-by-8 tables below are derived from it and the
 /// byte-at-a-time implementation ([`crc32c_append_bytewise`]) is kept for
 /// equivalence testing and as the benchmark baseline.
-const TABLE: [u32; 256] = build_table();
+pub(crate) const TABLE: [u32; 256] = build_table();
 
 /// Slicing-by-8 tables: `TABLES[k][b]` is the CRC contribution of byte `b`
 /// advanced `k` further byte positions through the polynomial.
@@ -63,14 +63,33 @@ pub fn crc32c(data: &[u8]) -> u32 {
     crc32c_append(0, data)
 }
 
-/// Extends a CRC32C over more data (streaming use).
+/// Extends a CRC32C over more data (streaming use) — the dispatched entry.
 ///
-/// Hot path: slicing-by-8 (Kounavis & Berry) — eight table lookups fold
-/// eight input bytes per step instead of one, with the byte-table loop
-/// mopping up the sub-8-byte tail. Bit-identical to
-/// [`crc32c_append_bytewise`] for every input.
+/// Resolves once per process to the best implementation the host supports:
+/// the hardware `crc32` instruction path in [`crate::simd::crc`] (SSE4.2 /
+/// aarch64 CRC, 3-way stream-interleaved) when detected, else the scalar
+/// slicing-by-8 path. All paths are bit-identical for every input; set
+/// `HSDP_FORCE_SCALAR=1` to pin the scalar path
+/// (see [`crate::dispatch`]).
 #[must_use]
 pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    type CrcFn = fn(u32, &[u8]) -> u32;
+    static IMPL: std::sync::OnceLock<CrcFn> = std::sync::OnceLock::new();
+    let resolved =
+        *IMPL.get_or_init(|| crate::simd::crc::crc32c_fn().unwrap_or(crc32c_append_slicing8));
+    resolved(crc, data)
+}
+
+/// Extends a CRC32C over more data — the scalar fast path and the oracle
+/// for the hardware path.
+///
+/// Slicing-by-8 (Kounavis & Berry): eight table lookups fold eight input
+/// bytes per step instead of one, with the byte-table loop mopping up the
+/// sub-8-byte tail. Bit-identical to [`crc32c_append_bytewise`] for every
+/// input. Kept as the round-2 benchmark baseline and the CI fallback on
+/// hosts without the `crc32` instruction.
+#[must_use]
+pub fn crc32c_append_slicing8(crc: u32, data: &[u8]) -> u32 {
     let mut crc = !crc;
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
@@ -170,11 +189,14 @@ mod tests {
                     continue;
                 }
                 let slice = &data[start..start + len];
+                let oracle = crc32c_append_bytewise(0, slice);
                 assert_eq!(
-                    crc32c_append(0, slice),
-                    crc32c_append_bytewise(0, slice),
+                    crc32c_append_slicing8(0, slice),
+                    oracle,
                     "len {len} start {start}"
                 );
+                // The dispatched entry (whatever path it resolved) agrees too.
+                assert_eq!(crc32c_append(0, slice), oracle, "len {len} start {start}");
             }
         }
     }
@@ -193,9 +215,15 @@ mod tests {
             let len = (next() % 4096) as usize;
             let buf: Vec<u8> = (0..len).map(|_| (next() >> 24) as u8).collect();
             let seed_crc = (next() & 0xffff_ffff) as u32;
+            let oracle = crc32c_append_bytewise(seed_crc, &buf);
+            assert_eq!(
+                crc32c_append_slicing8(seed_crc, &buf),
+                oracle,
+                "round {round} len {len}"
+            );
             assert_eq!(
                 crc32c_append(seed_crc, &buf),
-                crc32c_append_bytewise(seed_crc, &buf),
+                oracle,
                 "round {round} len {len}"
             );
         }

@@ -1,0 +1,646 @@
+//! AVX2 compression fast paths: vectorized match extension and wide copies.
+//!
+//! The encoder here mirrors [`crate::compress::compress_scalar`]
+//! **decision for decision** — same hash probes, same table updates, same
+//! miss-skip acceleration, same greedy match acceptance — so the two paths
+//! emit byte-identical streams for every input. Only three things are
+//! accelerated: unaligned loads skip bounds checks (the scalar control flow
+//! already proves them in range), match extension compares 32 bytes per
+//! step with `vpcmpeqb`/`vpmovmskb`, and emission writes through a raw
+//! cursor into a buffer reserved up front to the format's worst-case size,
+//! eliminating the per-op capacity checks and memcpy dispatch.
+//!
+//! The decoder keeps [`crate::compress::decompress_scalar`]'s validation
+//! order and error behaviour exactly (hardened-decoder budget checks
+//! included) and accelerates only the copies: literal runs and disjoint
+//! back-references move 32 bytes per step, and overlapping (RLE-style)
+//! references with offset ≥ 32 use a forward wide copy whose reads always
+//! trail the write frontier.
+
+use crate::error::CompressError;
+
+/// Signature shared by the scalar and SIMD compressors.
+pub type CompressFn = fn(&[u8]) -> Vec<u8>;
+
+/// Signature shared by the scalar and SIMD decompressors.
+pub type DecompressFn = fn(&[u8]) -> Result<Vec<u8>, CompressError>;
+
+/// Resolves the SIMD compressor when the host supports it (else `None`).
+pub fn compress_fn() -> Option<CompressFn> {
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::CpuFeatures::get().avx2 {
+        return Some(x86::compress_entry);
+    }
+    None
+}
+
+/// Resolves the SIMD decompressor when the host supports it (else `None`).
+pub fn decompress_fn() -> Option<DecompressFn> {
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::CpuFeatures::get().avx2 {
+        return Some(x86::decompress_entry);
+    }
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_cmpeq_epi8, _mm256_loadu_si256, _mm256_movemask_epi8,
+        _mm256_storeu_si256, _mm_loadu_si128, _mm_storeu_si128,
+    };
+
+    use crate::compress::{
+        compress_reference, decode_op_len, emit_copy, emit_literals, hash4, load_u32, HASH_BITS,
+        MAGIC, MAX_OFFSET, MAX_PREALLOC, MIN_MATCH, SKIP_TRIGGER, VERSION,
+    };
+    use crate::error::CompressError;
+    use crate::varint::{decode_varint, encode_varint};
+
+    /// Loads a little-endian u64 without a bounds check.
+    ///
+    /// # Safety
+    ///
+    /// `pos + 8 <= data.len()`.
+    #[inline]
+    unsafe fn load64(data: &[u8], pos: usize) -> u64 {
+        debug_assert!(pos + 8 <= data.len());
+        // SAFETY: the caller guarantees `pos + 8 <= data.len()`.
+        unsafe { data.as_ptr().add(pos).cast::<u64>().read_unaligned() }
+    }
+
+    /// Appends one byte through the raw cursor.
+    ///
+    /// # Safety
+    ///
+    /// `out` has at least one spare byte of capacity.
+    #[inline(always)]
+    unsafe fn push_byte(out: &mut Vec<u8>, byte: u8) {
+        let len = out.len();
+        debug_assert!(len < out.capacity());
+        // SAFETY: the caller guarantees spare capacity, so the write stays
+        // inside the allocation and the new length is initialized.
+        unsafe {
+            out.as_mut_ptr().add(len).write(byte);
+            out.set_len(len + 1);
+        }
+    }
+
+    /// Appends a varint through the raw cursor — byte-identical to
+    /// [`crate::varint::encode_varint`] for every value.
+    ///
+    /// # Safety
+    ///
+    /// `out` has at least 10 spare bytes of capacity.
+    #[inline(always)]
+    unsafe fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+        if value < 0x80 {
+            // SAFETY: the caller guarantees 10 spare bytes (≥ 1).
+            unsafe { push_byte(out, value as u8) };
+            return;
+        }
+        if value < 0x4000 {
+            // SAFETY: the caller guarantees 10 spare bytes (≥ 2).
+            unsafe {
+                push_byte(out, (value as u8 & 0x7f) | 0x80);
+                push_byte(out, (value >> 7) as u8);
+            }
+            return;
+        }
+        loop {
+            let byte = (value & 0x7f) as u8;
+            value >>= 7;
+            if value == 0 {
+                // SAFETY: a u64 varint is ≤ 10 bytes, all reserved.
+                unsafe { push_byte(out, byte) };
+                return;
+            }
+            // SAFETY: a u64 varint is ≤ 10 bytes, all reserved.
+            unsafe { push_byte(out, byte | 0x80) };
+        }
+    }
+
+    /// Appends `src` through the raw cursor with wide copies. All reads stay
+    /// inside `src` (the final vector/word overlaps backwards), so no
+    /// out-of-bounds source bytes are touched.
+    ///
+    /// # Safety
+    ///
+    /// `out` has at least `src.len()` spare bytes of capacity.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn append_slice(out: &mut Vec<u8>, src: &[u8]) {
+        let len = src.len();
+        let old = out.len();
+        debug_assert!(old + len <= out.capacity());
+        let from = src.as_ptr();
+        // SAFETY: the caller guarantees `len` spare bytes of capacity, so
+        // every store lands inside the allocation; every load below is
+        // bounded by `src`'s own length.
+        unsafe {
+            let to = out.as_mut_ptr().add(old);
+            copy_exact(from, to, len);
+            out.set_len(old + len);
+        }
+    }
+
+    /// Copies one unaligned 32-byte vector.
+    ///
+    /// # Safety
+    ///
+    /// 32 bytes are readable at `from` and writable at `to`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn copy32(from: *const u8, to: *mut u8) {
+        // SAFETY: the caller guarantees both 32-byte ranges are valid.
+        unsafe { _mm256_storeu_si256(to.cast::<__m256i>(), _mm256_loadu_si256(from.cast())) };
+    }
+
+    /// Copies exactly `len` bytes between non-overlapping regions, 32 bytes
+    /// per step with an overlapping final vector (no wild reads or writes).
+    ///
+    /// # Safety
+    ///
+    /// `len` bytes readable at `from`, `len` bytes writable at `to`, and the
+    /// regions do not overlap.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn copy_exact(from: *const u8, to: *mut u8, len: usize) {
+        // SAFETY: every load/store below stays inside the caller-guaranteed
+        // `len`-byte regions (this covers all branches of the block).
+        unsafe {
+            if len >= 32 {
+                let mut i = 0;
+                while i + 32 <= len {
+                    copy32(from.add(i), to.add(i));
+                    i += 32;
+                }
+                if i < len {
+                    // Overlapping final vector: touches exactly [len-32, len).
+                    copy32(from.add(len - 32), to.add(len - 32));
+                }
+            } else if len >= 16 {
+                // Two overlapping 16-byte vectors cover 16..=31.
+                let head = _mm_loadu_si128(from.cast());
+                let tail = _mm_loadu_si128(from.add(len - 16).cast());
+                _mm_storeu_si128(to.cast::<__m128i>(), head);
+                _mm_storeu_si128(to.add(len - 16).cast::<__m128i>(), tail);
+            } else if len >= 8 {
+                let head = from.cast::<u64>().read_unaligned();
+                let tail = from.add(len - 8).cast::<u64>().read_unaligned();
+                to.cast::<u64>().write_unaligned(head);
+                to.add(len - 8).cast::<u64>().write_unaligned(tail);
+            } else {
+                for i in 0..len {
+                    to.add(i).write(*from.add(i));
+                }
+            }
+        }
+    }
+
+    /// Emits a literal run — byte-identical to
+    /// [`crate::compress::emit_literals`].
+    ///
+    /// # Safety
+    ///
+    /// `out` has at least `11 + (end - start)` spare bytes of capacity.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn emit_literals_raw(out: &mut Vec<u8>, data: &[u8], start: usize, end: usize) {
+        let len = end - start;
+        if len == 0 {
+            return;
+        }
+        // SAFETY: the caller's capacity bound covers the ≤11-byte header and
+        // the `len` literal bytes.
+        unsafe {
+            if len - 1 < 0x7f {
+                push_byte(out, ((len - 1) as u8) << 1);
+            } else {
+                push_byte(out, 0x7f << 1);
+                push_varint(out, len as u64);
+            }
+            append_slice(out, &data[start..end]);
+        }
+    }
+
+    /// Emits a copy op — byte-identical to [`crate::compress::emit_copy`].
+    ///
+    /// # Safety
+    ///
+    /// `out` has at least 21 spare bytes of capacity.
+    #[inline(always)]
+    unsafe fn emit_copy_raw(out: &mut Vec<u8>, len: usize, offset: usize) {
+        debug_assert!(len >= MIN_MATCH && offset >= 1);
+        // SAFETY: the caller's capacity bound covers the tag plus two
+        // varints (≤ 1 + 10 + 10 bytes).
+        unsafe {
+            if len - MIN_MATCH < 0x7f {
+                push_byte(out, (((len - MIN_MATCH) as u8) << 1) | 1);
+            } else {
+                push_byte(out, (0x7f << 1) | 1);
+                push_varint(out, len as u64);
+            }
+            push_varint(out, offset as u64);
+        }
+    }
+
+    /// Length of the common prefix of `data[a..]` and `data[b..]` (`a < b`),
+    /// bounded by the end of the buffer — the vectorized counterpart of
+    /// [`crate::compress`]'s `common_prefix_len`, returning identical values.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn prefix_len_avx2(data: &[u8], mut a: usize, mut b: usize) -> usize {
+        debug_assert!(a < b);
+        let start = b;
+        let total = data.len();
+        let ptr = data.as_ptr();
+        while b + 32 <= total {
+            // SAFETY: `b + 32 <= total` and `a < b`, so both 32-byte loads
+            // end inside `data`.
+            let (va, vb) = unsafe {
+                (
+                    _mm256_loadu_si256(ptr.add(a).cast()),
+                    _mm256_loadu_si256(ptr.add(b).cast()),
+                )
+            };
+            let eq = _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) as u32;
+            if eq != u32::MAX {
+                return b - start + (!eq).trailing_zeros() as usize;
+            }
+            a += 32;
+            b += 32;
+        }
+        while b + 8 <= total {
+            // SAFETY: `b + 8 <= total` and `a < b`.
+            let diff = unsafe { load64(data, a) ^ load64(data, b) };
+            if diff != 0 {
+                return b - start + (diff.trailing_zeros() / 8) as usize;
+            }
+            a += 8;
+            b += 8;
+        }
+        while b < total && data[a] == data[b] {
+            a += 1;
+            b += 1;
+        }
+        b - start
+    }
+
+    /// Safe entry installed by [`super::compress_fn`].
+    pub(super) fn compress_entry(data: &[u8]) -> Vec<u8> {
+        // Same guard as the scalar path: the u32 match table cannot encode
+        // positions past u32::MAX, so huge inputs take the reference codec.
+        if data.len() >= u32::MAX as usize {
+            return compress_reference(data);
+        }
+        // SAFETY: `compress_fn` installs this entry only after
+        // `CpuFeatures::get` confirmed AVX2 on this CPU.
+        unsafe { compress_avx2(data) }
+    }
+
+    /// AVX2 compressor — emits the exact byte stream of
+    /// [`crate::compress::compress_scalar`].
+    #[target_feature(enable = "avx2")]
+    fn compress_avx2(data: &[u8]) -> Vec<u8> {
+        let total = data.len();
+        // Worst-case output bound, so the raw cursor never reallocates:
+        // header ≤ 13 bytes; literal bytes ≤ n; copy ops emit at most one
+        // byte per input byte consumed (a ≤4-byte op per ≥4-byte match; the
+        // long-form varint amortizes over ≥131 matched bytes); literal run
+        // headers cost ≤1 byte plus varint/21 per byte for long runs, with
+        // at most n/4 + 1 runs (every copy between runs consumes ≥
+        // MIN_MATCH). 32 + n + n/4 + n/16 covers all of it; reserving the
+        // roomier 32 + 2n + n/2 keeps a wide margin and measures faster
+        // here — the first free of a block this size bumps the allocator's
+        // dynamic mmap/trim thresholds, so subsequent calls recycle the
+        // arena instead of trim-thrashing pages back to the kernel.
+        let cap = 32 + 2 * total + total / 2;
+        let mut out = Vec::with_capacity(cap);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        encode_varint(total as u64, &mut out);
+
+        let mut table: Box<[u32; 1 << HASH_BITS]> = Box::new([0u32; 1 << HASH_BITS]);
+        let mut pos = 0;
+        let mut literal_start = 0;
+        let mut misses: u32 = 0;
+
+        while pos + 8 <= total {
+            // SAFETY: the loop condition proves `pos + 8 <= total`.
+            let here = unsafe { load64(data, pos) };
+            let h = hash4(here as u32);
+            let candidate = (table[h] as usize).wrapping_sub(1);
+            table[h] = (pos + 1) as u32;
+
+            let diff = if candidate != usize::MAX && pos - candidate <= MAX_OFFSET {
+                // SAFETY: the table only holds previously probed positions,
+                // so `candidate < pos` and `candidate + 8 <= total`.
+                unsafe { load64(data, candidate) ^ here }
+            } else {
+                1 // low bit set: "seed mismatch"
+            };
+            if diff & 0xFFFF_FFFF != 0 {
+                pos += 1 + (misses >> SKIP_TRIGGER) as usize;
+                misses += 1;
+                continue;
+            }
+            let len = if diff != 0 {
+                (diff.trailing_zeros() / 8) as usize
+            } else {
+                8 + prefix_len_avx2(data, candidate + 8, pos + 8)
+            };
+            let lit = pos - literal_start;
+            if lit <= 32 && literal_start + 32 <= total {
+                // Branchless short literal run (the common case): write the
+                // tag and one wild 32-byte vector, then advance the cursor
+                // by the real size — zero for an empty run, whose garbage
+                // tag byte the next emission overwrites.
+                // SAFETY: `cap` leaves ≥ 33 bytes of slack over the stream
+                // bound, and `literal_start + 32 <= total` keeps the wild
+                // source read inside `data`.
+                unsafe {
+                    let cursor = out.len();
+                    let base: *mut u8 = out.as_mut_ptr();
+                    base.add(cursor).write((lit.wrapping_sub(1) as u8) << 1);
+                    copy32(data.as_ptr().add(literal_start), base.add(cursor + 1));
+                    out.set_len(cursor + usize::from(lit != 0) * (1 + lit));
+                }
+            } else {
+                // SAFETY: `cap` bounds the whole stream's size.
+                unsafe { emit_literals_raw(&mut out, data, literal_start, pos) };
+            }
+            let off = pos - candidate;
+            if len - MIN_MATCH < 0x7f {
+                // Branchless short copy op: tag byte plus a ≤3-byte varint
+                // offset (off <= MAX_OFFSET < 2^21) written unconditionally,
+                // cursor advanced by the real encoded size.
+                // SAFETY: `cap` leaves ≥ 4 bytes of slack over the bound.
+                unsafe {
+                    let cursor = out.len();
+                    let base: *mut u8 = out.as_mut_ptr();
+                    base.add(cursor).write((((len - MIN_MATCH) as u8) << 1) | 1);
+                    let n = 1 + usize::from(off >= 0x80) + usize::from(off >= 0x4000);
+                    let more1 = if n > 1 { 0x80 } else { 0 };
+                    let more2 = if n > 2 { 0x80 } else { 0 };
+                    base.add(cursor + 1).write((off as u8 & 0x7f) | more1);
+                    base.add(cursor + 2)
+                        .write(((off >> 7) as u8 & 0x7f) | more2);
+                    base.add(cursor + 3).write((off >> 14) as u8);
+                    out.set_len(cursor + 1 + n);
+                }
+            } else {
+                // SAFETY: `cap` bounds the whole stream's size.
+                unsafe { emit_copy_raw(&mut out, len, off) };
+            }
+            let end = pos + len;
+            if end >= 2 && end + 2 <= total {
+                table[hash4(load_u32(data, end - 2))] = (end - 1) as u32;
+            }
+            pos = end;
+            literal_start = pos;
+            misses = 0;
+        }
+        // Sub-word tail: cold, identical to the scalar path, safe helpers.
+        while pos + MIN_MATCH <= total {
+            let here = load_u32(data, pos);
+            let h = hash4(here);
+            let candidate = (table[h] as usize).wrapping_sub(1);
+            table[h] = (pos + 1) as u32;
+
+            if candidate != usize::MAX
+                && pos - candidate <= MAX_OFFSET
+                && load_u32(data, candidate) == here
+            {
+                let len = MIN_MATCH
+                    + data[pos + MIN_MATCH..]
+                        .iter()
+                        .zip(&data[candidate + MIN_MATCH..])
+                        .take_while(|(x, y)| x == y)
+                        .count();
+                emit_literals(&data[literal_start..pos], &mut out);
+                emit_copy(len, pos - candidate, &mut out);
+                pos += len;
+                literal_start = pos;
+            } else {
+                pos += 1;
+            }
+        }
+        emit_literals(&data[literal_start..], &mut out);
+        out
+    }
+
+    /// Safe entry installed by [`super::decompress_fn`].
+    pub(super) fn decompress_entry(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        // SAFETY: `decompress_fn` installs this entry only after
+        // `CpuFeatures::get` confirmed AVX2 on this CPU.
+        unsafe { decompress_avx2(input) }
+    }
+
+    /// AVX2 decoder — same validation order, errors, and output bytes as
+    /// [`crate::compress::decompress_scalar`], with wide copies.
+    #[target_feature(enable = "avx2")]
+    fn decompress_avx2(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        if input.len() < 3 || input[..2] != MAGIC || input[2] != VERSION {
+            return Err(CompressError::BadHeader);
+        }
+        let mut pos = 3;
+        let (expected_len, n) =
+            decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+        pos += n;
+        let expected_len = usize::try_from(expected_len).map_err(|_| CompressError::BadHeader)?;
+
+        // Same decompression-bomb posture as the scalar decoder: the header
+        // length is untrusted, so cap the up-front reservation.
+        let mut out = Vec::with_capacity(expected_len.min(MAX_PREALLOC));
+        while pos < input.len() {
+            let tag = input[pos];
+            pos += 1;
+            let short_len = (tag >> 1) as usize;
+            if tag & 1 == 1 {
+                let len = decode_op_len(input, &mut pos, short_len, MIN_MATCH)?;
+                let (offset, n) =
+                    decode_varint(&input[pos..]).map_err(|_| CompressError::Truncated)?;
+                pos += n;
+                let offset = usize::try_from(offset).map_err(|_| CompressError::Truncated)?;
+                if offset == 0 || offset > out.len() {
+                    return Err(CompressError::InvalidBackref { at: pos });
+                }
+                if len > expected_len - out.len() {
+                    return Err(CompressError::LengthMismatch {
+                        expected: expected_len,
+                        actual: out.len().saturating_add(len),
+                    });
+                }
+                let start = out.len() - offset;
+                if offset >= len {
+                    out.reserve(len);
+                    // SAFETY: `reserve` guarantees `len` spare bytes; the
+                    // source `[start, start + len)` is initialized and ends
+                    // at or before the old length (offset >= len), so the
+                    // regions are disjoint.
+                    unsafe {
+                        let base: *mut u8 = out.as_mut_ptr();
+                        let old = out.len();
+                        copy_exact(base.add(start).cast_const(), base.add(old), len);
+                        out.set_len(old + len);
+                    }
+                } else if offset >= 32 {
+                    // Overlapping forward copy, 32 bytes per step: reads
+                    // trail the write frontier by `offset >= 32` bytes, so
+                    // every chunk's source is already written. Writes may
+                    // run up to 31 bytes past `len` (into reserved slack);
+                    // `set_len` trims them.
+                    out.reserve(len + 31);
+                    // SAFETY: `reserve` guarantees `len + 31` writable spare
+                    // bytes; chunk k reads `[start + 32k, start + 32k + 32)`,
+                    // which ends at or below `old + 32k` — memory already
+                    // written — because `offset >= 32`.
+                    unsafe {
+                        let base: *mut u8 = out.as_mut_ptr();
+                        let old = out.len();
+                        let mut copied = 0;
+                        while copied < len {
+                            copy32(
+                                base.add(start + copied).cast_const(),
+                                base.add(old + copied),
+                            );
+                            copied += 32;
+                        }
+                        out.set_len(old + len);
+                    }
+                } else {
+                    // Tight overlap (RLE-style, offset < 32): the scalar
+                    // doubling copy is already O(log n) rounds; keep it.
+                    let mut copied = 0;
+                    while copied < len {
+                        let chunk = (out.len() - start).min(len - copied);
+                        out.extend_from_within(start..start + chunk);
+                        copied += chunk;
+                    }
+                }
+            } else {
+                let len = decode_op_len(input, &mut pos, short_len, 1)?;
+                let literals = input.get(pos..pos + len).ok_or(CompressError::Truncated)?;
+                if len > expected_len - out.len() {
+                    return Err(CompressError::LengthMismatch {
+                        expected: expected_len,
+                        actual: out.len().saturating_add(len),
+                    });
+                }
+                out.reserve(len);
+                // SAFETY: `reserve` guarantees `len` spare bytes of
+                // capacity, the precondition of `append_slice`.
+                unsafe { append_slice(&mut out, literals) };
+                pos += len;
+            }
+        }
+        if out.len() != expected_len {
+            return Err(CompressError::LengthMismatch {
+                expected: expected_len,
+                actual: out.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compress::{compress_scalar, decompress_scalar, MAX_OFFSET, MIN_MATCH};
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// The SIMD encoder must emit the exact bytes of the scalar encoder, and
+    /// the SIMD decoder must invert both, over a spread of data shapes.
+    #[test]
+    fn simd_compress_bytes_match_scalar() {
+        let Some(simd) = super::compress_fn() else {
+            eprintln!("skipping: no SIMD compress on this host");
+            return;
+        };
+        let mut s = 0xA5A5_1234_5678_9ABCu64;
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 31, 32, 33, 64, 255, 1024, 4096] {
+            // Compressible: small alphabet, long repeats.
+            let compressible: Vec<u8> = (0..len)
+                .map(|_| b"abcab"[xorshift(&mut s) as usize % 5])
+                .collect();
+            // Incompressible: full-range random bytes.
+            let random: Vec<u8> = (0..len).map(|_| (xorshift(&mut s) >> 24) as u8).collect();
+            for data in [&compressible, &random] {
+                let expect = compress_scalar(data);
+                assert_eq!(simd(data), expect, "len {len}");
+                if let Some(dec) = super::decompress_fn() {
+                    assert_eq!(dec(&expect).expect("roundtrip"), **data, "len {len}");
+                }
+            }
+        }
+    }
+
+    /// Long matches exercise the 32-byte extension loop and wide copies;
+    /// a corpus past MAX_OFFSET exercises the window guard.
+    #[test]
+    fn simd_compress_long_matches_and_window_edge() {
+        let Some(simd) = super::compress_fn() else {
+            return;
+        };
+        let mut data = Vec::new();
+        let line = b"ts=1681000123 shard=07 user=000042 op=read status=OK\n";
+        while data.len() < 3 * MAX_OFFSET {
+            data.extend_from_slice(line);
+        }
+        // A giant single-byte run (RLE regime) appended after the log lines.
+        data.extend_from_slice(&[0x5a; 8 * 1024]);
+        let expect = compress_scalar(&data);
+        assert_eq!(simd(&data), expect);
+        assert_eq!(decompress_scalar(&expect).expect("scalar roundtrip"), data);
+        if let Some(dec) = super::decompress_fn() {
+            assert_eq!(dec(&expect).expect("simd roundtrip"), data);
+        }
+    }
+
+    /// The SIMD decoder must agree with the scalar decoder on malformed
+    /// streams too — same accept/reject result and same error values.
+    #[test]
+    fn simd_decompress_error_parity_on_corrupted_streams() {
+        let Some(dec) = super::decompress_fn() else {
+            eprintln!("skipping: no SIMD decompress on this host");
+            return;
+        };
+        let mut s = 0xDEAD_BEEF_0BAD_F00Du64;
+        let data: Vec<u8> = (0..2048)
+            .map(|_| b"log line payload "[xorshift(&mut s) as usize % 17])
+            .collect();
+        let packed = compress_scalar(&data);
+        // Truncations at every prefix length.
+        for cut in 0..packed.len() {
+            assert_eq!(
+                decompress_scalar(&packed[..cut]),
+                dec(&packed[..cut]),
+                "truncated at {cut}"
+            );
+        }
+        // Single-byte corruptions across the stream.
+        for i in 0..packed.len() {
+            let mut bad = packed.clone();
+            bad[i] ^= 0x41;
+            assert_eq!(decompress_scalar(&bad), dec(&bad), "corrupt byte {i}");
+        }
+        // A stream with RLE-style tight overlaps (offset < 32).
+        let rle_src: Vec<u8> = std::iter::repeat_n(b"ab".as_slice(), MIN_MATCH * 200)
+            .flatten()
+            .copied()
+            .collect();
+        let packed_rle = compress_scalar(&rle_src);
+        assert_eq!(
+            dec(&packed_rle).expect("rle roundtrip"),
+            rle_src,
+            "tight-overlap backref"
+        );
+    }
+}

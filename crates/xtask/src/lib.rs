@@ -15,6 +15,8 @@
 //! | `determinism` | schedule-independence: no hash-order iteration, ambient     |
 //! |            | entropy/clock reads, float accumulation in merge paths, or     |
 //! |            | tie-prone unstable sorts in model/platform code                |
+//! | `unsafe`   | quarantine discipline: `unsafe` only inside `simd`/`hw`        |
+//! |            | submodules, and every `unsafe` block carries `// SAFETY:`      |
 //!
 //! Every rule shares one escape hatch, the inline pragma
 //! `// audit: allow(<rule>, <reason>)` (or `# audit: allow(dep, <reason>)`
@@ -31,6 +33,7 @@ pub mod flow;
 pub mod lexer;
 pub mod panics;
 pub mod pragma;
+pub mod unsafety;
 
 use std::fmt;
 use std::fs;
@@ -219,6 +222,21 @@ pub fn run_audit(root: &Path, filter: &[RuleKind]) -> io::Result<AuditReport> {
             }
         }
 
+        if enabled(RuleKind::Unsafe) && in_unsafe_scope(&rel_str) {
+            for (line, message) in unsafety::check(&rel_str, &lines) {
+                if index.allows(line, RuleKind::Unsafe) {
+                    report.pragmas_honoured += 1;
+                    continue;
+                }
+                report.findings.push(Finding {
+                    rule: RuleKind::Unsafe,
+                    file: rel_str.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+
         if enabled(RuleKind::Citation) && CITATION_FILES.contains(&rel_str.as_str()) {
             for finding in citations::check(&lines) {
                 let waived = finding
@@ -374,6 +392,15 @@ fn in_determinism_scope(rel: &str) -> bool {
     (rel.starts_with("src/") || rel.contains("/src/"))
         && !rel.starts_with("crates/bench/")
         && !rel.starts_with("crates/xtask/")
+}
+
+/// True when the `unsafe` rule applies: every source file in the tree —
+/// tests and benches included, since raw-pointer tricks belong in the
+/// quarantine no matter who calls them. Only xtask itself is skipped, as
+/// with `determinism`: the auditor does not police the auditor, and its
+/// crate root carries `forbid(unsafe_code)` anyway.
+fn in_unsafe_scope(rel: &str) -> bool {
+    !rel.starts_with("crates/xtask/")
 }
 
 /// Walks the tree rooted at `root`, returning workspace-relative paths of

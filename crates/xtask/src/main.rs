@@ -20,6 +20,8 @@ Static-analysis audit of the workspace. Rules:
   dep          manifest hygiene (declared deps must be imported)
   determinism  schedule-independence (hash-order iteration, clock/entropy
                reads, float accumulation in merge paths, unstable sorts)
+  unsafe       quarantine discipline (`unsafe` only in simd/hw submodules,
+               every unsafe block documented with `// SAFETY:`)
 
 Options:
   --root PATH   workspace root to audit (default: current directory)

@@ -6,8 +6,8 @@
 //! audit: allow(<rule>, <reason>)
 //! ```
 //!
-//! `<rule>` is one of `cast`, `panic`, `citation`, `dep`, `determinism`;
-//! `<reason>` is a
+//! `<rule>` is one of `cast`, `panic`, `citation`, `dep`, `determinism`,
+//! `unsafe`; `<reason>` is a
 //! free-form, non-empty justification. A pragma suppresses findings of that
 //! rule on its own line, or — when it sits on a comment-only line — on the
 //! next line that carries code. A pragma with a missing or empty reason is
@@ -30,6 +30,9 @@ pub enum RuleKind {
     /// entropy/clock reads, float accumulation in merge paths, tied
     /// unstable sorts.
     Determinism,
+    /// `unsafe` code outside the `simd`/`hw` quarantine submodules, or an
+    /// `unsafe` block inside them lacking a `// SAFETY:` comment.
+    Unsafe,
     /// A malformed `audit: allow` pragma (bad rule name or empty reason).
     Pragma,
 }
@@ -43,6 +46,7 @@ impl RuleKind {
             RuleKind::Citation => "citation",
             RuleKind::Dep => "dep",
             RuleKind::Determinism => "determinism",
+            RuleKind::Unsafe => "unsafe",
             RuleKind::Pragma => "pragma",
         }
     }
@@ -55,6 +59,7 @@ impl RuleKind {
             "citation" => Some(RuleKind::Citation),
             "dep" => Some(RuleKind::Dep),
             "determinism" => Some(RuleKind::Determinism),
+            "unsafe" => Some(RuleKind::Unsafe),
             "pragma" => Some(RuleKind::Pragma),
             _ => None,
         }
@@ -114,8 +119,8 @@ pub fn scan_comment(comment: &str) -> PragmaScan {
         match RuleKind::parse(rule_str) {
             Some(RuleKind::Pragma) | None => {
                 out.malformed.push(format!(
-                    "unknown audit rule `{rule_str}` (expected cast, panic, citation, dep, or \
-                     determinism)"
+                    "unknown audit rule `{rule_str}` (expected cast, panic, citation, dep, \
+                     determinism, or unsafe)"
                 ));
             }
             Some(rule) => {

@@ -448,6 +448,38 @@ fn clean_tree_audits_clean() {
 }
 
 #[test]
+fn unsafe_rule_fires_and_pragma_suppresses() {
+    let fx = Fixture::new("unsafe");
+    fx.write("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n");
+    // Escape outside the quarantine.
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    // Undocumented block inside the quarantine.
+    fx.write(
+        "crates/demo/src/simd/mod.rs",
+        "pub fn g(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Unsafe);
+    assert_eq!(count(&report, RuleKind::Unsafe), 2, "{:?}", report.findings);
+
+    // A SAFETY comment cures the quarantined block; the escape needs the
+    // pragma (and then still documents why the unsafety is sound).
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    // audit: allow(unsafe, fixture exercising the escape hatch)\n    unsafe { *p }\n}\n",
+    );
+    fx.write(
+        "crates/demo/src/simd/mod.rs",
+        "pub fn g(p: *const u8) -> u8 {\n    // SAFETY: caller passes a valid pointer in this fixture.\n    unsafe { *p }\n}\n",
+    );
+    let report = fx.audit_rule(RuleKind::Unsafe);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.pragmas_honoured, 1);
+}
+
+#[test]
 fn shipped_tree_audits_clean() {
     // The acceptance bar for the PR itself: the real workspace, as checked
     // in, has zero findings. CARGO_MANIFEST_DIR is crates/xtask.
