@@ -2,8 +2,14 @@
 //! driver into `BENCH_fleet.json`:
 //!
 //! ```sh
-//! cargo run --release -p hsdp-bench --bin fleet_bench [-- --out BENCH_fleet.json]
+//! cargo run --release -p hsdp-bench --bin fleet_bench \
+//!     [-- --out BENCH_fleet.json --git-commit SHA --seq N]
 //! ```
+//!
+//! `--git-commit` / `--seq` stamp provenance onto every entry so bench
+//! history joins the per-commit profile history (`profile_history`) on the
+//! same keys; the sequence number is the CI run number, passed in rather
+//! than derived from wall clock.
 //!
 //! Entries: CRC32C byte-table baseline vs slicing-by-8 vs the dispatched
 //! hardware path, protowire encode/varint kernels, SIMD-vs-scalar pairs for
@@ -40,18 +46,34 @@ fn best_of(n: usize, mut pass: impl FnMut() -> f64) -> f64 {
 
 fn main() {
     let mut out_path = String::from("BENCH_fleet.json");
+    let mut git_commit = String::new();
+    let mut sequence = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out requires a path"),
+            "--git-commit" => {
+                git_commit = args.next().expect("--git-commit requires a commit id");
+            }
+            "--seq" => {
+                sequence = args
+                    .next()
+                    .expect("--seq requires a number")
+                    .parse()
+                    .expect("--seq must be a non-negative integer");
+            }
             other => {
-                eprintln!("unknown option `{other}` (supported: --out PATH)");
+                eprintln!(
+                    "unknown option `{other}` (supported: --out PATH, \
+                     --git-commit SHA, --seq N)"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     let mut report = BenchReport::new();
+    report.set_provenance(&git_commit, sequence);
     let features = CpuFeatures::get();
     println!(
         "host: {} hardware thread(s), cpu features: {}",

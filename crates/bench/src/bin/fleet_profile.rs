@@ -16,11 +16,22 @@
 //! `pprof -http=: PATH`). Both are rendered from one deterministic GWP
 //! pass over the canonical record stream, so they are byte-identical at
 //! any `--parallelism`.
+//!
+//! `--snapshot PATH` appends this run's profile-history snapshot (shared
+//! builder with `profile_history append`) to the store at PATH, stamped
+//! with `--commit` / `--seq` when given. The snapshot content is likewise
+//! parallelism-invariant: it forces the instrumented (telemetry) fleet
+//! path and derives everything from canonical merged state.
 
 use hsdp_bench::exhibits::fleet_stack_profile;
+use hsdp_bench::snapshot::snapshot_from_parts;
 use hsdp_bench::telemetry_out::build_artifacts;
-use hsdp_platforms::runner::{fold_fleet, run_fleet, run_fleet_telemetry, FleetConfig};
+use hsdp_platforms::runner::{
+    default_parallelism, fold_fleet, merge_fleet_metrics, run_fleet, run_fleet_telemetry,
+    FleetConfig,
+};
 use hsdp_platforms::QueryExecution;
+use hsdp_profiling::history::{HistoryStore, SnapshotMeta};
 use hsdp_simcore::pool::Perturbation;
 use hsdp_simcore::time::SimDuration;
 use hsdp_taxes::crc::Crc32c;
@@ -43,6 +54,9 @@ fn main() {
     let mut telemetry_dir: Option<String> = None;
     let mut folded_path: Option<String> = None;
     let mut pprof_path: Option<String> = None;
+    let mut snapshot_path: Option<String> = None;
+    let mut commit = String::new();
+    let mut sequence = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,10 +80,14 @@ fn main() {
             "--telemetry" => telemetry_dir = Some(take("--telemetry")),
             "--folded" => folded_path = Some(take("--folded")),
             "--pprof" => pprof_path = Some(take("--pprof")),
+            "--snapshot" => snapshot_path = Some(take("--snapshot")),
+            "--commit" => commit = take("--commit"),
+            "--seq" => sequence = parse(&take("--seq"), "--seq"),
             other => {
                 eprintln!(
                     "unknown option `{other}` (supported: --parallelism --shards --seed \
-                     --perturb --db-queries --out --telemetry --folded --pprof)"
+                     --perturb --db-queries --out --telemetry --folded --pprof \
+                     --snapshot --commit --seq)"
                 );
                 std::process::exit(2);
             }
@@ -77,24 +95,27 @@ fn main() {
     }
 
     // With `--telemetry <dir>` the fleet runs instrumented and the three
-    // telemetry artifacts land in <dir>; the profile JSON is rendered from
-    // the same records either way.
-    let fleet = match telemetry_dir {
-        Some(dir) => {
-            let runs = run_fleet_telemetry(config);
+    // telemetry artifacts land in <dir>; `--snapshot` also forces the
+    // instrumented path (the snapshot wants histogram quantiles). The
+    // profile JSON is rendered from the same records either way.
+    let (fleet, metrics) = if telemetry_dir.is_some() || snapshot_path.is_some() {
+        let runs = run_fleet_telemetry(config);
+        if let Some(dir) = &telemetry_dir {
             let artifacts = build_artifacts(&runs);
             artifacts
-                .write_to(std::path::Path::new(&dir))
+                .write_to(std::path::Path::new(dir))
                 .expect("write telemetry artifacts");
-            fold_fleet(runs)
         }
-        None => run_fleet(config),
+        let metrics = merge_fleet_metrics(&runs);
+        (fold_fleet(runs), Some(metrics))
+    } else {
+        (run_fleet(config), None)
     };
-    // Stack-profile exports: both render from one deterministic GWP pass
+    // Stack-profile exports: all render from one deterministic GWP pass
     // over the canonical fleet record stream, so any two runs with the same
     // workload config produce byte-identical artifacts regardless of
     // `--parallelism`.
-    if folded_path.is_some() || pprof_path.is_some() {
+    if folded_path.is_some() || pprof_path.is_some() || snapshot_path.is_some() {
         let stacks = fleet_stack_profile(&fleet, config.seed);
         if let Some(path) = folded_path {
             std::fs::write(&path, stacks.folded()).expect("write folded stacks");
@@ -108,6 +129,33 @@ fn main() {
             let decoded = Profile::decode(&bytes).expect("pprof round-trip decode");
             assert_eq!(decoded, profile, "pprof round-trip must be lossless");
             std::fs::write(&path, &bytes).expect("write pprof profile");
+        }
+        if let Some(path) = snapshot_path {
+            let meta = SnapshotMeta {
+                commit,
+                sequence,
+                // audit: allow(cast, hardware thread count fits u64)
+                host_parallelism: default_parallelism() as u64,
+                cpu_features: hsdp_taxes::dispatch::CpuFeatures::get().summary(),
+            };
+            let snapshot = snapshot_from_parts(
+                meta,
+                &stacks,
+                metrics.as_ref().expect("snapshot path forces telemetry"),
+                &std::collections::BTreeMap::new(),
+            );
+            let outcome = HistoryStore::open(&path)
+                .append(&snapshot)
+                .expect("append profile-history snapshot");
+            eprintln!(
+                "appended snapshot to {path}: {} snapshot(s){}",
+                outcome.snapshots,
+                if outcome.recovered {
+                    " [recovered torn tail]"
+                } else {
+                    ""
+                },
+            );
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! cargo run --release -p hsdp-bench --bin profile_diff -- \
-//!     baseline.pb candidate.pb --threshold 0.01
+//!     baseline.pb candidate.pb --threshold 0.01 [--json]
 //! ```
 //!
 //! Both inputs are raw `profile.proto` files (as written by
@@ -13,16 +13,22 @@
 //! more than `--threshold` (absolute share, default 0.01 = one percentage
 //! point). Stack-level deltas are reported for diagnosis but only gate when
 //! `--stack-threshold` is given.
+//!
+//! The drift math (union-of-keys deltas, max movement, gate verdict) lives
+//! in [`hsdp_profiling::history::DriftReport`], shared with the
+//! `profile_history` subsystem; `--json` emits that report in the machine-
+//! readable `xtask audit --json` convention (summary scalars, a `clean`
+//! verdict, a `findings` array).
 
-use hsdp_profiling::stacks::{
-    max_abs_delta, pprof_category_shares, pprof_stack_shares, share_deltas, ShareDelta,
-};
+use hsdp_profiling::history::{DriftReport, DriftThresholds};
+use hsdp_profiling::stacks::{pprof_category_shares, pprof_stack_shares, ShareDelta};
 use hsdp_taxes::pprof::Profile;
 
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut threshold = 0.01f64;
     let mut stack_threshold: Option<f64> = None;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,10 +49,11 @@ fn main() {
                         .expect("--stack-threshold: invalid number"),
                 );
             }
+            "--json" => json = true,
             other if other.starts_with("--") => {
                 eprintln!(
                     "unknown option `{other}` (supported: BASELINE CANDIDATE \
-                     --threshold --stack-threshold)"
+                     --threshold --stack-threshold --json)"
                 );
                 std::process::exit(2);
             }
@@ -54,29 +61,39 @@ fn main() {
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: profile_diff BASELINE.pb CANDIDATE.pb [--threshold 0.01]");
+        eprintln!("usage: profile_diff BASELINE.pb CANDIDATE.pb [--threshold 0.01] [--json]");
         std::process::exit(2);
     }
 
     let baseline = load(&paths[0]);
     let candidate = load(&paths[1]);
 
-    let category_deltas = share_deltas(
+    let report = DriftReport::between(
         &pprof_category_shares(&baseline),
         &pprof_category_shares(&candidate),
-    );
-    let stack_deltas = share_deltas(
         &pprof_stack_shares(&baseline),
         &pprof_stack_shares(&candidate),
+        DriftThresholds {
+            category: threshold,
+            stack: stack_threshold,
+        },
     );
 
-    println!("category share drift (baseline -> candidate):");
-    print_deltas(&category_deltas, 10);
-    println!("stack share drift (top movements):");
-    print_deltas(&stack_deltas, 10);
+    if json {
+        print!("{}", report.to_json());
+        if !report.clean() {
+            std::process::exit(1);
+        }
+        return;
+    }
 
-    let category_drift = max_abs_delta(&category_deltas);
-    let stack_drift = max_abs_delta(&stack_deltas);
+    println!("category share drift (baseline -> candidate):");
+    print_deltas(&report.category_deltas, 10);
+    println!("stack share drift (top movements):");
+    print_deltas(&report.stack_deltas, 10);
+
+    let category_drift = report.max_category_drift();
+    let stack_drift = report.max_stack_drift();
     println!(
         "max drift: category {:.4} (threshold {threshold}), stack {:.4}{}",
         category_drift,
@@ -84,18 +101,17 @@ fn main() {
         stack_threshold.map_or(String::new(), |t| format!(" (threshold {t})")),
     );
 
-    let mut failed = false;
-    if category_drift > threshold {
-        eprintln!("FAIL: category share drift {category_drift:.4} exceeds threshold {threshold}");
-        failed = true;
-    }
-    if let Some(t) = stack_threshold {
-        if stack_drift > t {
-            eprintln!("FAIL: stack share drift {stack_drift:.4} exceeds threshold {t}");
-            failed = true;
+    if !report.clean() {
+        if category_drift > threshold {
+            eprintln!(
+                "FAIL: category share drift {category_drift:.4} exceeds threshold {threshold}"
+            );
         }
-    }
-    if failed {
+        if let Some(t) = stack_threshold {
+            if stack_drift > t {
+                eprintln!("FAIL: stack share drift {stack_drift:.4} exceeds threshold {t}");
+            }
+        }
         std::process::exit(1);
     }
     println!("OK: drift within thresholds");

@@ -215,11 +215,17 @@ impl BenchRecord {
 /// summary (e.g. `"sse4.2+pclmul+avx2"` or `"scalar(forced)"`), so a
 /// SIMD-vs-scalar ratio recorded on one host is never compared against a
 /// run where the fast paths silently failed to dispatch.
+/// Every entry also carries provenance — the `git_commit` it measured and a
+/// monotonic `sequence` number (CI run number, passed in via CLI rather
+/// than derived from wall clock) — so bench history joins the per-commit
+/// profile history on the same keys.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
     records: Vec<BenchRecord>,
     host_parallelism: usize,
     cpu_features: String,
+    git_commit: String,
+    sequence: u64,
 }
 
 impl Default for BenchReport {
@@ -236,7 +242,30 @@ impl BenchReport {
             records: Vec::new(),
             host_parallelism: hsdp_platforms::runner::default_parallelism(),
             cpu_features: hsdp_taxes::dispatch::CpuFeatures::get().summary(),
+            git_commit: String::new(),
+            sequence: 0,
         }
+    }
+
+    /// Stamps provenance onto every entry: the commit under measurement
+    /// and a monotonic sequence number (e.g. the CI run number). Both come
+    /// from the caller — never from the wall clock — so reruns of the same
+    /// commit are identical.
+    pub fn set_provenance(&mut self, git_commit: &str, sequence: u64) {
+        self.git_commit = git_commit.to_owned();
+        self.sequence = sequence;
+    }
+
+    /// The commit id stamped on every entry (empty when not provided).
+    #[must_use]
+    pub fn git_commit(&self) -> &str {
+        &self.git_commit
+    }
+
+    /// The monotonic sequence number stamped on every entry.
+    #[must_use]
+    pub fn sequence(&self) -> u64 {
+        self.sequence
     }
 
     /// The host hardware parallelism stamped on every entry.
@@ -286,6 +315,11 @@ impl BenchReport {
                 ", \"cpu_features\": \"{}\"",
                 json_escape(&self.cpu_features)
             ));
+            out.push_str(&format!(
+                ", \"git_commit\": \"{}\"",
+                json_escape(&self.git_commit)
+            ));
+            out.push_str(&format!(", \"sequence\": {}", self.sequence));
             out.push_str(&format!(", \"seed\": {}", r.seed));
             out.push('}');
             if i + 1 < self.records.len() {
@@ -458,6 +492,41 @@ mod tests {
             "{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn bench_report_stamps_provenance() {
+        let mut report = BenchReport::new();
+        report.push(BenchRecord {
+            id: "a".to_owned(),
+            ns_per_iter: 1.0,
+            bytes_per_iter: None,
+            parallelism: 1,
+            seed: 0,
+        });
+        report.push(BenchRecord {
+            id: "b".to_owned(),
+            ns_per_iter: 2.0,
+            bytes_per_iter: None,
+            parallelism: 1,
+            seed: 0,
+        });
+        let unstamped = report.to_json();
+        assert_eq!(
+            unstamped.matches("\"git_commit\": \"\"").count(),
+            2,
+            "every entry carries the (empty) commit stamp: {unstamped}"
+        );
+        report.set_provenance("deadbeef", 42);
+        let json = report.to_json();
+        assert_eq!(
+            json.matches("\"git_commit\": \"deadbeef\"").count(),
+            2,
+            "every entry carries the commit stamp: {json}"
+        );
+        assert_eq!(json.matches("\"sequence\": 42").count(), 2);
+        assert_eq!(report.git_commit(), "deadbeef");
+        assert_eq!(report.sequence(), 42);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod exhibits;
 pub mod harness;
+pub mod snapshot;
 pub mod telemetry_out;
 
 pub use exhibits::*;

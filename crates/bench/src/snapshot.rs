@@ -1,0 +1,213 @@
+//! The shared profile-history snapshot builder.
+//!
+//! Both `fleet_profile --snapshot` and `profile_history append` build their
+//! per-commit [`ProfileSnapshot`] here, so the two bins can never drift
+//! apart on what a snapshot contains: per-category and per-stack exact CPU
+//! nanoseconds from the deterministic GWP stack profile, telemetry
+//! histogram quantiles from the merged fleet registry, and (optionally)
+//! bench entries lifted out of a `BENCH_fleet.json`.
+//!
+//! Everything except the bench entries is a pure function of the workload
+//! config — byte-identical at any `parallelism` — which is what makes the
+//! store's cross-host byte-identity checks possible. Bench entries carry
+//! wall-clock, so they are only folded in when explicitly supplied.
+
+use std::collections::BTreeMap;
+
+use hsdp_platforms::runner::{fold_fleet, merge_fleet_metrics, run_fleet_telemetry, FleetConfig};
+use hsdp_profiling::history::{ProfileSnapshot, QuantileRow, SnapshotMeta};
+use hsdp_profiling::stacks::StackProfile;
+use hsdp_telemetry::MetricsRegistry;
+
+use crate::exhibits::fleet_stack_profile;
+
+/// Assembles a snapshot from already-computed parts.
+#[must_use]
+pub fn snapshot_from_parts(
+    meta: SnapshotMeta,
+    stacks: &StackProfile,
+    metrics: &MetricsRegistry,
+    bench: &BTreeMap<String, f64>,
+) -> ProfileSnapshot {
+    let mut snapshot = ProfileSnapshot {
+        meta,
+        total_exact_ns: stacks.total_exact().as_nanos(),
+        total_samples: stacks.total_samples(),
+        categories: stacks.category_exact_ns(),
+        stacks: stacks.stack_exact_ns(),
+        ..ProfileSnapshot::default()
+    };
+    for (path, summary) in metrics.histogram_summaries() {
+        snapshot.quantiles.insert(
+            path,
+            QuantileRow {
+                count: summary.count,
+                p50: summary.p50,
+                p95: summary.p95,
+                p99: summary.p99,
+            },
+        );
+    }
+    snapshot.bench = bench.clone();
+    snapshot
+}
+
+/// Runs the fleet instrumented and builds the full snapshot: telemetry
+/// registries merge in canonical shard order, the fleet records fold back
+/// into canonical order, and one deterministic GWP pass derives the stack
+/// profile — so the result is byte-identical at any `config.parallelism`.
+#[must_use]
+pub fn build_fleet_snapshot(
+    config: FleetConfig,
+    meta: SnapshotMeta,
+    bench: &BTreeMap<String, f64>,
+) -> ProfileSnapshot {
+    let runs = run_fleet_telemetry(config);
+    let metrics = merge_fleet_metrics(&runs);
+    let fleet = fold_fleet(runs);
+    let stacks = fleet_stack_profile(&fleet, config.seed);
+    snapshot_from_parts(meta, &stacks, &metrics, bench)
+}
+
+/// Lifts `(id, ns_per_iter)` bench entries out of a `BENCH_fleet.json`
+/// document (`hsdp-bench-fleet/1` schema). The harness writes one entry
+/// object per line, so a line-oriented scan is exact for documents we
+/// produce; unparseable lines are skipped rather than failing the append.
+#[must_use]
+pub fn parse_bench_entries(json: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in json.lines() {
+        let Some(id) = extract_str(line, "\"id\": \"") else {
+            continue;
+        };
+        let Some(ns) = extract_f64(line, "\"ns_per_iter\": ") else {
+            continue;
+        };
+        out.insert(unescape(id), ns);
+    }
+    out
+}
+
+/// The raw (still-escaped) value of a `"key": "value"` field in `line`.
+fn extract_str<'a>(line: &'a str, marker: &str) -> Option<&'a str> {
+    let start = line.find(marker)? + marker.len();
+    let rest = &line[start..];
+    // Walk to the closing quote, honouring backslash escapes.
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Some(&rest[..i]);
+        }
+    }
+    None
+}
+
+/// The numeric value of a `"key": 123.4` field in `line`.
+fn extract_f64(line: &str, marker: &str) -> Option<f64> {
+    let start = line.find(marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Undoes the harness's JSON string escaping.
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{BenchRecord, BenchReport};
+
+    #[test]
+    fn bench_entries_roundtrip_through_report_json() {
+        let mut report = BenchReport::new();
+        report.set_provenance("cafe12", 3);
+        report.push(BenchRecord {
+            id: "crc32c/hw/64KiB".to_owned(),
+            ns_per_iter: 321.125,
+            bytes_per_iter: Some(65_536),
+            parallelism: 1,
+            seed: 0,
+        });
+        report.push(BenchRecord {
+            id: "fleet/wall_clock \"p=4\"".to_owned(),
+            ns_per_iter: 5e6,
+            bytes_per_iter: None,
+            parallelism: 4,
+            seed: 7,
+        });
+        let entries = parse_bench_entries(&report.to_json());
+        assert_eq!(entries.len(), 2);
+        assert!((entries["crc32c/hw/64KiB"] - 321.125).abs() < 1e-9);
+        assert!((entries["fleet/wall_clock \"p=4\""] - 5e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parse_skips_non_entry_lines() {
+        let entries = parse_bench_entries(
+            "{\n  \"schema\": \"hsdp-bench-fleet/1\",\n  \"entries\": [\n  ]\n}\n",
+        );
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn fleet_snapshot_is_parallelism_invariant() {
+        let config = FleetConfig {
+            db_queries: 12,
+            analytics_queries: 2,
+            fact_rows: 200,
+            seed: 0xFACE,
+            shards: 2,
+            ..FleetConfig::default()
+        };
+        let meta = SnapshotMeta {
+            commit: "test".to_owned(),
+            sequence: 1,
+            host_parallelism: 1,
+            cpu_features: "test".to_owned(),
+        };
+        let empty = BTreeMap::new();
+        let p1 = build_fleet_snapshot(
+            FleetConfig {
+                parallelism: 1,
+                ..config
+            },
+            meta.clone(),
+            &empty,
+        );
+        let p4 = build_fleet_snapshot(
+            FleetConfig {
+                parallelism: 4,
+                ..config
+            },
+            meta,
+            &empty,
+        );
+        assert_eq!(p1, p4, "snapshot content is parallelism-invariant");
+        assert_eq!(p1.encode(), p4.encode(), "and so are the bytes");
+        assert!(p1.total_exact_ns > 0);
+        assert!(!p1.categories.is_empty());
+        assert!(!p1.quantiles.is_empty());
+    }
+}

@@ -155,5 +155,68 @@ fn profile_diff_gate_passes_identical_and_fails_shifted() {
         "a >5% category shift must trip the 1% gate"
     );
 
+    // --json mode: same verdicts, machine-readable report in the
+    // `xtask audit --json` convention.
+    let ok_json = Command::new(env!("CARGO_BIN_EXE_profile_diff"))
+        .args([&base_path, &base_path])
+        .args(["--threshold", "0.01", "--json"])
+        .output()
+        .expect("run profile_diff --json");
+    assert!(ok_json.status.success());
+    let stdout = String::from_utf8(ok_json.stdout).expect("utf-8 report");
+    assert!(
+        stdout.contains("\"schema\": \"hsdp-profile-diff/1\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"clean\": true"), "{stdout}");
+    assert!(stdout.contains("\"findings\": []"), "{stdout}");
+
+    let fail_json = Command::new(env!("CARGO_BIN_EXE_profile_diff"))
+        .args([&base_path, &cand_path])
+        .args(["--threshold", "0.01", "--json"])
+        .output()
+        .expect("run profile_diff --json");
+    assert!(!fail_json.status.success());
+    let stdout = String::from_utf8(fail_json.stdout).expect("utf-8 report");
+    assert!(stdout.contains("\"clean\": false"), "{stdout}");
+    assert!(stdout.contains("\"kind\": \"category\""), "{stdout}");
+    assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_store_bytes_are_parallelism_invariant() {
+    // `fleet_profile --snapshot` must append byte-identical history frames
+    // at any --parallelism: two fresh stores, one run each at p=1 and p=4,
+    // same commit stamp — the store files must be byte-identical.
+    let dir = std::env::temp_dir().join(format!("hsdp-snapshot-inv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut stores = Vec::new();
+    for parallelism in ["1", "4"] {
+        let store = dir.join(format!("history_p{parallelism}.bin"));
+        std::fs::remove_file(&store).ok();
+        let out = Command::new(env!("CARGO_BIN_EXE_fleet_profile"))
+            .args(["--parallelism", parallelism, "--db-queries", "40"])
+            .args(["--seed", "64206"])
+            .arg("--snapshot")
+            .arg(&store)
+            .args(["--commit", "testcommit", "--seq", "7"])
+            .arg("--out")
+            .arg(dir.join(format!("profile_p{parallelism}.json")))
+            .output()
+            .expect("run fleet_profile --snapshot");
+        assert!(
+            out.status.success(),
+            "{:?}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        stores.push(std::fs::read(&store).expect("read store"));
+    }
+    assert!(!stores[0].is_empty());
+    assert_eq!(
+        stores[0], stores[1],
+        "snapshot store bytes differ between parallelism 1 and 4"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -275,6 +275,13 @@ impl GwpProfiler {
         (self.profile, self.stacks)
     }
 
+    /// Consumes the profiler, returning just the stack-tree profile —
+    /// the shape the profile-history snapshot builder wants.
+    #[must_use]
+    pub fn into_stack_profile(self) -> StackProfile {
+        self.stacks
+    }
+
     /// The sample period in use.
     #[must_use]
     pub fn sample_period(&self) -> SimDuration {

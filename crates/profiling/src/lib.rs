@@ -14,6 +14,9 @@
 //!   critical-path walk, plus sampling-error bounds for the estimator.
 //! - [`stacks`] — deterministic stack-tree profiles with collapsed-stack
 //!   (flamegraph) and pprof export.
+//! - [`history`] — per-commit profile history: an append-only, checksummed
+//!   snapshot store with sliding-window regression and anomaly detection
+//!   (continuous profiling over everything the repo measures).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@
 pub mod crosscheck;
 pub mod e2e;
 pub mod gwp;
+pub mod history;
 pub mod microarch;
 pub mod report;
 pub mod stacks;
@@ -32,5 +36,9 @@ pub use crosscheck::{
 };
 pub use e2e::{classify, figure2, Figure2, Figure2Row};
 pub use gwp::{CycleProfile, GwpConfig, GwpProfiler, LeafWork};
+pub use history::{
+    detect_anomalies, regressions_since, AnomalyConfig, DriftReport, DriftThresholds, HistoryStore,
+    ProfileSnapshot, QuantileRow, RegressionReport, SnapshotMeta, SustainedDrift,
+};
 pub use microarch::{fit_cpi_model, regenerate_tables, CalibrationRow, CpiModel};
 pub use stacks::{ShareDelta, StackProfile, StackWeight};

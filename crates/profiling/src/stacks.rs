@@ -147,6 +147,31 @@ impl StackProfile {
         out
     }
 
+    /// Exact CPU nanoseconds per category, keyed by the telemetry
+    /// category key (`dc.protobuf`, `core.read`, …). Feeds the
+    /// profile-history snapshot builder.
+    #[must_use]
+    pub fn category_exact_ns(&self) -> BTreeMap<String, u64> {
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for ((_, category), weight) in &self.entries {
+            *totals
+                .entry(category_key(*category).to_owned())
+                .or_insert(0) += weight.exact_ns;
+        }
+        totals
+    }
+
+    /// Exact CPU nanoseconds per collapsed stack (root-first
+    /// `frame;frame;leaf` keys, merged across categories).
+    #[must_use]
+    pub fn stack_exact_ns(&self) -> BTreeMap<String, u64> {
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for (names, _, weight) in self.cells() {
+            *totals.entry(names.join(";")).or_insert(0) += weight.exact_ns;
+        }
+        totals
+    }
+
     /// Exports the profile as an in-memory pprof message with two value
     /// dimensions — `samples/count` and `cpu/nanoseconds` — and a
     /// `category` string label per sample. Location ids are emitted leaf
@@ -281,12 +306,20 @@ pub fn pprof_stack_shares(profile: &Profile) -> BTreeMap<String, f64> {
 }
 
 fn shares_of(totals: BTreeMap<String, u64>, grand: u64) -> BTreeMap<String, f64> {
+    ns_shares(&totals, grand)
+}
+
+/// Converts a map of exact nanosecond totals into shares of `grand`.
+/// Empty when `grand` is 0. Shared by the pprof share recovery above and
+/// the profile-history snapshot series.
+#[must_use]
+pub fn ns_shares(totals: &BTreeMap<String, u64>, grand: u64) -> BTreeMap<String, f64> {
     if grand == 0 {
         return BTreeMap::new();
     }
     totals
-        .into_iter()
-        .map(|(k, ns)| (k, ns as f64 / grand as f64))
+        .iter()
+        .map(|(k, &ns)| (k.clone(), ns as f64 / grand as f64))
         .collect()
 }
 

@@ -1,0 +1,354 @@
+//! An append-only framed container: length-prefixed frames with CRC32C
+//! record checksums.
+//!
+//! The profile-history store (`hsdp-profiling::history`) accumulates one
+//! snapshot per commit in a single binary file. Each snapshot payload is a
+//! protowire message ([`crate::protowire`]); this module supplies the
+//! *container* around those payloads, built so that truncation and
+//! corruption are **detected, not silently read**:
+//!
+//! ```text
+//! file   := magic(4) version(1) frames*
+//! frame  := payload_len(u32 LE) payload_crc32c(u32 LE) payload
+//! ```
+//!
+//! - A frame's checksum covers its payload bytes; the length prefix is
+//!   implicitly covered because a corrupted length either lands the reader
+//!   on a checksum mismatch or runs off the end of the file (truncation).
+//! - [`scan`] walks the file and reports the *valid prefix*: every intact
+//!   frame before the first truncated or corrupt one, plus the byte offset
+//!   where that prefix ends. Appenders use the offset to recover from a
+//!   torn tail (truncate-then-append); strict readers ([`read_all`]) treat
+//!   any damage as an error.
+//! - Frame payloads are capped at [`MAX_FRAME_LEN`] so a corrupted length
+//!   prefix cannot drive a multi-gigabyte allocation.
+
+use crate::crc::crc32c;
+
+/// File magic: "HSPH" (HSdp Profile History).
+pub const MAGIC: [u8; 4] = *b"HSPH";
+/// Container format version.
+pub const VERSION: u8 = 1;
+/// File header length: magic + version byte.
+pub const HEADER_LEN: usize = MAGIC.len() + 1;
+/// Per-frame prefix length: payload length (4) + payload CRC32C (4).
+pub const FRAME_PREFIX_LEN: usize = 8;
+/// Maximum accepted payload length (16 MiB) — far above any real snapshot,
+/// low enough that a corrupt length prefix cannot provoke a huge read.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Errors from the framed container codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FramedError {
+    /// The file is shorter than the header or carries the wrong magic.
+    BadHeader,
+    /// The container version is not supported by this reader.
+    UnsupportedVersion {
+        /// The version byte found in the header.
+        version: u8,
+    },
+    /// A frame's declared length runs past the end of the buffer.
+    Truncated {
+        /// Index of the damaged frame (0-based).
+        frame: usize,
+        /// Byte offset where the last valid prefix ends.
+        valid_len: usize,
+    },
+    /// A frame's payload failed its CRC32C check.
+    Corrupt {
+        /// Index of the damaged frame (0-based).
+        frame: usize,
+        /// Byte offset where the last valid prefix ends.
+        valid_len: usize,
+    },
+    /// A frame's declared length exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Index of the damaged frame (0-based).
+        frame: usize,
+        /// The declared payload length.
+        declared: usize,
+    },
+}
+
+impl std::fmt::Display for FramedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FramedError::BadHeader => write!(f, "missing or invalid container header"),
+            FramedError::UnsupportedVersion { version } => {
+                write!(f, "unsupported container version {version}")
+            }
+            FramedError::Truncated { frame, valid_len } => {
+                write!(
+                    f,
+                    "frame {frame} truncated (valid prefix: {valid_len} bytes)"
+                )
+            }
+            FramedError::Corrupt { frame, valid_len } => write!(
+                f,
+                "frame {frame} failed its CRC32C check (valid prefix: {valid_len} bytes)"
+            ),
+            FramedError::Oversized { frame, declared } => write!(
+                f,
+                "frame {frame} declares {declared} bytes (max {MAX_FRAME_LEN})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FramedError {}
+
+/// Writes the container header onto `out` (an empty store).
+pub fn write_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+}
+
+/// Appends one frame (`payload` with its length prefix and CRC32C) to `out`.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN, "oversized frame payload");
+    out.reserve(FRAME_PREFIX_LEN + payload.len());
+    // audit: allow(cast, payload length is bounded by MAX_FRAME_LEN which fits u32)
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// The outcome of a tolerant container walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan<'a> {
+    /// Every intact frame payload, in file order.
+    pub frames: Vec<&'a [u8]>,
+    /// Byte length of the valid prefix (header + intact frames). Appending
+    /// at this offset after truncating discards a torn tail cleanly.
+    pub valid_len: usize,
+    /// What stopped the walk, if anything (`None` = the whole file is
+    /// intact).
+    pub damage: Option<FramedError>,
+}
+
+/// Converts a length-prefix sub-slice into the fixed array `from_le_bytes`
+/// wants. Callers have already bounds-checked the slice.
+fn arr<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    // audit: allow(panic, callers have already bounds-checked the slice length)
+    bytes.try_into().expect("length checked by caller")
+}
+
+/// Walks the container, collecting every intact frame and reporting the
+/// first damage without failing.
+///
+/// # Errors
+///
+/// Returns an error only when the *header* is unreadable (wrong magic or
+/// unsupported version) — there is no valid prefix to recover in that case.
+/// Frame-level damage is reported via [`Scan::damage`] instead.
+pub fn scan(bytes: &[u8]) -> Result<Scan<'_>, FramedError> {
+    if bytes.len() < HEADER_LEN || bytes[..MAGIC.len()] != MAGIC {
+        return Err(FramedError::BadHeader);
+    }
+    let version = bytes[MAGIC.len()];
+    if version != VERSION {
+        return Err(FramedError::UnsupportedVersion { version });
+    }
+    let mut frames = Vec::new();
+    let mut pos = HEADER_LEN;
+    let mut index = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_PREFIX_LEN {
+            return Ok(Scan {
+                frames,
+                valid_len: pos,
+                damage: Some(FramedError::Truncated {
+                    frame: index,
+                    valid_len: pos,
+                }),
+            });
+        }
+        let declared = u32::from_le_bytes(arr(&bytes[pos..pos + 4])) as usize;
+        if declared > MAX_FRAME_LEN {
+            return Ok(Scan {
+                frames,
+                valid_len: pos,
+                damage: Some(FramedError::Oversized {
+                    frame: index,
+                    declared,
+                }),
+            });
+        }
+        let expected_crc = u32::from_le_bytes(arr(&bytes[pos + 4..pos + 8]));
+        let payload_start = pos + FRAME_PREFIX_LEN;
+        let Some(payload) = bytes.get(payload_start..payload_start + declared) else {
+            return Ok(Scan {
+                frames,
+                valid_len: pos,
+                damage: Some(FramedError::Truncated {
+                    frame: index,
+                    valid_len: pos,
+                }),
+            });
+        };
+        if crc32c(payload) != expected_crc {
+            return Ok(Scan {
+                frames,
+                valid_len: pos,
+                damage: Some(FramedError::Corrupt {
+                    frame: index,
+                    valid_len: pos,
+                }),
+            });
+        }
+        frames.push(payload);
+        pos = payload_start + declared;
+        index += 1;
+    }
+    Ok(Scan {
+        frames,
+        valid_len: pos,
+        damage: None,
+    })
+}
+
+/// Strict read: every frame must be intact.
+///
+/// # Errors
+///
+/// Propagates header errors and promotes any [`Scan::damage`] to an error —
+/// a store with a torn tail does not read at all under this entry point.
+pub fn read_all(bytes: &[u8]) -> Result<Vec<&[u8]>, FramedError> {
+    let scan = scan(bytes)?;
+    match scan.damage {
+        Some(damage) => Err(damage),
+        None => Ok(scan.frames),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_header(&mut out);
+        for p in payloads {
+            append_frame(&mut out, p);
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_preserves_frames() {
+        let payloads: Vec<Vec<u8>> = vec![b"alpha".to_vec(), Vec::new(), vec![0xAB; 300]];
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let bytes = store_with(&refs);
+        let frames = read_all(&bytes).expect("intact store reads");
+        assert_eq!(frames, refs);
+        let scan = scan(&bytes).expect("header ok");
+        assert_eq!(scan.valid_len, bytes.len());
+        assert!(scan.damage.is_none());
+    }
+
+    #[test]
+    fn empty_store_is_valid() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes);
+        assert!(read_all(&bytes).expect("empty store reads").is_empty());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(read_all(b""), Err(FramedError::BadHeader));
+        assert_eq!(read_all(b"NOPE\x01"), Err(FramedError::BadHeader));
+        let mut wrong_version = Vec::new();
+        write_header(&mut wrong_version);
+        wrong_version[MAGIC.len()] = 9;
+        assert_eq!(
+            read_all(&wrong_version),
+            Err(FramedError::UnsupportedVersion { version: 9 })
+        );
+    }
+
+    #[test]
+    fn truncation_reports_valid_prefix() {
+        let bytes = store_with(&[b"first", b"second"]);
+        // Cut into the middle of the second frame's payload.
+        let first_end = HEADER_LEN + FRAME_PREFIX_LEN + 5;
+        let cut = &bytes[..first_end + FRAME_PREFIX_LEN + 2];
+        assert!(read_all(cut).is_err(), "strict read fails on a torn tail");
+        let scan = scan(cut).expect("header ok");
+        assert_eq!(scan.frames, vec![b"first".as_slice()]);
+        assert_eq!(
+            scan.valid_len, first_end,
+            "valid prefix ends before the torn frame"
+        );
+        assert!(matches!(
+            scan.damage,
+            Some(FramedError::Truncated { frame: 1, .. })
+        ));
+        // Recovery: truncate to valid_len and append cleanly.
+        let mut recovered = cut[..scan.valid_len].to_vec();
+        append_frame(&mut recovered, b"third");
+        let frames = read_all(&recovered).expect("recovered store is intact");
+        assert_eq!(frames, vec![b"first".as_slice(), b"third".as_slice()]);
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let bytes = store_with(&[b"payload-one", b"payload-two"]);
+        for cut in HEADER_LEN..bytes.len() {
+            let scan = scan(&bytes[..cut]).expect("header ok");
+            let whole = scan.damage.is_none();
+            // A prefix is only damage-free when it ends exactly on a frame
+            // boundary.
+            let boundary_one = HEADER_LEN + FRAME_PREFIX_LEN + 11;
+            assert_eq!(
+                whole,
+                cut == HEADER_LEN || cut == boundary_one,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_at_every_byte() {
+        let bytes = store_with(&[b"sensitive-record"]);
+        for i in HEADER_LEN..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            let outcome = read_all(&bad);
+            assert!(
+                outcome.is_err(),
+                "flip at byte {i} must not read silently: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_middle_frame_keeps_earlier_frames() {
+        let bytes = store_with(&[b"keep-me", b"break-me", b"after"]);
+        let mut bad = bytes.clone();
+        // Flip one payload byte of the middle frame.
+        let second_payload = HEADER_LEN + FRAME_PREFIX_LEN + 7 + FRAME_PREFIX_LEN;
+        bad[second_payload] ^= 0xFF;
+        let scan = scan(&bad).expect("header ok");
+        assert_eq!(scan.frames, vec![b"keep-me".as_slice()]);
+        assert!(matches!(
+            scan.damage,
+            Some(FramedError::Corrupt { frame: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes);
+        // audit: allow(cast, test constant fits u32)
+        bytes.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let scan = scan(&bytes).expect("header ok");
+        assert!(scan.frames.is_empty());
+        assert!(matches!(
+            scan.damage,
+            Some(FramedError::Oversized { frame: 0, .. })
+        ));
+    }
+}

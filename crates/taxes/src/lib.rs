@@ -14,7 +14,9 @@
 //! | EDAC / checksums (system tax) | [`crc`] |
 //!
 //! [`pprof`] dogfoods [`protowire`] to serialize profiler output in the
-//! standard `profile.proto` format.
+//! standard `profile.proto` format, and [`framed`] wraps protowire payloads
+//! in the length-prefixed, CRC32C-checked container the per-commit
+//! profile-history store (`hsdp-profiling::history`) appends to.
 //!
 //! The platform simulators in `hsdp-platforms` execute these primitives on
 //! their hot paths, so the profiling pipeline observes genuine tax work; the
@@ -35,6 +37,7 @@ pub mod crc;
 pub mod dispatch;
 pub mod error;
 pub mod frame;
+pub mod framed;
 pub mod memops;
 pub mod pprof;
 pub mod protowire;

@@ -285,6 +285,20 @@ impl Histogram {
     }
 }
 
+/// Interpolated quantile snapshot of one histogram — the shape the
+/// profile-history store persists per commit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Interpolated median.
+    pub p50: u64,
+    /// Interpolated 95th percentile.
+    pub p95: u64,
+    /// Interpolated 99th percentile.
+    pub p99: u64,
+}
+
 /// The per-shard (and, after merging, fleet-wide) metrics registry.
 ///
 /// All three metric kinds key on [`MetricKey`] and live in `BTreeMap`s, so
@@ -368,6 +382,28 @@ impl MetricsRegistry {
     #[must_use]
     pub fn histogram(&self, key: MetricKey) -> Option<&Histogram> {
         self.histograms.get(&key)
+    }
+
+    /// Quantile summaries for every histogram, in canonical key-path
+    /// order. This is the per-commit profile-history extraction: one
+    /// `(path, count/p50/p95/p99)` row per metric, deterministic because
+    /// the registry itself is.
+    #[must_use]
+    pub fn histogram_summaries(&self) -> Vec<(String, HistogramSummary)> {
+        self.histograms
+            .iter()
+            .map(|(key, h)| {
+                (
+                    key_path(*key),
+                    HistogramSummary {
+                        count: h.count(),
+                        p50: h.p50(),
+                        p95: h.p95(),
+                        p99: h.p99(),
+                    },
+                )
+            })
+            .collect()
     }
 
     /// All counters, in canonical key order.
