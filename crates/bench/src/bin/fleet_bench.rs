@@ -18,6 +18,7 @@
 //! outputs are byte-identical by construction, only the wall-clock differs).
 
 use hsdp_bench::harness::{time_ns, BenchRecord, BenchReport};
+use hsdp_bench::tail::{build_tail_report, render_json};
 use hsdp_core::category::Platform;
 use hsdp_platforms::bloom::{Bloom, ReferenceBloom};
 use hsdp_platforms::merge::{merge_runs_reference, merge_sorted_runs, Entry};
@@ -641,6 +642,7 @@ fn main() {
                             run_bigtable_tablet(
                                 shard.items,
                                 shard.seed,
+                                shard_idx,
                                 tablet,
                                 tablets,
                                 false,
@@ -745,6 +747,45 @@ fn main() {
         instrumented_ns <= baseline_ns * 1.10,
         "telemetry overhead above 10%: instrumented {instrumented_ns:.0} ns vs \
          uninstrumented {baseline_ns:.0} ns"
+    );
+
+    // --- Tail-attribution overhead: report build on top of the fleet. -----
+    // Attribution off is the instrumented fleet run alone; attribution on
+    // adds everything `tail_report` does — request-id exemplar joins,
+    // per-shard space-saving sketches merged in canonical order, cohort
+    // splits, and blame rendering. The attribution pass is pure folding
+    // over already-produced records, so it must stay within 10% of the
+    // fleet run it decorates.
+    let attribution_off_ns = best_of(5, || time_ns(1, || run_fleet_telemetry(probe_config)));
+    let attribution_on_ns = best_of(5, || {
+        time_ns(1, || {
+            render_json(&build_tail_report(probe_config, "")).len()
+        })
+    });
+    report.push(BenchRecord {
+        id: "fleet/tail_attribution/off".to_owned(),
+        ns_per_iter: attribution_off_ns,
+        bytes_per_iter: None,
+        parallelism: parallel_threads,
+        seed: SEED,
+    });
+    report.push(BenchRecord {
+        id: "fleet/tail_attribution/on".to_owned(),
+        ns_per_iter: attribution_on_ns,
+        bytes_per_iter: None,
+        parallelism: parallel_threads,
+        seed: SEED,
+    });
+    println!(
+        "fleet tail attribution: off {:.1} ms, on {:.1} ms ({:.1}% overhead)",
+        attribution_off_ns / 1e6,
+        attribution_on_ns / 1e6,
+        (attribution_on_ns / attribution_off_ns - 1.0) * 100.0,
+    );
+    assert!(
+        attribution_on_ns <= attribution_off_ns * 1.10,
+        "tail attribution overhead above 10%: on {attribution_on_ns:.0} ns vs \
+         off {attribution_off_ns:.0} ns"
     );
 
     report

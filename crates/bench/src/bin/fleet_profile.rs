@@ -25,6 +25,7 @@
 
 use hsdp_bench::exhibits::fleet_stack_profile;
 use hsdp_bench::snapshot::snapshot_from_parts;
+use hsdp_bench::tail::{tail_from_parts, tail_summary};
 use hsdp_bench::telemetry_out::build_artifacts;
 use hsdp_platforms::runner::{
     default_parallelism, fold_fleet, merge_fleet_metrics, run_fleet, run_fleet_telemetry,
@@ -98,7 +99,7 @@ fn main() {
     // telemetry artifacts land in <dir>; `--snapshot` also forces the
     // instrumented path (the snapshot wants histogram quantiles). The
     // profile JSON is rendered from the same records either way.
-    let (fleet, metrics) = if telemetry_dir.is_some() || snapshot_path.is_some() {
+    let (fleet, metrics, tail) = if telemetry_dir.is_some() || snapshot_path.is_some() {
         let runs = run_fleet_telemetry(config);
         if let Some(dir) = &telemetry_dir {
             let artifacts = build_artifacts(&runs);
@@ -107,9 +108,10 @@ fn main() {
                 .expect("write telemetry artifacts");
         }
         let metrics = merge_fleet_metrics(&runs);
-        (fold_fleet(runs), Some(metrics))
+        let tail = tail_summary(&tail_from_parts(&config, &runs, &metrics, ""));
+        (fold_fleet(runs), Some(metrics), tail)
     } else {
-        (run_fleet(config), None)
+        (run_fleet(config), None, std::collections::BTreeMap::new())
     };
     // Stack-profile exports: all render from one deterministic GWP pass
     // over the canonical fleet record stream, so any two runs with the same
@@ -143,6 +145,7 @@ fn main() {
                 &stacks,
                 metrics.as_ref().expect("snapshot path forces telemetry"),
                 &std::collections::BTreeMap::new(),
+                &tail,
             );
             let outcome = HistoryStore::open(&path)
                 .append(&snapshot)

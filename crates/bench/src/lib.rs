@@ -11,6 +11,7 @@
 pub mod exhibits;
 pub mod harness;
 pub mod snapshot;
+pub mod tail;
 pub mod telemetry_out;
 
 pub use exhibits::*;

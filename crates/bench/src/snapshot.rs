@@ -20,14 +20,18 @@ use hsdp_profiling::stacks::StackProfile;
 use hsdp_telemetry::MetricsRegistry;
 
 use crate::exhibits::fleet_stack_profile;
+use crate::tail::{tail_from_parts, tail_summary};
 
-/// Assembles a snapshot from already-computed parts.
+/// Assembles a snapshot from already-computed parts. `tail` carries the
+/// tail-report summary rows (`tail::tail_summary`) — pass an empty map for
+/// snapshots built without a tail pass.
 #[must_use]
 pub fn snapshot_from_parts(
     meta: SnapshotMeta,
     stacks: &StackProfile,
     metrics: &MetricsRegistry,
     bench: &BTreeMap<String, f64>,
+    tail: &BTreeMap<String, u64>,
 ) -> ProfileSnapshot {
     let mut snapshot = ProfileSnapshot {
         meta,
@@ -49,6 +53,7 @@ pub fn snapshot_from_parts(
         );
     }
     snapshot.bench = bench.clone();
+    snapshot.tail = tail.clone();
     snapshot
 }
 
@@ -64,9 +69,10 @@ pub fn build_fleet_snapshot(
 ) -> ProfileSnapshot {
     let runs = run_fleet_telemetry(config);
     let metrics = merge_fleet_metrics(&runs);
+    let tail = tail_summary(&tail_from_parts(&config, &runs, &metrics, ""));
     let fleet = fold_fleet(runs);
     let stacks = fleet_stack_profile(&fleet, config.seed);
-    snapshot_from_parts(meta, &stacks, &metrics, bench)
+    snapshot_from_parts(meta, &stacks, &metrics, bench, &tail)
 }
 
 /// Lifts `(id, ns_per_iter)` bench entries out of a `BENCH_fleet.json`
@@ -209,5 +215,9 @@ mod tests {
         assert!(p1.total_exact_ns > 0);
         assert!(!p1.categories.is_empty());
         assert!(!p1.quantiles.is_empty());
+        assert!(
+            p1.tail.keys().any(|k| k.ends_with("/p99_tax_share_ppm")),
+            "snapshot carries tail-report summaries"
+        );
     }
 }

@@ -20,6 +20,7 @@
 //!   composition (Equations 3–6, 9).
 //! - [`chained`] — the chained-execution extension (Equations 10–12).
 //! - [`profile`] — query populations, Figure 2 groups, platform profiles.
+//! - [`request`] — deterministic per-request identity for tail attribution.
 //! - [`stack`] — call-frame paths for stack-aware GWP profiling.
 //! - [`study`] — the limit studies behind Figures 9, 10, 13, 14, 15.
 //! - [`paper`] — every published constant, plus calibrated synthetic query
@@ -67,6 +68,7 @@ pub mod model;
 pub mod paper;
 pub mod plan;
 pub mod profile;
+pub mod request;
 pub mod stack;
 pub mod study;
 pub mod units;
@@ -79,4 +81,5 @@ pub use error::ModelError;
 pub use model::QueryPhases;
 pub use plan::{AccelerationPlan, InvocationModel, PlanOutcome};
 pub use profile::{PlatformProfile, QueryGroup, QueryPopulation, QueryRecord};
+pub use request::RequestId;
 pub use units::{Bandwidth, Bytes, Seconds};

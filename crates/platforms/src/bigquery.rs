@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use hsdp_core::category::{CoreComputeOp, DatacenterTax, Platform, SystemTax};
+use hsdp_core::request::RequestId;
 use hsdp_rpc::latency::LatencyModel;
 use hsdp_rpc::span::SpanKind;
 use hsdp_rpc::tracer::Tracer;
@@ -65,6 +66,7 @@ pub struct BigQuery {
     shuffle_net: LatencyModel,
     seed: u64,
     telemetry: MetricsRegistry,
+    current_request: RequestId,
 }
 
 impl BigQuery {
@@ -96,7 +98,16 @@ impl BigQuery {
             },
             seed,
             telemetry: MetricsRegistry::disabled(),
+            current_request: RequestId::UNTAGGED,
         }
+    }
+
+    /// Sets the request identity stamped onto subsequent query executions
+    /// (their spans, CPU work, and latency exemplars). The runner calls
+    /// this before each traffic query; [`RequestId::UNTAGGED`] marks
+    /// background work.
+    pub fn set_request(&mut self, request: RequestId) {
+        self.current_request = request;
     }
 
     /// Replaces the telemetry registry (pass [`MetricsRegistry::new`] to
@@ -418,9 +429,10 @@ impl BigQuery {
         self.tracer.finish(root, self.clock);
         self.telemetry
             .counter_add(("bigquery", "queries", label), 1);
-        self.telemetry.record_duration(
+        self.telemetry.record_duration_tagged(
             ("bigquery", "query_latency_ns", label),
             self.clock.since(started),
+            self.current_request,
         );
         crate::meter::record_cpu_items(&mut self.telemetry, meter.items());
         let spans: Vec<_> = self
@@ -429,12 +441,15 @@ impl BigQuery {
             .into_iter()
             .filter(|s| s.trace == trace)
             .collect();
-        QueryExecution {
+        let mut exec = QueryExecution {
             platform: Platform::BigQuery,
             label,
             spans,
             cpu_work: meter.take(),
-        }
+            request: RequestId::UNTAGGED,
+        };
+        exec.stamp_request(self.current_request);
+        exec
     }
 
     /// `SELECT url, bytes WHERE latency_ms > threshold AND success`.

@@ -30,6 +30,7 @@
 use std::collections::BTreeMap;
 
 use hsdp_core::category::{CoreComputeOp, DatacenterTax, Platform, SystemTax};
+use hsdp_core::request::RequestId;
 use hsdp_rpc::latency::LatencyModel;
 use hsdp_rpc::span::{SpanKind, TraceId};
 use hsdp_rpc::tracer::{OpenSpan, Tracer};
@@ -385,6 +386,7 @@ fn finish_query(
     io_time: SimDuration,
     remote_time: SimDuration,
     label: &'static str,
+    request: RequestId,
 ) -> QueryExecution {
     let started = *clock;
     let cpu_time = meter.total();
@@ -409,9 +411,10 @@ fn finish_query(
     }
     tracer.finish(root, *clock);
     telemetry.counter_add(("bigtable", "queries", label), 1);
-    telemetry.record_duration(
+    telemetry.record_duration_tagged(
         ("bigtable", "query_latency_ns", label),
         clock.since(started),
+        request,
     );
     crate::meter::record_cpu_items(telemetry, meter.items());
     let spans: Vec<_> = tracer
@@ -420,12 +423,15 @@ fn finish_query(
         .filter(|s| s.trace == trace)
         .collect();
     let mut meter = meter;
-    QueryExecution {
+    let mut exec = QueryExecution {
         platform: Platform::BigTable,
         label,
         spans,
         cpu_work: meter.take(),
-    }
+        request: RequestId::UNTAGGED,
+    };
+    exec.stamp_request(request);
+    exec
 }
 
 /// One tablet: an independent LSM instance over its own clock, tracer, and
@@ -450,6 +456,7 @@ pub(crate) struct Tablet {
     compactions: u64,
     rng_seed: u64,
     telemetry: MetricsRegistry,
+    current_request: RequestId,
 }
 
 impl Tablet {
@@ -480,11 +487,17 @@ impl Tablet {
             compactions: 0,
             rng_seed: seed,
             telemetry: MetricsRegistry::disabled(),
+            current_request: RequestId::UNTAGGED,
         }
     }
 
     pub(crate) fn set_telemetry(&mut self, registry: MetricsRegistry) {
         self.telemetry = registry;
+    }
+
+    /// Sets the request identity stamped onto subsequent query executions.
+    pub(crate) fn set_request(&mut self, request: RequestId) {
+        self.current_request = request;
     }
 
     pub(crate) fn take_telemetry(&mut self) -> MetricsRegistry {
@@ -744,6 +757,7 @@ impl Tablet {
             io_time,
             remote_time,
             "put",
+            self.current_request,
         )
     }
 
@@ -851,6 +865,7 @@ impl Tablet {
             io_time,
             SimDuration::ZERO,
             "get",
+            self.current_request,
         )
     }
 
@@ -966,6 +981,7 @@ pub struct ScanAssembler {
     clock: SimTime,
     tracer: Tracer,
     telemetry: MetricsRegistry,
+    current_request: RequestId,
 }
 
 impl ScanAssembler {
@@ -976,12 +992,18 @@ impl ScanAssembler {
             clock: SimTime::ZERO,
             tracer: Tracer::new(),
             telemetry: MetricsRegistry::disabled(),
+            current_request: RequestId::UNTAGGED,
         }
     }
 
     /// Replaces the telemetry registry.
     pub fn set_telemetry(&mut self, registry: MetricsRegistry) {
         self.telemetry = registry;
+    }
+
+    /// Sets the request identity stamped onto subsequently assembled scans.
+    pub fn set_request(&mut self, request: RequestId) {
+        self.current_request = request;
     }
 
     /// Takes the telemetry collected so far, leaving recording disabled.
@@ -1064,6 +1086,7 @@ impl ScanAssembler {
             io_time,
             SimDuration::ZERO,
             "scan",
+            self.current_request,
         )
     }
 }
@@ -1130,6 +1153,15 @@ impl BigTable {
         } else {
             MetricsRegistry::disabled()
         }
+    }
+
+    /// Sets the request identity stamped onto subsequent query executions
+    /// by every tablet and the scan coordinator.
+    pub fn set_request(&mut self, request: RequestId) {
+        for tablet in &mut self.tablets {
+            tablet.set_request(request);
+        }
+        self.scans.set_request(request);
     }
 
     /// Spans still open across all tablets and the scan coordinator — zero

@@ -3,6 +3,7 @@
 
 use hsdp_core::category::Platform;
 use hsdp_core::profile::QueryRecord;
+use hsdp_core::request::RequestId;
 use hsdp_core::units::Seconds;
 use hsdp_rpc::decompose::{decompose, E2eDecomposition};
 use hsdp_rpc::span::Span;
@@ -21,9 +22,25 @@ pub struct QueryExecution {
     pub spans: Vec<Span>,
     /// Labeled CPU work charged during execution.
     pub cpu_work: Vec<CpuWorkItem>,
+    /// The traffic request this execution answered
+    /// ([`RequestId::UNTAGGED`] for non-traffic work such as preloads).
+    pub request: RequestId,
 }
 
 impl QueryExecution {
+    /// Stamps `request` onto the execution and everything it carries:
+    /// every span and every CPU work item. Platforms call this once at
+    /// query finish so identity is total — no partially-tagged records.
+    pub fn stamp_request(&mut self, request: RequestId) {
+        self.request = request;
+        for span in &mut self.spans {
+            span.request = request;
+        }
+        for item in &mut self.cpu_work {
+            item.request = request;
+        }
+    }
+
     /// The end-to-end CPU/IO/remote decomposition (the paper's Section 4
     /// rule applied to this trace).
     #[must_use]

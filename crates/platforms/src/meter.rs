@@ -9,6 +9,7 @@
 
 use hsdp_core::category::CpuCategory;
 use hsdp_core::component::CpuBreakdown;
+use hsdp_core::request::RequestId;
 use hsdp_core::stack::{empty_path, FramePath};
 use hsdp_core::units::Seconds;
 use hsdp_simcore::time::SimDuration;
@@ -25,6 +26,9 @@ pub struct CpuWorkItem {
     pub stack: FramePath,
     /// Simulated CPU time charged.
     pub time: SimDuration,
+    /// The traffic request this work serves ([`RequestId::UNTAGGED`] for
+    /// background work; stamped by the platform at query finish).
+    pub request: RequestId,
 }
 
 /// Accumulates labeled CPU work during query execution.
@@ -110,6 +114,7 @@ impl WorkMeter {
             leaf,
             stack: self.current_path(),
             time,
+            request: RequestId::UNTAGGED,
         });
     }
 

@@ -10,6 +10,7 @@
 //! run at any thread count is byte-identical to the sequential run.
 
 use hsdp_core::category::Platform;
+use hsdp_core::request::RequestId;
 use hsdp_rng::derive_seed;
 use hsdp_rng::Rng;
 use hsdp_rng::StdRng;
@@ -116,17 +117,20 @@ pub fn default_parallelism() -> usize {
 /// each derive their own generator from it.
 #[must_use]
 pub fn run_spanner(queries: usize, seed: u64) -> Vec<QueryExecution> {
-    run_spanner_shard(queries, seed, false).0
+    run_spanner_shard(queries, seed, 0, false).0
 }
 
 /// [`run_spanner`] with an optionally-enabled telemetry registry covering
 /// the traffic phase (the preload is warmup, not workload). Telemetry
 /// records nothing when `telemetry` is false, so the disabled path is the
-/// uninstrumented baseline for overhead probes.
+/// uninstrumented baseline for overhead probes. `shard` is the shard's
+/// canonical index, the shard field of every [`RequestId`] the traffic
+/// phase stamps.
 #[must_use]
 pub fn run_spanner_shard(
     queries: usize,
     seed: u64,
+    shard: usize,
     telemetry: bool,
 ) -> (Vec<QueryExecution>, MetricsRegistry) {
     let platform = Platform::Spanner;
@@ -158,20 +162,23 @@ pub fn run_spanner_shard(
     }
 
     let executions: Vec<QueryExecution> = (0..queries)
-        .map(|_| match mix.sample(&mut traffic_rng) {
-            DbOp::Read => {
-                let key = keys.sample(&mut traffic_rng);
-                db.read(&key)
+        .map(|index| {
+            db.set_request(RequestId::tag(platform, shard, index));
+            match mix.sample(&mut traffic_rng) {
+                DbOp::Read => {
+                    let key = keys.sample(&mut traffic_rng);
+                    db.read(&key)
+                }
+                DbOp::Write => db.commit(
+                    keys.sample(&mut traffic_rng),
+                    values.sample(&mut traffic_rng),
+                ),
+                DbOp::Scan => db.query(&keys.sample(&mut traffic_rng), 60, 100),
+                DbOp::ReadModifyWrite => db.read_modify_write(
+                    keys.sample(&mut traffic_rng),
+                    values.sample(&mut traffic_rng),
+                ),
             }
-            DbOp::Write => db.commit(
-                keys.sample(&mut traffic_rng),
-                values.sample(&mut traffic_rng),
-            ),
-            DbOp::Scan => db.query(&keys.sample(&mut traffic_rng), 60, 100),
-            DbOp::ReadModifyWrite => db.read_modify_write(
-                keys.sample(&mut traffic_rng),
-                values.sample(&mut traffic_rng),
-            ),
         })
         .collect();
     assert_eq!(db.open_spans(), 0, "spanner left spans open at end-of-run");
@@ -182,7 +189,7 @@ pub fn run_spanner_shard(
 /// with enough writes to exercise flushes and compactions).
 #[must_use]
 pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
-    run_bigtable_shard(queries, seed, false).0
+    run_bigtable_shard(queries, seed, 0, false).0
 }
 
 /// [`run_bigtable`] with an optionally-enabled telemetry registry covering
@@ -194,11 +201,12 @@ pub fn run_bigtable(queries: usize, seed: u64) -> Vec<QueryExecution> {
 pub fn run_bigtable_shard(
     queries: usize,
     seed: u64,
+    shard: usize,
     telemetry: bool,
 ) -> (Vec<QueryExecution>, MetricsRegistry) {
     let tablets = DEFAULT_BIGTABLE_TABLETS;
     let runs = (0..tablets)
-        .map(|tablet| run_bigtable_tablet(queries, seed, tablet, tablets, telemetry, None))
+        .map(|tablet| run_bigtable_tablet(queries, seed, shard, tablet, tablets, telemetry, None))
         .collect();
     assemble_bigtable_shard(runs)
 }
@@ -267,6 +275,8 @@ fn bigtable_ops(queries: usize, seed: u64) -> (Vec<BtOp>, usize) {
 /// record stream in canonical order.
 #[derive(Debug)]
 pub struct BigTableTabletRun {
+    /// Shard index the tablet belongs to (request-identity shard field).
+    pub shard: usize,
     /// Tablet index within the shard's tablet set.
     pub tablet: usize,
     /// Traffic executions this tablet owned, by global op index.
@@ -289,6 +299,7 @@ pub struct BigTableTabletRun {
 pub fn run_bigtable_tablet(
     queries: usize,
     seed: u64,
+    shard: usize,
     tablet: usize,
     tablets: usize,
     telemetry: bool,
@@ -311,6 +322,13 @@ pub fn run_bigtable_tablet(
     for (idx, op) in ops.into_iter().enumerate() {
         if telemetry && idx == preload {
             tb.set_telemetry(MetricsRegistry::new());
+        }
+        // Request identity is the op's position in the traffic stream —
+        // identical on every tablet that touches the op, so scan partials
+        // and point ops agree regardless of schedule. Preload stays
+        // untagged: it is warmup, not workload.
+        if let Some(index) = idx.checked_sub(preload) {
+            tb.set_request(RequestId::tag(platform, shard, index));
         }
         let exec = match op {
             BtOp::Put { key, value } => {
@@ -343,6 +361,7 @@ pub fn run_bigtable_tablet(
     }
     assert_eq!(tb.open_spans(), 0, "bigtable tablet left spans open");
     BigTableTabletRun {
+        shard,
         tablet,
         executions,
         scans,
@@ -364,6 +383,7 @@ pub fn assemble_bigtable_shard(
     tablet_runs.sort_by_key(|run| run.tablet);
     let queries = tablet_runs.first().map_or(0, |run| run.queries);
     let preload = tablet_runs.first().map_or(0, |run| run.preload);
+    let shard = tablet_runs.first().map_or(0, |run| run.shard);
     let telemetry_on = tablet_runs.iter().any(|run| run.telemetry.is_enabled());
 
     let mut slots: Vec<Option<QueryExecution>> = Vec::with_capacity(queries);
@@ -394,6 +414,9 @@ pub fn assemble_bigtable_shard(
                 group.push(part);
             }
         }
+        if let Some(index) = idx.checked_sub(preload) {
+            scans.set_request(RequestId::tag(Platform::BigTable, shard, index));
+        }
         let exec = scans.assemble(group);
         if let Some(slot) = idx.checked_sub(preload).and_then(|i| slots.get_mut(i)) {
             *slot = Some(exec);
@@ -423,16 +446,17 @@ pub fn assemble_bigtable_shard(
 /// mix).
 #[must_use]
 pub fn run_bigquery(queries: usize, fact_rows: usize, seed: u64) -> Vec<QueryExecution> {
-    run_bigquery_shard(queries, fact_rows, seed, false).0
+    run_bigquery_shard(queries, fact_rows, seed, 0, false).0
 }
 
 /// [`run_bigquery`] with an optionally-enabled telemetry registry covering
-/// the traffic phase.
+/// the traffic phase. `shard` feeds the [`RequestId`] of each traffic query.
 #[must_use]
 pub fn run_bigquery_shard(
     queries: usize,
     fact_rows: usize,
     seed: u64,
+    shard: usize,
     telemetry: bool,
 ) -> (Vec<QueryExecution>, MetricsRegistry) {
     let platform = Platform::BigQuery;
@@ -451,14 +475,17 @@ pub fn run_bigquery_shard(
     let mix = AnalyticsMix::dashboard();
 
     let executions: Vec<QueryExecution> = (0..queries)
-        .map(|_| match mix.sample(&mut traffic_rng) {
-            AnalyticsQuery::ScanFilter => {
-                let threshold = 10.0 + traffic_rng.random::<f64>() * 60.0;
-                bq.scan_filter(threshold)
+        .map(|index| {
+            bq.set_request(RequestId::tag(platform, shard, index));
+            match mix.sample(&mut traffic_rng) {
+                AnalyticsQuery::ScanFilter => {
+                    let threshold = 10.0 + traffic_rng.random::<f64>() * 60.0;
+                    bq.scan_filter(threshold)
+                }
+                AnalyticsQuery::GroupAggregate => bq.group_aggregate(),
+                AnalyticsQuery::Join => bq.join(),
+                AnalyticsQuery::TopK => bq.top_k(50),
             }
-            AnalyticsQuery::GroupAggregate => bq.group_aggregate(),
-            AnalyticsQuery::Join => bq.join(),
-            AnalyticsQuery::TopK => bq.top_k(50),
         })
         .collect();
     assert_eq!(bq.open_spans(), 0, "bigquery left spans open at end-of-run");
@@ -473,10 +500,12 @@ enum ShardJob {
     Spanner {
         queries: usize,
         seed: u64,
+        shard: usize,
     },
     BigTableTablet {
         queries: usize,
         seed: u64,
+        shard: usize,
         tablet: usize,
         tablets: usize,
         perturb: Option<pool::Perturbation>,
@@ -485,6 +514,7 @@ enum ShardJob {
         queries: usize,
         fact_rows: usize,
         seed: u64,
+        shard: usize,
     },
 }
 
@@ -498,26 +528,32 @@ enum JobOutput {
 impl ShardJob {
     fn run(self, telemetry: bool) -> JobOutput {
         match self {
-            ShardJob::Spanner { queries, seed } => {
-                let (executions, registry) = run_spanner_shard(queries, seed, telemetry);
+            ShardJob::Spanner {
+                queries,
+                seed,
+                shard,
+            } => {
+                let (executions, registry) = run_spanner_shard(queries, seed, shard, telemetry);
                 JobOutput::Shard(executions, registry)
             }
             ShardJob::BigTableTablet {
                 queries,
                 seed,
+                shard,
                 tablet,
                 tablets,
                 perturb,
             } => JobOutput::Tablet(run_bigtable_tablet(
-                queries, seed, tablet, tablets, telemetry, perturb,
+                queries, seed, shard, tablet, tablets, telemetry, perturb,
             )),
             ShardJob::BigQuery {
                 queries,
                 fact_rows,
                 seed,
+                shard,
             } => {
                 let (executions, registry) =
-                    run_bigquery_shard(queries, fact_rows, seed, telemetry);
+                    run_bigquery_shard(queries, fact_rows, seed, shard, telemetry);
                 JobOutput::Shard(executions, registry)
             }
         }
@@ -597,6 +633,7 @@ fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize, usize), ShardJob)> 
                     ShardJob::Spanner {
                         queries: shard.items,
                         seed: shard.seed,
+                        shard: shard.index,
                     },
                 )),
                 Platform::BigTable => {
@@ -606,6 +643,7 @@ fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize, usize), ShardJob)> 
                             ShardJob::BigTableTablet {
                                 queries: shard.items,
                                 seed: shard.seed,
+                                shard: shard.index,
                                 tablet,
                                 tablets,
                                 perturb: config.perturb,
@@ -619,6 +657,7 @@ fn fleet_jobs(config: FleetConfig) -> Vec<((Platform, usize, usize), ShardJob)> 
                         queries: shard.items,
                         fact_rows: config.fact_rows,
                         seed: shard.seed,
+                        shard: shard.index,
                     },
                 )),
             }
@@ -823,7 +862,7 @@ mod tests {
         // inline shard run record-for-record — even with tablets produced
         // out of order and with the in-tablet LSM batches perturbed.
         let (queries, seed) = (150, 77);
-        let (inline_run, _) = run_bigtable_shard(queries, seed, false);
+        let (inline_run, _) = run_bigtable_shard(queries, seed, 3, false);
         let tablets = DEFAULT_BIGTABLE_TABLETS;
         let runs: Vec<BigTableTabletRun> = (0..tablets)
             .rev()
@@ -831,6 +870,7 @@ mod tests {
                 run_bigtable_tablet(
                     queries,
                     seed,
+                    3,
                     tablet,
                     tablets,
                     false,
@@ -858,6 +898,7 @@ mod tests {
         let tablet = ShardJob::BigTableTablet {
             queries: bt_queries,
             seed: 1,
+            shard: 0,
             tablet: 0,
             tablets: config.tablets,
             perturb: None,
@@ -866,12 +907,14 @@ mod tests {
             queries: config.analytics_queries / config.shards,
             fact_rows: 2_000,
             seed: 1,
+            shard: 0,
         };
         assert!(job_weight(&tablet) > job_weight(&bigquery));
         // And weights grow with load: more queries, heavier job.
         let heavier = ShardJob::BigTableTablet {
             queries: bt_queries * 4,
             seed: 1,
+            shard: 0,
             tablet: 0,
             tablets: config.tablets,
             perturb: None,

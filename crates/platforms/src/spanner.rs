@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use hsdp_core::category::{CoreComputeOp, DatacenterTax, Platform, SystemTax};
+use hsdp_core::request::RequestId;
 use hsdp_rpc::latency::LatencyModel;
 use hsdp_rpc::span::SpanKind;
 use hsdp_rpc::tracer::Tracer;
@@ -71,6 +72,7 @@ pub struct Spanner {
     txn_desc: Arc<MessageDescriptor>,
     seed: u64,
     telemetry: MetricsRegistry,
+    current_request: RequestId,
 }
 
 impl Spanner {
@@ -114,7 +116,16 @@ impl Spanner {
             txn_desc,
             seed,
             telemetry: MetricsRegistry::disabled(),
+            current_request: RequestId::UNTAGGED,
         }
+    }
+
+    /// Sets the request identity stamped onto subsequent query executions
+    /// (their spans, CPU work, and latency exemplars). The runner calls
+    /// this before each traffic query; [`RequestId::UNTAGGED`] marks
+    /// background work.
+    pub fn set_request(&mut self, request: RequestId) {
+        self.current_request = request;
     }
 
     /// Replaces the telemetry registry (pass [`MetricsRegistry::new`] to
@@ -657,6 +668,7 @@ impl Spanner {
             label: "read-modify-write",
             spans,
             cpu_work,
+            request: self.current_request,
         }
     }
 
@@ -705,9 +717,10 @@ impl Spanner {
         }
         self.tracer.finish(root, self.clock);
         self.telemetry.counter_add(("spanner", "queries", label), 1);
-        self.telemetry.record_duration(
+        self.telemetry.record_duration_tagged(
             ("spanner", "query_latency_ns", label),
             self.clock.since(started),
+            self.current_request,
         );
         self.telemetry
             .gauge_max(("spanner", "log_len_peak", ""), self.log.len() as u64);
@@ -718,12 +731,15 @@ impl Spanner {
             .into_iter()
             .filter(|s| s.trace == trace)
             .collect();
-        QueryExecution {
+        let mut exec = QueryExecution {
             platform: Platform::Spanner,
             label,
             spans,
             cpu_work: meter.take(),
-        }
+            request: RequestId::UNTAGGED,
+        };
+        exec.stamp_request(self.current_request);
+        exec
     }
 }
 

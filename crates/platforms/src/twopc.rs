@@ -8,6 +8,7 @@
 //! remote-heavy query class.
 
 use hsdp_core::category::{CoreComputeOp, DatacenterTax, Platform, SystemTax};
+use hsdp_core::request::RequestId;
 use hsdp_rpc::span::{Span, SpanId, SpanKind, TraceId};
 use hsdp_simcore::time::{SimDuration, SimTime};
 
@@ -139,6 +140,7 @@ pub fn distributed_commit(
             kind: SpanKind::Container,
             start,
             end: commit_end,
+            request: RequestId::UNTAGGED,
         },
         Span {
             trace,
@@ -148,6 +150,7 @@ pub fn distributed_commit(
             kind: SpanKind::Cpu,
             start,
             end: cpu_end,
+            request: RequestId::UNTAGGED,
         },
         Span {
             trace,
@@ -157,6 +160,7 @@ pub fn distributed_commit(
             kind: SpanKind::RemoteWork,
             start: cpu_end,
             end: prepare_end,
+            request: RequestId::UNTAGGED,
         },
         Span {
             trace,
@@ -166,6 +170,7 @@ pub fn distributed_commit(
             kind: SpanKind::RemoteWork,
             start: prepare_end,
             end: commit_end,
+            request: RequestId::UNTAGGED,
         },
     ];
     for group in groups.iter_mut() {
@@ -177,6 +182,7 @@ pub fn distributed_commit(
         label: "2pc-commit",
         spans,
         cpu_work: meter.take(),
+        request: RequestId::UNTAGGED,
     }
 }
 

@@ -94,6 +94,11 @@ pub struct ProfileSnapshot {
     /// including wall-clock entries. Optional: profile-only snapshots
     /// leave this empty so they stay parallelism-invariant.
     pub bench: BTreeMap<String, f64>,
+    /// Tail-report summaries (`spanner/p99_tax_share_ppm`, …): integer-
+    /// exact per-platform cohort tax shares and exemplar/heavy-hitter
+    /// counts, so regression detection covers the tail as well as the
+    /// mean. Parallelism-invariant like the quantiles.
+    pub tail: BTreeMap<String, u64>,
 }
 
 impl ProfileSnapshot {
@@ -203,6 +208,11 @@ pub fn snapshot_descriptor() -> Arc<MessageDescriptor> {
                         "bench",
                         FieldType::Message(bench_entry_descriptor()),
                     ),
+                    FieldDescriptor::repeated(
+                        11,
+                        "tail",
+                        FieldType::Message(share_entry_descriptor()),
+                    ),
                 ],
             )
             // audit: allow(panic, static descriptor literal is validated once at init)
@@ -293,7 +303,11 @@ impl ProfileSnapshot {
         set_str(&mut msg, 4, &self.meta.cpu_features);
         set_u64(&mut msg, 5, self.total_exact_ns);
         set_u64(&mut msg, 6, self.total_samples);
-        for (field, map) in [(7u32, &self.categories), (8u32, &self.stacks)] {
+        for (field, map) in [
+            (7u32, &self.categories),
+            (8u32, &self.stacks),
+            (11u32, &self.tail),
+        ] {
             for (name, &exact_ns) in map {
                 let mut entry = Message::new(share_entry_descriptor());
                 set_str(&mut entry, 1, name);
@@ -350,6 +364,7 @@ impl ProfileSnapshot {
         for (field, map) in [
             (7u32, &mut snapshot.categories),
             (8u32, &mut snapshot.stacks),
+            (11u32, &mut snapshot.tail),
         ] {
             for value in msg.get_all(field) {
                 let Value::Message(entry) = value else {
@@ -1018,6 +1033,9 @@ mod tests {
         );
         s.bench
             .insert("fleet/wall_clock/sequential".to_owned(), 1.5e8);
+        s.tail
+            .insert("spanner/p99_tax_share_ppm".to_owned(), 471_234);
+        s.tail.insert("spanner/requests".to_owned(), 120);
         s
     }
 

@@ -17,6 +17,9 @@
 //! - [`history`] — per-commit profile history: an append-only, checksummed
 //!   snapshot store with sliding-window regression and anomaly detection
 //!   (continuous profiling over everything the repo measures).
+//! - [`heavy`] — a deterministic space-saving top-k sketch attributing
+//!   exact-nanosecond CPU and tax-category weight to individual requests
+//!   (the heavy-hitter half of tail attribution).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@
 pub mod crosscheck;
 pub mod e2e;
 pub mod gwp;
+pub mod heavy;
 pub mod history;
 pub mod microarch;
 pub mod report;
@@ -36,6 +40,7 @@ pub use crosscheck::{
 };
 pub use e2e::{classify, figure2, Figure2, Figure2Row};
 pub use gwp::{CycleProfile, GwpConfig, GwpProfiler, LeafWork};
+pub use heavy::{HitterEntry, SpaceSaving};
 pub use history::{
     detect_anomalies, regressions_since, AnomalyConfig, DriftReport, DriftThresholds, HistoryStore,
     ProfileSnapshot, QuantileRow, RegressionReport, SnapshotMeta, SustainedDrift,

@@ -35,6 +35,7 @@ fn random_snapshot(rng: &mut StdRng) -> ProfileSnapshot {
         stacks: BTreeMap::new(),
         quantiles: BTreeMap::new(),
         bench: BTreeMap::new(),
+        tail: BTreeMap::new(),
     };
     for i in 0..rng.random_range(0usize..8) {
         snapshot
@@ -61,6 +62,11 @@ fn random_snapshot(rng: &mut StdRng) -> ProfileSnapshot {
         // audit: allow(cast, bench fixture value from a bounded range)
         let ns = rng.random_range(0u64..1 << 40) as f64 / 8.0;
         snapshot.bench.insert(format!("kernel/bench{i}"), ns);
+    }
+    for i in 0..rng.random_range(0usize..6) {
+        snapshot
+            .tail
+            .insert(format!("platform/tail{i}"), rng.random());
     }
     snapshot
 }

@@ -172,6 +172,7 @@ mod tests {
             kind,
             start: SimTime::from_nanos(start),
             end: SimTime::from_nanos(end),
+            request: hsdp_core::request::RequestId::UNTAGGED,
         }
     }
 

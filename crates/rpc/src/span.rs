@@ -6,6 +6,7 @@
 //! trace; spans form a tree via parent ids and carry a [`SpanKind`] that
 //! drives the end-to-end time decomposition.
 
+use hsdp_core::request::RequestId;
 use hsdp_simcore::time::{SimDuration, SimTime};
 
 /// Identifies one end-to-end request (query) across all services.
@@ -62,6 +63,9 @@ pub struct Span {
     pub start: SimTime,
     /// End instant (>= start).
     pub end: SimTime,
+    /// The traffic request this span serves ([`RequestId::UNTAGGED`] for
+    /// background work; stamped by the platform at query finish).
+    pub request: RequestId,
 }
 
 impl Span {
@@ -93,6 +97,7 @@ mod tests {
             kind: SpanKind::Cpu,
             start: SimTime::from_nanos(100),
             end: SimTime::from_nanos(40),
+            request: RequestId::UNTAGGED,
         };
         assert_eq!(span.duration(), SimDuration::ZERO);
     }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use hsdp_core::request::RequestId;
 use hsdp_simcore::time::SimTime;
 
 use crate::span::{Span, SpanId, SpanKind, TraceId};
@@ -70,6 +71,7 @@ impl Tracer {
                 kind,
                 start: now,
                 end: now,
+                request: RequestId::UNTAGGED,
             },
         );
         OpenSpan { trace, id }
@@ -111,6 +113,7 @@ impl Tracer {
             kind,
             start,
             end: end.max(start),
+            request: RequestId::UNTAGGED,
         });
         id
     }

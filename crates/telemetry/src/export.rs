@@ -162,6 +162,7 @@ mod tests {
                     kind: SpanKind::Container,
                     start: SimTime::from_nanos(1_500),
                     end: SimTime::from_nanos(42_750),
+                    request: hsdp_core::request::RequestId::UNTAGGED,
                 },
                 Span {
                     trace: TraceId(9),
@@ -171,6 +172,7 @@ mod tests {
                     kind: SpanKind::RemoteWork,
                     start: SimTime::from_nanos(2_000),
                     end: SimTime::from_nanos(30_000),
+                    request: hsdp_core::request::RequestId::UNTAGGED,
                 },
             ],
         }

@@ -31,4 +31,6 @@ pub mod registry;
 
 pub use critical_path::{critical_path, CriticalPathBreakdown, PathCategory};
 pub use export::{chrome_trace_json, TraceGroup};
-pub use registry::{category_key, Histogram, HistogramSummary, MetricKey, MetricsRegistry};
+pub use registry::{
+    category_key, Exemplar, Histogram, HistogramSummary, MetricKey, MetricsRegistry,
+};

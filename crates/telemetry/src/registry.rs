@@ -12,6 +12,8 @@
 use std::collections::BTreeMap;
 
 use hsdp_core::category::{CoreComputeOp, CpuCategory, DatacenterTax, SystemTax};
+use hsdp_core::request::RequestId;
+use hsdp_rng::derive_seed;
 use hsdp_simcore::time::SimDuration;
 
 /// A metric identity: `(subsystem, metric, label)`, all static so recording
@@ -108,10 +110,49 @@ pub fn bucket_lower_bound(index: u16) -> u64 {
     (1u64 << exponent) + (sub << (exponent - 4))
 }
 
+/// Salt separating exemplar priorities from every other `derive_seed`
+/// stream in the workspace.
+const EXEMPLAR_SALT: u64 = 0x00EE_EE00;
+
+/// A deterministic exemplar: one representative tagged observation kept
+/// per histogram bucket, OpenMetrics-style, so a quantile estimate can be
+/// traced back to a concrete request.
+///
+/// Selection is reservoir-free and order-independent: each candidate's
+/// priority is `derive_seed(EXEMPLAR_SALT, request, value)` and the bucket
+/// keeps the candidate with the *minimum* `(priority, request, value)`.
+/// A minimum over a set does not depend on arrival order, so recording
+/// order, shard split, and merge order all yield the same exemplar — the
+/// property the byte-identity suite pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The request whose observation this is.
+    pub request: RequestId,
+    /// The observed value (nanoseconds for latency histograms).
+    pub value: u64,
+    priority: u64,
+}
+
+impl Exemplar {
+    fn new(request: RequestId, value: u64) -> Self {
+        Exemplar {
+            request,
+            value,
+            priority: derive_seed(EXEMPLAR_SALT, request.0, value),
+        }
+    }
+
+    /// The deterministic selection rank (lower wins).
+    fn rank(&self) -> (u64, u64, u64) {
+        (self.priority, self.request.0, self.value)
+    }
+}
+
 /// A fixed-layout log-linear histogram (HDR style).
 ///
 /// Buckets are stored sparsely; `count`/`sum`/`min`/`max` ride along so
-/// reports never need to re-derive totals from buckets.
+/// reports never need to re-derive totals from buckets. Tagged recordings
+/// additionally keep one deterministic [`Exemplar`] per bucket.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
@@ -119,6 +160,7 @@ pub struct Histogram {
     min: u64,
     max: u64,
     buckets: BTreeMap<u16, u64>,
+    exemplars: BTreeMap<u16, Exemplar>,
 }
 
 impl Histogram {
@@ -139,6 +181,25 @@ impl Histogram {
         self.count += 1;
         self.sum += u128::from(value);
         *self.buckets.entry(bucket_index(value)).or_insert(0) += 1;
+    }
+
+    /// Records one observation attributed to `request`, keeping it as the
+    /// bucket's exemplar if it wins the deterministic min-priority draw.
+    /// Untagged requests record plain (background work never becomes an
+    /// exemplar).
+    pub fn record_tagged(&mut self, value: u64, request: RequestId) {
+        self.record(value);
+        if !request.is_tagged() {
+            return;
+        }
+        let candidate = Exemplar::new(request, value);
+        let slot = self
+            .exemplars
+            .entry(bucket_index(value))
+            .or_insert(candidate);
+        if candidate.rank() < slot.rank() {
+            *slot = candidate;
+        }
     }
 
     /// Number of observations.
@@ -276,12 +337,24 @@ impl Histogram {
         for (&index, &n) in &other.buckets {
             *self.buckets.entry(index).or_insert(0) += n;
         }
+        for (&index, other_ex) in &other.exemplars {
+            let slot = self.exemplars.entry(index).or_insert(*other_ex);
+            if other_ex.rank() < slot.rank() {
+                *slot = *other_ex;
+            }
+        }
     }
 
     /// The non-empty buckets as `(index, count)` pairs, ascending.
     #[must_use]
     pub fn buckets(&self) -> Vec<(u16, u64)> {
         self.buckets.iter().map(|(&i, &n)| (i, n)).collect()
+    }
+
+    /// The per-bucket exemplars as `(index, exemplar)` pairs, ascending.
+    #[must_use]
+    pub fn exemplars(&self) -> Vec<(u16, Exemplar)> {
+        self.exemplars.iter().map(|(&i, &e)| (i, e)).collect()
     }
 }
 
@@ -366,6 +439,28 @@ impl MetricsRegistry {
         self.record(key, duration.as_nanos());
     }
 
+    /// Records one observation attributed to `request`, feeding the
+    /// histogram's deterministic per-bucket exemplars.
+    pub fn record_tagged(&mut self, key: MetricKey, value: u64, request: RequestId) {
+        if self.disabled {
+            return;
+        }
+        self.histograms
+            .entry(key)
+            .or_default()
+            .record_tagged(value, request);
+    }
+
+    /// Records a simulated duration attributed to `request`.
+    pub fn record_duration_tagged(
+        &mut self,
+        key: MetricKey,
+        duration: SimDuration,
+        request: RequestId,
+    ) {
+        self.record_tagged(key, duration.as_nanos(), request);
+    }
+
     /// A counter's current value (0 when never touched).
     #[must_use]
     pub fn counter(&self, key: MetricKey) -> u64 {
@@ -382,6 +477,13 @@ impl MetricsRegistry {
     #[must_use]
     pub fn histogram(&self, key: MetricKey) -> Option<&Histogram> {
         self.histograms.get(&key)
+    }
+
+    /// All histograms with their keys, in canonical key order — the
+    /// iteration exemplar joins (e.g. `tail_report`) walk.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(MetricKey, &Histogram)> {
+        self.histograms.iter().map(|(&k, h)| (k, h)).collect()
     }
 
     /// Quantile summaries for every histogram, in canonical key-path
@@ -453,7 +555,7 @@ impl MetricsRegistry {
     /// and only if they hold the same metrics.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": \"hsdp-telemetry-metrics/1\",\n");
+        let mut out = String::from("{\n  \"schema\": \"hsdp-telemetry-metrics/2\",\n");
         out.push_str("  \"counters\": {");
         push_scalar_map(&mut out, &self.counters);
         out.push_str("},\n  \"gauges\": {");
@@ -481,6 +583,13 @@ impl MetricsRegistry {
                     out.push_str(", ");
                 }
                 out.push_str(&format!("[{index}, {n}]"));
+            }
+            out.push_str("], \"exemplars\": [");
+            for (j, (index, ex)) in h.exemplars().into_iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{index}, {}, {}]", ex.request.0, ex.value));
             }
             out.push_str("]}");
         }
@@ -675,6 +784,79 @@ mod tests {
         assert!(
             json.contains("\"p50\": 42, \"p95\": 42, \"p99\": 42"),
             "quantiles surface in the histogram JSON:\n{json}"
+        );
+        crate::json::validate(&json).expect("registry JSON must parse");
+    }
+
+    #[test]
+    fn exemplar_selection_is_recording_order_independent() {
+        use hsdp_core::category::Platform;
+        let observations: Vec<(u64, RequestId)> = (0..64u64)
+            .map(|i| {
+                (
+                    1_000 + i * 37 % 50,
+                    RequestId::tag(Platform::Spanner, 0, i as usize),
+                )
+            })
+            .collect();
+        let mut forward = Histogram::new();
+        for &(v, r) in &observations {
+            forward.record_tagged(v, r);
+        }
+        let mut reverse = Histogram::new();
+        for &(v, r) in observations.iter().rev() {
+            reverse.record_tagged(v, r);
+        }
+        assert_eq!(forward, reverse);
+        assert!(!forward.exemplars().is_empty());
+    }
+
+    #[test]
+    fn exemplar_merge_equals_whole_stream() {
+        use hsdp_core::category::Platform;
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for i in 0..200u64 {
+            let value = i * 977 % 9_973;
+            let request = RequestId::tag(Platform::BigQuery, (i % 4) as usize, i as usize);
+            whole.record_tagged(value, request);
+            if i % 2 == 0 {
+                left.record_tagged(value, request);
+            } else {
+                right.record_tagged(value, request);
+            }
+        }
+        let mut ab = left.clone();
+        ab.merge(&right);
+        let mut ba = right.clone();
+        ba.merge(&left);
+        assert_eq!(ab, whole, "split+merge matches the whole stream");
+        assert_eq!(ab, ba, "merge is commutative over exemplars");
+    }
+
+    #[test]
+    fn untagged_recordings_never_become_exemplars() {
+        let mut h = Histogram::new();
+        h.record_tagged(500, RequestId::UNTAGGED);
+        assert_eq!(h.count(), 1, "the observation still counts");
+        assert!(h.exemplars().is_empty());
+    }
+
+    #[test]
+    fn tagged_json_surfaces_exemplars() {
+        use hsdp_core::category::Platform;
+        let mut r = MetricsRegistry::new();
+        let request = RequestId::tag(Platform::Spanner, 1, 2);
+        r.record_tagged(("m", "hist", ""), 42, request);
+        let json = r.to_json();
+        assert!(
+            json.contains(&format!(
+                "\"exemplars\": [[{}, {}, 42]]",
+                bucket_index(42),
+                request.0
+            )),
+            "exemplar rides in the histogram JSON:\n{json}"
         );
         crate::json::validate(&json).expect("registry JSON must parse");
     }
